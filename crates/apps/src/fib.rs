@@ -1,0 +1,387 @@
+//! The Fibonacci application of Figures 8 and 9: instrumentation whose
+//! energy cost grows until it starves the main loop.
+//!
+//! The app generates the Fibonacci sequence and appends each number to a
+//! non-volatile doubly-linked list. The *debug build* begins every
+//! main-loop pass with a consistency check that traverses the whole list
+//! verifying `prev`/`next` linkage and that each value is the sum of the
+//! two before it. The check's energy cost is proportional to the list
+//! length, so once the list is long enough the check consumes the entire
+//! charge-discharge budget and the main loop never runs again — the
+//! paper observed the hang "after having added approximately 555 items".
+//!
+//! The [`Variant::Guarded`] build wraps the check in EDB energy guards:
+//! the check runs on tethered power and the main loop always gets its
+//! energy (Figure 9, bottom).
+
+use edb_core::libedb;
+use edb_mcu::asm::assemble;
+use edb_mcu::Image;
+
+/// FRAM address of the list head pointer (first node or 0).
+pub const HEADP: u16 = 0x6000;
+/// FRAM address of the tail pointer.
+pub const TAILP: u16 = 0x6002;
+/// FRAM address of the node count.
+pub const COUNT: u16 = 0x6004;
+/// FRAM address of the init-done magic word.
+pub const INIT_FLAG: u16 = 0x6006;
+/// FRAM address of the bump allocator cursor.
+pub const ALLOC: u16 = 0x6008;
+/// FRAM address of the check-failure counter (consistency violations
+/// detected by the instrumented build).
+pub const VIOLATIONS: u16 = 0x600A;
+/// First address of the node pool.
+pub const POOL: u16 = 0x6100;
+/// One past the last pool address (~5400 nodes of 6 bytes).
+pub const POOL_END: u16 = 0xD000;
+/// Magic marking one-time init as done.
+pub const INIT_MAGIC: u16 = 0x5A5A;
+
+/// Node byte offsets: value, prev, next.
+pub const NODE_VALUE: u16 = 0;
+/// See [`NODE_VALUE`].
+pub const NODE_PREV: u16 = 2;
+/// See [`NODE_VALUE`].
+pub const NODE_NEXT: u16 = 4;
+
+/// Which build to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Release build: no consistency check.
+    Release,
+    /// Debug build: O(n) consistency check at the top of every pass.
+    Checked,
+    /// Debug build with the check wrapped in EDB energy guards.
+    Guarded,
+}
+
+/// The application's assembly source.
+pub fn source(variant: Variant) -> String {
+    let (check_prologue, check_epilogue) = match variant {
+        Variant::Release => ("; (release build: no check)".to_string(), String::new()),
+        Variant::Checked => ("call consistency_check".to_string(), String::new()),
+        Variant::Guarded => (
+            "call __edb_guard_begin\n    call consistency_check\n    call __edb_guard_end"
+                .to_string(),
+            String::new(),
+        ),
+    };
+    let app = format!(
+        r#"
+.org 0x4400
+main:
+    movi sp, 0x2400
+    ; one-time NV initialization
+    movi r1, {INIT_FLAG:#06x}
+    ld   r0, [r1]
+    cmpi r0, {INIT_MAGIC:#06x}
+    jz   inited
+    movi r2, 0
+    movi r3, {HEADP:#06x}
+    st   [r3], r2
+    movi r3, {TAILP:#06x}
+    st   [r3], r2
+    movi r3, {COUNT:#06x}
+    st   [r3], r2
+    movi r3, {VIOLATIONS:#06x}
+    st   [r3], r2
+    movi r3, {ALLOC:#06x}
+    movi r2, {POOL:#06x}
+    st   [r3], r2
+    movi r0, {INIT_MAGIC:#06x}
+    st   [r1], r0
+inited:
+
+loop:
+    ; debug-build instrumentation (the "Check" pin brackets it)
+    or   r8, PIN_CHECK
+    out  GPIO_OUT, r8
+    {check_prologue}
+    {check_epilogue}
+    movi r0, PIN_CHECK
+    not  r0
+    and  r8, r0
+    out  GPIO_OUT, r8
+
+    ; main-loop progress pin high
+    or   r8, PIN_MAIN_LOOP
+    out  GPIO_OUT, r8
+
+    ; compute the next Fibonacci number from the last two list nodes
+    movi r1, {TAILP:#06x}
+    ld   r2, [r1]              ; tail node (or 0)
+    cmpi r2, 0
+    jnz  have_tail
+    movi r4, 1                 ; first value: fib(1) = 1
+    jmp  append
+have_tail:
+    ld   r4, [r2 + {NODE_VALUE}]
+    ld   r3, [r2 + {NODE_PREV}]
+    cmpi r3, 0
+    jz   append                ; one node: next value equals it (1, 1, ...)
+    ld   r3, [r3 + {NODE_VALUE}]
+    add  r4, r3                ; value = tail + tail->prev (wraps mod 2^16)
+
+append:
+    ; allocate a node (bump; stop at pool end)
+    movi r1, {ALLOC:#06x}
+    ld   r5, [r1]
+    cmpi r5, {POOL_END:#06x}
+    jhs  pool_full             ; unsigned >= : pool exhausted
+    ; fill the node before publishing it
+    st   [r5 + {NODE_VALUE}], r4
+    movi r6, 0
+    st   [r5 + {NODE_NEXT}], r6
+    movi r1, {TAILP:#06x}
+    ld   r2, [r1]
+    st   [r5 + {NODE_PREV}], r2
+    ; publish: tail->next (or head) = node; tail = node; count++; alloc+=6
+    cmpi r2, 0
+    jz   first_node
+    st   [r2 + {NODE_NEXT}], r5
+    jmp  publish_tail
+first_node:
+    movi r3, {HEADP:#06x}
+    st   [r3], r5
+publish_tail:
+    ; Bump the allocator *before* the tail update: a power failure
+    ; between the two leaves an orphaned node (harmless) rather than a
+    ; reusable slot that would alias into the list as a cycle.
+    movi r1, {ALLOC:#06x}
+    ld   r0, [r1]
+    add  r0, 6
+    st   [r1], r0
+    movi r1, {TAILP:#06x}
+    st   [r1], r5
+    movi r1, {COUNT:#06x}
+    ld   r0, [r1]
+    add  r0, 1
+    st   [r1], r0
+pool_full:
+
+    ; progress pin low
+    movi r0, PIN_MAIN_LOOP
+    not  r0
+    and  r8, r0
+    out  GPIO_OUT, r8
+    jmp  loop
+
+; Traverse the list, verifying linkage and the Fibonacci recurrence.
+; Violations are *accumulated* (r9) and the traversal continues, so the
+; check's cost is always proportional to the full list length — the
+; property that starves the main loop in Figure 9. A visit cap bounds
+; the walk defensively against pointer cycles. Clobbers r0-r7, r9.
+consistency_check:
+    movi r9, 0                 ; violations found this pass
+    movi r1, {HEADP:#06x}
+    ld   r1, [r1]              ; cur
+    cmpi r1, 0
+    jz   cc_commit
+    movi r2, 0                 ; prev seen
+    movi r3, 0                 ; value two back
+    movi r4, 0                 ; value one back
+    movi r7, 0                 ; nodes visited
+cc_loop:
+    ; linkage: cur->prev == prev
+    ld   r5, [r1 + {NODE_PREV}]
+    cmp  r5, r2
+    jz   cc_link_ok
+    add  r9, 1
+cc_link_ok:
+    ; recurrence (from the third node on): value == r3 + r4
+    cmpi r7, 2
+    jl   cc_advance
+    ld   r5, [r1 + {NODE_VALUE}]
+    mov  r6, r3
+    add  r6, r4
+    cmp  r5, r6
+    jz   cc_advance
+    add  r9, 1
+cc_advance:
+    mov  r3, r4
+    ld   r4, [r1 + {NODE_VALUE}]
+    mov  r2, r1
+    ld   r1, [r1 + {NODE_NEXT}]
+    add  r7, 1
+    cmpi r7, 6000              ; defensive cycle cap
+    jhs  cc_cycle
+    cmpi r1, 0
+    jnz  cc_loop
+    ; final linkage: last visited must be the tail
+    movi r5, {TAILP:#06x}
+    ld   r5, [r5]
+    cmp  r5, r2
+    jz   cc_backward
+    add  r9, 1
+cc_backward:
+    ; backward pass: every node's prev must point back via next
+    movi r1, {TAILP:#06x}
+    ld   r1, [r1]
+    movi r7, 0
+cc_back:
+    cmpi r1, 0
+    jz   cc_commit
+    ld   r5, [r1 + {NODE_PREV}]
+    cmpi r5, 0
+    jz   cc_commit
+    ld   r6, [r5 + {NODE_NEXT}]
+    cmp  r6, r1
+    jz   cc_back_ok
+    add  r9, 1
+cc_back_ok:
+    mov  r1, r5
+    add  r7, 1
+    cmpi r7, 6000
+    jhs  cc_cycle
+    jmp  cc_back
+cc_cycle:
+    add  r9, 1
+cc_commit:
+    cmpi r9, 0
+    jz   cc_done
+    movi r5, {VIOLATIONS:#06x}
+    ld   r6, [r5]
+    add  r6, r9
+    st   [r5], r6
+cc_done:
+    ret
+
+.org 0xFFFE
+.word main
+"#
+    );
+    libedb::wrap_program(&app)
+}
+
+/// Assembles the application.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to assemble (a bug in this crate).
+pub fn image(variant: Variant) -> Image {
+    assemble(&source(variant)).expect("fib app must assemble")
+}
+
+/// Host-side oracle: walk the device's list and return the values, or
+/// `None` if the structure is inconsistent.
+pub fn read_list(mem: &edb_mcu::Memory) -> Option<Vec<u16>> {
+    let mut values = Vec::new();
+    let mut cur = mem.peek_word(HEADP);
+    let mut prev = 0u16;
+    let mut steps = 0;
+    while cur != 0 {
+        if mem.peek_word(cur.wrapping_add(NODE_PREV)) != prev {
+            return None;
+        }
+        values.push(mem.peek_word(cur.wrapping_add(NODE_VALUE)));
+        prev = cur;
+        cur = mem.peek_word(cur.wrapping_add(NODE_NEXT));
+        steps += 1;
+        if steps > 20_000 {
+            return None; // cycle
+        }
+    }
+    if prev != mem.peek_word(TAILP) {
+        return None;
+    }
+    Some(values)
+}
+
+/// Whether `values` follows the (wrapping) Fibonacci recurrence.
+pub fn is_fibonacci(values: &[u16]) -> bool {
+    values
+        .windows(3)
+        .all(|w| w[2] == w[0].wrapping_add(w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_device::{Device, DeviceConfig};
+    use edb_energy::{SimTime, TheveninSource};
+
+    #[test]
+    fn all_variants_assemble() {
+        for v in [Variant::Release, Variant::Checked, Variant::Guarded] {
+            assert!(image(v).size_bytes() > 100);
+        }
+    }
+
+    #[test]
+    fn continuous_power_builds_a_fibonacci_list() {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image(Variant::Release));
+        let mut supply = TheveninSource::new(3.0, 10.0);
+        let end = SimTime::from_ms(50);
+        while dev.now() < end {
+            dev.step(&mut supply, 0.0);
+        }
+        // Sample at an iteration boundary (append is legitimately
+        // non-atomic for a few instructions).
+        let count = dev.mem().peek_word(COUNT);
+        while dev.mem().peek_word(COUNT) == count {
+            dev.step(&mut supply, 0.0);
+        }
+        let values = read_list(dev.mem()).expect("list consistent");
+        assert!(values.len() > 50, "built {} nodes", values.len());
+        assert!(is_fibonacci(&values), "values follow the recurrence");
+        assert_eq!(&values[..5], &[1, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn release_build_makes_progress_on_harvested_power() {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image(Variant::Release));
+        let mut src = TheveninSource::new(3.2, 1500.0);
+        let end = SimTime::from_ms(800);
+        while dev.now() < end {
+            dev.step(&mut src, 0.0);
+        }
+        assert!(dev.reboots() > 2);
+        let count = dev.mem().peek_word(COUNT);
+        assert!(count > 200, "release build added {count} nodes");
+    }
+
+    #[test]
+    fn checked_build_starves_once_the_list_is_long() {
+        // Figure 9 (top): the check eventually eats the whole budget. A
+        // hungrier compute current halves the per-cycle budget, pulling
+        // the stall point (and the test runtime) down without changing
+        // the phenomenon.
+        let mut dev = Device::new(DeviceConfig {
+            i_active: 4.4e-3,
+            ..DeviceConfig::wisp5()
+        });
+        dev.flash(&image(Variant::Checked));
+        let mut src = TheveninSource::new(3.2, 1500.0);
+        let end = SimTime::from_secs(45);
+        let mut stalled_count = None;
+        let mut last_count = 0u16;
+        let mut last_change = SimTime::ZERO;
+        while dev.now() < end {
+            dev.step(&mut src, 0.0);
+            let c = dev.mem().peek_word(COUNT);
+            if c != last_count {
+                last_count = c;
+                last_change = dev.now();
+            } else if dev.now().since(last_change) > SimTime::from_secs(2) {
+                stalled_count = Some(c);
+                break;
+            }
+        }
+        let stalled = stalled_count.expect("the debug build must hang");
+        assert!(
+            (50..3000).contains(&stalled),
+            "stalled after {stalled} items (paper: ~555)"
+        );
+    }
+
+    #[test]
+    fn fibonacci_oracle_rejects_corruption() {
+        assert!(is_fibonacci(&[1, 1, 2, 3, 5, 8]));
+        assert!(!is_fibonacci(&[1, 1, 2, 3, 6]));
+        assert!(is_fibonacci(&[]));
+        assert!(is_fibonacci(&[7]));
+    }
+}

@@ -1,0 +1,393 @@
+//! The linked-list application of Figures 3, 6 and 7: the paper's
+//! canonical intermittence bug.
+//!
+//! A doubly-linked list lives in non-volatile memory. Each main-loop
+//! iteration appends a node when the list is empty and removes it
+//! otherwise; the node carries a pointer to a buffer in *volatile*
+//! memory which is cleared on removal. `append` commits its pointer
+//! updates in the order of Figure 6:
+//!
+//! ```text
+//! e->next = NULL
+//! e->prev = list->tail
+//! list->tail->next = e      ; <- power failure after this line ...
+//! list->tail = e            ; <- ... but before this one corrupts the list
+//! ```
+//!
+//! A reboot in that window leaves `tail` pointing at the sentinel while
+//! `sentinel->next` already points at `e` — the state in which `remove`
+//! takes its else-branch, writes through the NULL-derived wild pointer,
+//! reads a "buffer pointer" from address 0 (which the pulled-up bus
+//! returns as `0xFFFF`), and `memset`s over the reset vector. From then
+//! on the device vectors into garbage on every reboot: the main loop
+//! never runs again and only a reflash recovers it — precisely the
+//! symptom of §5.3.1.
+//!
+//! The [`Variant::Assert`] build adds EDB's intermittence-aware
+//! assertion of the invariant *"the tail pointer points to the last
+//! element"* at the top of `remove`, which catches the inconsistency
+//! before any of the confounding consequences.
+
+use edb_core::libedb;
+use edb_mcu::asm::assemble;
+use edb_mcu::Image;
+
+/// FRAM address of the sentinel (head) node.
+pub const HEAD: u16 = 0x6000;
+/// FRAM address of the tail pointer variable.
+pub const TAILP: u16 = 0x6010;
+/// FRAM address of the single element node.
+pub const NODE0: u16 = 0x6020;
+/// FRAM address of the init-done magic word.
+pub const INIT_FLAG: u16 = 0x6030;
+/// FRAM address of the completed-iteration counter.
+pub const ITER_COUNT: u16 = 0x6032;
+/// SRAM address of the volatile data buffer.
+pub const VBUF: u16 = 0x1D00;
+/// Magic marking one-time init as done.
+pub const INIT_MAGIC: u16 = 0x55AA;
+/// The assertion site ID used by the instrumented build.
+pub const ASSERT_ID: u8 = 3;
+
+/// Byte offset of a node's buffer pointer.
+pub const NODE_BUF: u16 = 0;
+/// Byte offset of a node's `prev` pointer.
+pub const NODE_PREV: u16 = 2;
+/// Byte offset of a node's `next` pointer.
+pub const NODE_NEXT: u16 = 4;
+
+/// Which build of the application to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The release build: no instrumentation, fails mysteriously.
+    Plain,
+    /// Instrumented with EDB's keep-alive assertion on the list
+    /// invariant.
+    Assert,
+    /// The *fix*: each iteration runs under a DINO-style task boundary
+    /// that versions the list's non-volatile words, making append/remove
+    /// atomic with respect to power failures (§6.2's related work,
+    /// demonstrated).
+    TaskAtomic,
+}
+
+/// The application's assembly source.
+pub fn source(variant: Variant) -> String {
+    let assert_block = match variant {
+        Variant::Plain | Variant::TaskAtomic => String::new(),
+        Variant::Assert => format!(
+            r#"
+    ; ASSERT(list->tail->next == NULL): the tail must be the last element.
+    movi r5, {TAILP:#06x}
+    ld   r5, [r5]
+    ld   r5, [r5 + {NODE_NEXT}]
+    cmpi r5, 0
+    jz   assert_ok
+    movi r0, {ASSERT_ID}
+    call __edb_assert_fail
+assert_ok:
+"#
+        ),
+    };
+    let boundary_block = match variant {
+        Variant::TaskAtomic => "call __tk_boundary",
+        _ => "; (no task boundary)",
+    };
+    let app = format!(
+        r#"
+.org 0x4400
+main:
+    movi sp, 0x2400
+    ; one-time NV initialization
+    movi r1, {INIT_FLAG:#06x}
+    ld   r0, [r1]
+    cmpi r0, {INIT_MAGIC:#06x}
+    jz   inited
+    movi r2, 0
+    movi r3, {HEAD:#06x}
+    st   [r3 + {NODE_BUF}], r2
+    st   [r3 + {NODE_PREV}], r2
+    st   [r3 + {NODE_NEXT}], r2
+    movi r4, {TAILP:#06x}
+    st   [r4], r3                  ; tail = sentinel
+    movi r4, {ITER_COUNT:#06x}
+    st   [r4], r2
+    movi r0, {INIT_MAGIC:#06x}
+    st   [r1], r0
+inited:
+
+loop:
+    {boundary_block}
+    ; main-loop progress pin high (the paper's scope channel)
+    or   r8, PIN_MAIN_LOOP
+    out  GPIO_OUT, r8
+
+    ; empty test: sentinel->next == NULL ?
+    movi r1, {HEAD:#06x}
+    ld   r2, [r1 + {NODE_NEXT}]
+    cmpi r2, 0
+    jnz  do_remove
+
+do_append:
+    ; e = NODE0; e->buf = VBUF (a volatile buffer)
+    movi r3, {NODE0:#06x}
+    movi r0, {VBUF:#06x}
+    st   [r3 + {NODE_BUF}], r0
+    ; e->next = NULL
+    movi r0, 0
+    st   [r3 + {NODE_NEXT}], r0
+    ; e->prev = list->tail
+    movi r1, {TAILP:#06x}
+    ld   r2, [r1]
+    st   [r3 + {NODE_PREV}], r2
+    ; list->tail->next = e
+    st   [r2 + {NODE_NEXT}], r3
+    ; *** a power failure here leaves tail stale: the Figure 6 bug ***
+    ; list->tail = e
+    st   [r1], r3
+    jmp  loop_end
+
+do_remove:
+{assert_block}
+    ; e = sentinel->next   (r2 from the empty test). Figure 6's order:
+    ;   e->prev->next = e->next
+    ;   if (e == list->tail) tail = e->prev
+    ;   else                 e->next->prev = e->prev
+    movi r1, {TAILP:#06x}
+    ld   r3, [r1]                  ; tail
+    ld   r4, [r2 + {NODE_NEXT}]    ; succ = e->next
+    ld   r5, [r2 + {NODE_PREV}]    ; prev (the sentinel when consistent)
+    cmp  r2, r3
+    jnz  rm_else
+    ; consistent case: e == tail. The tail update and the unlink cannot
+    ; both be first — removal has its own reboot window, and a failure
+    ; between the two stores leaves the same stale-tail state as the
+    ; append race.
+    st   [r1], r5                  ; tail = e->prev
+    st   [r5 + {NODE_NEXT}], r4    ; e->prev->next = e->next
+    ld   r5, [r2 + {NODE_BUF}]     ; write data into the volatile buffer
+    call memset8
+    jmp  loop_end
+rm_else:
+    ; corrupted-state path — reachable only after an intermittence
+    ; failure. Mirrors Figure 6's else-clause:
+    st   [r5 + {NODE_NEXT}], r4    ; e->prev->next = e->next
+    st   [r4 + {NODE_PREV}], r5    ; e->next->prev = e->prev: WILD WRITE (succ==0)
+    ; housekeeping then reads the "front node's" buffer pointer via the
+    ; NULL link: address 0 -> 0xFFFF on a pulled-up bus ...
+    ld   r5, [r4 + {NODE_BUF}]
+    call memset8                   ; ... and memsets over the reset vector.
+    jmp  loop_end
+
+loop_end:
+    ; count the completed iteration (NV)
+    movi r1, {ITER_COUNT:#06x}
+    ld   r0, [r1]
+    add  r0, 1
+    st   [r1], r0
+    ; progress pin low
+    movi r0, PIN_MAIN_LOOP
+    not  r0
+    and  r8, r0
+    out  GPIO_OUT, r8
+    jmp  loop
+
+; fill 8 bytes at r5 with 0xFF (the app's "memset"); clobbers r6, r7
+memset8:
+    movi r6, 8
+    movi r7, 0xFF
+ms_loop:
+    stb  [r5], r7
+    add  r5, 1
+    sub  r6, 1
+    jnz  ms_loop
+    ret
+
+"#
+    );
+    match variant {
+        Variant::TaskAtomic => {
+            // The task runtime owns the reset vector; the list's words
+            // are the protected set it versions at each boundary.
+            let protected = [
+                TAILP,
+                HEAD + NODE_NEXT,
+                NODE0 + NODE_BUF,
+                NODE0 + NODE_PREV,
+                NODE0 + NODE_NEXT,
+                ITER_COUNT,
+            ];
+            let runtime = edb_runtime::tasks::task_runtime_asm("main", &protected);
+            libedb::wrap_program(&format!(
+                "{app}\n{runtime}\n.org 0xFFFE\n.word __tk_boot\n"
+            ))
+        }
+        _ => libedb::wrap_program(&format!("{app}\n.org 0xFFFE\n.word main\n")),
+    }
+}
+
+/// Assembles the application.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to assemble (a bug in this crate).
+pub fn image(variant: Variant) -> Image {
+    assemble(&source(variant)).expect("linked-list app must assemble")
+}
+
+/// Host-side oracle: is the device's list structurally consistent?
+/// (Tail reachable and its `next` NULL — the asserted invariant.)
+pub fn list_consistent(mem: &edb_mcu::Memory) -> bool {
+    if mem.peek_word(INIT_FLAG) != INIT_MAGIC {
+        return true; // not yet initialized: vacuously fine
+    }
+    let tail = mem.peek_word(TAILP);
+    if tail == 0 {
+        return false;
+    }
+    mem.peek_word(tail.wrapping_add(NODE_NEXT)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_device::{Device, DeviceConfig};
+    use edb_energy::{Fading, SimTime, TheveninSource};
+    use edb_mcu::RESET_VECTOR;
+
+    /// The realistic harvested supply: an RF-like Thévenin source with
+    /// slow fading (which also decorrelates brown-out phase from the
+    /// program loop, letting the narrow Figure 6 window be struck).
+    fn harvested(seed: u64) -> Fading<TheveninSource> {
+        Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, seed)
+    }
+
+    #[test]
+    fn all_variants_assemble() {
+        let plain = image(Variant::Plain);
+        let instrumented = image(Variant::Assert);
+        let atomic = image(Variant::TaskAtomic);
+        assert!(plain.size_bytes() > 100);
+        assert!(instrumented.size_bytes() > plain.size_bytes());
+        assert!(atomic.size_bytes() > instrumented.size_bytes());
+    }
+
+    #[test]
+    fn task_atomic_variant_never_bricks() {
+        // The DINO-style fix: the same workload that destroys the plain
+        // build within seconds survives indefinitely when each iteration
+        // is a task.
+        let image = image(Variant::TaskAtomic);
+        let boot = image.symbol("__tk_boot").expect("task runtime linked");
+        for seed in 0..3 {
+            let mut dev = Device::new(DeviceConfig::wisp5());
+            dev.flash(&image);
+            let mut src = harvested(seed);
+            while dev.now() < SimTime::from_secs(10) {
+                dev.step(&mut src, 0.0);
+                assert_eq!(
+                    dev.mem().peek_word(RESET_VECTOR),
+                    boot,
+                    "seed {seed}: vector corrupted at {}",
+                    dev.now()
+                );
+            }
+            assert!(dev.reboots() > 50, "seed {seed}: really intermittent");
+            assert!(
+                dev.mem().peek_word(ITER_COUNT) > 1000,
+                "seed {seed}: and still making progress"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_forever_on_continuous_power() {
+        // The paper: "the failure problem never occurs when the device
+        // runs on continuous power."
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image(Variant::Plain));
+        let mut supply = TheveninSource::new(3.0, 10.0);
+        let end = SimTime::from_ms(300);
+        while dev.now() < end {
+            dev.step(&mut supply, 0.0);
+        }
+        assert_eq!(dev.reboots(), 0);
+        // Sample consistency at iteration boundaries (the invariant is
+        // legitimately in flux for one instruction inside append).
+        let mut last_iter = dev.mem().peek_word(ITER_COUNT);
+        let mut samples = 0;
+        while samples < 50 {
+            dev.step(&mut supply, 0.0);
+            let it = dev.mem().peek_word(ITER_COUNT);
+            if it != last_iter {
+                last_iter = it;
+                samples += 1;
+                assert!(list_consistent(dev.mem()), "inconsistent at iter {it}");
+            }
+        }
+        let iters = dev.mem().peek_word(ITER_COUNT);
+        assert!(iters > 1000, "main loop kept running: {iters} iterations");
+        assert_eq!(dev.mem().peek_word(RESET_VECTOR), 0x4400);
+    }
+
+    #[test]
+    fn intermittent_power_eventually_bricks_the_device() {
+        // The §5.3.1 symptom: after some time on harvested energy the
+        // main loop stops forever and the reset vector is corrupted.
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image(Variant::Plain));
+        let mut src = harvested(1);
+        let end = SimTime::from_secs(30);
+        let mut corrupted_at = None;
+        while dev.now() < end {
+            dev.step(&mut src, 0.0);
+            if dev.mem().peek_word(RESET_VECTOR) != 0x4400 {
+                corrupted_at = Some(dev.now());
+                break;
+            }
+        }
+        let at = corrupted_at.expect("the intermittence bug must strike within 30 s");
+        assert!(dev.reboots() > 10, "took several charge cycles");
+        // The app keeps running until the *next* power failure (the
+        // corruption is to FRAM, not to the executing code) ...
+        let reboots = dev.reboots();
+        while dev.reboots() == reboots {
+            dev.step(&mut src, 0.0);
+        }
+        // ... but after that reboot the device vectors into garbage and
+        // the main loop never runs again.
+        let iters_at_death = dev.mem().peek_word(ITER_COUNT);
+        let resume = dev.now() + SimTime::from_ms(500);
+        while dev.now() < resume {
+            dev.step(&mut src, 0.0);
+        }
+        assert_eq!(
+            dev.mem().peek_word(ITER_COUNT),
+            iters_at_death,
+            "main loop must never run again after corruption at {at}"
+        );
+    }
+
+    #[test]
+    fn reflash_recovers_the_bricked_device() {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image(Variant::Plain));
+        let mut src = harvested(2);
+        let end = SimTime::from_secs(30);
+        while dev.now() < end && dev.mem().peek_word(RESET_VECTOR) == 0x4400 {
+            dev.step(&mut src, 0.0);
+        }
+        assert_ne!(dev.mem().peek_word(RESET_VECTOR), 0x4400, "bricked");
+        // "The only way to recover is to re-flash the device."
+        dev.flash(&image(Variant::Plain));
+        let before = dev.mem().peek_word(ITER_COUNT);
+        let resume = dev.now() + SimTime::from_ms(300);
+        while dev.now() < resume {
+            dev.step(&mut src, 0.0);
+        }
+        assert!(
+            dev.mem().peek_word(ITER_COUNT) > before,
+            "main loop runs again after reflash"
+        );
+    }
+}

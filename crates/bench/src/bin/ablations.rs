@@ -1,0 +1,4 @@
+//! Runs the design-choice ablations. See `edb_bench::ablations`.
+fn main() {
+    println!("{}", edb_bench::ablations::run());
+}

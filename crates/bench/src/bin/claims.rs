@@ -1,0 +1,4 @@
+//! Regenerates the paper's claims experiment. See `edb_bench::claims`.
+fn main() {
+    println!("{}", edb_bench::claims::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 experiment. See `edb_bench::fig11`.
+fn main() {
+    println!("{}", edb_bench::fig11::run());
+}

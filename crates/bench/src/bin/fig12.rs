@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 experiment. See `edb_bench::fig12`.
+fn main() {
+    println!("{}", edb_bench::fig12::run());
+}

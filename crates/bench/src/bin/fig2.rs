@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig2 experiment. See `edb_bench::fig2`.
+fn main() {
+    println!("{}", edb_bench::fig2::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 experiment. See `edb_bench::fig3`.
+fn main() {
+    println!("{}", edb_bench::fig3::run());
+}

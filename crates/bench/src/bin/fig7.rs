@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 experiment. See `edb_bench::fig7`.
+fn main() {
+    println!("{}", edb_bench::fig7::run());
+}

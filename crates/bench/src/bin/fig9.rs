@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 experiment. See `edb_bench::fig9`.
+fn main() {
+    println!("{}", edb_bench::fig9::run());
+}

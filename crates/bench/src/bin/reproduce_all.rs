@@ -1,0 +1,24 @@
+//! Runs every table/figure experiment and writes a combined summary to
+//! `target/experiments/summary.md`.
+fn main() {
+    let mut all = String::new();
+    let reports = vec![
+        edb_bench::table2::run(),
+        edb_bench::table3::run(true),
+        edb_bench::table4::run(),
+        edb_bench::fig2::run(),
+        edb_bench::fig3::run(),
+        edb_bench::fig7::run(),
+        edb_bench::fig9::run(),
+        edb_bench::fig11::run(),
+        edb_bench::fig12::run(),
+        edb_bench::claims::run(),
+        edb_bench::ablations::run(),
+    ];
+    for r in reports {
+        println!("{r}");
+        all.push_str(&format!("{r}\n"));
+    }
+    let path = edb_bench::write_artifact("summary.md", &all);
+    println!("combined summary: {path}");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 experiment. See `edb_bench::table2`.
+fn main() {
+    println!("{}", edb_bench::table2::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 3. Pass `--sweep` for the
+//! control-period ablation. See `edb_bench::table3`.
+fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    println!("{}", edb_bench::table3::run(sweep));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 experiment. See `edb_bench::table4`.
+fn main() {
+    println!("{}", edb_bench::table4::run());
+}

@@ -1,0 +1,214 @@
+//! The paper's scattered quantitative claims (§2.2, §4.1.3, §5.2): LED
+//! tracing quintuples the current draw; JTAG debugging masks every
+//! intermittence bug; an oscilloscope sees energy but no program state;
+//! watchpoints are practically free; and attaching EDB leaves the
+//! target's intermittent behaviour statistically unchanged.
+
+use crate::harness;
+use crate::Report;
+use edb_apps::linked_list as ll;
+use edb_core::baselines::{JtagDebugger, Oscilloscope};
+use edb_core::System;
+use edb_device::{Device, DeviceConfig};
+use edb_energy::SimTime;
+use edb_mcu::asm::assemble;
+use edb_mcu::RESET_VECTOR;
+
+/// Claim 1 — "Powering an LED increases the WISP's current draw by five
+/// times, from around 1 mA to over 5 mA."
+fn led_claim(report: &mut Report) {
+    // The paper quotes the WISP's idle-ish 1 mA baseline; measure the
+    // ratio with that baseline and with our compute-burst calibration.
+    for (label, base) in [("1.0 mA baseline (paper's)", 1.0e-3), ("2.2 mA compute burst", 2.2e-3)]
+    {
+        let config = DeviceConfig {
+            i_active: base,
+            ..DeviceConfig::wisp5()
+        };
+        let measure = |led: bool| {
+            let src_text = format!(
+                ".org 0x4400\nmain:\n movi r0, {}\n out 0x00, r0\nloop: add r1, 1\n jmp loop\n.org 0xFFFE\n.word main\n",
+                if led { 1 } else { 0 }
+            );
+            let image = assemble(&src_text).expect("assembles");
+            let mut dev = Device::new(config);
+            dev.flash(&image);
+            dev.set_v_cap(2.45);
+            let mut none = edb_energy::ConstantCurrent::new(0.0);
+            for _ in 0..100 {
+                dev.step(&mut none, 0.0);
+            }
+            dev.load_current()
+        };
+        let off = measure(false);
+        let on = measure(true);
+        report.line(format!(
+            "LED @ {label}: {:.2} mA -> {:.2} mA = {:.1}x (paper: ~1 mA -> >5 mA, 5x)",
+            off * 1e3,
+            on * 1e3,
+            on / off
+        ));
+        if base < 2e-3 {
+            report.metric("led_ratio", on / off);
+        }
+    }
+}
+
+/// Claim 2 — a JTAG debugger provides continuous power and can never
+/// observe the intermittence bug; EDB-free harvested operation hits it.
+fn jtag_claim(report: &mut Report) {
+    let image = ll::image(ll::Variant::Plain);
+    let mut jtag = JtagDebugger::attach(DeviceConfig::wisp5(), &image);
+    jtag.run_for(SimTime::from_secs(10));
+    let jtag_ok = jtag.read_word(RESET_VECTOR) == 0x4400 && jtag.device().reboots() == 0;
+    report.line(format!(
+        "JTAG (continuous power): 10 s, {} iterations, reboots = 0, bug reproduced: {}",
+        jtag.device().mem().peek_word(ll::ITER_COUNT),
+        !jtag_ok
+    ));
+
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    let mut src = harness::harvested(1);
+    let mut struck = None;
+    while dev.now() < SimTime::from_secs(30) {
+        dev.step(&mut src, 0.0);
+        if dev.mem().peek_word(RESET_VECTOR) != 0x4400 {
+            struck = Some(dev.now());
+            break;
+        }
+    }
+    report.line(format!(
+        "harvested power: bug struck at {:?} — visible only when nothing masks intermittence",
+        struck.map(|t| format!("{t}"))
+    ));
+    report.metric("jtag_masked", jtag_ok as u8 as f64);
+    report.metric("harvested_struck", struck.is_some() as u8 as f64);
+}
+
+/// Claim 3 — the oscilloscope sees the sawtooth but not the program
+/// state that explains it.
+fn scope_claim(report: &mut Report) {
+    let image = ll::image(ll::Variant::Plain);
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    let mut src = harness::harvested(1);
+    let mut scope = Oscilloscope::new(SimTime::from_us(100));
+    while dev.now() < SimTime::from_secs(5) {
+        dev.step(&mut src, 0.0);
+        scope.sample(&dev);
+    }
+    report.line(format!(
+        "oscilloscope: {} Vcap samples, excursion {:.2}..{:.2} V — but zero visibility into the list state that is about to kill the device",
+        scope.v_cap().len(),
+        scope.v_cap().min().unwrap_or(0.0),
+        scope.v_cap().max().unwrap_or(0.0),
+    ));
+}
+
+/// Claim 4 — §4.1.3: "The main energy cost is the target device holding
+/// a GPIO pin high for one cycle to encode each traced code point ...
+/// we measured the cost of this GPIO-based signaling to be negligible."
+fn watchpoint_cost_claim(report: &mut Report) {
+    let run_iters = |with_marker: bool| {
+        let marker = if with_marker {
+            "movi r2, 1\n out 0x02, r2"
+        } else {
+            "nop\n nop"
+        };
+        let src_text = format!(
+            ".org 0x4400\nmain:\nloop:\n {marker}\n add r1, 1\n movi r3, 0x6000\n st [r3], r1\n jmp loop\n.org 0xFFFE\n.word main\n"
+        );
+        let image = assemble(&src_text).expect("assembles");
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image);
+        let mut supply = harness::tethered();
+        while dev.now() < SimTime::from_ms(100) {
+            dev.step(&mut supply, 0.0);
+        }
+        (dev.mem().peek_word(0x6000) as f64, dev.cpu().cycles as f64)
+    };
+    let (with_iters, cycles) = run_iters(true);
+    let (without_iters, _) = run_iters(false);
+    // Per-marker cost in cycles, measured from the throughput delta.
+    let cyc_with = cycles / with_iters;
+    let cyc_without = cycles / without_iters;
+    let marker_cycles = cyc_with - cyc_without + 2.0; // vs the 2-cycle nop pad
+    let marker_us = marker_cycles / 4.0; // 4 MHz clock
+    let marker_energy_pct =
+        (2.2e-3 * 2.2 * marker_us * 1e-6) / harness::e_max() * 100.0;
+    // As a fraction of a realistic instrumented iteration (the AR app's
+    // ~0.76 ms loop from Table 4):
+    let ar_iteration_us = 760.0;
+    let relative = marker_us / ar_iteration_us * 100.0;
+    report.line(format!(
+        "watchpoint cost: {marker_cycles:.1} cycles = {marker_us:.2} µs = {marker_energy_pct:.4} % of the store per pulse; {relative:.2} % of an AR iteration (paper: negligible)"
+    ));
+    report.metric("watchpoint_cost_pct_of_store", marker_energy_pct);
+    report.metric("watchpoint_pct_of_ar_iteration", relative);
+}
+
+/// Claim 5 — energy-interference-freedom end to end: the same seeded
+/// workload behaves statistically identically with EDB attached
+/// (passively) and with it physically absent.
+fn interference_claim(report: &mut Report) {
+    let image = edb_apps::activity::image(edb_apps::activity::Variant::NoPrint);
+    let run = |attached: bool| {
+        let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(77)));
+        sys.flash(&image);
+        if !attached {
+            sys.detach_edb();
+        }
+        sys.run_for(SimTime::from_secs(5));
+        (
+            sys.device().reboots() as f64,
+            edb_apps::activity::read_stats(sys.device().mem()).total as f64,
+        )
+    };
+    let (reboots_on, iters_on) = run(true);
+    let (reboots_off, iters_off) = run(false);
+    let reboot_delta = (reboots_on - reboots_off).abs() / reboots_off.max(1.0) * 100.0;
+    let iter_delta = (iters_on - iters_off).abs() / iters_off.max(1.0) * 100.0;
+    report.line(format!(
+        "EDB attached vs absent (5 s, same seed): reboots {reboots_on} vs {reboots_off} ({reboot_delta:.2} %), iterations {iters_on} vs {iters_off} ({iter_delta:.2} %)"
+    ));
+    report.metric("interference_reboot_delta_pct", reboot_delta);
+    report.metric("interference_iter_delta_pct", iter_delta);
+}
+
+/// Runs all claims.
+pub fn run() -> Report {
+    let mut report = Report::new("Scattered claims: LED 5x, JTAG masking, scope, watchpoints, interference");
+    led_claim(&mut report);
+    jtag_claim(&mut report);
+    scope_claim(&mut report);
+    watchpoint_cost_claim(&mut report);
+    interference_claim(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_hold() {
+        let r = run();
+        assert!(r.get("led_ratio") > 4.0, "LED must multiply current ~5x");
+        assert_eq!(r.get("jtag_masked"), 1.0, "JTAG must mask the bug");
+        assert_eq!(r.get("harvested_struck"), 1.0);
+        assert!(
+            r.get("watchpoint_cost_pct_of_store") < 0.01,
+            "a watchpoint pulse must cost well under 0.01 % of the store"
+        );
+        assert!(
+            r.get("watchpoint_pct_of_ar_iteration") < 1.0,
+            "watchpoints must be negligible against a real iteration"
+        );
+        assert!(
+            r.get("interference_reboot_delta_pct") < 2.0,
+            "EDB attachment must not change the reboot cadence"
+        );
+        assert!(r.get("interference_iter_delta_pct") < 2.0);
+    }
+}

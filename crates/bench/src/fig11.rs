@@ -1,0 +1,86 @@
+//! **Figure 11** — "Energy profile of one loop iteration in the activity
+//! recognition application when instrumented with different output
+//! mechanisms": the CDF of per-iteration energy cost.
+
+use crate::table4::profile_variant;
+use crate::{write_artifact, Report};
+use edb_apps::activity::Variant;
+use edb_energy::Cdf;
+use std::fmt::Write as _;
+
+/// Runs the Figure 11 experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("Figure 11: per-iteration energy CDF by output mechanism");
+    let mut csv = String::from("energy_pct,cdf,variant\n");
+    let mut medians = Vec::new();
+
+    for (label, variant) in [
+        ("No print", Variant::NoPrint),
+        ("UART printf", Variant::UartPrintf),
+        ("EDB printf", Variant::EdbPrintf),
+    ] {
+        let profile = profile_variant(variant, 13);
+        let energies: Vec<f64> = profile
+            .completed
+            .iter()
+            .map(|it| it.energy_percent())
+            .collect();
+        assert!(
+            energies.len() > 50,
+            "{label}: too few completed iterations ({})",
+            energies.len()
+        );
+        let cdf = Cdf::of(energies);
+        let q25 = cdf.quantile(0.25);
+        let q50 = cdf.quantile(0.50);
+        let q75 = cdf.quantile(0.75);
+        report.line(format!(
+            "{label:<12} n={:<6} energy%% quartiles: {q25:.2} / {q50:.2} / {q75:.2}",
+            cdf.len()
+        ));
+        medians.push((label, q50));
+        // Decimated CDF points for plotting.
+        let n = cdf.len();
+        for (i, (x, p)) in cdf.points().enumerate() {
+            if i % (n / 60 + 1) == 0 || i + 1 == n {
+                let _ = writeln!(csv, "{x:.4},{p:.4},{label}");
+            }
+        }
+        let tag = label
+            .to_lowercase()
+            .replace(' ', "_");
+        report.metric(format!("{tag}_median_pct"), q50);
+    }
+    report.line(
+        "paper: No print ≈ 3 %, EDB printf slightly right of it, UART printf far right (≈5-6 %)"
+            .to_string(),
+    );
+    let path = write_artifact("fig11_cdf.csv", &csv);
+    report.line(format!("CDF series: {path}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_ordering_matches_figure_11() {
+        let r = run();
+        let no_print = r.get("no_print_median_pct");
+        let uart = r.get("uart_printf_median_pct");
+        let edb = r.get("edb_printf_median_pct");
+        assert!(
+            uart > no_print + 0.5,
+            "UART printf ({uart}%) must sit well right of no-print ({no_print}%)"
+        );
+        assert!(
+            edb < uart,
+            "EDB printf ({edb}%) must cost less energy than UART printf ({uart}%)"
+        );
+        assert!(
+            (edb - no_print).abs() < 1.5,
+            "EDB printf ({edb}%) stays near no-print ({no_print}%)"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! **Figure 2B** — the characteristic charge/discharge sawtooth of an
+//! energy-harvesting device, with its "tens to hundreds of reboots per
+//! second" cadence.
+
+use crate::harness;
+use crate::{write_artifact, Report};
+use edb_core::System;
+use edb_device::DeviceConfig;
+use edb_energy::{SimTime, Trace};
+use edb_mcu::asm::assemble;
+
+/// Runs the sawtooth characterization.
+pub fn run() -> Report {
+    let mut report = Report::new("Figure 2B: the charge/discharge sawtooth");
+    let image = assemble(&edb_core::libedb::wrap_program(
+        r#"
+        .org 0x4400
+        main:
+            add r0, 1
+            jmp main
+        .org 0xFFFE
+        .word main
+        "#,
+    ))
+    .expect("assembles");
+    let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(3)));
+    sys.flash(&image);
+
+    let mut v_trace = Trace::new("Vcap", SimTime::from_us(250));
+    let duration = SimTime::from_secs(2);
+    let end = duration;
+    while sys.now() < end {
+        sys.step();
+        v_trace.record(sys.now(), sys.device().v_cap());
+    }
+
+    let reboots = sys.device().reboots();
+    let per_sec = reboots as f64 / sys.now().as_secs_f64();
+    let v_min = v_trace.min().expect("samples");
+    let v_max = v_trace.max().expect("samples");
+    report.line(format!(
+        "reboots: {reboots} over {} => {per_sec:.1} charge-discharge cycles/s",
+        sys.now()
+    ));
+    report.line(format!(
+        "Vcap excursion: {v_min:.2} .. {v_max:.2} V (thresholds 1.8 / 2.4 V)"
+    ));
+    report.line(
+        "paper: \"reset and power-cycle unpredictably, tens to hundreds of times per second\""
+            .to_string(),
+    );
+    let path = write_artifact("fig2_sawtooth.csv", &v_trace.to_csv());
+    report.line(format!("trace: {path}"));
+    report.metric("reboots_per_sec", per_sec);
+    report.metric("v_min", v_min);
+    report.metric("v_max", v_max);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sawtooth_cadence_is_tens_per_second() {
+        let r = run();
+        let rate = r.get("reboots_per_sec");
+        assert!((8.0..300.0).contains(&rate), "{rate} cycles/s");
+        assert!(r.get("v_min") < 1.85);
+        assert!(r.get("v_max") > 2.35);
+    }
+}

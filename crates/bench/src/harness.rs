@@ -1,0 +1,160 @@
+//! Shared experiment plumbing: standard sources, watchpoint-pair
+//! iteration profiling, and energy arithmetic.
+
+use edb_core::{DebugEvent, EventLog};
+use edb_energy::{Fading, SimTime, TheveninSource};
+
+/// The standard harvested supply used across experiments: the RF-like
+/// Thévenin source of the 1 m reader setup, with slow fading.
+pub fn harvested(seed: u64) -> Fading<TheveninSource> {
+    Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, seed)
+}
+
+/// The bench power supply (continuous power, JTAG-style).
+pub fn tethered() -> TheveninSource {
+    TheveninSource::new(3.0, 10.0)
+}
+
+/// Maximum storable energy the paper denominates costs in:
+/// `E = ½·C·V_on²` for the 47 µF / 2.4 V target, joules.
+pub fn e_max() -> f64 {
+    0.5 * 47e-6 * 2.4 * 2.4
+}
+
+/// Energy between two capacitor voltages as a percentage of [`e_max`].
+pub fn delta_e_percent(v_a: f64, v_b: f64) -> f64 {
+    (0.5 * 47e-6 * (v_a * v_a - v_b * v_b)) / e_max() * 100.0
+}
+
+/// One completed main-loop iteration recovered from watchpoint events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iteration {
+    /// Time of the iteration-start watchpoint.
+    pub start: SimTime,
+    /// Time of the completion watchpoint.
+    pub end: SimTime,
+    /// Capacitor reading at the start, volts.
+    pub v_start: f64,
+    /// Capacitor reading at completion, volts.
+    pub v_end: f64,
+    /// The completion watchpoint's ID.
+    pub outcome: u8,
+}
+
+impl Iteration {
+    /// Iteration wall time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64() * 1e3
+    }
+
+    /// Iteration energy cost as % of the full store.
+    pub fn energy_percent(&self) -> f64 {
+        delta_e_percent(self.v_start, self.v_end)
+    }
+}
+
+/// Profile of a watchpoint-instrumented loop: attempted vs completed
+/// iterations, in the style of Figure 10's WP1/WP2/WP3 instrumentation.
+#[derive(Debug, Clone, Default)]
+pub struct LoopProfile {
+    /// Iterations that began (start watchpoints seen).
+    pub attempted: u64,
+    /// Iterations that reached a completion watchpoint without an
+    /// intervening power failure.
+    pub completed: Vec<Iteration>,
+}
+
+impl LoopProfile {
+    /// Success rate: completed / attempted (the Table 4 metric).
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / self.attempted as f64
+        }
+    }
+
+    /// Mean completed-iteration time, ms.
+    pub fn mean_time_ms(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().map(Iteration::time_ms).sum::<f64>()
+            / self.completed.len() as f64
+    }
+
+    /// Mean completed-iteration energy, % of the full store.
+    pub fn mean_energy_percent(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed
+            .iter()
+            .map(Iteration::energy_percent)
+            .sum::<f64>()
+            / self.completed.len() as f64
+    }
+}
+
+/// Pairs `start_id` watchpoints with the next completion watchpoint,
+/// resetting on power failures.
+pub fn profile_loop(log: &EventLog, start_id: u8, completion_ids: &[u8]) -> LoopProfile {
+    let mut profile = LoopProfile::default();
+    let mut open: Option<(SimTime, f64)> = None;
+    for ev in log.events() {
+        match &ev.event {
+            DebugEvent::Watchpoint { id, v_cap } if *id == start_id => {
+                profile.attempted += 1;
+                open = Some((ev.at, *v_cap));
+            }
+            DebugEvent::Watchpoint { id, v_cap } if completion_ids.contains(id) => {
+                if let Some((start, v_start)) = open.take() {
+                    profile.completed.push(Iteration {
+                        start,
+                        end: ev.at,
+                        v_start,
+                        v_end: *v_cap,
+                        outcome: *id,
+                    });
+                }
+            }
+            DebugEvent::BrownOut => open = None,
+            _ => {}
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_pairs_and_resets_on_brownout() {
+        let mut log = EventLog::new();
+        let wp = |log: &mut EventLog, t: u64, id: u8, v: f64| {
+            log.push(SimTime::from_ms(t), DebugEvent::Watchpoint { id, v_cap: v })
+        };
+        wp(&mut log, 1, 1, 2.3);
+        wp(&mut log, 2, 2, 2.25); // completed (stationary)
+        wp(&mut log, 3, 1, 2.2);
+        log.push(SimTime::from_ms(4), DebugEvent::BrownOut); // cut short
+        wp(&mut log, 10, 1, 2.4);
+        wp(&mut log, 12, 3, 2.35); // completed (moving)
+        let p = profile_loop(&log, 1, &[2, 3]);
+        assert_eq!(p.attempted, 3);
+        assert_eq!(p.completed.len(), 2);
+        assert!((p.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.completed[0].outcome, 2);
+        assert_eq!(p.completed[1].outcome, 3);
+        assert!((p.completed[0].time_ms() - 1.0).abs() < 1e-9);
+        assert!(p.completed[0].energy_percent() > 0.0);
+    }
+
+    #[test]
+    fn energy_percent_arithmetic() {
+        // Full store: 2.4 V -> 0 V is 100 %.
+        assert!((delta_e_percent(2.4, 0.0) - 100.0).abs() < 1e-9);
+        assert!(delta_e_percent(2.3, 2.4) < 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment harness for the EDB reproduction.
+//!
+//! Each module regenerates one table or figure from the paper's
+//! evaluation (§5), printing the same rows/series the paper reports next
+//! to the paper's own numbers. Absolute values are model-calibrated —
+//! the substrate is a simulator, not the authors' testbed — but the
+//! *shape* (who wins, failure modes, orders of magnitude) is the claim
+//! under test.
+//!
+//! Run any experiment with `cargo run --release -p edb-bench --bin
+//! <name>`, or everything with `--bin reproduce_all`.
+//!
+//! | module / bin | paper artifact |
+//! |---|---|
+//! | [`table2`] | Table 2 — worst-case leakage per connection |
+//! | [`table3`] | Table 3 — save/restore accuracy |
+//! | [`table4`] | Table 4 — debug-output cost on the AR app |
+//! | [`fig2`]   | Figure 2B — the charge/discharge sawtooth |
+//! | [`fig3`]   | Figure 3 — checkpointed intermittent execution |
+//! | [`fig7`]   | Figure 7 — the memory-corruption bug ± `assert` |
+//! | [`fig9`]   | Figure 9 — consistency check ± energy guards |
+//! | [`fig11`]  | Figure 11 — per-iteration energy CDF |
+//! | [`fig12`]  | Figure 12 — RFID messages vs energy |
+//! | [`claims`] | §2.2/§5.2 scattered claims (LED 5×, JTAG masking, ...) |
+//! | [`ablations`] | DESIGN.md §5: parameter sensitivity of the guarantees |
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod claims;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig9;
+pub mod harness;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of one experiment: a human-readable report plus named
+/// metrics that integration tests assert against.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment title.
+    pub title: String,
+    /// Report body lines.
+    pub lines: Vec<String>,
+    /// Named scalar results.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Appends a body line.
+    pub fn line(&mut self, text: impl Into<String>) {
+        self.lines.push(text.into());
+    }
+
+    /// Records a named metric.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.insert(name.into(), value);
+    }
+
+    /// Fetches a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric was never recorded.
+    pub fn get(&self, name: &str) -> f64 {
+        *self
+            .metrics
+            .get(name)
+            .unwrap_or_else(|| panic!("metric `{name}` missing from report `{}`", self.title))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} ====", self.title)?;
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        if !self.metrics.is_empty() {
+            writeln!(f, "-- metrics --")?;
+            for (k, v) in &self.metrics {
+                writeln!(f, "{k} = {v:.6}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes an artifact (CSV, etc.) under `target/experiments/`, returning
+/// the path it landed at. Failures to write are reported but not fatal —
+/// experiments must run in read-only environments too.
+pub fn write_artifact(name: &str, content: &str) -> String {
+    let dir = std::path::Path::new("target").join("experiments");
+    let path = dir.join(name);
+    let shown = path.display().to_string();
+    if std::fs::create_dir_all(&dir).is_ok() && std::fs::write(&path, content).is_ok() {
+        shown
+    } else {
+        format!("(could not write {shown})")
+    }
+}

@@ -1,0 +1,101 @@
+//! **Table 2** — "Measured worst-case current that can flow over
+//! electrical connections between the target device and EDB."
+//!
+//! The paper characterized each header connection with a source meter at
+//! 0 V and 2.4 V. We repeat the measurement against the wiring model:
+//! many sampled board instances, many readings per connection and state,
+//! reporting min/avg/max in nA and the worst-case total.
+
+use crate::Report;
+use edb_core::Wiring;
+
+/// Number of board instances sampled.
+const BOARDS: u64 = 25;
+/// Readings per connection/state per board.
+const READINGS: usize = 40;
+
+/// Paper's worst-case total, nA.
+const PAPER_TOTAL_NA: f64 = 836.51;
+
+/// Runs the Table 2 measurement.
+pub fn run() -> Report {
+    let mut report = Report::new("Table 2: EDB<->target connection leakage (nA)");
+    report.line(format!(
+        "{:<34} {:>6} {:>10} {:>10} {:>10}",
+        "Connection", "state", "min", "avg", "max"
+    ));
+
+    let probe = Wiring::standard(0);
+    let n_connections = probe.connections().len();
+    let mut worst_case_total: f64 = 0.0;
+
+    for idx in 0..n_connections {
+        let name = probe.connections()[idx].name;
+        let analog = idx < 2;
+        let states: &[(&str, bool)] = if analog {
+            &[("2.4V", true)]
+        } else {
+            &[("high", true), ("low", false)]
+        };
+        let mut conn_worst: f64 = 0.0;
+        for (label, high) in states {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for board in 0..BOARDS {
+                let mut w = Wiring::standard(board);
+                for _ in 0..READINGS {
+                    let i = w.measure_na(idx, *high);
+                    min = min.min(i);
+                    max = max.max(i);
+                    sum += i;
+                    n += 1;
+                }
+            }
+            let avg = sum / n as f64;
+            conn_worst = conn_worst.max(min.abs()).max(max.abs());
+            report.line(format!(
+                "{name:<34} {label:>6} {min:>10.4} {avg:>10.4} {max:>10.4}"
+            ));
+        }
+        worst_case_total += conn_worst;
+    }
+
+    report.line(String::new());
+    report.line(format!(
+        "Worst-case total: {worst_case_total:.2} nA   (paper: {PAPER_TOTAL_NA} nA)"
+    ));
+    let active_ma = 0.5; // the paper's quoted typical active current
+    let pct = worst_case_total * 1e-9 / (active_ma * 1e-3) * 100.0;
+    report.line(format!(
+        "= {pct:.3} % of a {active_ma} mA active current (paper: 0.2 %)"
+    ));
+    report.metric("worst_case_total_na", worst_case_total);
+    report.metric("percent_of_active", pct);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_total_is_sub_microamp_like_the_paper() {
+        let r = run();
+        let total = r.get("worst_case_total_na");
+        assert!(
+            (300.0..1200.0).contains(&total),
+            "worst case {total} nA out of the paper's ballpark"
+        );
+        assert!(r.get("percent_of_active") < 0.5);
+    }
+
+    #[test]
+    fn report_has_one_row_per_connection_state() {
+        let r = run();
+        // 2 analog rows + 10 digital connections x 2 states + header +
+        // 2 summary lines + blank.
+        assert!(r.lines.len() >= 24, "got {} lines", r.lines.len());
+    }
+}

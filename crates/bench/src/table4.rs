@@ -1,0 +1,121 @@
+//! **Table 4** — "Cost of debug output and its impact on the behavior of
+//! the activity recognition application."
+//!
+//! The AR app runs on harvested power in three builds: no print, `printf`
+//! over the target-powered UART, and EDB's energy-interference-free
+//! `printf`. From the WP1/WP2/WP3 watchpoint stream EDB derives the
+//! iteration success rate, per-iteration energy/time, and the marginal
+//! cost of each print mechanism.
+
+use crate::harness::{self, profile_loop, LoopProfile};
+use crate::Report;
+use edb_apps::activity::{self, Variant};
+use edb_core::System;
+use edb_device::DeviceConfig;
+use edb_energy::SimTime;
+
+/// Seconds of harvested execution per variant.
+const RUN_SECS: u64 = 8;
+
+/// Profiles one variant of the AR app.
+pub fn profile_variant(variant: Variant, seed: u64) -> LoopProfile {
+    let mut sys = System::new(
+        DeviceConfig::wisp5(),
+        Box::new(harness::harvested(seed)),
+    );
+    sys.flash(&activity::image(variant));
+    sys.run_for(SimTime::from_secs(RUN_SECS));
+    profile_loop(
+        sys.edb().expect("attached").log(),
+        activity::WP_ITER_START,
+        &[activity::WP_STATIONARY, activity::WP_MOVING],
+    )
+}
+
+/// Runs the Table 4 experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("Table 4: cost of debug output on the AR application");
+    report.line(format!(
+        "{:<14} {:>9} {:>12} {:>10} {:>13} {:>11}",
+        "", "success", "iter energy", "iter time", "print energy", "print time"
+    ));
+    report.line(format!(
+        "{:<14} {:>9} {:>12} {:>10} {:>13} {:>11}",
+        "", "rate (%)", "(% of cap)", "(ms)", "(% of cap)", "(ms)"
+    ));
+    report.line(
+        "paper: NoPrint    87        3.0          1.1           -            -".to_string(),
+    );
+    report.line(
+        "paper: UART       74        5.3          2.1          2.5          1.1".to_string(),
+    );
+    report.line(
+        "paper: EDB        82        3.4          4.7          0.11         3.1".to_string(),
+    );
+
+    let base = profile_variant(Variant::NoPrint, 7);
+    let uart = profile_variant(Variant::UartPrintf, 7);
+    let edb = profile_variant(Variant::EdbPrintf, 7);
+
+    let mut emit = |label: &str, p: &LoopProfile, base: Option<&LoopProfile>| {
+        let (pe, pt) = match base {
+            Some(b) => (
+                p.mean_energy_percent() - b.mean_energy_percent(),
+                p.mean_time_ms() - b.mean_time_ms(),
+            ),
+            None => (f64::NAN, f64::NAN),
+        };
+        let fmt_opt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.2}")
+            }
+        };
+        report.line(format!(
+            "ours:  {label:<7} {:>9.0} {:>12.2} {:>10.2} {:>13} {:>11}",
+            p.success_rate() * 100.0,
+            p.mean_energy_percent(),
+            p.mean_time_ms(),
+            fmt_opt(pe),
+            fmt_opt(pt),
+        ));
+        let tag = label.to_lowercase();
+        report.metric(format!("{tag}_success"), p.success_rate() * 100.0);
+        report.metric(format!("{tag}_energy_pct"), p.mean_energy_percent());
+        report.metric(format!("{tag}_time_ms"), p.mean_time_ms());
+        if !pe.is_nan() {
+            report.metric(format!("{tag}_print_energy_pct"), pe);
+            report.metric(format!("{tag}_print_time_ms"), pt);
+        }
+    };
+    emit("NoPrint", &base, None);
+    emit("UART", &uart, Some(&base));
+    emit("EDB", &edb, Some(&base));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_holds() {
+        let r = run();
+        // UART printf costs far more energy per print than EDB printf —
+        // the paper's headline comparison (2.5 % vs 0.11 %).
+        let uart_e = r.get("uart_print_energy_pct");
+        let edb_e = r.get("edb_print_energy_pct");
+        assert!(
+            uart_e > 3.0 * edb_e.max(0.01),
+            "UART print energy {uart_e}% must dwarf EDB's {edb_e}%"
+        );
+        // EDB printf is slower than UART printf (handshake + restore)...
+        assert!(r.get("edb_print_time_ms") > r.get("uart_print_time_ms"));
+        // ...and UART printf hurts the success rate more than EDB printf.
+        assert!(r.get("uart_success") < r.get("noprint_success"));
+        assert!(r.get("edb_success") >= r.get("uart_success"));
+        // All variants actually ran.
+        assert!(r.get("noprint_success") > 50.0);
+    }
+}

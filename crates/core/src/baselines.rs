@@ -1,0 +1,171 @@
+//! The debugging tools EDB is compared against in §2.2: a JTAG-style
+//! tethered debugger (which masks intermittence) and a mixed-signal
+//! oscilloscope (which sees energy but not program state).
+//!
+//! These exist so the experiment harnesses can *demonstrate* the paper's
+//! motivating claims rather than assert them: the same buggy image that
+//! corrupts memory on harvested power runs forever under
+//! [`JtagDebugger`]; the [`Oscilloscope`] records a beautiful `Vcap`
+//! trace that says nothing about *why* the main loop stopped.
+
+use edb_device::{Device, DeviceConfig};
+use edb_energy::{SimTime, TheveninSource, Trace};
+use edb_mcu::Image;
+
+/// A conventional JTAG debugger: full visibility into target memory, but
+/// it **continuously powers the device under test**, so no intermittent
+/// behaviour can ever be observed.
+#[derive(Debug)]
+pub struct JtagDebugger {
+    device: Device,
+    supply: TheveninSource,
+}
+
+impl JtagDebugger {
+    /// Attaches the JTAG debugger to a fresh device flashed with `image`.
+    pub fn attach(config: DeviceConfig, image: &Image) -> Self {
+        let mut device = Device::new(config);
+        device.flash(image);
+        JtagDebugger {
+            device,
+            // A stiff 3 V bench supply: the defining energy interference.
+            supply: TheveninSource::new(3.0, 10.0),
+        }
+    }
+
+    /// Runs the target under continuous power for `duration`.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let end = self.device.now() + duration;
+        while self.device.now() < end {
+            self.device.step(&mut self.supply, 0.0);
+        }
+    }
+
+    /// The target (full memory/register visibility — JTAG's strength).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Reads a word of target memory (JTAG's strength: free access).
+    pub fn read_word(&self, addr: u16) -> u16 {
+        self.device.mem().peek_word(addr)
+    }
+}
+
+/// A mixed-signal oscilloscope probing `Vcap` and one GPIO pin: perfect
+/// analog visibility, zero program visibility.
+#[derive(Debug)]
+pub struct Oscilloscope {
+    v_cap: Trace,
+    gpio: Trace,
+    period: SimTime,
+    next_sample: SimTime,
+}
+
+impl Oscilloscope {
+    /// Creates a scope sampling every `period`.
+    pub fn new(period: SimTime) -> Self {
+        Oscilloscope {
+            v_cap: Trace::new("Vcap", period),
+            gpio: Trace::new("gpio", period),
+            period,
+            next_sample: SimTime::ZERO,
+        }
+    }
+
+    /// Samples the probes (call once per simulation step; the scope
+    /// decimates internally).
+    pub fn sample(&mut self, device: &Device) {
+        let now = device.now();
+        if now < self.next_sample {
+            return;
+        }
+        self.next_sample = now + self.period;
+        self.v_cap.record(now, device.v_cap());
+        self.gpio
+            .record(now, device.peripherals.gpio.read() as f64);
+    }
+
+    /// The captured `Vcap` channel.
+    pub fn v_cap(&self) -> &Trace {
+        &self.v_cap
+    }
+
+    /// The captured GPIO channel.
+    pub fn gpio(&self) -> &Trace {
+        &self.gpio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_mcu::asm::assemble;
+
+    #[test]
+    fn jtag_masks_intermittence() {
+        let image = assemble(
+            r#"
+            .org 0x4400
+            main:
+                add r0, 1
+                jmp main
+            .org 0xFFFE
+            .word main
+            "#,
+        )
+        .expect("assembles");
+        let mut jtag = JtagDebugger::attach(DeviceConfig::wisp5(), &image);
+        jtag.run_for(SimTime::from_ms(200));
+        assert_eq!(jtag.device().reboots(), 0, "JTAG never lets power fail");
+        assert!(jtag.device().total_instructions() > 100_000);
+    }
+
+    #[test]
+    fn jtag_reads_memory_freely() {
+        let image = assemble(
+            r#"
+            .org 0x4400
+            main:
+                movi r1, 0x6000
+                movi r0, 42
+                st   [r1], r0
+                halt
+            .org 0xFFFE
+            .word main
+            "#,
+        )
+        .expect("assembles");
+        let mut jtag = JtagDebugger::attach(DeviceConfig::wisp5(), &image);
+        jtag.run_for(SimTime::from_ms(10));
+        assert_eq!(jtag.read_word(0x6000), 42);
+    }
+
+    #[test]
+    fn scope_sees_energy_but_not_state() {
+        let image = assemble(
+            r#"
+            .org 0x4400
+            main:
+                add r0, 1
+                jmp main
+            .org 0xFFFE
+            .word main
+            "#,
+        )
+        .expect("assembles");
+        let mut device = Device::new(DeviceConfig::wisp5());
+        device.flash(&image);
+        let mut src = TheveninSource::new(3.2, 1500.0);
+        let mut scope = Oscilloscope::new(SimTime::from_us(100));
+        let end = SimTime::from_ms(200);
+        while device.now() < end {
+            device.step(&mut src, 0.0);
+            scope.sample(&device);
+        }
+        assert!(scope.v_cap().len() > 100, "scope captured the waveform");
+        let min = scope.v_cap().min().expect("samples");
+        let max = scope.v_cap().max().expect("samples");
+        assert!(max > 2.3 && min < 2.0, "sawtooth visible: {min}..{max}");
+    }
+}

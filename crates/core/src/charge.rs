@@ -1,0 +1,300 @@
+//! The charge/discharge circuit and its software level controller.
+//!
+//! §4.1.1: "EDB has a custom circuit consisting of a low pass filter,
+//! keeper diode, and GPIO pins that can charge and discharge the target's
+//! energy storage capacitor. ... A basic iterative control loop in EDB's
+//! software ensures that the voltage converges to the desired level."
+//!
+//! The circuit here is the analog part: in `Charge`/`Tether` mode it
+//! sources current through a drive resistor and keeper diode; in
+//! `Discharge` mode it sinks current through a bleed resistor; `Idle` is
+//! high-impedance (its residual leakage lives in [`crate::wiring`], not
+//! here). The [`LevelController`] is the software part: it samples the
+//! ADC on a fixed period and flips the circuit off when the reading
+//! crosses the target. Its finite control period is what produces the
+//! save/restore discrepancy that Table 3 measures — the error is
+//! *mechanistic*, not injected.
+
+use edb_energy::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the charge/discharge pins are doing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChargeMode {
+    /// High impedance: no intentional current.
+    Idle,
+    /// Sourcing current to raise the capacitor voltage.
+    Charge,
+    /// Sinking current through the bleed resistor.
+    Discharge,
+    /// Sinking gently (the discharge pin PWMed at low duty) for precise
+    /// convergence near the target level.
+    DischargeFine,
+    /// Continuously powering the target ("tethered power").
+    Tether,
+}
+
+/// The analog charge/discharge network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargeCircuit {
+    /// Drive rail voltage, volts.
+    pub v_drive: f64,
+    /// Series resistance of the charge path, ohms.
+    pub r_charge: f64,
+    /// Keeper-diode forward drop, volts.
+    pub diode_drop: f64,
+    /// Bleed resistance of the discharge path, ohms.
+    pub r_discharge: f64,
+    /// Effective bleed resistance in fine (PWM) discharge, ohms.
+    pub r_discharge_fine: f64,
+    mode: ChargeMode,
+}
+
+impl ChargeCircuit {
+    /// The prototype's values: 3.3 V drive through 100 Ω and a 0.2 V
+    /// keeper diode; 220 Ω discharge bleed.
+    pub fn new() -> Self {
+        ChargeCircuit {
+            v_drive: 3.3,
+            r_charge: 100.0,
+            diode_drop: 0.2,
+            r_discharge: 220.0,
+            r_discharge_fine: 2200.0,
+            mode: ChargeMode::Idle,
+        }
+    }
+
+    /// The present mode.
+    pub fn mode(&self) -> ChargeMode {
+        self.mode
+    }
+
+    /// Sets the mode (the debugger firmware's GPIO writes).
+    pub fn set_mode(&mut self, mode: ChargeMode) {
+        self.mode = mode;
+    }
+
+    /// The voltage the tether settles at with no load (drive minus diode).
+    pub fn tether_level(&self) -> f64 {
+        self.v_drive - self.diode_drop
+    }
+
+    /// Current delivered *into* the target capacitor at `v_cap`, amps
+    /// (negative while discharging).
+    pub fn current_into(&self, v_cap: f64) -> f64 {
+        match self.mode {
+            ChargeMode::Idle => 0.0,
+            ChargeMode::Charge | ChargeMode::Tether => {
+                ((self.v_drive - self.diode_drop - v_cap) / self.r_charge).max(0.0)
+            }
+            ChargeMode::Discharge => -(v_cap / self.r_discharge).max(0.0),
+            ChargeMode::DischargeFine => -(v_cap / self.r_discharge_fine).max(0.0),
+        }
+    }
+}
+
+impl Default for ChargeCircuit {
+    fn default() -> Self {
+        ChargeCircuit::new()
+    }
+}
+
+/// Which way the controller is moving the voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Charging up to the target.
+    Raise,
+    /// Discharging down to the target.
+    Lower,
+}
+
+/// The iterative software control loop that converges the capacitor to a
+/// target level.
+///
+/// Every `period`, the debugger samples its ADC; once the reading crosses
+/// `target` (± `guard_band`), the circuit is switched off. A positive
+/// guard band stops *early*: the restore path uses one so that a resumed
+/// target is left with slightly **more** energy than saved rather than
+/// less — the conservative choice behind Table 3's positive mean ΔV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelController {
+    /// Target voltage, volts.
+    pub target: f64,
+    /// Early-stop margin, volts (≥ 0).
+    pub guard_band: f64,
+    /// Within this margin of the stop level, discharge switches to the
+    /// gentle fine mode so the final step lands precisely.
+    pub fine_band: f64,
+    direction: Direction,
+    period: SimTime,
+    next_check: SimTime,
+    last_reading: Option<f64>,
+    done: bool,
+}
+
+impl LevelController {
+    /// A controller that charges up to `target`, checking every `period`.
+    pub fn raise(target: f64, period: SimTime, guard_band: f64, now: SimTime) -> Self {
+        LevelController {
+            target,
+            guard_band,
+            fine_band: 0.06,
+            direction: Direction::Raise,
+            period,
+            next_check: now,
+            last_reading: None,
+            done: false,
+        }
+    }
+
+    /// A controller that discharges down to `target`.
+    pub fn lower(target: f64, period: SimTime, guard_band: f64, now: SimTime) -> Self {
+        LevelController {
+            target,
+            guard_band,
+            fine_band: 0.06,
+            direction: Direction::Lower,
+            period,
+            next_check: now,
+            last_reading: None,
+            done: false,
+        }
+    }
+
+    /// The movement direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Whether the target has been reached.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// The circuit mode this controller wants right now.
+    pub fn desired_mode(&self) -> ChargeMode {
+        if self.done {
+            return ChargeMode::Idle;
+        }
+        match self.direction {
+            Direction::Raise => ChargeMode::Charge,
+            Direction::Lower => {
+                let stop_at = self.target + self.guard_band;
+                match self.last_reading {
+                    Some(v) if v <= stop_at + self.fine_band => ChargeMode::DischargeFine,
+                    _ => ChargeMode::Discharge,
+                }
+            }
+        }
+    }
+
+    /// Feeds the controller the time; when a control period elapses it
+    /// consumes one ADC reading via `read` and decides whether to stop.
+    /// Returns `true` if this call completed the operation.
+    pub fn update(&mut self, now: SimTime, read: &mut dyn FnMut() -> f64) -> bool {
+        if self.done || now < self.next_check {
+            return false;
+        }
+        self.next_check = now + self.period;
+        let v = read();
+        self.last_reading = Some(v);
+        let reached = match self.direction {
+            Direction::Raise => v >= self.target - self.guard_band,
+            Direction::Lower => v <= self.target + self.guard_band,
+        };
+        if reached {
+            self.done = true;
+        }
+        reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::Adc;
+    use edb_energy::Capacitor;
+
+    /// Integrates circuit + controller against a bare capacitor, the way
+    /// the debugger does against the live device.
+    fn converge(start_v: f64, controller: &mut LevelController, adc: &mut Adc) -> (f64, SimTime) {
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(start_v);
+        let mut circuit = ChargeCircuit::new();
+        let mut now = SimTime::ZERO;
+        let dt = 2e-6;
+        while !controller.done() {
+            circuit.set_mode(controller.desired_mode());
+            cap.apply_current(circuit.current_into(cap.voltage()), dt);
+            now = now.advance_secs(dt);
+            let v = cap.voltage();
+            controller.update(now, &mut || adc.read_volts(v));
+            assert!(now < SimTime::from_secs(1), "did not converge");
+        }
+        (cap.voltage(), now)
+    }
+
+    #[test]
+    fn charges_to_target_within_control_error() {
+        let mut adc = Adc::new(1);
+        let mut ctl = LevelController::raise(2.4, SimTime::from_us(50), 0.0, SimTime::ZERO);
+        let (v, _) = converge(1.8, &mut ctl, &mut adc);
+        assert!((2.39..2.48).contains(&v), "converged to {v}");
+    }
+
+    #[test]
+    fn discharges_to_target_within_control_error() {
+        let mut adc = Adc::new(2);
+        let mut ctl = LevelController::lower(2.0, SimTime::from_us(50), 0.0, SimTime::ZERO);
+        let (v, _) = converge(3.1, &mut ctl, &mut adc);
+        assert!(v <= 2.01 && v > 1.93, "converged to {v}");
+    }
+
+    #[test]
+    fn guard_band_stops_early() {
+        let mut adc = Adc::new(3);
+        let mut tight = LevelController::lower(2.3, SimTime::from_us(50), 0.0, SimTime::ZERO);
+        let (v_tight, _) = converge(3.1, &mut tight, &mut adc);
+        let mut guarded = LevelController::lower(2.3, SimTime::from_us(50), 0.05, SimTime::ZERO);
+        let (v_guarded, _) = converge(3.1, &mut guarded, &mut adc);
+        assert!(
+            v_guarded > v_tight,
+            "guard band must leave more charge: {v_guarded} vs {v_tight}"
+        );
+    }
+
+    #[test]
+    fn longer_control_period_means_more_overshoot() {
+        let overshoot = |period_us: u64| {
+            let mut adc = Adc::new(4);
+            let mut ctl =
+                LevelController::lower(2.3, SimTime::from_us(period_us), 0.0, SimTime::ZERO);
+            let (v, _) = converge(3.1, &mut ctl, &mut adc);
+            (2.3 - v).abs()
+        };
+        assert!(overshoot(400) > overshoot(20));
+    }
+
+    #[test]
+    fn tether_holds_near_drive_level() {
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(2.0);
+        let mut circuit = ChargeCircuit::new();
+        circuit.set_mode(ChargeMode::Tether);
+        for _ in 0..500_000 {
+            // A hungry 3 mA load hangs off the cap.
+            let i = circuit.current_into(cap.voltage()) - 3e-3;
+            cap.apply_current(i, 1e-6);
+        }
+        let v = cap.voltage();
+        let expected = circuit.tether_level() - 3e-3 * circuit.r_charge;
+        assert!((v - expected).abs() < 0.02, "tether sits at {v}, expected {expected}");
+    }
+
+    #[test]
+    fn idle_is_high_impedance() {
+        let c = ChargeCircuit::new();
+        assert_eq!(c.current_into(1.0), 0.0);
+        assert_eq!(c.current_into(3.0), 0.0);
+    }
+}

@@ -1,0 +1,743 @@
+//! The debugger: passive monitoring, active energy manipulation, and the
+//! intermittence-aware debugging primitives.
+//!
+//! [`Edb`] is the host/board side of the system. Its only *electrical*
+//! influence on the target flows through [`Edb::electrical_current`] —
+//! the charge/discharge circuit plus the sub-µA wiring leakage — so
+//! energy-interference-freedom is checkable by comparing runs with and
+//! without the debugger attached. Its *informational* inputs are the
+//! wire-observable [`DeviceEvent`]s and the debug-signal/UART queues; its
+//! decisions run on a periodic firmware tick with realistic latency.
+
+use crate::adc::Adc;
+use crate::charge::{ChargeCircuit, ChargeMode, LevelController};
+use crate::events::{DebugEvent, EventLog};
+use crate::protocol;
+use crate::wiring::{LineStates, Wiring};
+use edb_device::{Device, DeviceEvent};
+use edb_energy::{PowerEdge, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Debugger firmware parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdbConfig {
+    /// Passive energy-trace sampling period.
+    pub adc_sample_period: SimTime,
+    /// Firmware main-loop period — the latency with which signals are
+    /// noticed and acknowledged.
+    pub tick_period: SimTime,
+    /// Charge/discharge control-loop sampling period.
+    pub control_period: SimTime,
+    /// Early-stop margin when restoring energy after a breakpoint or
+    /// assert session, volts. Conservative (positive) so a resumed target
+    /// never finds *less* energy than it saved — the source of Table 3's
+    /// positive mean ΔV.
+    pub restore_guard_band: f64,
+    /// Early-stop margin for energy-guard exits, volts. Kept tight (a
+    /// small positive bias) because guard exits happen constantly and
+    /// their error must not accumulate into application-visible energy.
+    pub guard_band: f64,
+    /// Whether passive energy samples are logged as events.
+    pub energy_trace: bool,
+    /// Whether GPIO/UART/I²C events are logged.
+    pub io_trace: bool,
+    /// RNG seed for the ADC and wiring instances.
+    pub seed: u64,
+}
+
+impl EdbConfig {
+    /// The prototype defaults.
+    pub fn prototype() -> Self {
+        EdbConfig {
+            adc_sample_period: SimTime::from_us(200),
+            tick_period: SimTime::from_us(20),
+            control_period: SimTime::from_us(150),
+            restore_guard_band: 0.055,
+            guard_band: 0.004,
+            energy_trace: true,
+            io_trace: true,
+            seed: 0xEDB,
+        }
+    }
+}
+
+impl Default for EdbConfig {
+    fn default() -> Self {
+        EdbConfig::prototype()
+    }
+}
+
+/// Why an interactive session is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// A `libEDB` assertion failed (keep-alive engaged).
+    Assert {
+        /// Assertion site ID.
+        id: u8,
+    },
+    /// An internal code breakpoint hit.
+    Breakpoint {
+        /// Breakpoint ID.
+        id: u8,
+    },
+    /// An energy breakpoint (threshold crossing) fired.
+    EnergyBreakpoint,
+    /// The console requested a session on demand.
+    Console,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Mode {
+    /// Watching only.
+    Passive,
+    /// Inside an energy-guarded region: tethered, level saved.
+    Guard { saved: f64 },
+    /// Discharging back to the pre-guard level; ack stays up until done.
+    GuardRestore { saved: f64 },
+    /// Interactive session: tethered, target in its service loop.
+    Session { kind: SessionKind, saved: f64 },
+    /// Post-session restore: discharging to the saved level before
+    /// releasing the target.
+    SessionRestore { saved: f64 },
+}
+
+/// An in-flight debug-UART exchange with the target.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// Awaiting `n` reply bytes for a read.
+    Read { got: Vec<u8> },
+    /// Awaiting the write acknowledge byte.
+    Write,
+}
+
+/// A pending energy breakpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EnergyBreakpoint {
+    threshold: f64,
+    armed: bool,
+}
+
+/// The Energy-interference-free Debugger.
+///
+/// Construct, [`attach`](Edb::attach) to an assembled image (so the
+/// debugger knows `libEDB`'s breakpoint-mask address), then let the
+/// system harness drive [`Edb::electrical_current`], [`Edb::observe`] and
+/// [`Edb::tick`] every device step. Higher-level operations (charge,
+/// breakpoints, memory reads) are exposed for the console and the
+/// experiment harnesses.
+#[derive(Debug)]
+pub struct Edb {
+    config: EdbConfig,
+    adc: Adc,
+    wiring: Wiring,
+    circuit: ChargeCircuit,
+    log: EventLog,
+    mode: Mode,
+    controller: Option<LevelController>,
+    /// Completion flag for console-initiated charge/discharge.
+    level_op_done: bool,
+    next_tick: SimTime,
+    next_adc: SimTime,
+    last_reading: f64,
+    code_breakpoints: HashMap<u8, Option<f64>>,
+    energy_breakpoints: Vec<EnergyBreakpoint>,
+    watch_enabled: HashSet<u8>,
+    watch_all: bool,
+    printf_buf: Vec<u8>,
+    pending: Option<Pending>,
+    reply: VecDeque<u16>,
+    bkpt_mask_addr: Option<u16>,
+    /// Charge delivered through the tether/charge circuit, coulombs
+    /// (instrumentation).
+    charge_delivered: f64,
+}
+
+impl Edb {
+    /// Creates a debugger with the given configuration.
+    pub fn new(config: EdbConfig) -> Self {
+        Edb {
+            adc: Adc::new(config.seed),
+            wiring: Wiring::standard(config.seed.wrapping_add(1)),
+            circuit: ChargeCircuit::new(),
+            log: EventLog::new(),
+            mode: Mode::Passive,
+            controller: None,
+            level_op_done: false,
+            next_tick: SimTime::ZERO,
+            next_adc: SimTime::ZERO,
+            last_reading: 0.0,
+            code_breakpoints: HashMap::new(),
+            energy_breakpoints: Vec::new(),
+            watch_enabled: HashSet::new(),
+            watch_all: true,
+            printf_buf: Vec::new(),
+            pending: None,
+            reply: VecDeque::new(),
+            bkpt_mask_addr: None,
+            charge_delivered: 0.0,
+            config,
+        }
+    }
+
+    /// Records image metadata (the `libEDB` breakpoint-mask address).
+    pub fn attach(&mut self, image: &edb_mcu::Image) {
+        self.bkpt_mask_addr = crate::libedb::bkpt_mask_addr(image);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> EdbConfig {
+        self.config
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Mutable event log access (experiments clear it between phases).
+    pub fn log_mut(&mut self) -> &mut EventLog {
+        &mut self.log
+    }
+
+    /// The most recent ADC reading of `Vcap`, volts.
+    pub fn last_reading(&self) -> f64 {
+        self.last_reading
+    }
+
+    /// Whether an interactive session is open (including the
+    /// energy-restore phase before the target is released).
+    pub fn session_active(&self) -> bool {
+        matches!(self.mode, Mode::Session { .. } | Mode::SessionRestore { .. })
+    }
+
+    /// Whether the target is inside an energy-guarded region.
+    pub fn in_guard(&self) -> bool {
+        matches!(self.mode, Mode::Guard { .. } | Mode::GuardRestore { .. })
+    }
+
+    /// Whether a console-initiated charge/discharge just completed
+    /// (cleared by the next level operation).
+    pub fn level_op_done(&self) -> bool {
+        self.level_op_done
+    }
+
+    /// Total charge delivered into the target, coulombs.
+    pub fn charge_delivered(&self) -> f64 {
+        self.charge_delivered
+    }
+
+    /// The charge-circuit mode right now (instrumentation).
+    pub fn charge_mode(&self) -> ChargeMode {
+        self.circuit.mode()
+    }
+
+    // ---------------------------------------------------------------
+    // Console-facing operations
+    // ---------------------------------------------------------------
+
+    /// Begins charging the target to `volts` (Table 1's `charge` command).
+    pub fn start_charge(&mut self, volts: f64, now: SimTime) {
+        self.controller = Some(LevelController::raise(
+            volts,
+            self.config.control_period,
+            0.0,
+            now,
+        ));
+        self.level_op_done = false;
+    }
+
+    /// Begins discharging the target to `volts` (`discharge` command).
+    pub fn start_discharge(&mut self, volts: f64, now: SimTime) {
+        self.controller = Some(LevelController::lower(
+            volts,
+            self.config.control_period,
+            0.0,
+            now,
+        ));
+        self.level_op_done = false;
+    }
+
+    /// Enables an internal code breakpoint, optionally conditioned on the
+    /// energy level (`break en id [energy]` — a *combined* breakpoint).
+    /// Writes the target-side enable mask through the back channel.
+    pub fn enable_breakpoint(&mut self, dev: &mut Device, id: u8, energy: Option<f64>) {
+        self.code_breakpoints.insert(id, energy);
+        self.sync_bkpt_mask(dev);
+    }
+
+    /// Disables an internal code breakpoint.
+    pub fn disable_breakpoint(&mut self, dev: &mut Device, id: u8) {
+        self.code_breakpoints.remove(&id);
+        self.sync_bkpt_mask(dev);
+    }
+
+    fn sync_bkpt_mask(&mut self, dev: &mut Device) {
+        if let Some(addr) = self.bkpt_mask_addr {
+            let mask = self
+                .code_breakpoints
+                .keys()
+                .fold(0u16, |m, &id| m | (1 << (id as u16 & 0xF)));
+            dev.mem_mut().poke_word(addr, mask);
+        }
+    }
+
+    /// Arms an energy breakpoint at `threshold` volts.
+    pub fn arm_energy_breakpoint(&mut self, threshold: f64) {
+        self.energy_breakpoints.push(EnergyBreakpoint {
+            threshold,
+            armed: true,
+        });
+    }
+
+    /// Disarms all energy breakpoints at `threshold` (±1 mV).
+    pub fn disarm_energy_breakpoint(&mut self, threshold: f64) {
+        self.energy_breakpoints
+            .retain(|b| (b.threshold - threshold).abs() > 1e-3);
+    }
+
+    /// Enables a watchpoint ID (when any ID has been explicitly enabled,
+    /// only enabled IDs are logged; by default all are).
+    pub fn enable_watchpoint(&mut self, id: u8) {
+        self.watch_all = false;
+        self.watch_enabled.insert(id);
+    }
+
+    /// Disables a watchpoint ID.
+    pub fn disable_watchpoint(&mut self, id: u8) {
+        self.watch_all = false;
+        self.watch_enabled.remove(&id);
+    }
+
+    /// Starts a memory read over the debug protocol. The target must be
+    /// in its service loop (session active). Poll [`Edb::take_reply`].
+    pub fn start_read(&mut self, dev: &mut Device, addr: u16) {
+        self.pending = Some(Pending::Read { got: Vec::new() });
+        let q = &mut dev.peripherals.debug.rx_from_debugger;
+        q.push_back(protocol::CMD_READ);
+        q.push_back((addr & 0xFF) as u8);
+        q.push_back((addr >> 8) as u8);
+    }
+
+    /// Asks the target where execution will resume (the service loop's
+    /// return address). Poll [`Edb::take_reply`].
+    pub fn start_get_pc(&mut self, dev: &mut Device) {
+        self.pending = Some(Pending::Read { got: Vec::new() });
+        dev.peripherals
+            .debug
+            .rx_from_debugger
+            .push_back(protocol::CMD_GET_PC);
+    }
+
+    /// Starts a memory write over the debug protocol.
+    pub fn start_write(&mut self, dev: &mut Device, addr: u16, value: u16) {
+        self.pending = Some(Pending::Write);
+        let q = &mut dev.peripherals.debug.rx_from_debugger;
+        q.push_back(protocol::CMD_WRITE);
+        q.push_back((addr & 0xFF) as u8);
+        q.push_back((addr >> 8) as u8);
+        q.push_back((value & 0xFF) as u8);
+        q.push_back((value >> 8) as u8);
+    }
+
+    /// Takes a completed protocol reply (a read's word, or a write's
+    /// acknowledge rendered as `0xAA`).
+    pub fn take_reply(&mut self) -> Option<u16> {
+        self.reply.pop_front()
+    }
+
+    /// Resumes the target from an interactive session: restores the saved
+    /// energy level, then releases the service loop.
+    pub fn resume(&mut self, now: SimTime) {
+        if let Mode::Session { saved, .. } = self.mode {
+            self.controller = Some(LevelController::lower(
+                saved,
+                self.config.control_period,
+                self.config.restore_guard_band,
+                now,
+            ));
+            self.mode = Mode::SessionRestore { saved };
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Harness-facing hooks
+    // ---------------------------------------------------------------
+
+    /// The debugger's net electrical contribution to the target's storage
+    /// capacitor right now (amps, positive = charging), given the
+    /// ground-truth node voltage and line states. This is the *only*
+    /// electrical path from debugger to target.
+    pub fn electrical_current(&mut self, v_cap: f64, states: LineStates, dt: f64) -> f64 {
+        let circuit = self.circuit.current_into(v_cap);
+        if circuit > 0.0 {
+            self.charge_delivered += circuit * dt;
+        }
+        circuit - self.wiring.drain_amps(states)
+    }
+
+    /// Ingests one device step's wire-observable events.
+    pub fn observe(&mut self, dev: &Device, events: &[DeviceEvent], at: SimTime) {
+        for event in events {
+            match event {
+                DeviceEvent::CodeMarker { id } => {
+                    if self.watch_all || self.watch_enabled.contains(id) {
+                        let v = self.adc.read_volts(dev.v_cap());
+                        self.log.push(at, DebugEvent::Watchpoint { id: *id, v_cap: v });
+                    }
+                }
+                DeviceEvent::GpioChange { old, new } => {
+                    if self.config.io_trace {
+                        self.log.push(at, DebugEvent::Gpio { old: *old, new: *new });
+                    }
+                }
+                DeviceEvent::UartByte { byte } => {
+                    if self.config.io_trace {
+                        self.log.push(at, DebugEvent::UartByte { byte: *byte });
+                    }
+                }
+                DeviceEvent::I2c(txn) => {
+                    if self.config.io_trace {
+                        self.log.push(
+                            at,
+                            DebugEvent::I2c {
+                                x: txn.sample.x,
+                                y: txn.sample.y,
+                                z: txn.sample.z,
+                            },
+                        );
+                    }
+                }
+                DeviceEvent::CpuFault(f) => {
+                    self.log.push(
+                        at,
+                        DebugEvent::TargetFault {
+                            description: f.to_string(),
+                        },
+                    );
+                }
+                // Debug-UART and signal traffic is handled on the tick.
+                DeviceEvent::DbgUartByte { .. }
+                | DeviceEvent::DebugSignal { .. }
+                | DeviceEvent::AdcSelfSample { .. }
+                | DeviceEvent::RfTx(_) => {}
+            }
+        }
+    }
+
+    /// Logs a power edge.
+    pub fn observe_power_edge(&mut self, edge: PowerEdge, at: SimTime) {
+        let ev = match edge {
+            PowerEdge::TurnOn => DebugEvent::TurnOn,
+            PowerEdge::BrownOut => DebugEvent::BrownOut,
+        };
+        self.log.push(at, ev);
+    }
+
+    /// Logs an RFID message observed on the monitored RF lines, decoding
+    /// it independently of the target.
+    pub fn observe_rfid(&mut self, bytes: &[u8], downlink: bool, at: SimTime) {
+        let label = if downlink {
+            edb_rfid::Command::decode(bytes)
+                .map(|c| c.label().to_string())
+                .unwrap_or_else(|_| "CORRUPT".to_string())
+        } else {
+            edb_rfid::TagReply::decode(bytes)
+                .map(|r| r.label().to_string())
+                .unwrap_or_else(|_| "CORRUPT".to_string())
+        };
+        let valid = label != "CORRUPT";
+        self.log.push(
+            at,
+            DebugEvent::Rfid {
+                label,
+                downlink,
+                valid,
+            },
+        );
+    }
+
+    /// The debugger firmware loop: run once per device step; internally
+    /// rate-limited to the configured tick period (plus the ADC schedule).
+    pub fn tick(&mut self, dev: &mut Device, now: SimTime) {
+        // Passive ADC sampling runs on its own schedule.
+        if now >= self.next_adc {
+            self.next_adc = now + self.config.adc_sample_period;
+            let v = self.adc.read_volts(dev.v_cap());
+            self.last_reading = v;
+            if self.config.energy_trace {
+                let v_reg = self.adc.read_volts(dev.v_reg());
+                self.log.push(now, DebugEvent::EnergySample { v_cap: v, v_reg });
+            }
+            self.check_energy_breakpoints(dev, now, v);
+        }
+
+        if now < self.next_tick {
+            return;
+        }
+        self.next_tick = now + self.config.tick_period;
+
+        self.drain_signals(dev, now);
+        self.drain_uart(dev, now);
+        self.run_controller(dev, now);
+    }
+
+    fn check_energy_breakpoints(&mut self, dev: &mut Device, now: SimTime, v: f64) {
+        if !matches!(self.mode, Mode::Passive) {
+            return;
+        }
+        let mut fire_at: Option<f64> = None;
+        for bp in &mut self.energy_breakpoints {
+            if bp.armed && dev.powered() && v <= bp.threshold {
+                bp.armed = false;
+                fire_at = Some(bp.threshold);
+                break;
+            }
+            if !bp.armed && v > bp.threshold + 0.05 {
+                bp.armed = true; // re-arm with hysteresis
+            }
+        }
+        if let Some(threshold) = fire_at {
+            self.log.push(
+                now,
+                DebugEvent::EnergyBreakpoint {
+                    threshold,
+                    v_cap: v,
+                },
+            );
+            self.open_session(dev, now, SessionKind::EnergyBreakpoint, v);
+            dev.raise_irq();
+        }
+    }
+
+    fn open_session(&mut self, dev: &mut Device, now: SimTime, kind: SessionKind, saved: f64) {
+        self.circuit.set_mode(ChargeMode::Tether);
+        dev.peripherals.debug.set_session_active(true);
+        self.mode = Mode::Session { kind, saved };
+        self.log.push(
+            now,
+            DebugEvent::SessionOpened {
+                reason: format!("{kind:?}"),
+            },
+        );
+    }
+
+    /// Opens a console-requested session by interrupting the target, as
+    /// the `break` console command does on demand.
+    pub fn open_console_session(&mut self, dev: &mut Device, now: SimTime) {
+        let v = self.adc.read_volts(dev.v_cap());
+        self.open_session(dev, now, SessionKind::Console, v);
+        dev.raise_irq();
+    }
+
+    fn drain_signals(&mut self, dev: &mut Device, now: SimTime) {
+        while let Some(word) = dev.peripherals.debug.signals.pop_front() {
+            let (code, id) = protocol::decode_signal(word);
+            match code {
+                protocol::SIG_ASSERT => {
+                    // Keep-alive: tether before the target can brown out.
+                    let v = self.adc.read_volts(dev.v_cap());
+                    self.log.push(now, DebugEvent::AssertFailed { id });
+                    self.open_session(dev, now, SessionKind::Assert { id }, v);
+                }
+                protocol::SIG_BREAKPOINT => {
+                    let v = self.adc.read_volts(dev.v_cap());
+                    let enabled = match self.code_breakpoints.get(&id) {
+                        Some(None) => true,
+                        Some(Some(threshold)) => v <= *threshold,
+                        None => false,
+                    };
+                    if enabled {
+                        self.log.push(now, DebugEvent::BreakpointHit { id, v_cap: v });
+                        self.open_session(dev, now, SessionKind::Breakpoint { id }, v);
+                    } else {
+                        // Not interesting: release the service loop.
+                        dev.peripherals
+                            .debug
+                            .rx_from_debugger
+                            .push_back(protocol::CMD_CONTINUE);
+                    }
+                }
+                protocol::SIG_GUARD_BEGIN => {
+                    let saved = self.adc.read_volts(dev.v_cap());
+                    self.circuit.set_mode(ChargeMode::Tether);
+                    dev.peripherals.debug.set_ack(true);
+                    self.mode = Mode::Guard { saved };
+                    self.log.push(now, DebugEvent::GuardEnter { saved_v: saved });
+                }
+                protocol::SIG_GUARD_END => {
+                    if let Mode::Guard { saved } = self.mode {
+                        if self.controller.is_some() {
+                            // A console-initiated level operation was in
+                            // flight; the guard's mandatory restore
+                            // pre-empts it.
+                            self.level_op_done = true;
+                        }
+                        self.controller = Some(LevelController::lower(
+                            saved,
+                            self.config.control_period,
+                            self.config.guard_band,
+                            now,
+                        ));
+                        self.mode = Mode::GuardRestore { saved };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn drain_uart(&mut self, dev: &mut Device, now: SimTime) {
+        while let Some(byte) = dev.peripherals.debug.tx_to_debugger.pop_front() {
+            match &mut self.pending {
+                Some(Pending::Read { got }) => {
+                    got.push(byte);
+                    if got.len() == 2 {
+                        let word = got[0] as u16 | ((got[1] as u16) << 8);
+                        self.reply.push_back(word);
+                        self.pending = None;
+                    }
+                }
+                Some(Pending::Write) => {
+                    self.reply.push_back(byte as u16);
+                    self.pending = None;
+                }
+                None => {
+                    if byte == b'\n' {
+                        let line = String::from_utf8_lossy(&self.printf_buf).into_owned();
+                        self.printf_buf.clear();
+                        self.log.push(now, DebugEvent::Printf { line });
+                    } else {
+                        self.printf_buf.push(byte);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_controller(&mut self, dev: &mut Device, now: SimTime) {
+        let Some(mut ctl) = self.controller else {
+            return;
+        };
+        // The controller owns the circuit while active — except a session
+        // tether, which only SessionRestore may override.
+        self.circuit.set_mode(ctl.desired_mode());
+        let truth = dev.v_cap();
+        let adc = &mut self.adc;
+        let finished = ctl.update(now, &mut || {
+            
+            adc.read_volts(truth)
+        });
+        self.controller = Some(ctl);
+        if finished {
+            self.controller = None;
+            // A finished level operation must not tear down an active
+            // tether (assert keep-alive or energy guard).
+            let fallback = match self.mode {
+                Mode::Session { .. } | Mode::Guard { .. } => ChargeMode::Tether,
+                _ => ChargeMode::Idle,
+            };
+            self.circuit.set_mode(fallback);
+            let v = self.adc.read_volts(dev.v_cap());
+            match self.mode {
+                Mode::GuardRestore { .. } => {
+                    dev.peripherals.debug.set_ack(false);
+                    self.mode = Mode::Passive;
+                    self.log.push(now, DebugEvent::GuardExit { restored_v: v });
+                }
+                Mode::SessionRestore { .. } => {
+                    dev.peripherals.debug.set_session_active(false);
+                    dev.peripherals
+                        .debug
+                        .rx_from_debugger
+                        .push_back(protocol::CMD_CONTINUE);
+                    self.mode = Mode::Passive;
+                    self.log
+                        .push(now, DebugEvent::SessionClosed { restored_v: v });
+                }
+                _ => {
+                    self.level_op_done = true;
+                    self.log.push(
+                        now,
+                        DebugEvent::LevelReached {
+                            target: ctl.target,
+                            v_cap: v,
+                        },
+                    );
+                }
+            }
+        } else if matches!(self.mode, Mode::Session { .. } | Mode::Guard { .. }) {
+            // A console charge/discharge during a tethered session or
+            // guard must not fight the tether.
+            self.circuit.set_mode(ChargeMode::Tether);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = EdbConfig::prototype();
+        assert!(c.restore_guard_band > c.guard_band);
+        assert!(c.tick_period < SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn watchpoint_filtering() {
+        let mut edb = Edb::new(EdbConfig::prototype());
+        let dev = Device::new(edb_device::DeviceConfig::wisp5());
+        let ev = [DeviceEvent::CodeMarker { id: 2 }];
+        edb.observe(&dev, &ev, SimTime::from_ms(1));
+        assert_eq!(edb.log().with_tag("watchpoint").count(), 1);
+        edb.enable_watchpoint(1); // now only ID 1 is logged
+        edb.observe(&dev, &ev, SimTime::from_ms(2));
+        assert_eq!(edb.log().with_tag("watchpoint").count(), 1);
+        edb.enable_watchpoint(2);
+        edb.observe(&dev, &ev, SimTime::from_ms(3));
+        assert_eq!(edb.log().with_tag("watchpoint").count(), 2);
+    }
+
+    #[test]
+    fn rfid_observation_validates_independently() {
+        let mut edb = Edb::new(EdbConfig::prototype());
+        let good = edb_rfid::Command::Query { q: 0, session: 0 }.encode();
+        edb.observe_rfid(&good, true, SimTime::from_ms(1));
+        let mut bad = good.clone();
+        bad[1] ^= 0x40;
+        edb.observe_rfid(&bad, true, SimTime::from_ms(2));
+        let events: Vec<_> = edb.log().with_tag("rfid").collect();
+        assert_eq!(events.len(), 2);
+        match (&events[0].event, &events[1].event) {
+            (
+                DebugEvent::Rfid { label: a, valid: va, .. },
+                DebugEvent::Rfid { label: b, valid: vb, .. },
+            ) => {
+                assert_eq!(a, "CMD_QUERY");
+                assert!(*va);
+                assert_eq!(b, "CORRUPT");
+                assert!(!*vb);
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn printf_lines_assemble_from_bytes() {
+        let mut edb = Edb::new(EdbConfig::prototype());
+        let mut dev = Device::new(edb_device::DeviceConfig::wisp5());
+        for &b in b"v=2a\n" {
+            dev.peripherals.debug.tx_to_debugger.push_back(b);
+        }
+        edb.tick(&mut dev, SimTime::from_ms(1));
+        assert_eq!(edb.log().printf_lines(), vec!["v=2a"]);
+    }
+
+    #[test]
+    fn electrical_current_is_tiny_when_idle() {
+        let mut edb = Edb::new(EdbConfig::prototype());
+        let i = edb.electrical_current(2.2, LineStates::default(), 1e-6);
+        assert!(i.abs() < 1e-6, "idle influence {i} A must be sub-µA");
+    }
+}

@@ -1,0 +1,329 @@
+//! The debugger's time-stamped event log.
+//!
+//! Everything EDB observes or does lands here: energy samples, watchpoint
+//! hits, I/O activity, RFID messages, assert/breakpoint sessions, energy
+//! guard entries and exits, printf lines. The experiment harnesses read
+//! this log to regenerate the paper's figures; the console prints from it
+//! in "trace" mode.
+
+use edb_energy::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One observation or action, without its timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DebugEvent {
+    /// A passive energy sample (the `Vcap` stream).
+    EnergySample {
+        /// ADC reading converted to volts.
+        v_cap: f64,
+        /// Regulated-rail reading, volts.
+        v_reg: f64,
+    },
+    /// A watchpoint (code-marker pulse) decoded from the marker lines.
+    Watchpoint {
+        /// Watchpoint ID, 1–3 with two marker lines.
+        id: u8,
+        /// Energy snapshot taken with the pulse, volts.
+        v_cap: f64,
+    },
+    /// The target reported a failed assertion and was tethered alive.
+    AssertFailed {
+        /// Assertion site ID.
+        id: u8,
+    },
+    /// An internal breakpoint triggered and opened a session.
+    BreakpointHit {
+        /// Breakpoint ID.
+        id: u8,
+        /// Energy at the hit, volts.
+        v_cap: f64,
+    },
+    /// An energy breakpoint (threshold crossing) fired.
+    EnergyBreakpoint {
+        /// The armed threshold, volts.
+        threshold: f64,
+        /// The reading that crossed it, volts.
+        v_cap: f64,
+    },
+    /// The target entered an energy-guarded region; EDB tethered it.
+    GuardEnter {
+        /// Saved (pre-guard) level, volts, as measured by EDB's ADC.
+        saved_v: f64,
+    },
+    /// The target left the guarded region; EDB restored the saved level.
+    GuardExit {
+        /// The level EDB restored to (ADC reading after discharge).
+        restored_v: f64,
+    },
+    /// A complete `printf` line arrived over the debug UART.
+    Printf {
+        /// The line, without the trailing newline.
+        line: String,
+    },
+    /// A byte was observed on the target-powered user UART.
+    UartByte {
+        /// The byte.
+        byte: u8,
+    },
+    /// An I²C transaction was observed on the monitored bus.
+    I2c {
+        /// Transaction summary (sample values).
+        x: i16,
+        /// Y axis.
+        y: i16,
+        /// Z axis.
+        z: i16,
+    },
+    /// A GPIO pin change was observed.
+    Gpio {
+        /// Previous latch.
+        old: u16,
+        /// New latch.
+        new: u16,
+    },
+    /// An RFID message crossed the monitored RF lines.
+    Rfid {
+        /// The paper-style label (`CMD_QUERY`, `RSP_GENERIC`, ...), or
+        /// `CORRUPT` when EDB's decoder rejects the frame.
+        label: String,
+        /// `true` for reader→tag.
+        downlink: bool,
+        /// Whether EDB's decoder validated the frame.
+        valid: bool,
+    },
+    /// An interactive session opened (assert, breakpoint, or console).
+    SessionOpened {
+        /// Why the session opened.
+        reason: String,
+    },
+    /// The interactive session closed and the target resumed.
+    SessionClosed {
+        /// The level EDB restored to before releasing the target (ADC
+        /// reading), volts.
+        restored_v: f64,
+    },
+    /// A charge/discharge operation completed.
+    LevelReached {
+        /// The requested target, volts.
+        target: f64,
+        /// The ADC reading at completion, volts.
+        v_cap: f64,
+    },
+    /// The target CPU faulted (observable as the device wedging).
+    TargetFault {
+        /// Description of the fault.
+        description: String,
+    },
+    /// The device browned out.
+    BrownOut,
+    /// The device turned on.
+    TurnOn,
+}
+
+impl DebugEvent {
+    /// A short stable tag for filtering (`energy`, `watchpoint`, ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DebugEvent::EnergySample { .. } => "energy",
+            DebugEvent::Watchpoint { .. } => "watchpoint",
+            DebugEvent::AssertFailed { .. } => "assert",
+            DebugEvent::BreakpointHit { .. } => "breakpoint",
+            DebugEvent::EnergyBreakpoint { .. } => "energy-breakpoint",
+            DebugEvent::GuardEnter { .. } => "guard-enter",
+            DebugEvent::GuardExit { .. } => "guard-exit",
+            DebugEvent::Printf { .. } => "printf",
+            DebugEvent::UartByte { .. } => "uart",
+            DebugEvent::I2c { .. } => "i2c",
+            DebugEvent::Gpio { .. } => "gpio",
+            DebugEvent::Rfid { .. } => "rfid",
+            DebugEvent::SessionOpened { .. } => "session-open",
+            DebugEvent::SessionClosed { .. } => "session-close",
+            DebugEvent::LevelReached { .. } => "level",
+            DebugEvent::TargetFault { .. } => "fault",
+            DebugEvent::BrownOut => "brown-out",
+            DebugEvent::TurnOn => "turn-on",
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: DebugEvent,
+}
+
+impl fmt::Display for LoggedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:?}", self.at.to_string(), self.event)
+    }
+}
+
+/// The append-only event log.
+///
+/// # Example
+///
+/// ```
+/// use edb_core::events::{DebugEvent, EventLog};
+/// use edb_energy::SimTime;
+/// let mut log = EventLog::new();
+/// log.push(SimTime::from_ms(1), DebugEvent::Watchpoint { id: 1, v_cap: 2.2 });
+/// log.push(SimTime::from_ms(2), DebugEvent::BrownOut);
+/// assert_eq!(log.with_tag("watchpoint").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<LoggedEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event at `at`.
+    pub fn push(&mut self, at: SimTime, event: DebugEvent) {
+        self.events.push(LoggedEvent { at, event });
+    }
+
+    /// All events in arrival order.
+    pub fn events(&self) -> &[LoggedEvent] {
+        &self.events
+    }
+
+    /// Number of logged events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events matching a tag (see [`DebugEvent::tag`]).
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a LoggedEvent> + 'a {
+        self.events.iter().filter(move |e| e.event.tag() == tag)
+    }
+
+    /// Events within the half-open time window `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &LoggedEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.at >= from && e.at < to)
+    }
+
+    /// All printf lines in order.
+    pub fn printf_lines(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.event {
+                DebugEvent::Printf { line } => Some(line.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Timestamps of watchpoint hits for a given ID, with their energy
+    /// snapshots — the raw material of the paper's Figure 11 profile.
+    pub fn watchpoint_hits(&self, id: u8) -> Vec<(SimTime, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.event {
+                DebugEvent::Watchpoint { id: got, v_cap } if got == id => Some((e.at, v_cap)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drops all events (the console's implicit behaviour when switching
+    /// trace streams).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_filter() {
+        let mut log = EventLog::new();
+        log.push(SimTime::from_ms(1), DebugEvent::TurnOn);
+        log.push(
+            SimTime::from_ms(2),
+            DebugEvent::Watchpoint { id: 2, v_cap: 2.0 },
+        );
+        log.push(SimTime::from_ms(3), DebugEvent::BrownOut);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.with_tag("watchpoint").count(), 1);
+        assert_eq!(log.with_tag("brown-out").count(), 1);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let mut log = EventLog::new();
+        for ms in [1u64, 2, 3, 4] {
+            log.push(SimTime::from_ms(ms), DebugEvent::BrownOut);
+        }
+        let n = log.window(SimTime::from_ms(2), SimTime::from_ms(4)).count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn printf_lines_extracted_in_order() {
+        let mut log = EventLog::new();
+        log.push(
+            SimTime::from_ms(1),
+            DebugEvent::Printf {
+                line: "a=1".into(),
+            },
+        );
+        log.push(
+            SimTime::from_ms(2),
+            DebugEvent::Printf {
+                line: "a=2".into(),
+            },
+        );
+        assert_eq!(log.printf_lines(), vec!["a=1", "a=2"]);
+    }
+
+    #[test]
+    fn watchpoint_hits_capture_energy() {
+        let mut log = EventLog::new();
+        log.push(
+            SimTime::from_ms(5),
+            DebugEvent::Watchpoint { id: 1, v_cap: 2.3 },
+        );
+        log.push(
+            SimTime::from_ms(6),
+            DebugEvent::Watchpoint { id: 2, v_cap: 2.1 },
+        );
+        let hits = log.watchpoint_hits(1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 2.3);
+    }
+
+    #[test]
+    fn every_event_has_a_tag() {
+        // Compile-time-ish exhaustiveness: a few spot checks.
+        assert_eq!(
+            DebugEvent::SessionClosed { restored_v: 2.3 }.tag(),
+            "session-close"
+        );
+        assert_eq!(
+            DebugEvent::Rfid {
+                label: "CMD_QUERY".into(),
+                downlink: true,
+                valid: true
+            }
+            .tag(),
+            "rfid"
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! `libEDB`: the target-side half of the debugger, as assembly routines
+//! linked into every instrumented application.
+//!
+//! The real EDB ships a 1200-line C library that applications link to get
+//! `ASSERT`, `BREAKPOINT`, `WATCHPOINT`, `ENERGY_GUARD_*` and `PRINTF`
+//! macros (Table 1, left column). This module is its equivalent for the
+//! IVM-16 target: [`library`] returns the routines as assembly text, and
+//! [`wrap_program`] splices an application between the required equates
+//! and the library.
+//!
+//! # Calling convention
+//!
+//! Arguments in `r0`; `r11`–`r13` are scratch registers the library may
+//! clobber; everything else is preserved. The application must set up
+//! `sp` before calling anything here, and must place
+//! `.org 0xFFFC / .word __edb_isr` if it arms energy breakpoints.
+//!
+//! | routine | argument | effect |
+//! |---|---|---|
+//! | `__edb_watchpoint` | id in `r0` | pulse the code-marker lines |
+//! | `__edb_assert_fail` | id in `r0` | signal EDB, sit in service loop |
+//! | `__edb_breakpoint` | id in `r0` | if enabled in `__edb_bkpt_mask`, signal + service loop |
+//! | `__edb_guard_begin` | — | request tether, spin until ack |
+//! | `__edb_guard_end` | — | request restore, spin until ack clears |
+//! | `__edb_printf` | NUL-string ptr in `r0` | energy-guarded line to the host console |
+//! | `__edb_print_hex16` | value in `r0` | energy-guarded `xxxx\n` to the host console |
+//! | `__uart_print_hex16` | value in `r0` | the same line over the *target-powered* UART (the costly conventional alternative) |
+//! | `__edb_service_loop` | — | service read/write/continue commands |
+//! | `__edb_isr` | — | interrupt entry for energy breakpoints |
+
+use edb_mcu::Image;
+
+/// FRAM address region where the library is placed.
+pub const LIBEDB_ORG: u16 = 0xE000;
+
+/// The symbol holding the target-side breakpoint enable mask (one bit
+/// per breakpoint ID). The host writes it through the debug protocol.
+pub const BKPT_MASK_SYMBOL: &str = "__edb_bkpt_mask";
+
+/// Equates every instrumented program needs: the port map and the debug
+/// protocol constants.
+pub fn prelude() -> String {
+    format!(
+        "{}{}",
+        edb_device::ports::asm_equates(),
+        crate::protocol::asm_equates()
+    )
+}
+
+/// The library routines, placed at [`LIBEDB_ORG`].
+pub fn library() -> String {
+    format!(
+        r#"
+; ------------------------------------------------------------------
+; libEDB (target side) — see edb-core::libedb
+; ------------------------------------------------------------------
+.org {LIBEDB_ORG:#06x}
+
+__edb_bkpt_mask: .word 0
+
+; Pulse the code-marker lines with the watchpoint id in r0.
+__edb_watchpoint:
+    out  CODE_MARKER, r0
+    ret
+
+; Send the byte in r12 over the debug UART, honouring TX pacing.
+__edb_tx_byte:
+    in   r11, DBG_UART_STATUS
+    and  r11, 2
+    jnz  __edb_tx_byte
+    out  DBG_UART_TX, r12
+    ret
+
+; Blocking receive of one byte from the debugger into r12.
+__edb_rx_byte:
+    in   r12, DBG_UART_STATUS
+    and  r12, 1
+    jz   __edb_rx_byte
+    in   r12, DBG_UART_RX
+    ret
+
+; Receive a little-endian word into r13 (clobbers r12).
+__edb_rx_word:
+    call __edb_rx_byte
+    mov  r13, r12
+    call __edb_rx_byte
+    shl  r12, 8
+    or   r13, r12
+    ret
+
+; Transmit the word in r13 little-endian (clobbers r12).
+__edb_tx_word:
+    mov  r12, r13
+    and  r12, 0xFF
+    call __edb_tx_byte
+    mov  r12, r13
+    shr  r12, 8
+    call __edb_tx_byte
+    ret
+
+; The debug service loop: executes read/write commands from the host
+; until CMD_CONTINUE arrives. This is where the target sits during an
+; interactive session.
+__edb_service_loop:
+    call __edb_rx_byte
+    cmpi r12, CMD_CONTINUE
+    jz   __esl_done
+    cmpi r12, CMD_READ
+    jz   __esl_read
+    cmpi r12, CMD_WRITE
+    jz   __esl_write
+    cmpi r12, CMD_GET_PC
+    jz   __esl_get_pc
+    jmp  __edb_service_loop
+__esl_read:
+    call __edb_rx_word          ; address -> r13
+    ld   r13, [r13]
+    call __edb_tx_word
+    jmp  __edb_service_loop
+__esl_write:
+    call __edb_rx_word          ; address -> r13
+    push r13
+    call __edb_rx_word          ; value -> r13
+    mov  r12, r13
+    pop  r13
+    st   [r13], r12
+    movi r12, DBG_ACK_BYTE
+    call __edb_tx_byte
+    jmp  __edb_service_loop
+__esl_get_pc:
+    ; the word at [sp] is the service loop's return address: where
+    ; execution will resume (the instruction after the assert /
+    ; breakpoint / interrupt site).
+    mov  r13, sp
+    ld   r13, [r13]
+    call __edb_tx_word
+    jmp  __edb_service_loop
+__esl_done:
+    ret
+
+; Assert failure: id in r0. EDB sees the signal and tethers the target
+; (keep-alive) before it can brown out; we then serve the interactive
+; session.
+__edb_assert_fail:
+    mov  r12, r0
+    shl  r12, 4
+    or   r12, SIG_ASSERT
+    out  DEBUG_SIGNAL, r12
+    call __edb_service_loop
+    ret
+
+; Internal breakpoint: id in r0. Costs a few instructions when disabled
+; (one FRAM load and a mask test); signals EDB when the bit for this id
+; is set in __edb_bkpt_mask.
+__edb_breakpoint:
+    movi r12, __edb_bkpt_mask
+    ld   r12, [r12]
+    mov  r11, r0
+    movi r13, 1
+__ebp_shift:
+    cmpi r11, 0
+    jz   __ebp_test
+    shl  r13, 1
+    sub  r11, 1
+    jmp  __ebp_shift
+__ebp_test:
+    and  r12, r13
+    jz   __ebp_done
+    mov  r12, r0
+    shl  r12, 4
+    or   r12, SIG_BREAKPOINT
+    out  DEBUG_SIGNAL, r12
+    call __edb_service_loop
+__ebp_done:
+    ret
+
+; Enter an energy-guarded region: request the tether and spin until the
+; debugger acknowledges. The spin burns target energy only until the
+; tether engages (one debugger tick).
+__edb_guard_begin:
+    movi r12, SIG_GUARD_BEGIN
+    out  DEBUG_SIGNAL, r12
+__egb_wait:
+    in   r12, DEBUG_STATUS
+    and  r12, 1
+    jz   __egb_wait
+    ret
+
+; Leave the guarded region: request restore and spin (on tethered power,
+; then on the draining capacitor) until the debugger clears the ack.
+__edb_guard_end:
+    movi r12, SIG_GUARD_END
+    out  DEBUG_SIGNAL, r12
+__ege_wait:
+    in   r12, DEBUG_STATUS
+    and  r12, 1
+    jnz  __ege_wait
+    ret
+
+; Energy-guarded printf of the NUL-terminated string at [r0].
+__edb_printf:
+    call __edb_guard_begin
+__epf_loop:
+    ldb  r12, [r0]
+    cmpi r12, 0
+    jz   __epf_done
+    call __edb_tx_byte
+    add  r0, 1
+    jmp  __epf_loop
+__epf_done:
+    movi r12, 10
+    call __edb_tx_byte
+    call __edb_guard_end
+    ret
+
+; Energy-guarded print of r0 as four hex digits plus newline.
+__edb_print_hex16:
+    call __edb_guard_begin
+    call __hex16_dbg
+    movi r12, 10
+    call __edb_tx_byte
+    call __edb_guard_end
+    ret
+
+; Energy-guarded print of "r0 r1\n" (two hex words) in ONE guard — the
+; per-iteration trace line of the activity-recognition case study.
+__edb_print2:
+    push r1
+    push r0
+    call __edb_guard_begin
+    pop  r0
+    call __hex16_dbg
+    movi r12, 32
+    call __edb_tx_byte
+    pop  r0
+    call __hex16_dbg
+    movi r12, 10
+    call __edb_tx_byte
+    call __edb_guard_end
+    ret
+
+; Emit r0 as four hex digits over the debug UART (no guard, no newline).
+__hex16_dbg:
+    movi r13, 12
+__ehd_loop:
+    mov  r12, r0
+    shr  r12, r13
+    and  r12, 0xF
+    cmpi r12, 10
+    jl   __ehd_digit
+    add  r12, 'a' - 10
+    jmp  __ehd_emit
+__ehd_digit:
+    add  r12, '0'
+__ehd_emit:
+    call __edb_tx_byte
+    cmpi r13, 0
+    jz   __ehd_done
+    sub  r13, 4
+    jmp  __ehd_loop
+__ehd_done:
+    ret
+
+; The conventional alternative: r0 as four hex digits plus newline over
+; the TARGET-POWERED user UART. Burns the target's own energy for every
+; bit time — the cost Table 4 quantifies.
+__uart_tx_byte:
+    in   r11, UART_STATUS
+    and  r11, 2
+    jnz  __uart_tx_byte
+    out  UART_TX, r12
+    ret
+
+__uart_print_hex16:
+    call __hex16_uart
+    movi r12, 10
+    call __uart_tx_byte
+    ret
+
+; The UART equivalent of __edb_print2: "r0 r1\n", every bit paid for by
+; the target's own capacitor.
+__uart_print2:
+    push r1
+    call __hex16_uart
+    movi r12, 32
+    call __uart_tx_byte
+    pop  r0
+    call __hex16_uart
+    movi r12, 10
+    call __uart_tx_byte
+    ret
+
+; Emit r0 as four hex digits over the user UART (no newline).
+__hex16_uart:
+    movi r13, 12
+__uph_loop:
+    mov  r12, r0
+    shr  r12, r13
+    and  r12, 0xF
+    cmpi r12, 10
+    jl   __uph_digit
+    add  r12, 'a' - 10
+    jmp  __uph_emit
+__uph_digit:
+    add  r12, '0'
+__uph_emit:
+    call __uart_tx_byte
+    cmpi r13, 0
+    jz   __uph_done
+    sub  r13, 4
+    jmp  __uph_loop
+__uph_done:
+    ret
+
+; Interrupt entry used for energy breakpoints: EDB pulls the interrupt
+; line, the target lands here and serves the session, then resumes.
+__edb_isr:
+    push r11
+    push r12
+    push r13
+    call __edb_service_loop
+    pop  r13
+    pop  r12
+    pop  r11
+    reti
+"#
+    )
+}
+
+/// Wraps an application: equates, then the program text, then the
+/// library. The program must provide its own `.org`, reset vector, and
+/// stack setup.
+///
+/// # Example
+///
+/// ```
+/// use edb_core::libedb::wrap_program;
+/// use edb_mcu::asm::assemble;
+/// let image = assemble(&wrap_program(r#"
+///     .org 0x4400
+/// main:
+///     movi sp, 0x2400
+///     movi r0, 1
+///     call __edb_watchpoint
+///     halt
+///     .org 0xFFFE
+///     .word main
+/// "#))?;
+/// assert!(image.symbol("__edb_service_loop").is_some());
+/// # Ok::<(), edb_mcu::asm::AsmError>(())
+/// ```
+pub fn wrap_program(app: &str) -> String {
+    format!("{}\n{}\n{}", prelude(), app, library())
+}
+
+/// Looks up the breakpoint-mask address in an assembled image.
+///
+/// Returns `None` for images built without `libEDB`.
+pub fn bkpt_mask_addr(image: &Image) -> Option<u16> {
+    image.symbol(BKPT_MASK_SYMBOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_mcu::asm::assemble;
+
+    #[test]
+    fn library_assembles_alone() {
+        let src = format!("{}\n{}", prelude(), library());
+        let image = assemble(&src).expect("library must assemble");
+        for sym in [
+            "__edb_watchpoint",
+            "__edb_service_loop",
+            "__edb_assert_fail",
+            "__edb_breakpoint",
+            "__edb_guard_begin",
+            "__edb_guard_end",
+            "__edb_printf",
+            "__edb_print_hex16",
+            "__uart_print_hex16",
+            "__edb_isr",
+            BKPT_MASK_SYMBOL,
+        ] {
+            assert!(image.symbol(sym).is_some(), "missing symbol {sym}");
+        }
+    }
+
+    #[test]
+    fn library_lives_at_its_org() {
+        let src = format!("{}\n{}", prelude(), library());
+        let image = assemble(&src).expect("assembles");
+        let mask = bkpt_mask_addr(&image).expect("mask symbol");
+        assert_eq!(mask, LIBEDB_ORG);
+    }
+
+    #[test]
+    fn wrapped_program_runs_watchpoint() {
+        use edb_mcu::{Cpu, Memory};
+        let src = wrap_program(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r0, 2
+                call __edb_watchpoint
+                halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        let image = assemble(&src).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+        struct Markers(Vec<u16>);
+        impl edb_mcu::PortBus for Markers {
+            fn port_in(&mut self, _p: u8) -> u16 {
+                0
+            }
+            fn port_out(&mut self, port: u8, value: u16) {
+                if port == edb_device::ports::CODE_MARKER {
+                    self.0.push(value);
+                }
+            }
+        }
+        let mut bus = Markers(Vec::new());
+        for _ in 0..100 {
+            if !cpu.is_running() {
+                break;
+            }
+            cpu.step(&mut mem, &mut bus);
+        }
+        assert_eq!(bus.0, vec![2]);
+    }
+
+    #[test]
+    fn service_loop_read_write_continue() {
+        use edb_mcu::{Cpu, Memory, PortBus};
+        // Drive the service loop through a scripted "debugger" that
+        // reads 0x6000, writes 0x6002, then continues.
+        let src = wrap_program(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r1, 0x6000
+                movi r0, 0x1234
+                st   [r1], r0
+                call __edb_service_loop
+                halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        let image = assemble(&src).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+
+        #[derive(Default)]
+        struct Host {
+            to_target: std::collections::VecDeque<u8>,
+            from_target: Vec<u8>,
+        }
+        impl PortBus for Host {
+            fn port_in(&mut self, port: u8) -> u16 {
+                match port {
+                    p if p == edb_device::ports::DBG_UART_STATUS => {
+                        (!self.to_target.is_empty()) as u16
+                    }
+                    p if p == edb_device::ports::DBG_UART_RX => {
+                        self.to_target.pop_front().map_or(0, u16::from)
+                    }
+                    _ => 0,
+                }
+            }
+            fn port_out(&mut self, port: u8, value: u16) {
+                if port == edb_device::ports::DBG_UART_TX {
+                    self.from_target.push((value & 0xFF) as u8);
+                }
+            }
+        }
+
+        let mut host = Host::default();
+        // READ 0x6000
+        host.to_target
+            .extend([crate::protocol::CMD_READ, 0x00, 0x60]);
+        // WRITE 0x6002 = 0xBEEF
+        host.to_target
+            .extend([crate::protocol::CMD_WRITE, 0x02, 0x60, 0xEF, 0xBE]);
+        // CONTINUE
+        host.to_target.push_back(crate::protocol::CMD_CONTINUE);
+
+        for _ in 0..10_000 {
+            if !cpu.is_running() {
+                break;
+            }
+            cpu.step(&mut mem, &mut host);
+        }
+        assert!(!cpu.is_running(), "program must reach halt");
+        assert_eq!(host.from_target, vec![0x34, 0x12, crate::protocol::ACK]);
+        assert_eq!(mem.peek_word(0x6002), 0xBEEF);
+    }
+}

@@ -1,0 +1,109 @@
+//! The wire protocol between the target-side `libEDB` and the debugger.
+//!
+//! Two channels cross the header between EDB and the target (Figure 5):
+//!
+//! 1. **The debug-signal line** (`DEBUG_SIGNAL` port): the target raises
+//!    requests — assert failures, internal breakpoints, energy-guard
+//!    boundaries — encoded as `code | (id << 4)`.
+//! 2. **The debug UART**: a byte protocol for the interactive session.
+//!    While the target sits in `libEDB`'s service loop, EDB can read and
+//!    write target memory and finally tell it to continue.
+//!
+//! Both halves of the protocol — the Rust side here and the assembly side
+//! in [`crate::libedb`] — are generated from these constants, so they
+//! cannot drift apart.
+
+/// Signal code: an `ASSERT` failed; `id` names the assertion site.
+pub const SIG_ASSERT: u8 = 0x1;
+/// Signal code: an internal (code) breakpoint; `id` names the breakpoint.
+pub const SIG_BREAKPOINT: u8 = 0x2;
+/// Signal code: entering an energy-guarded region.
+pub const SIG_GUARD_BEGIN: u8 = 0x3;
+/// Signal code: leaving an energy-guarded region.
+pub const SIG_GUARD_END: u8 = 0x4;
+
+/// Encodes a debug signal word.
+pub fn encode_signal(code: u8, id: u8) -> u16 {
+    (code & 0xF) as u16 | ((id as u16) << 4)
+}
+
+/// Decodes a debug signal word into `(code, id)`.
+pub fn decode_signal(word: u16) -> (u8, u8) {
+    ((word & 0xF) as u8, (word >> 4) as u8)
+}
+
+/// Debug-UART command byte: read a word of target memory.
+/// Host sends `[CMD_READ, addr_lo, addr_hi]`; target replies
+/// `[val_lo, val_hi]`.
+pub const CMD_READ: u8 = 0x01;
+/// Debug-UART command byte: write a word of target memory.
+/// Host sends `[CMD_WRITE, addr_lo, addr_hi, val_lo, val_hi]`; target
+/// replies `[ACK]`.
+pub const CMD_WRITE: u8 = 0x02;
+/// Debug-UART command byte: leave the service loop and resume execution.
+pub const CMD_CONTINUE: u8 = 0x03;
+/// Debug-UART command byte: read the CPU's saved program counter
+/// (pushed by the service-loop entry); target replies `[pc_lo, pc_hi]`.
+pub const CMD_GET_PC: u8 = 0x04;
+/// The target's acknowledge byte for `CMD_WRITE`.
+pub const ACK: u8 = 0xAA;
+
+/// Renders the protocol constants as assembler `.equ` lines for
+/// inclusion in target programs.
+///
+/// # Example
+///
+/// ```
+/// let eq = edb_core::protocol::asm_equates();
+/// assert!(eq.contains(".equ SIG_ASSERT, 0x01"));
+/// assert!(eq.contains(".equ CMD_CONTINUE, 0x03"));
+/// ```
+pub fn asm_equates() -> String {
+    let consts: &[(&str, u8)] = &[
+        ("SIG_ASSERT", SIG_ASSERT),
+        ("SIG_BREAKPOINT", SIG_BREAKPOINT),
+        ("SIG_GUARD_BEGIN", SIG_GUARD_BEGIN),
+        ("SIG_GUARD_END", SIG_GUARD_END),
+        ("CMD_READ", CMD_READ),
+        ("CMD_WRITE", CMD_WRITE),
+        ("CMD_CONTINUE", CMD_CONTINUE),
+        ("CMD_GET_PC", CMD_GET_PC),
+        ("DBG_ACK_BYTE", ACK),
+    ];
+    let mut out = String::new();
+    for (name, value) in consts {
+        out.push_str(&format!(".equ {name}, {value:#04x}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_round_trip() {
+        for code in [SIG_ASSERT, SIG_BREAKPOINT, SIG_GUARD_BEGIN, SIG_GUARD_END] {
+            for id in [0u8, 1, 3, 7, 15] {
+                let word = encode_signal(code, id);
+                assert_eq!(decode_signal(word), (code, id));
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let codes = [SIG_ASSERT, SIG_BREAKPOINT, SIG_GUARD_BEGIN, SIG_GUARD_END];
+        let set: std::collections::HashSet<u8> = codes.into_iter().collect();
+        assert_eq!(set.len(), codes.len());
+        let cmds = [CMD_READ, CMD_WRITE, CMD_CONTINUE, CMD_GET_PC];
+        let set: std::collections::HashSet<u8> = cmds.into_iter().collect();
+        assert_eq!(set.len(), cmds.len());
+    }
+
+    #[test]
+    fn equates_assemble() {
+        let src = format!("{}\n.org 0x4400\n movi r0, SIG_GUARD_BEGIN\n", asm_equates());
+        edb_mcu::asm::assemble(&src).expect("equates are valid assembly");
+    }
+}

@@ -1,0 +1,600 @@
+//! The test-bench harness: target device + EDB + the RF world, stepped
+//! in lockstep.
+//!
+//! [`System`] is the experimental setup of §5.1 in one struct: the WISP
+//! target, the EDB board on its header, and (optionally) the RFID reader
+//! whose carrier powers the tag. All experiment harnesses and examples
+//! drive a `System`.
+
+use crate::debugger::{Edb, EdbConfig};
+use crate::wiring::LineStates;
+use edb_device::{Device, DeviceConfig, DeviceEvent, DeviceStep};
+use edb_energy::{Harvester, SimTime};
+use edb_energy::RfField;
+use edb_rfid::{Channel, Reader, ReaderConfig};
+
+/// The energy-and-RF environment around the target.
+#[allow(clippy::large_enum_variant)] // one World per System; size is irrelevant
+enum World {
+    /// A plain harvester (constant, Thévenin, solar, trace playback).
+    Harvester(Box<dyn Harvester>),
+    /// The paper's lab: an RFID reader powering the tag and talking to it.
+    Rfid {
+        field: RfField,
+        reader: Reader,
+        channel: Channel,
+        /// Downlink frames in flight: `(deliver_at, bytes)`.
+        inflight: Vec<(SimTime, Vec<u8>)>,
+    },
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            World::Harvester(_) => write!(f, "World::Harvester(..)"),
+            World::Rfid { reader, .. } => f
+                .debug_struct("World::Rfid")
+                .field("commands_sent", &reader.commands_sent())
+                .finish(),
+        }
+    }
+}
+
+/// The complete bench: device, debugger, energy environment.
+#[derive(Debug)]
+pub struct System {
+    device: Device,
+    edb: Option<Edb>,
+    world: World,
+    symbols: std::collections::BTreeMap<String, u16>,
+}
+
+impl System {
+    /// A target on a plain harvester with EDB attached.
+    pub fn new(device_config: DeviceConfig, harvester: Box<dyn Harvester>) -> Self {
+        System {
+            device: Device::new(device_config),
+            edb: Some(Edb::new(EdbConfig::prototype())),
+            world: World::Harvester(harvester),
+            symbols: Default::default(),
+        }
+    }
+
+    /// A target powered by an RFID reader at `distance_m`, with EDB
+    /// attached — the paper's experimental setup.
+    pub fn with_rfid(device_config: DeviceConfig, distance_m: f64, seed: u64) -> Self {
+        Self::with_rfid_reader(device_config, ReaderConfig::paper_setup(), distance_m, seed)
+    }
+
+    /// Like [`System::with_rfid`] but with an explicit reader schedule
+    /// (experiments tune the inventory cadence).
+    pub fn with_rfid_reader(
+        device_config: DeviceConfig,
+        reader_config: ReaderConfig,
+        distance_m: f64,
+        seed: u64,
+    ) -> Self {
+        let mut field = RfField::paper_setup();
+        field.set_distance(distance_m);
+        let mut channel = Channel::new(seed);
+        channel.set_distance(distance_m);
+        System {
+            device: Device::new(device_config),
+            edb: Some(Edb::new(EdbConfig::prototype())),
+            world: World::Rfid {
+                field,
+                reader: Reader::new(reader_config),
+                channel,
+                inflight: Vec::new(),
+            },
+            symbols: Default::default(),
+        }
+    }
+
+    /// Detaches the debugger entirely — the control condition for
+    /// energy-interference experiments.
+    pub fn detach_edb(&mut self) -> Option<Edb> {
+        self.edb.take()
+    }
+
+    /// Attaches (or replaces) the debugger.
+    pub fn attach_edb(&mut self, edb: Edb) {
+        self.edb = Some(edb);
+    }
+
+    /// Flashes an image and informs the debugger of its symbols.
+    pub fn flash(&mut self, image: &edb_mcu::Image) {
+        self.device.flash(image);
+        self.symbols = image
+            .symbols()
+            .map(|(n, a)| (n.to_string(), a))
+            .collect();
+        if let Some(edb) = &mut self.edb {
+            edb.attach(image);
+        }
+    }
+
+    /// Resolves a symbol from the flashed image.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All flashed-image symbols, sorted by name.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable target access (test fixtures, ground-truth checks).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// The debugger, if attached.
+    pub fn edb(&self) -> Option<&Edb> {
+        self.edb.as_ref()
+    }
+
+    /// Mutable debugger access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the debugger has been detached.
+    pub fn edb_mut(&mut self) -> &mut Edb {
+        self.edb.as_mut().expect("EDB not attached")
+    }
+
+    /// Simultaneous mutable access to the debugger and the device, for
+    /// operations (like breakpoint-mask sync) that touch both ends of
+    /// the header.
+    pub fn edb_and_device(&mut self) -> Option<(&mut Edb, &mut Device)> {
+        match &mut self.edb {
+            Some(edb) => Some((edb, &mut self.device)),
+            None => None,
+        }
+    }
+
+    /// The RFID reader, when the world has one.
+    pub fn reader(&self) -> Option<&Reader> {
+        match &self.world {
+            World::Rfid { reader, .. } => Some(reader),
+            World::Harvester(_) => None,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.device.now()
+    }
+
+    /// Line states for the leakage model, derived from observable device
+    /// state.
+    fn line_states(&self) -> LineStates {
+        let now = self.device.now();
+        LineStates {
+            uart_tx_high: self.device.peripherals.uart.busy(now),
+            rf_tx_high: self.device.peripherals.rf.current(now) > 0.0,
+            i2c_scl_high: self.device.peripherals.accel.busy(),
+            i2c_sda_high: self.device.peripherals.accel.busy(),
+            ..LineStates::default()
+        }
+    }
+
+    /// Advances the bench by one device step.
+    pub fn step(&mut self) -> DeviceStep {
+        let now = self.device.now();
+
+        // RF world bookkeeping before the step.
+        if let World::Rfid {
+            field,
+            reader,
+            channel,
+            inflight,
+        } = &mut self.world
+        {
+            while let Some(ev) = reader.poll(now) {
+                let frame = channel.transmit(ev.frame);
+                inflight.push((ev.end, frame.bytes));
+            }
+            field.set_modulating(reader.modulating(now));
+            // Deliver frames whose air time has completed.
+            let mut idx = 0;
+            while idx < inflight.len() {
+                if inflight[idx].0 <= now {
+                    let (at, bytes) = inflight.remove(idx);
+                    if self.device.powered() {
+                        for &b in &bytes {
+                            self.device.peripherals.rf.deliver_byte(b);
+                        }
+                    }
+                    if let Some(edb) = &mut self.edb {
+                        edb.observe_rfid(&bytes, true, at);
+                    }
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+
+        // Electrical influence of the debugger.
+        let states = self.line_states();
+        let dt_guess = 1e-6;
+        let i_ext = match &mut self.edb {
+            Some(edb) => edb.electrical_current(self.device.v_cap(), states, dt_guess),
+            None => 0.0,
+        };
+
+        let step = match &mut self.world {
+            World::Harvester(h) => self.device.step(h.as_mut(), i_ext),
+            World::Rfid { field, .. } => self.device.step(field, i_ext),
+        };
+        let now = self.device.now();
+
+        // Uplink RF frames.
+        for event in &step.events {
+            if let DeviceEvent::RfTx(frame) = event {
+                if let World::Rfid {
+                    reader, channel, ..
+                } = &mut self.world
+                {
+                    let out = channel.transmit(edb_rfid::Frame {
+                        bytes: frame.bytes.clone(),
+                        downlink: false,
+                    });
+                    reader.on_reply(&out.bytes);
+                }
+                if let Some(edb) = &mut self.edb {
+                    edb.observe_rfid(&frame.bytes, false, frame.at);
+                }
+            }
+        }
+
+        if let Some(edb) = &mut self.edb {
+            edb.observe(&self.device, &step.events, now);
+            if let Some(edge) = step.power_edge {
+                edb.observe_power_edge(edge, now);
+            }
+            edb.tick(&mut self.device, now);
+        }
+
+        step
+    }
+
+    /// Runs the bench for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let end = self.device.now() + duration;
+        while self.device.now() < end {
+            self.step();
+        }
+    }
+
+    /// Runs until `pred` holds or `timeout` elapses; returns whether the
+    /// predicate fired.
+    pub fn run_until(&mut self, timeout: SimTime, mut pred: impl FnMut(&System) -> bool) -> bool {
+        let end = self.device.now() + timeout;
+        while self.device.now() < end {
+            if pred(self) {
+                return true;
+            }
+            self.step();
+        }
+        pred(self)
+    }
+
+    // ---------------------------------------------------------------
+    // Blocking console-style operations
+    // ---------------------------------------------------------------
+
+    /// Charges the target to `volts` and waits for convergence.
+    /// Returns the ground-truth voltage afterwards.
+    pub fn charge_to(&mut self, volts: f64) -> f64 {
+        let now = self.now();
+        self.edb_mut().start_charge(volts, now);
+        let ok = self.run_until(SimTime::from_secs(2), |s| {
+            s.edb().is_some_and(|e| e.level_op_done())
+        });
+        assert!(ok, "charge to {volts} V did not converge");
+        self.device.v_cap()
+    }
+
+    /// Discharges the target to `volts` and waits for convergence.
+    pub fn discharge_to(&mut self, volts: f64) -> f64 {
+        let now = self.now();
+        self.edb_mut().start_discharge(volts, now);
+        let ok = self.run_until(SimTime::from_secs(2), |s| {
+            s.edb().is_some_and(|e| e.level_op_done())
+        });
+        assert!(ok, "discharge to {volts} V did not converge");
+        self.device.v_cap()
+    }
+
+    /// Waits for an interactive session to open (assert, breakpoint, or
+    /// energy breakpoint), up to `timeout`.
+    pub fn wait_for_session(&mut self, timeout: SimTime) -> bool {
+        self.run_until(timeout, |s| s.edb().is_some_and(|e| e.session_active()))
+    }
+
+    /// Reads a word of target memory through the live debug protocol.
+    /// Requires an active session (the target must be in its service
+    /// loop). Returns `None` on timeout.
+    pub fn debug_read_word(&mut self, addr: u16) -> Option<u16> {
+        assert!(
+            self.edb().is_some_and(|e| e.session_active()),
+            "debug_read_word requires an active session"
+        );
+        {
+            let System { edb, device, .. } = self;
+            edb.as_mut().expect("attached").start_read(device, addr);
+        }
+        let deadline = self.now() + SimTime::from_ms(200);
+        while self.now() < deadline {
+            if let Some(v) = self.edb_mut().take_reply() {
+                return Some(v);
+            }
+            self.step();
+        }
+        self.edb_mut().take_reply()
+    }
+
+    /// Asks the target where execution will resume, through the live
+    /// debug protocol. Requires an active session.
+    pub fn debug_resume_pc(&mut self) -> Option<u16> {
+        assert!(
+            self.edb().is_some_and(|e| e.session_active()),
+            "debug_resume_pc requires an active session"
+        );
+        {
+            let System { edb, device, .. } = self;
+            edb.as_mut().expect("attached").start_get_pc(device);
+        }
+        let deadline = self.now() + SimTime::from_ms(200);
+        while self.now() < deadline {
+            if let Some(v) = self.edb_mut().take_reply() {
+                return Some(v);
+            }
+            self.step();
+        }
+        self.edb_mut().take_reply()
+    }
+
+    /// Writes a word of target memory through the live debug protocol.
+    /// Returns whether the target acknowledged.
+    pub fn debug_write_word(&mut self, addr: u16, value: u16) -> bool {
+        assert!(
+            self.edb().is_some_and(|e| e.session_active()),
+            "debug_write_word requires an active session"
+        );
+        {
+            let System { edb, device, .. } = self;
+            edb.as_mut()
+                .expect("attached")
+                .start_write(device, addr, value);
+        }
+        let deadline = self.now() + SimTime::from_ms(200);
+        while self.now() < deadline {
+            if let Some(v) = self.edb_mut().take_reply() {
+                return v == crate::protocol::ACK as u16;
+            }
+            self.step();
+        }
+        false
+    }
+
+    /// Resumes the target from a session: restore energy, release the
+    /// service loop, wait for the session to close.
+    pub fn resume(&mut self) {
+        let now = self.now();
+        self.edb_mut().resume(now);
+        let ok = self.run_until(SimTime::from_secs(1), |s| {
+            s.edb().is_some_and(|e| !e.session_active())
+        });
+        assert!(ok, "session did not close on resume");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libedb;
+    use edb_mcu::asm::assemble;
+
+    fn flashed_system(app: &str) -> System {
+        let image = assemble(&libedb::wrap_program(app)).expect("assembles");
+        let mut sys = System::new(
+            DeviceConfig::wisp5(),
+            Box::new(edb_energy::TheveninSource::new(3.2, 1500.0)),
+        );
+        sys.flash(&image);
+        sys
+    }
+
+    #[test]
+    fn charge_command_boots_the_target() {
+        let mut sys = flashed_system(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+            loop:
+                add r0, 1
+                jmp loop
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        let v = sys.charge_to(2.45);
+        assert!(v >= 2.4, "charged to {v}");
+        assert!(sys.device().powered());
+    }
+
+    #[test]
+    fn discharge_command_lowers_level() {
+        let mut sys = flashed_system(
+            r#"
+            .org 0x4400
+            main: halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        sys.charge_to(2.45);
+        let v = sys.discharge_to(2.0);
+        assert!((1.9..2.1).contains(&v), "discharged to {v}");
+    }
+
+    #[test]
+    fn assert_failure_opens_keep_alive_session() {
+        // Program asserts immediately: r0 != r1 → assert fail id 3.
+        let mut sys = flashed_system(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r0, 1
+                movi r1, 2
+                cmp  r0, r1
+                jz   ok
+                movi r0, 3
+                call __edb_assert_fail
+            ok: halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        sys.charge_to(2.45);
+        assert!(
+            sys.wait_for_session(SimTime::from_ms(100)),
+            "assert must open a session"
+        );
+        // Keep-alive: voltage is pulled up toward tether level and the
+        // device never browns out.
+        sys.run_for(SimTime::from_ms(50));
+        assert!(sys.device().v_cap() > 2.6, "tethered: {}", sys.device().v_cap());
+        assert_eq!(sys.device().reboots(), 0);
+        assert_eq!(sys.edb().unwrap().log().with_tag("assert").count(), 1);
+    }
+
+    #[test]
+    fn interactive_memory_read_and_write() {
+        let mut sys = flashed_system(
+            r#"
+            .equ MAGIC, 0x6000
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r1, MAGIC
+                movi r0, 0x5AFE
+                st   [r1], r0
+                movi r0, 7
+                call __edb_assert_fail
+                halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        sys.charge_to(2.45);
+        assert!(sys.wait_for_session(SimTime::from_ms(100)));
+        let value = sys.debug_read_word(0x6000).expect("read completes");
+        assert_eq!(value, 0x5AFE);
+        assert!(sys.debug_write_word(0x6002, 0xD00D));
+        assert_eq!(sys.debug_read_word(0x6002), Some(0xD00D));
+        // Ground truth agrees.
+        assert_eq!(sys.device().mem().peek_word(0x6002), 0xD00D);
+    }
+
+    #[test]
+    fn energy_guard_compensates_cost() {
+        // The guarded region burns a lot of cycles; the level after the
+        // guard must be close to the level before it.
+        let mut sys = flashed_system(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                call __edb_guard_begin
+                movi r1, 6000
+            burn:
+                sub  r1, 1
+                jnz  burn
+                call __edb_guard_end
+                movi r2, 0x6000
+                movi r3, 0xCAFE
+                st   [r2], r3        ; marker: got past the guard
+            spin:
+                jmp  spin
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        sys.charge_to(2.45);
+        let ok = sys.run_until(SimTime::from_ms(400), |s| {
+            s.device().mem().peek_word(0x6000) == 0xCAFE
+        });
+        assert!(ok, "target must complete the guarded region");
+        let log = sys.edb().unwrap().log();
+        let enter = log
+            .with_tag("guard-enter")
+            .next()
+            .expect("guard entry logged");
+        let exit = log.with_tag("guard-exit").next().expect("guard exit logged");
+        let (saved, restored) = match (&enter.event, &exit.event) {
+            (
+                crate::events::DebugEvent::GuardEnter { saved_v },
+                crate::events::DebugEvent::GuardExit { restored_v },
+            ) => (*saved_v, *restored_v),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            (restored - saved).abs() < 0.08,
+            "restore error too large: saved {saved}, restored {restored}"
+        );
+    }
+
+    #[test]
+    fn detached_edb_means_zero_influence() {
+        let mut sys = flashed_system(
+            r#"
+            .org 0x4400
+            main:
+                add r0, 1
+                jmp main
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        sys.detach_edb();
+        sys.run_for(SimTime::from_ms(100));
+        assert!(sys.device().turn_ons() > 0, "device runs without EDB");
+    }
+
+    #[test]
+    fn rfid_world_powers_the_device() {
+        let image = assemble(&libedb::wrap_program(
+            r#"
+            .org 0x4400
+            main:
+                add r0, 1
+                jmp main
+            .org 0xFFFE
+            .word main
+            "#,
+        ))
+        .expect("assembles");
+        let mut sys = System::with_rfid(DeviceConfig::wisp5(), 1.0, 42);
+        sys.flash(&image);
+        sys.run_for(SimTime::from_ms(300));
+        assert!(sys.device().turn_ons() > 0, "RF field must boot the tag");
+        let edb = sys.edb().unwrap();
+        let downlink = edb
+            .log()
+            .with_tag("rfid")
+            .filter(|e| matches!(e.event, crate::events::DebugEvent::Rfid { downlink: true, .. }))
+            .count();
+        assert!(downlink >= 4, "EDB must see reader commands, saw {downlink}");
+        assert!(sys.reader().unwrap().commands_sent() >= 4);
+    }
+}

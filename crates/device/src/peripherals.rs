@@ -1,0 +1,407 @@
+//! On-board peripherals other than the accelerometer and RF front-end:
+//! GPIO (with LED load), the target-powered user UART, the debug link to
+//! EDB, the self-measurement ADC, and the cycle timer.
+
+use edb_energy::SimTime;
+use std::collections::VecDeque;
+
+/// The GPIO output latch and its electrical loads.
+///
+/// Pin 0 drives an LED: the paper measures that lighting it takes the
+/// WISP "from around 1 mA to over 5 mA", so the LED load defaults to
+/// 4.5 mA. The other pins are high-impedance signal pins (progress
+/// markers) with negligible load.
+#[derive(Debug, Clone)]
+pub struct Gpio {
+    latch: u16,
+    /// Extra supply current while the LED pin is high, amps.
+    pub led_current: f64,
+}
+
+impl Gpio {
+    /// Creates the port with all pins low.
+    pub fn new() -> Self {
+        Gpio {
+            latch: 0,
+            led_current: 4.5e-3,
+        }
+    }
+
+    /// Writes the output latch, returning `(old, new)` when it changed.
+    pub fn write(&mut self, value: u16) -> Option<(u16, u16)> {
+        let old = self.latch;
+        self.latch = value;
+        (old != value).then_some((old, value))
+    }
+
+    /// The present latch value.
+    pub fn read(&self) -> u16 {
+        self.latch
+    }
+
+    /// Supply current drawn by pin loads right now, amps.
+    pub fn current(&self) -> f64 {
+        if self.latch & crate::ports::PIN_LED != 0 {
+            self.led_current
+        } else {
+            0.0
+        }
+    }
+
+    /// Power-loss reset: latch drops to zero.
+    pub fn reset(&mut self) {
+        self.latch = 0;
+    }
+}
+
+impl Default for Gpio {
+    fn default() -> Self {
+        Gpio::new()
+    }
+}
+
+/// A transmit-only UART with byte timing and a transmit-busy flag.
+///
+/// Models the *target-powered* console UART of §5.3.3: every byte costs
+/// `byte_time` of air time and `tx_current` of supply current — the cost
+/// that makes `printf` over UART perturb an intermittent execution.
+#[derive(Debug, Clone)]
+pub struct Uart {
+    busy_until: Option<SimTime>,
+    /// Seconds per byte expressed as simulation time (default: 86.8 µs,
+    /// i.e. 115200 baud, 8N1).
+    pub byte_time: SimTime,
+    /// Extra supply current while shifting a byte out, amps.
+    pub tx_current: f64,
+    sent: Vec<(SimTime, u8)>,
+}
+
+impl Uart {
+    /// Creates an idle UART at 115200 baud.
+    pub fn new() -> Self {
+        Uart {
+            busy_until: None,
+            byte_time: SimTime::from_ns(86_800),
+            tx_current: 0.8e-3,
+            sent: Vec::new(),
+        }
+    }
+
+    /// Firmware wrote a byte. Returns `true` if accepted (transmitter
+    /// idle); a byte written while busy is lost, as on real hardware
+    /// without a FIFO.
+    pub fn write(&mut self, now: SimTime, byte: u8) -> bool {
+        if self.busy(now) {
+            return false;
+        }
+        self.busy_until = Some(now + self.byte_time);
+        self.sent.push((now, byte));
+        true
+    }
+
+    /// Whether the transmitter is shifting a byte out at `now`.
+    pub fn busy(&self, now: SimTime) -> bool {
+        self.busy_until.is_some_and(|t| now < t)
+    }
+
+    /// `UART_STATUS` port value: bit 1 = TX busy.
+    pub fn status(&self, now: SimTime) -> u16 {
+        (self.busy(now) as u16) << 1
+    }
+
+    /// Supply current drawn right now, amps.
+    pub fn current(&self, now: SimTime) -> f64 {
+        if self.busy(now) {
+            self.tx_current
+        } else {
+            0.0
+        }
+    }
+
+    /// All bytes transmitted so far, with their start timestamps.
+    pub fn sent(&self) -> &[(SimTime, u8)] {
+        &self.sent
+    }
+
+    /// Power-loss reset: the in-flight byte is truncated. The `sent` log
+    /// is bench instrumentation and survives (the bytes *did* go out).
+    pub fn reset(&mut self) {
+        self.busy_until = None;
+    }
+}
+
+impl Default for Uart {
+    fn default() -> Self {
+        Uart::new()
+    }
+}
+
+/// The target half of the debug wiring to EDB: signal port, status port,
+/// and a bidirectional byte link.
+///
+/// EDB holds the other end: it drains `tx_to_debugger`, fills
+/// `rx_from_debugger`, and sets the acknowledge/session bits the firmware
+/// polls. The byte link carries the read/write-memory protocol of the
+/// interactive console; the signal port carries assert/breakpoint/guard
+/// requests.
+///
+/// TX toward the debugger is paced at `byte_time` (the level-shifted link
+/// runs at a conservative baud), but — unlike the target-powered user
+/// UART — driving it costs the target essentially nothing: the buffers
+/// are on EDB's power. That asymmetry is the entire point of EDB printf.
+#[derive(Debug, Clone)]
+pub struct DebugLink {
+    /// Bytes the target wrote for EDB (drained by the debugger).
+    pub tx_to_debugger: VecDeque<u8>,
+    /// Bytes EDB wrote for the target (drained by `in DBG_UART_RX`).
+    pub rx_from_debugger: VecDeque<u8>,
+    ack: bool,
+    session_active: bool,
+    /// The most recent `DEBUG_SIGNAL` writes this slice (drained by EDB).
+    pub signals: VecDeque<u16>,
+    tx_busy_until: Option<SimTime>,
+    /// Seconds per byte on the link (default 173.6 µs ≈ 57600 baud).
+    pub byte_time: SimTime,
+}
+
+impl Default for DebugLink {
+    fn default() -> Self {
+        DebugLink {
+            tx_to_debugger: VecDeque::new(),
+            rx_from_debugger: VecDeque::new(),
+            ack: false,
+            session_active: false,
+            signals: VecDeque::new(),
+            tx_busy_until: None,
+            byte_time: SimTime::from_ns(173_600),
+        }
+    }
+}
+
+impl DebugLink {
+    /// Creates an idle link.
+    pub fn new() -> Self {
+        DebugLink::default()
+    }
+
+    /// Firmware wrote a byte toward the debugger. Accepted only when the
+    /// transmitter is idle; returns whether it was accepted.
+    pub fn write_tx(&mut self, now: SimTime, byte: u8) -> bool {
+        if self.tx_busy(now) {
+            return false;
+        }
+        self.tx_busy_until = Some(now + self.byte_time);
+        self.tx_to_debugger.push_back(byte);
+        true
+    }
+
+    /// Whether the link transmitter is shifting a byte at `now`.
+    pub fn tx_busy(&self, now: SimTime) -> bool {
+        self.tx_busy_until.is_some_and(|t| now < t)
+    }
+
+    /// Firmware wrote the `DEBUG_SIGNAL` port.
+    pub fn raise_signal(&mut self, value: u16) {
+        self.signals.push_back(value);
+    }
+
+    /// `DEBUG_STATUS` port value: bit 0 = ack, bit 1 = session active.
+    pub fn status(&self) -> u16 {
+        (self.ack as u16) | ((self.session_active as u16) << 1)
+    }
+
+    /// EDB side: set or clear the acknowledge bit.
+    pub fn set_ack(&mut self, ack: bool) {
+        self.ack = ack;
+    }
+
+    /// EDB side: mark an active debug session.
+    pub fn set_session_active(&mut self, active: bool) {
+        self.session_active = active;
+    }
+
+    /// Whether an active session is marked.
+    pub fn session_active(&self) -> bool {
+        self.session_active
+    }
+
+    /// `DBG_UART_STATUS` port value: bit 0 = RX available, bit 1 = TX
+    /// busy.
+    pub fn uart_status(&self, now: SimTime) -> u16 {
+        (!self.rx_from_debugger.is_empty()) as u16 | ((self.tx_busy(now) as u16) << 1)
+    }
+
+    /// Power-loss reset: the target side forgets everything; EDB's side
+    /// of the wires (ack/session flags) is owned by EDB and survives.
+    pub fn reset(&mut self) {
+        self.tx_to_debugger.clear();
+        self.rx_from_debugger.clear();
+        self.signals.clear();
+        self.tx_busy_until = None;
+    }
+}
+
+/// The target's own 12-bit ADC channel wired to its storage capacitor.
+///
+/// §4.1: "While it is possible for energy harvesting devices to measure
+/// their stored energy levels, doing so uses energy, perturbing the
+/// energy state being measured." Reading `ADC_SELF` therefore draws
+/// `conversion_current` for `conversion_time`.
+#[derive(Debug, Clone)]
+pub struct SelfAdc {
+    busy_until: Option<SimTime>,
+    /// Conversion time (default 50 µs).
+    pub conversion_time: SimTime,
+    /// Extra supply current during conversion, amps.
+    pub conversion_current: f64,
+    /// Full-scale reference voltage.
+    pub v_ref: f64,
+}
+
+impl SelfAdc {
+    /// Creates the converter.
+    pub fn new() -> Self {
+        SelfAdc {
+            busy_until: None,
+            conversion_time: SimTime::from_us(50),
+            conversion_current: 0.3e-3,
+            v_ref: 3.3,
+        }
+    }
+
+    /// Samples `v_cap` at `now`: returns the 12-bit code and starts the
+    /// energy-burning conversion window.
+    pub fn sample(&mut self, now: SimTime, v_cap: f64) -> u16 {
+        self.busy_until = Some(now + self.conversion_time);
+        ((v_cap / self.v_ref) * 4095.0).round().clamp(0.0, 4095.0) as u16
+    }
+
+    /// Supply current drawn right now, amps.
+    pub fn current(&self, now: SimTime) -> f64 {
+        if self.busy_until.is_some_and(|t| now < t) {
+            self.conversion_current
+        } else {
+            0.0
+        }
+    }
+
+    /// Power-loss reset.
+    pub fn reset(&mut self) {
+        self.busy_until = None;
+    }
+}
+
+impl Default for SelfAdc {
+    fn default() -> Self {
+        SelfAdc::new()
+    }
+}
+
+/// The free-running cycle counter with a latched high word, so firmware
+/// can read a consistent 32-bit value with two port reads.
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    latched_hi: u16,
+}
+
+impl Timer {
+    /// Creates the timer.
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Reads the low word of `cycles`, latching the high word.
+    pub fn read_lo(&mut self, cycles: u64) -> u16 {
+        self.latched_hi = ((cycles >> 16) & 0xFFFF) as u16;
+        (cycles & 0xFFFF) as u16
+    }
+
+    /// Reads the latched high word.
+    pub fn read_hi(&self) -> u16 {
+        self.latched_hi
+    }
+
+    /// Power-loss reset.
+    pub fn reset(&mut self) {
+        self.latched_hi = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpio_led_load() {
+        let mut g = Gpio::new();
+        assert_eq!(g.current(), 0.0);
+        assert_eq!(g.write(crate::ports::PIN_LED), Some((0, 1)));
+        assert!(g.current() > 4e-3);
+        assert_eq!(g.write(crate::ports::PIN_LED), None, "no change, no event");
+        g.reset();
+        assert_eq!(g.read(), 0);
+    }
+
+    #[test]
+    fn uart_byte_timing_and_busy() {
+        let mut u = Uart::new();
+        let t0 = SimTime::ZERO;
+        assert!(u.write(t0, b'A'));
+        assert!(u.busy(SimTime::from_us(50)));
+        assert!(!u.write(SimTime::from_us(50), b'B'), "byte lost while busy");
+        assert!(!u.busy(SimTime::from_us(90)));
+        assert!(u.write(SimTime::from_us(90), b'C'));
+        let bytes: Vec<u8> = u.sent().iter().map(|&(_, b)| b).collect();
+        assert_eq!(bytes, vec![b'A', b'C']);
+    }
+
+    #[test]
+    fn uart_current_only_while_transmitting() {
+        let mut u = Uart::new();
+        u.write(SimTime::ZERO, 0x55);
+        assert!(u.current(SimTime::from_us(10)) > 0.0);
+        assert_eq!(u.current(SimTime::from_us(100)), 0.0);
+    }
+
+    #[test]
+    fn debug_link_round_trip() {
+        let mut l = DebugLink::new();
+        l.raise_signal(0x31);
+        assert_eq!(l.signals.pop_front(), Some(0x31));
+        l.rx_from_debugger.push_back(0x01);
+        assert_eq!(l.uart_status(SimTime::ZERO), 1);
+        l.set_ack(true);
+        l.set_session_active(true);
+        assert_eq!(l.status(), 3);
+        l.reset();
+        assert_eq!(l.uart_status(SimTime::ZERO), 0);
+        assert!(l.session_active(), "EDB-owned bits survive target reset");
+    }
+
+    #[test]
+    fn debug_link_tx_pacing() {
+        let mut l = DebugLink::new();
+        assert!(l.write_tx(SimTime::ZERO, 1));
+        assert!(!l.write_tx(SimTime::from_us(10), 2), "busy: byte dropped");
+        assert_eq!(l.uart_status(SimTime::from_us(10)) & 2, 2);
+        assert!(l.write_tx(SimTime::from_us(200), 3));
+        assert_eq!(l.tx_to_debugger.len(), 2);
+    }
+
+    #[test]
+    fn self_adc_quantizes_and_burns() {
+        let mut adc = SelfAdc::new();
+        let code = adc.sample(SimTime::ZERO, 2.4);
+        assert_eq!(code, ((2.4f64 / 3.3) * 4095.0).round() as u16);
+        assert!(adc.current(SimTime::from_us(10)) > 0.0);
+        assert_eq!(adc.current(SimTime::from_us(100)), 0.0);
+    }
+
+    #[test]
+    fn timer_latching() {
+        let mut t = Timer::new();
+        let cycles = 0x0001_0005u64;
+        assert_eq!(t.read_lo(cycles), 0x0005);
+        assert_eq!(t.read_hi(), 0x0001);
+    }
+}

@@ -1,0 +1,166 @@
+//! The peripheral port map of the WISP-like target.
+//!
+//! `in`/`out` instructions address this 8-bit port space. Applications are
+//! written against the named constants; [`asm_equates`] renders them as
+//! `.equ` lines so assembly sources stay in sync with the simulator by
+//! construction.
+
+/// GPIO output latch. Bit assignments: see the `PIN_*` constants.
+pub const GPIO_OUT: u8 = 0x00;
+/// GPIO input pins (reserved; reads 0 in this hardware revision).
+pub const GPIO_IN: u8 = 0x01;
+/// Code-marker pulse port: writing a non-zero watchpoint ID pulses the
+/// marker lines for one cycle (the paper's "Code Marker" connections).
+pub const CODE_MARKER: u8 = 0x02;
+/// Debug-signal port: the target raises requests to EDB here (assert
+/// failures, breakpoints, energy-guard boundaries). See `edb-core`'s
+/// protocol module for the encoding.
+pub const DEBUG_SIGNAL: u8 = 0x03;
+/// Debug-status port: bit 0 = EDB acknowledge, bit 1 = active debug
+/// session in progress.
+pub const DEBUG_STATUS: u8 = 0x04;
+/// Debug UART transmit (target → EDB).
+pub const DBG_UART_TX: u8 = 0x05;
+/// Debug UART receive (EDB → target).
+pub const DBG_UART_RX: u8 = 0x06;
+/// Debug UART status: bit 0 = RX byte available, bit 1 = TX busy.
+pub const DBG_UART_STATUS: u8 = 0x07;
+/// User console UART transmit (target-powered!).
+pub const UART_TX: u8 = 0x08;
+/// User UART status: bit 1 = TX busy.
+pub const UART_STATUS: u8 = 0x09;
+/// On-board ADC reading of the target's own storage-capacitor voltage
+/// (12-bit). Self-measurement costs time and energy — the reason the
+/// paper argues for off-board sensing.
+pub const ADC_SELF: u8 = 0x0A;
+/// Low word of the free-running cycle counter; reading latches the high
+/// word into [`TIMER_HI`].
+pub const TIMER_LO: u8 = 0x0B;
+/// High word of the cycle counter (latched by a [`TIMER_LO`] read).
+pub const TIMER_HI: u8 = 0x0C;
+/// Accelerometer control: write 1 to start an I²C sample transaction.
+pub const ACCEL_CTRL: u8 = 0x0D;
+/// Accelerometer status: bit 0 = sample ready, bit 1 = transaction busy.
+pub const ACCEL_STATUS: u8 = 0x0E;
+/// Accelerometer X sample (signed, milli-g).
+pub const ACCEL_X: u8 = 0x0F;
+/// Accelerometer Y sample.
+pub const ACCEL_Y: u8 = 0x10;
+/// Accelerometer Z sample.
+pub const ACCEL_Z: u8 = 0x11;
+/// RFID demodulator RX FIFO: reading pops the next received byte.
+pub const RF_RX_DATA: u8 = 0x12;
+/// RFID RX status: bit 0 = byte available; bits 8.. = queue depth.
+pub const RF_RX_STATUS: u8 = 0x13;
+/// RFID backscatter TX buffer: write the next reply byte.
+pub const RF_TX_DATA: u8 = 0x14;
+/// RFID TX control: write 1 to flush the buffered reply onto the air.
+pub const RF_TX_CTRL: u8 = 0x15;
+
+/// GPIO bit 0 drives the LED (≈4.5 mA extra when lit — "powering an LED
+/// increases the WISP's current draw by five times").
+pub const PIN_LED: u16 = 1 << 0;
+/// GPIO bit 1 is the main-loop progress pin toggled by the paper's test
+/// applications.
+pub const PIN_MAIN_LOOP: u16 = 1 << 1;
+/// GPIO bit 2 marks the instrumentation/consistency-check region
+/// (the "Check" trace of Figure 9).
+pub const PIN_CHECK: u16 = 1 << 2;
+/// GPIO bit 3 is a general-purpose auxiliary pin.
+pub const PIN_AUX: u16 = 1 << 3;
+
+/// Renders the whole port map (and pin bits) as assembler `.equ` lines.
+///
+/// # Example
+///
+/// ```
+/// let eq = edb_device::ports::asm_equates();
+/// assert!(eq.contains(".equ GPIO_OUT, 0x00"));
+/// assert!(eq.contains(".equ PIN_MAIN_LOOP, 0x0002"));
+/// ```
+pub fn asm_equates() -> String {
+    let ports: &[(&str, u8)] = &[
+        ("GPIO_OUT", GPIO_OUT),
+        ("GPIO_IN", GPIO_IN),
+        ("CODE_MARKER", CODE_MARKER),
+        ("DEBUG_SIGNAL", DEBUG_SIGNAL),
+        ("DEBUG_STATUS", DEBUG_STATUS),
+        ("DBG_UART_TX", DBG_UART_TX),
+        ("DBG_UART_RX", DBG_UART_RX),
+        ("DBG_UART_STATUS", DBG_UART_STATUS),
+        ("UART_TX", UART_TX),
+        ("UART_STATUS", UART_STATUS),
+        ("ADC_SELF", ADC_SELF),
+        ("TIMER_LO", TIMER_LO),
+        ("TIMER_HI", TIMER_HI),
+        ("ACCEL_CTRL", ACCEL_CTRL),
+        ("ACCEL_STATUS", ACCEL_STATUS),
+        ("ACCEL_X", ACCEL_X),
+        ("ACCEL_Y", ACCEL_Y),
+        ("ACCEL_Z", ACCEL_Z),
+        ("RF_RX_DATA", RF_RX_DATA),
+        ("RF_RX_STATUS", RF_RX_STATUS),
+        ("RF_TX_DATA", RF_TX_DATA),
+        ("RF_TX_CTRL", RF_TX_CTRL),
+    ];
+    let pins: &[(&str, u16)] = &[
+        ("PIN_LED", PIN_LED),
+        ("PIN_MAIN_LOOP", PIN_MAIN_LOOP),
+        ("PIN_CHECK", PIN_CHECK),
+        ("PIN_AUX", PIN_AUX),
+    ];
+    let mut out = String::new();
+    for (name, value) in ports {
+        out.push_str(&format!(".equ {name}, {value:#04x}\n"));
+    }
+    for (name, value) in pins {
+        out.push_str(&format!(".equ {name}, {value:#06x}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_numbers_are_unique() {
+        let all = [
+            GPIO_OUT,
+            GPIO_IN,
+            CODE_MARKER,
+            DEBUG_SIGNAL,
+            DEBUG_STATUS,
+            DBG_UART_TX,
+            DBG_UART_RX,
+            DBG_UART_STATUS,
+            UART_TX,
+            UART_STATUS,
+            ADC_SELF,
+            TIMER_LO,
+            TIMER_HI,
+            ACCEL_CTRL,
+            ACCEL_STATUS,
+            ACCEL_X,
+            ACCEL_Y,
+            ACCEL_Z,
+            RF_RX_DATA,
+            RF_RX_STATUS,
+            RF_TX_DATA,
+            RF_TX_CTRL,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for p in all {
+            assert!(seen.insert(p), "duplicate port {p:#04x}");
+        }
+    }
+
+    #[test]
+    fn equates_assemble() {
+        let src = format!(
+            "{}\n.org 0x4400\n out GPIO_OUT, r0\n in r1, ACCEL_STATUS\n",
+            asm_equates()
+        );
+        edb_mcu::asm::assemble(&src).expect("equates are valid assembly");
+    }
+}

@@ -1,0 +1,162 @@
+//! The tag's RF front-end: demodulator RX FIFO and backscatter TX.
+//!
+//! The demodulator turns reader command frames into bytes that firmware
+//! pops one at a time (`RF_RX_DATA`); the modulator backscatters reply
+//! bytes buffered by firmware and flushed with `RF_TX_CTRL`. Both byte
+//! streams are the "RF Data RX/TX" lines of the paper's Figure 5 — EDB
+//! taps them externally, which is why it can decode messages even when
+//! the target browns out mid-decode.
+
+use edb_energy::SimTime;
+use std::collections::VecDeque;
+
+/// A reply frame the tag put on the air.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backscatter {
+    /// When the flush happened.
+    pub at: SimTime,
+    /// The reply bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The RF front-end peripheral.
+#[derive(Debug, Clone, Default)]
+pub struct RfFrontend {
+    rx_fifo: VecDeque<u8>,
+    tx_buffer: Vec<u8>,
+    tx_busy_until: Option<SimTime>,
+    /// Extra supply current while backscattering, amps (backscatter is
+    /// nearly free — that is the point of passive RFID).
+    pub tx_current: f64,
+    /// Air time per backscattered byte.
+    pub tx_byte_time: SimTime,
+}
+
+impl RfFrontend {
+    /// Creates an idle front-end.
+    pub fn new() -> Self {
+        RfFrontend {
+            rx_fifo: VecDeque::new(),
+            tx_buffer: Vec::new(),
+            tx_busy_until: None,
+            tx_current: 0.1e-3,
+            tx_byte_time: SimTime::from_us(100),
+        }
+    }
+
+    /// Channel side: a demodulated command byte arrives (the front-end
+    /// demodulates whenever the tag circuit is energized; a small
+    /// hardware FIFO holds a frame's worth of bytes).
+    pub fn deliver_byte(&mut self, byte: u8) {
+        // An 16-byte hardware FIFO: overflow drops the oldest.
+        if self.rx_fifo.len() >= 16 {
+            self.rx_fifo.pop_front();
+        }
+        self.rx_fifo.push_back(byte);
+    }
+
+    /// Firmware side: pop the next received byte (`RF_RX_DATA`).
+    pub fn pop_rx(&mut self) -> u16 {
+        self.rx_fifo.pop_front().map_or(0, u16::from)
+    }
+
+    /// `RF_RX_STATUS` port value: bit 0 = byte available, bits 8.. =
+    /// queue depth.
+    pub fn rx_status(&self) -> u16 {
+        (!self.rx_fifo.is_empty() as u16) | ((self.rx_fifo.len().min(255) as u16) << 8)
+    }
+
+    /// Firmware side: buffer a reply byte (`RF_TX_DATA`).
+    pub fn push_tx(&mut self, byte: u8) {
+        if self.tx_buffer.len() < 64 {
+            self.tx_buffer.push(byte);
+        }
+    }
+
+    /// Firmware side: flush the buffered reply onto the air
+    /// (`RF_TX_CTRL` ← 1). Returns the frame if there was one.
+    pub fn flush_tx(&mut self, now: SimTime) -> Option<Backscatter> {
+        if self.tx_buffer.is_empty() {
+            return None;
+        }
+        let bytes = std::mem::take(&mut self.tx_buffer);
+        let air_ns = bytes.len() as u64 * self.tx_byte_time.as_ns();
+        self.tx_busy_until = Some(now.advance_ns(air_ns));
+        Some(Backscatter { at: now, bytes })
+    }
+
+    /// Supply current drawn right now, amps.
+    pub fn current(&self, now: SimTime) -> f64 {
+        if self.tx_busy_until.is_some_and(|t| now < t) {
+            self.tx_current
+        } else {
+            0.0
+        }
+    }
+
+    /// Power-loss reset: the FIFO and half-built reply vanish — a frame
+    /// the target was decoding when it browned out is simply lost to the
+    /// target (but not to EDB, which monitored the line externally).
+    pub fn reset(&mut self) {
+        self.rx_fifo.clear();
+        self.tx_buffer.clear();
+        self.tx_busy_until = None;
+    }
+
+    /// Bytes waiting in the RX FIFO (instrumentation).
+    pub fn rx_depth(&self) -> usize {
+        self.rx_fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_fifo_order_and_status() {
+        let mut rf = RfFrontend::new();
+        assert_eq!(rf.rx_status(), 0);
+        rf.deliver_byte(0x51);
+        rf.deliver_byte(0x00);
+        assert_eq!(rf.rx_status() & 1, 1);
+        assert_eq!(rf.rx_status() >> 8, 2);
+        assert_eq!(rf.pop_rx(), 0x51);
+        assert_eq!(rf.pop_rx(), 0x00);
+        assert_eq!(rf.pop_rx(), 0, "empty FIFO reads zero");
+    }
+
+    #[test]
+    fn fifo_overflow_drops_oldest() {
+        let mut rf = RfFrontend::new();
+        for b in 0..20u8 {
+            rf.deliver_byte(b);
+        }
+        assert_eq!(rf.rx_depth(), 16);
+        assert_eq!(rf.pop_rx(), 4, "bytes 0..3 were dropped");
+    }
+
+    #[test]
+    fn tx_flush_produces_frame_and_busy_window() {
+        let mut rf = RfFrontend::new();
+        assert!(rf.flush_tx(SimTime::ZERO).is_none(), "nothing buffered");
+        for &b in b"hi" {
+            rf.push_tx(b);
+        }
+        let frame = rf.flush_tx(SimTime::ZERO).expect("flushes");
+        assert_eq!(frame.bytes, b"hi".to_vec());
+        assert!(rf.current(SimTime::from_us(50)) > 0.0);
+        assert_eq!(rf.current(SimTime::from_us(500)), 0.0);
+        assert!(rf.flush_tx(SimTime::from_us(1)).is_none(), "buffer emptied");
+    }
+
+    #[test]
+    fn reset_loses_in_flight_state() {
+        let mut rf = RfFrontend::new();
+        rf.deliver_byte(1);
+        rf.push_tx(2);
+        rf.reset();
+        assert_eq!(rf.rx_depth(), 0);
+        assert!(rf.flush_tx(SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! The energy storage element of a harvesting device.
+
+use serde::{Deserialize, Serialize};
+
+/// An ideal storage capacitor integrated explicitly in time.
+///
+/// The capacitor is the single energy buffer of an intermittent device: the
+/// harvester charges it, the load (MCU + peripherals + debugger leakage)
+/// discharges it, and the supervisor decides from its voltage whether the
+/// device runs at all. The paper's WISP5 target uses 47 µF.
+///
+/// Voltage is clamped to `[0, v_max]`; `v_max` models the overvoltage
+/// clamp present on real harvesting front-ends (5.5 V by default).
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::Capacitor;
+/// let mut cap = Capacitor::new(47e-6);
+/// cap.set_voltage(2.0);
+/// // 1 mA discharging for 1 ms drops V by I*t/C ≈ 21.3 mV.
+/// cap.apply_current(-1e-3, 1e-3);
+/// assert!((cap.voltage() - (2.0 - 1e-3 * 1e-3 / 47e-6)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Capacitor {
+    capacitance: f64,
+    voltage: f64,
+    v_max: f64,
+}
+
+impl Capacitor {
+    /// Creates a discharged capacitor of `capacitance` farads with the
+    /// default 5.5 V overvoltage clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance` is not strictly positive.
+    pub fn new(capacitance: f64) -> Self {
+        Self::with_clamp(capacitance, 5.5)
+    }
+
+    /// Creates a discharged capacitor with an explicit overvoltage clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance` or `v_max` is not strictly positive.
+    pub fn with_clamp(capacitance: f64, v_max: f64) -> Self {
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        assert!(v_max > 0.0, "clamp voltage must be positive");
+        Capacitor {
+            capacitance,
+            voltage: 0.0,
+            v_max,
+        }
+    }
+
+    /// The capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// The present terminal voltage in volts.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// The overvoltage clamp in volts.
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Forces the terminal voltage (clamped to `[0, v_max]`).
+    ///
+    /// Used by the simulation harness for initial conditions and by the
+    /// ground-truth instrumentation in tests; the debugger itself must go
+    /// through its charge/discharge circuit.
+    pub fn set_voltage(&mut self, volts: f64) {
+        self.voltage = volts.clamp(0.0, self.v_max);
+    }
+
+    /// Integrates a net current for `dt` seconds. Positive current charges,
+    /// negative discharges. Voltage is clamped to `[0, v_max]`.
+    pub fn apply_current(&mut self, amps: f64, dt: f64) {
+        self.voltage = (self.voltage + amps * dt / self.capacitance).clamp(0.0, self.v_max);
+    }
+
+    /// The energy stored right now, `E = C·V²/2`, in joules.
+    pub fn energy(&self) -> f64 {
+        0.5 * self.capacitance * self.voltage * self.voltage
+    }
+
+    /// The energy that would be stored at `volts`, in joules.
+    pub fn energy_at(&self, volts: f64) -> f64 {
+        0.5 * self.capacitance * volts * volts
+    }
+
+    /// Energy difference between two voltage levels,
+    /// `ΔE = C·(v_a² − v_b²)/2` — the expression the paper uses to quantify
+    /// save/restore accuracy (Table 3).
+    pub fn delta_energy(&self, v_a: f64, v_b: f64) -> f64 {
+        0.5 * self.capacitance * (v_a * v_a - v_b * v_b)
+    }
+}
+
+impl Default for Capacitor {
+    /// A WISP5-like 47 µF capacitor.
+    fn default() -> Self {
+        Capacitor::new(47e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_discharge_symmetry() {
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(2.0);
+        cap.apply_current(1e-3, 1e-3);
+        cap.apply_current(-1e-3, 1e-3);
+        assert!((cap.voltage() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_clamped_at_zero_and_max() {
+        let mut cap = Capacitor::with_clamp(47e-6, 3.0);
+        cap.apply_current(-1.0, 1.0);
+        assert_eq!(cap.voltage(), 0.0);
+        cap.apply_current(1.0, 10.0);
+        assert_eq!(cap.voltage(), 3.0);
+    }
+
+    #[test]
+    fn energy_matches_closed_form() {
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(2.4);
+        let expected = 0.5 * 47e-6 * 2.4 * 2.4;
+        assert!((cap.energy() - expected).abs() < 1e-15);
+        assert!((cap.energy_at(2.4) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delta_energy_signs() {
+        let cap = Capacitor::new(47e-6);
+        assert!(cap.delta_energy(2.4, 1.8) > 0.0);
+        assert!(cap.delta_energy(1.8, 2.4) < 0.0);
+        assert_eq!(cap.delta_energy(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn paper_max_energy_budget() {
+        // The paper reports energy costs as a percentage of the 47 µF
+        // store's capacity at V_max = 2.4 V: E = 135.4 µJ.
+        let cap = Capacitor::new(47e-6);
+        let e_max = cap.energy_at(2.4);
+        assert!((e_max - 135.36e-6).abs() < 0.1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn rejects_nonpositive_capacitance() {
+        let _ = Capacitor::new(0.0);
+    }
+}

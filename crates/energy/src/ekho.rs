@@ -1,0 +1,222 @@
+//! Ekho-style energy-environment recording and replay.
+//!
+//! §6.1 of the EDB paper: "Ekho is a device that records the amount of
+//! energy harvested by a harvesting circuit and reproduces the trace as
+//! power input into an application device. Ekho can reproduce
+//! problematic program behavior, but it cannot offer insight into this
+//! behavior." This module is that complement: capture a live (noisy,
+//! unrepeatable) harvesting environment once, then replay it
+//! *identically* as many times as a debugging investigation needs —
+//! typically with EDB attached to provide the insight Ekho cannot.
+//!
+//! Recording probes the source's current at a fixed mid-band operating
+//! voltage through the known front-end resistance and stores the
+//! Thévenin-equivalent open-circuit voltage over time (the real Ekho
+//! records full I-V surfaces; a single operating point is accurate to
+//! ~1 % across the 1.8–2.4 V band our targets live in). Replay hands
+//! back a [`TraceHarvester`] that reproduces the same `(time, v_oc)`
+//! schedule bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use edb_energy::{ekho, Fading, TheveninSource, Harvester, SimTime};
+//!
+//! // A live, fading RF environment...
+//! let mut live = Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 99);
+//! // ...recorded for half a second at 1 ms resolution...
+//! let tape = ekho::record(&mut live, 1500.0, 2.1, SimTime::from_ms(500), SimTime::from_ms(1));
+//! // ...replays identically, twice.
+//! let mut a = ekho::replay(&tape, 1500.0);
+//! let mut b = ekho::replay(&tape, 1500.0);
+//! let t = SimTime::from_ms(123);
+//! assert_eq!(a.current_into(2.0, t, 1e-6), b.current_into(2.0, t, 1e-6));
+//! ```
+
+use crate::harvester::{Harvester, TraceHarvester};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A recorded energy-environment tape: `(time, equivalent v_oc)`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tape {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl Tape {
+    /// The raw samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples on the tape.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Serializes the tape as CSV (`time_ms,v_oc`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ms,v_oc\n");
+        for (t, v) in &self.samples {
+            out.push_str(&format!("{:.6},{v:.6}\n", t.as_millis_f64()));
+        }
+        out
+    }
+
+    /// Parses a tape from [`Tape::to_csv`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_csv(csv: &str) -> Result<Tape, String> {
+        let mut samples = Vec::new();
+        for (idx, line) in csv.lines().enumerate() {
+            if idx == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let (t, v) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: missing comma", idx + 1))?;
+            let t: f64 = t
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad time `{t}`", idx + 1))?;
+            let v: f64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad voltage `{v}`", idx + 1))?;
+            samples.push((SimTime::from_ns((t * 1e6).round() as u64), v));
+        }
+        Ok(Tape { samples })
+    }
+}
+
+/// Records `source` for `duration` at one sample per `period`, probing
+/// its current at the operating voltage `v_probe` through the known
+/// front-end resistance `r_src` (ohms) to recover the Thévenin-
+/// equivalent open-circuit voltage at that operating point.
+pub fn record(
+    source: &mut dyn Harvester,
+    r_src: f64,
+    v_probe: f64,
+    duration: SimTime,
+    period: SimTime,
+) -> Tape {
+    let mut samples = Vec::new();
+    let mut t = SimTime::ZERO;
+    let dt = period.as_secs_f64();
+    while t <= duration {
+        // Operating-point probe: i = (v_oc - v_probe) / r.
+        let i = source.current_into(v_probe, t, dt);
+        samples.push((t, v_probe + i * r_src));
+        t += period;
+    }
+    Tape { samples }
+}
+
+/// Builds a replay harvester from a tape, behind `r_src` ohms.
+///
+/// # Panics
+///
+/// Panics if the tape is empty.
+pub fn replay(tape: &Tape, r_src: f64) -> TraceHarvester {
+    TraceHarvester::new(tape.samples.clone(), r_src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvester::{Fading, TheveninSource};
+
+    fn live_source(seed: u64) -> Fading<TheveninSource> {
+        Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, seed)
+    }
+
+    #[test]
+    fn recording_captures_the_fading_envelope() {
+        let mut live = live_source(5);
+        let tape = record(
+            &mut live,
+            1500.0,
+            2.1,
+            SimTime::from_ms(200),
+            SimTime::from_ms(1),
+        );
+        assert_eq!(tape.len(), 201);
+        let vs: Vec<f64> = tape.samples().iter().map(|&(_, v)| v).collect();
+        let min = vs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min, "fading must be visible on the tape");
+        assert!((2.0..5.0).contains(&min) && max < 5.0, "{min}..{max}");
+    }
+
+    #[test]
+    fn replay_is_exactly_repeatable() {
+        let mut live = live_source(6);
+        let tape = record(
+            &mut live,
+            1500.0,
+            2.1,
+            SimTime::from_ms(100),
+            SimTime::from_ms(1),
+        );
+        let mut a = replay(&tape, 1500.0);
+        let mut b = replay(&tape, 1500.0);
+        for k in 0..5000u64 {
+            let t = SimTime::from_us(k * 17);
+            let ia = a.current_into(2.1, t, 1e-6);
+            let ib = b.current_into(2.1, t, 1e-6);
+            assert_eq!(ia.to_bits(), ib.to_bits(), "replay must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn replay_approximates_the_live_source() {
+        // The replayed environment delivers the same charge (to within
+        // the sampling error) as the live one over the recorded window.
+        let mut live = live_source(7);
+        let tape = record(
+            &mut live,
+            1500.0,
+            2.1,
+            SimTime::from_ms(300),
+            SimTime::from_ms(1),
+        );
+        let mut live = live_source(7);
+        let mut rep = replay(&tape, 1500.0);
+        let dt = 100e-6;
+        let (mut q_live, mut q_rep) = (0.0, 0.0);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_ms(300) {
+            q_live += live.current_into(2.0, t, dt) * dt;
+            q_rep += rep.current_into(2.0, t, dt) * dt;
+            t = t.advance_secs(dt);
+        }
+        let err = (q_live - q_rep).abs() / q_live;
+        assert!(err < 0.02, "charge mismatch {:.2} %", err * 100.0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut live = live_source(8);
+        let tape = record(&mut live, 1500.0, 2.1, SimTime::from_ms(50), SimTime::from_ms(5));
+        let csv = tape.to_csv();
+        let back = Tape::from_csv(&csv).expect("parses");
+        assert_eq!(back.len(), tape.len());
+        for (a, b) in tape.samples().iter().zip(back.samples()) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn csv_errors_name_the_line() {
+        let err = Tape::from_csv("time_ms,v_oc\n1.0,2.0\nbogus\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The target's on-board regulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A low-dropout linear regulator.
+///
+/// The WISP-style target regulates its storage-capacitor voltage down to a
+/// logic supply (`Vreg` in the paper's Figure 5). The regulator matters to
+/// EDB for two reasons: `Vreg` is one of the two analog sense lines, and —
+/// as §4.1.2 notes — `Vreg` *sags below its nominal value during a power
+/// failure*, which is why EDB needs a tracking level-shifter reference.
+/// [`Ldo::output`] reproduces that sag.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::Ldo;
+/// let ldo = Ldo::new(2.0, 0.1);
+/// assert_eq!(ldo.output(3.0), 2.0);          // headroom: regulated
+/// assert_eq!(ldo.output(1.5), 1.4);          // dropout: tracks input − 0.1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ldo {
+    v_nominal: f64,
+    dropout: f64,
+    quiescent_current: f64,
+}
+
+impl Ldo {
+    /// Creates a regulator with `v_nominal` output and `dropout` volts of
+    /// required headroom. Quiescent current defaults to 1 µA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_nominal` is not strictly positive or `dropout` is
+    /// negative.
+    pub fn new(v_nominal: f64, dropout: f64) -> Self {
+        assert!(v_nominal > 0.0, "nominal voltage must be positive");
+        assert!(dropout >= 0.0, "dropout cannot be negative");
+        Ldo {
+            v_nominal,
+            dropout,
+            quiescent_current: 1e-6,
+        }
+    }
+
+    /// The WISP5-like logic supply: 2.0 V nominal, 100 mV dropout.
+    pub fn wisp5() -> Self {
+        Ldo::new(2.0, 0.1)
+    }
+
+    /// Nominal (regulated) output voltage.
+    pub fn v_nominal(&self) -> f64 {
+        self.v_nominal
+    }
+
+    /// Ground current drawn by the regulator itself, amps.
+    pub fn quiescent_current(&self) -> f64 {
+        self.quiescent_current
+    }
+
+    /// Output voltage for a given input (capacitor) voltage: regulated when
+    /// there is headroom, sagging with the input when there is not.
+    pub fn output(&self, v_in: f64) -> f64 {
+        (v_in - self.dropout).clamp(0.0, self.v_nominal)
+    }
+}
+
+impl Default for Ldo {
+    fn default() -> Self {
+        Ldo::wisp5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regulates_with_headroom() {
+        let ldo = Ldo::wisp5();
+        assert_eq!(ldo.output(2.4), 2.0);
+        assert_eq!(ldo.output(5.0), 2.0);
+    }
+
+    #[test]
+    fn sags_in_dropout() {
+        let ldo = Ldo::wisp5();
+        assert!((ldo.output(1.9) - 1.8).abs() < 1e-12);
+        assert_eq!(ldo.output(0.05), 0.0);
+    }
+
+    #[test]
+    fn output_is_monotone_in_input() {
+        let ldo = Ldo::wisp5();
+        let mut prev = -1.0;
+        for k in 0..60 {
+            let v = k as f64 * 0.1;
+            let out = ldo.output(v);
+            assert!(out >= prev);
+            prev = out;
+        }
+    }
+}

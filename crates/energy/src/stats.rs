@@ -1,0 +1,201 @@
+//! Small statistics helpers shared by the experiment harnesses.
+//!
+//! The paper reports its quantitative results as means, standard
+//! deviations (Table 3), rates (Table 4), and a CDF (Figure 11); this
+//! module provides exactly those reductions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean / standard deviation / extrema of a sample set.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert!((s.std_dev - 1.0).abs() < 1e-12);
+/// assert_eq!((s.min, s.max), (1.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// An empirical cumulative distribution function.
+///
+/// Built once from a sample set; evaluate with [`Cdf::probability_at`] or
+/// walk the steps with [`Cdf::points`] — the latter regenerates Figure 11.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::Cdf;
+/// let cdf = Cdf::of(vec![1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.probability_at(0.5), 0.0);
+/// assert_eq!(cdf.probability_at(2.0), 0.75);
+/// assert_eq!(cdf.probability_at(9.0), 1.0);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn of(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "cannot build a CDF from no samples");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples (never true for a constructed CDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn probability_at(&self, x: f64) -> f64 {
+        let k = self.sorted.partition_point(|&s| s <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `v` with P(X ≤ v) ≥ `p` (p clamped to (0, 1]).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(f64::MIN_POSITIVE, 1.0);
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len())
+            - 1;
+        self.sorted[idx]
+    }
+
+    /// The `(value, cumulative probability)` step points, suitable for
+    /// plotting.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_sd() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let cdf = Cdf::of(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let mut prev = 0.0;
+        for x in 0..12 {
+            let p = cdf.probability_at(x as f64);
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert_eq!(prev, 1.0);
+    }
+
+    #[test]
+    fn cdf_points_end_at_one() {
+        let cdf = Cdf::of(vec![1.0, 2.0, 3.0]);
+        let pts: Vec<(f64, f64)> = cdf.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_median() {
+        let cdf = Cdf::of((1..=100).map(|x| x as f64).collect());
+        assert_eq!(cdf.quantile(0.5), 50.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert_eq!(cdf.quantile(0.01), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

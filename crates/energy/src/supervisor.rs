@@ -1,0 +1,158 @@
+//! The voltage supervisor that gates intermittent operation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An edge reported by the [`Supervisor`] when the stored voltage crosses
+/// one of its thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerEdge {
+    /// Voltage rose past the turn-on threshold: the device resets and
+    /// begins executing.
+    TurnOn,
+    /// Voltage fell past the brown-out threshold: the device loses power,
+    /// volatile state is gone.
+    BrownOut,
+}
+
+impl fmt::Display for PowerEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerEdge::TurnOn => write!(f, "turn-on"),
+            PowerEdge::BrownOut => write!(f, "brown-out"),
+        }
+    }
+}
+
+/// Hysteretic power-good comparator.
+///
+/// Models the supervisor on a WISP-class tag: the device turns on when the
+/// capacitor first reaches `v_on` (2.4 V on the WISP5) and keeps running
+/// until the capacitor droops below `v_off` (1.8 V). The gap between the
+/// thresholds is the per-cycle energy budget that all of the paper's
+/// "iteration success rate" arithmetic is denominated in.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::{Supervisor, PowerEdge};
+/// let mut sup = Supervisor::wisp5();
+/// assert_eq!(sup.update(2.0), None);               // still charging
+/// assert_eq!(sup.update(2.4), Some(PowerEdge::TurnOn));
+/// assert_eq!(sup.update(2.0), None);               // hysteresis: stays on
+/// assert_eq!(sup.update(1.79), Some(PowerEdge::BrownOut));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Supervisor {
+    v_on: f64,
+    v_off: f64,
+    powered: bool,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the given thresholds, initially
+    /// unpowered.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_on > v_off > 0`.
+    pub fn new(v_on: f64, v_off: f64) -> Self {
+        assert!(v_off > 0.0, "brown-out threshold must be positive");
+        assert!(v_on > v_off, "turn-on must exceed brown-out for hysteresis");
+        Supervisor {
+            v_on,
+            v_off,
+            powered: false,
+        }
+    }
+
+    /// The WISP5 thresholds from the paper: turn-on 2.4 V, brown-out 1.8 V.
+    pub fn wisp5() -> Self {
+        Supervisor::new(2.4, 1.8)
+    }
+
+    /// Turn-on threshold, volts.
+    pub fn v_on(&self) -> f64 {
+        self.v_on
+    }
+
+    /// Brown-out threshold, volts.
+    pub fn v_off(&self) -> f64 {
+        self.v_off
+    }
+
+    /// Whether the device is currently powered.
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Feeds the present capacitor voltage; returns an edge if one of the
+    /// thresholds was crossed in the gating direction.
+    pub fn update(&mut self, v_cap: f64) -> Option<PowerEdge> {
+        if !self.powered && v_cap >= self.v_on {
+            self.powered = true;
+            Some(PowerEdge::TurnOn)
+        } else if self.powered && v_cap < self.v_off {
+            self.powered = false;
+            Some(PowerEdge::BrownOut)
+        } else {
+            None
+        }
+    }
+
+    /// Forces the supervisor state (used when a debugger tethers the target
+    /// to continuous power and the comparator is effectively bypassed).
+    pub fn force_powered(&mut self, powered: bool) {
+        self.powered = powered;
+    }
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor::wisp5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_produces_two_edges() {
+        let mut sup = Supervisor::wisp5();
+        let mut edges = Vec::new();
+        for v in [1.0, 2.0, 2.4, 2.2, 1.9, 1.7, 1.9, 2.4] {
+            if let Some(e) = sup.update(v) {
+                edges.push(e);
+            }
+        }
+        assert_eq!(
+            edges,
+            vec![PowerEdge::TurnOn, PowerEdge::BrownOut, PowerEdge::TurnOn]
+        );
+    }
+
+    #[test]
+    fn no_retrigger_while_powered() {
+        let mut sup = Supervisor::wisp5();
+        assert_eq!(sup.update(2.5), Some(PowerEdge::TurnOn));
+        assert_eq!(sup.update(2.6), None);
+        assert_eq!(sup.update(2.4), None);
+    }
+
+    #[test]
+    fn hysteresis_band_is_quiet() {
+        let mut sup = Supervisor::wisp5();
+        sup.update(2.4);
+        for _ in 0..100 {
+            assert_eq!(sup.update(2.0), None);
+            assert_eq!(sup.update(1.9), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn rejects_inverted_thresholds() {
+        let _ = Supervisor::new(1.8, 2.4);
+    }
+}

@@ -1,0 +1,293 @@
+//! Time-series recording — the simulation's "oscilloscope channel".
+//!
+//! Experiment harnesses attach [`Trace`]s to node voltages and digital
+//! lines and later export them as CSV, exactly as the paper's figures were
+//! produced from scope captures.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A labeled point event placed on a trace (e.g. "assert fired",
+/// "tethered power engaged") — the numbered instants on the paper's
+/// Figures 7 and 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventMark {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// A decimated time series of one analog or digital signal.
+///
+/// Recording every 250 ns tick of a multi-second simulation would produce
+/// tens of millions of points; a `Trace` stores at most one sample per
+/// `period` and also captures extrema between stored samples so brief
+/// excursions are not lost.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::{Trace, SimTime};
+/// let mut tr = Trace::new("Vcap", SimTime::from_us(100));
+/// for k in 0..1000u64 {
+///     tr.record(SimTime::from_us(k), 2.0 + 0.001 * k as f64);
+/// }
+/// assert!(tr.len() <= 11);
+/// assert!(tr.max().unwrap() >= 2.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    period: SimTime,
+    samples: Vec<(SimTime, f64)>,
+    marks: Vec<EventMark>,
+    last_stored: Option<SimTime>,
+    pending_min: f64,
+    pending_max: f64,
+    have_pending: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace named `name`, storing at most one sample per
+    /// `period` (plus min/max capture).
+    pub fn new(name: impl Into<String>, period: SimTime) -> Self {
+        Trace {
+            name: name.into(),
+            period,
+            samples: Vec::new(),
+            marks: Vec::new(),
+            last_stored: None,
+            pending_min: f64::INFINITY,
+            pending_max: f64::NEG_INFINITY,
+            have_pending: false,
+        }
+    }
+
+    /// The signal name used as the CSV column header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Offers a sample; it is stored if at least one decimation period has
+    /// elapsed since the previously stored sample, otherwise it only
+    /// updates the pending min/max envelope.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        self.pending_min = self.pending_min.min(value);
+        self.pending_max = self.pending_max.max(value);
+        self.have_pending = true;
+        let due = match self.last_stored {
+            None => true,
+            Some(prev) => at.since(prev) >= self.period,
+        };
+        if due {
+            self.samples.push((at, value));
+            self.last_stored = Some(at);
+            self.pending_min = f64::INFINITY;
+            self.pending_max = f64::NEG_INFINITY;
+            self.have_pending = false;
+        }
+    }
+
+    /// Places a labeled event mark at `at`.
+    pub fn mark(&mut self, at: SimTime, label: impl Into<String>) {
+        self.marks.push(EventMark {
+            at,
+            label: label.into(),
+        });
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Stored `(time, value)` samples in order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Event marks in insertion order.
+    pub fn marks(&self) -> &[EventMark] {
+        &self.marks
+    }
+
+    /// Minimum stored value, if any samples exist.
+    pub fn min(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Maximum stored value, if any samples exist.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Mean of stored values, if any samples exist.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The latest stored value at or before `at` (step interpolation).
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        match self.samples.partition_point(|&(t, _)| t <= at) {
+            0 => None,
+            n => Some(self.samples[n - 1].1),
+        }
+    }
+
+    /// Values within the half-open window `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples
+            .iter()
+            .copied()
+            .skip_while(move |&(t, _)| t < from)
+            .take_while(move |&(t, _)| t < to)
+    }
+
+    /// Renders the trace as two-column CSV (`time_ms,<name>`), with event
+    /// marks appended as comment lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 24 + 64);
+        let _ = writeln!(out, "time_ms,{}", self.name);
+        for &(t, v) in &self.samples {
+            let _ = writeln!(out, "{:.6},{:.6}", t.as_millis_f64(), v);
+        }
+        for m in &self.marks {
+            let _ = writeln!(out, "# mark,{:.6},{}", m.at.as_millis_f64(), m.label);
+        }
+        out
+    }
+}
+
+/// Renders several traces that share a timebase as a merged CSV with step
+/// interpolation (`time_ms,<a>,<b>,...`).
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::{Trace, SimTime, trace::merged_csv};
+/// let mut a = Trace::new("vcap", SimTime::from_ms(1));
+/// let mut b = Trace::new("gpio", SimTime::from_ms(1));
+/// a.record(SimTime::ZERO, 2.4);
+/// b.record(SimTime::ZERO, 0.0);
+/// let csv = merged_csv(&[&a, &b]);
+/// assert!(csv.starts_with("time_ms,vcap,gpio"));
+/// ```
+pub fn merged_csv(traces: &[&Trace]) -> String {
+    let mut times: Vec<SimTime> = traces
+        .iter()
+        .flat_map(|t| t.samples().iter().map(|&(t, _)| t))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut out = String::new();
+    let _ = write!(out, "time_ms");
+    for t in traces {
+        let _ = write!(out, ",{}", t.name());
+    }
+    let _ = writeln!(out);
+    for at in times {
+        let _ = write!(out, "{:.6}", at.as_millis_f64());
+        for t in traces {
+            match t.value_at(at) {
+                Some(v) => {
+                    let _ = write!(out, ",{v:.6}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimates_to_one_sample_per_period() {
+        let mut tr = Trace::new("v", SimTime::from_us(10));
+        for k in 0..100u64 {
+            tr.record(SimTime::from_us(k), k as f64);
+        }
+        assert!(tr.len() <= 11, "got {} samples", tr.len());
+        assert_eq!(tr.samples()[0].0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn value_at_uses_step_interpolation() {
+        let mut tr = Trace::new("v", SimTime::from_us(1));
+        tr.record(SimTime::from_us(0), 1.0);
+        tr.record(SimTime::from_us(10), 2.0);
+        assert_eq!(tr.value_at(SimTime::from_us(5)), Some(1.0));
+        assert_eq!(tr.value_at(SimTime::from_us(10)), Some(2.0));
+        assert_eq!(tr.value_at(SimTime::from_us(15)), Some(2.0));
+    }
+
+    #[test]
+    fn csv_contains_header_samples_and_marks() {
+        let mut tr = Trace::new("Vcap", SimTime::from_us(1));
+        tr.record(SimTime::from_ms(1), 2.25);
+        tr.mark(SimTime::from_ms(1), "assert");
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("time_ms,Vcap\n"));
+        assert!(csv.contains("1.000000,2.250000"));
+        assert!(csv.contains("# mark,1.000000,assert"));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let mut tr = Trace::new("v", SimTime::from_us(1));
+        for k in 0..10u64 {
+            tr.record(SimTime::from_us(k * 2), k as f64);
+        }
+        let vals: Vec<f64> = tr
+            .window(SimTime::from_us(4), SimTime::from_us(10))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(vals, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn stats_on_empty_trace_are_none() {
+        let tr = Trace::new("v", SimTime::from_us(1));
+        assert!(tr.is_empty());
+        assert_eq!(tr.min(), None);
+        assert_eq!(tr.max(), None);
+        assert_eq!(tr.mean(), None);
+    }
+
+    #[test]
+    fn merged_csv_aligns_columns() {
+        let mut a = Trace::new("a", SimTime::from_us(1));
+        let mut b = Trace::new("b", SimTime::from_us(1));
+        a.record(SimTime::from_us(0), 1.0);
+        a.record(SimTime::from_us(2), 3.0);
+        b.record(SimTime::from_us(1), 5.0);
+        let csv = merged_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ms,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].ends_with(",1.000000,"));
+        assert!(lines[2].ends_with(",1.000000,5.000000"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the electrical substrate.
+
+use edb_energy::{
+    Capacitor, Cdf, ConstantCurrent, Harvester, PowerEdge, SimTime, Summary, Supervisor,
+    TheveninSource, Trace,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The capacitor voltage is always within `[0, v_max]` no matter what
+    /// current sequence is applied.
+    #[test]
+    fn capacitor_voltage_stays_bounded(
+        currents in prop::collection::vec(-0.5f64..0.5, 1..200),
+        v0 in 0.0f64..5.5,
+    ) {
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(v0);
+        for i in currents {
+            cap.apply_current(i, 1e-4);
+            prop_assert!(cap.voltage() >= 0.0);
+            prop_assert!(cap.voltage() <= cap.v_max());
+        }
+    }
+
+    /// Stored energy is consistent with the closed form at all times.
+    #[test]
+    fn capacitor_energy_matches_voltage(v in 0.0f64..5.5) {
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(v);
+        let expected = 0.5 * 47e-6 * v * v;
+        prop_assert!((cap.energy() - expected).abs() < 1e-12);
+    }
+
+    /// An RC charge from a Thévenin source follows the analytic exponential
+    /// to within integration error.
+    #[test]
+    fn thevenin_charge_matches_analytic(
+        v_oc in 2.5f64..5.0,
+        r in 500.0f64..5000.0,
+    ) {
+        let c = 47e-6;
+        let mut cap = Capacitor::with_clamp(c, 10.0);
+        let mut src = TheveninSource::new(v_oc, r);
+        let dt = 1e-6;
+        let t_total = 0.05;
+        let steps = (t_total / dt) as u64;
+        let mut t = SimTime::ZERO;
+        for _ in 0..steps {
+            let i = src.current_into(cap.voltage(), t, dt);
+            cap.apply_current(i, dt);
+            t = t.advance_secs(dt);
+        }
+        let analytic = v_oc * (1.0 - (-t_total / (r * c)).exp());
+        prop_assert!(
+            (cap.voltage() - analytic).abs() < 0.01 * v_oc,
+            "simulated {} vs analytic {}",
+            cap.voltage(),
+            analytic
+        );
+    }
+
+    /// The supervisor emits alternating edges: never two turn-ons or two
+    /// brown-outs in a row, regardless of the voltage sequence.
+    #[test]
+    fn supervisor_edges_alternate(voltages in prop::collection::vec(0.0f64..3.0, 1..500)) {
+        let mut sup = Supervisor::wisp5();
+        let mut last: Option<PowerEdge> = None;
+        for v in voltages {
+            if let Some(e) = sup.update(v) {
+                if let Some(prev) = last {
+                    prop_assert_ne!(prev, e, "edges must alternate");
+                }
+                last = Some(e);
+            }
+        }
+    }
+
+    /// A constant-current charge is linear in time: doubling the duration
+    /// doubles the voltage rise (below the clamp).
+    #[test]
+    fn constant_current_charge_is_linear(i in 1e-5f64..1e-3) {
+        let mut cap1 = Capacitor::new(47e-6);
+        let mut cap2 = Capacitor::new(47e-6);
+        let mut src = ConstantCurrent::new(i);
+        let dt = 1e-5;
+        for k in 0..100 {
+            let cur = src.current_into(cap1.voltage(), SimTime::ZERO, dt);
+            cap1.apply_current(cur, dt);
+            if k < 50 {
+                cap2.apply_current(cur, dt);
+            }
+        }
+        if cap1.voltage() < cap1.v_max() {
+            prop_assert!((cap1.voltage() - 2.0 * cap2.voltage()).abs() < 1e-9);
+        }
+    }
+
+    /// Trace decimation never loses the set extrema beyond the envelope:
+    /// min/max of the stored samples bracket within the raw range.
+    #[test]
+    fn trace_extrema_within_raw_range(values in prop::collection::vec(-10.0f64..10.0, 2..300)) {
+        let mut tr = Trace::new("x", SimTime::from_us(3));
+        let raw_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let raw_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (k, v) in values.iter().enumerate() {
+            tr.record(SimTime::from_us(k as u64), *v);
+        }
+        prop_assert!(tr.min().unwrap() >= raw_min - 1e-12);
+        prop_assert!(tr.max().unwrap() <= raw_max + 1e-12);
+    }
+
+    /// CDF: probability_at is monotone and reaches 1 at the max sample.
+    #[test]
+    fn cdf_monotone_and_complete(samples in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cdf = Cdf::of(samples);
+        let mut prev = 0.0;
+        for k in -10..=10 {
+            let p = cdf.probability_at(k as f64 * 100.0);
+            prop_assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        prop_assert_eq!(cdf.probability_at(max), 1.0);
+    }
+
+    /// Summary: mean lies within [min, max]; sd is non-negative.
+    #[test]
+    fn summary_invariants(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.mean >= s.min - 1e-6);
+        prop_assert!(s.mean <= s.max + 1e-6);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+}

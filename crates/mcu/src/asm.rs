@@ -1,0 +1,1189 @@
+//! A two-pass assembler for IVM-16 assembly text.
+//!
+//! The target applications of the EDB reproduction (the paper's
+//! linked-list, Fibonacci, activity-recognition and RFID programs) are
+//! written in this assembly language, so that the simulated device runs
+//! *real machine code* whose execution can be cut short by a power
+//! failure between any two instructions.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment until end of line
+//! .equ  LIST_HEAD, 0x6000       ; named constant
+//! .org  0x4400                  ; set location counter
+//! main:                          ; label
+//!     movi sp, 0x2400
+//!     movi r0, LIST_HEAD + 2    ; expressions: + and -
+//!     ld   r1, [r0 + 4]         ; word load, base + byte offset
+//!     add  r1, 10               ; immediate form auto-selected
+//!     cmp  r1, r2
+//!     jnz  main
+//!     out  0x02, r1             ; port write
+//!     halt
+//! buffer: .space 16
+//! msg:    .asciz "hello"
+//! .org 0xFFFE
+//! .word main                    ; reset vector
+//! ```
+//!
+//! Registers are `r0`–`r15`; `sp` is an alias for `r15`. Numbers may be
+//! decimal, `0x` hex, `0b` binary, or `'c'` character literals, with an
+//! optional leading `-`.
+
+use crate::image::Image;
+use crate::isa::{AluOp, Cond, Instr, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly failure, with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Assembles `source` into an [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending line for syntax errors,
+/// unknown mnemonics/registers, undefined or duplicate symbols, and
+/// values out of range.
+///
+/// # Example
+///
+/// ```
+/// use edb_mcu::asm::assemble;
+/// let image = assemble(".org 0x4400\nstart: halt\n.org 0xFFFE\n.word start")?;
+/// assert_eq!(image.symbol("start"), Some(0x4400));
+/// # Ok::<(), edb_mcu::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    let lines = parse_lines(source)?;
+    let symbols = pass1(&lines)?;
+    pass2(&lines, &symbols)
+}
+
+// ---------------------------------------------------------------------
+// Lexing / line parsing
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Register(Reg),
+    Expr(ExprNode),
+    Mem {
+        base: Reg,
+        offset: ExprNode,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ExprNode {
+    Num(i64),
+    Sym(String),
+    Add(Box<ExprNode>, Box<ExprNode>),
+    Sub(Box<ExprNode>, Box<ExprNode>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Stmt {
+    Org(ExprNode),
+    Word(Vec<ExprNode>),
+    Byte(Vec<ExprNode>),
+    Space(ExprNode),
+    Ascii(Vec<u8>),
+    Equ(String, ExprNode),
+    Instr(String, Vec<Operand>),
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    label: Option<String>,
+    stmt: Option<Stmt>,
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let text = strip_comment(raw).trim().to_string();
+        if text.is_empty() {
+            continue;
+        }
+        let (label, rest) = split_label(&text, number)?;
+        let stmt = if rest.is_empty() {
+            None
+        } else {
+            Some(parse_stmt(rest, number)?)
+        };
+        out.push(Line {
+            number,
+            label,
+            stmt,
+        });
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A ';' inside a character or string literal does not start a comment.
+    let mut in_str = false;
+    let mut in_char = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            ';' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+fn split_label(text: &str, number: usize) -> Result<(Option<String>, &str), AsmError> {
+    if let Some(colon) = text.find(':') {
+        let candidate = &text[..colon];
+        if !candidate.is_empty()
+            && candidate.chars().next().map(is_ident_start) == Some(true)
+            && candidate.chars().all(is_ident)
+        {
+            return Ok((Some(candidate.to_string()), text[colon + 1..].trim()));
+        }
+        if candidate.chars().all(|c| c.is_ascii_whitespace()) {
+            return err(number, "empty label");
+        }
+    }
+    Ok((None, text))
+}
+
+fn parse_stmt(text: &str, number: usize) -> Result<Stmt, AsmError> {
+    let (head, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let head_lc = head.to_ascii_lowercase();
+    match head_lc.as_str() {
+        ".org" => Ok(Stmt::Org(parse_expr(rest, number)?)),
+        ".word" => Ok(Stmt::Word(parse_expr_list(rest, number)?)),
+        ".byte" => Ok(Stmt::Byte(parse_expr_list(rest, number)?)),
+        ".space" => Ok(Stmt::Space(parse_expr(rest, number)?)),
+        ".ascii" | ".asciz" => {
+            let mut bytes = parse_string(rest, number)?;
+            if head_lc == ".asciz" {
+                bytes.push(0);
+            }
+            Ok(Stmt::Ascii(bytes))
+        }
+        ".equ" => {
+            let (name, expr) = match rest.split_once(',') {
+                Some((n, e)) => (n.trim(), e.trim()),
+                None => return err(number, ".equ requires `NAME, value`"),
+            };
+            if name.is_empty() || !name.chars().next().map(is_ident_start).unwrap_or(false) {
+                return err(number, format!("bad .equ name `{name}`"));
+            }
+            Ok(Stmt::Equ(name.to_string(), parse_expr(expr, number)?))
+        }
+        d if d.starts_with('.') => err(number, format!("unknown directive `{head}`")),
+        _ => {
+            let operands = parse_operands(rest, number)?;
+            Ok(Stmt::Instr(head_lc, operands))
+        }
+    }
+}
+
+fn parse_string(text: &str, number: usize) -> Result<Vec<u8>, AsmError> {
+    let t = text.trim();
+    if t.len() < 2 || !t.starts_with('"') || !t.ends_with('"') {
+        return err(number, "expected a double-quoted string");
+    }
+    let inner = &t[1..t.len() - 1];
+    let mut bytes = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => bytes.push(b'\n'),
+                Some('t') => bytes.push(b'\t'),
+                Some('0') => bytes.push(0),
+                Some('\\') => bytes.push(b'\\'),
+                Some('"') => bytes.push(b'"'),
+                other => return err(number, format!("bad escape `\\{other:?}`")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(bytes)
+}
+
+/// Splits on top-level commas (commas inside `[...]` belong to nothing —
+/// the syntax has none, but be robust).
+fn parse_operands(text: &str, number: usize) -> Result<Vec<Operand>, AsmError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in t.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&t[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&t[start..]);
+    parts
+        .into_iter()
+        .map(|p| parse_operand(p.trim(), number))
+        .collect()
+}
+
+fn parse_operand(text: &str, number: usize) -> Result<Operand, AsmError> {
+    if text.is_empty() {
+        return err(number, "empty operand");
+    }
+    if let Some(reg) = parse_register(text) {
+        return Ok(Operand::Register(reg));
+    }
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return err(number, format!("unterminated memory operand `{text}`"));
+        }
+        let inner = text[1..text.len() - 1].trim();
+        // Forms: [rb], [rb + expr], [rb - expr]
+        let (base_txt, off_txt, negate) = match split_first_top_level(inner, &['+', '-']) {
+            Some((b, o, sign)) => (b.trim(), o.trim(), sign == '-'),
+            None => (inner, "", false),
+        };
+        let base = parse_register(base_txt)
+            .ok_or_else(|| AsmError {
+                line: number,
+                message: format!("memory operand base must be a register, got `{base_txt}`"),
+            })?;
+        let offset = if off_txt.is_empty() {
+            ExprNode::Num(0)
+        } else {
+            let e = parse_expr(off_txt, number)?;
+            if negate {
+                ExprNode::Sub(Box::new(ExprNode::Num(0)), Box::new(e))
+            } else {
+                e
+            }
+        };
+        return Ok(Operand::Mem { base, offset });
+    }
+    let text = text.strip_prefix('#').unwrap_or(text);
+    Ok(Operand::Expr(parse_expr(text, number)?))
+}
+
+fn split_first_top_level<'a>(text: &'a str, ops: &[char]) -> Option<(&'a str, &'a str, char)> {
+    // Find the first +/- that is a binary operator (not a leading sign).
+    for (i, c) in text.char_indices() {
+        if ops.contains(&c) && i > 0 {
+            return Some((&text[..i], &text[i + 1..], c));
+        }
+    }
+    None
+}
+
+fn parse_register(text: &str) -> Option<Reg> {
+    let t = text.to_ascii_lowercase();
+    if t == "sp" {
+        return Some(Reg::SP);
+    }
+    let idx = t.strip_prefix('r')?.parse::<u8>().ok()?;
+    if idx < 16 {
+        Some(Reg::new(idx))
+    } else {
+        None
+    }
+}
+
+fn parse_expr_list(text: &str, number: usize) -> Result<Vec<ExprNode>, AsmError> {
+    text.split(',')
+        .map(|p| parse_expr(p.trim(), number))
+        .collect()
+}
+
+fn parse_expr(text: &str, number: usize) -> Result<ExprNode, AsmError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return err(number, "empty expression");
+    }
+    // Left-associative + / - over atoms.
+    let mut atoms: Vec<(char, &str)> = Vec::new();
+    let mut op = '+';
+    let mut start = 0usize;
+    let bytes: Vec<char> = t.chars().collect();
+    let mut i = 0usize;
+    let mut in_char = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\'' {
+            in_char = !in_char;
+        }
+        if (c == '+' || c == '-') && i > start && !in_char {
+            atoms.push((op, t[start..i].trim()));
+            op = c;
+            start = i + 1;
+        }
+        i += 1;
+    }
+    atoms.push((op, t[start..].trim()));
+
+    let mut node: Option<ExprNode> = None;
+    for (sign, atom) in atoms {
+        let a = parse_atom(atom, number)?;
+        node = Some(match (node, sign) {
+            (None, '+') => a,
+            (None, '-') => ExprNode::Sub(Box::new(ExprNode::Num(0)), Box::new(a)),
+            (Some(n), '+') => ExprNode::Add(Box::new(n), Box::new(a)),
+            (Some(n), '-') => ExprNode::Sub(Box::new(n), Box::new(a)),
+            _ => unreachable!(),
+        });
+    }
+    Ok(node.expect("at least one atom"))
+}
+
+fn parse_atom(text: &str, number: usize) -> Result<ExprNode, AsmError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return err(number, "empty term in expression");
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return match i64::from_str_radix(hex, 16) {
+            Ok(v) => Ok(ExprNode::Num(v)),
+            Err(_) => err(number, format!("bad hex literal `{t}`")),
+        };
+    }
+    if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        return match i64::from_str_radix(bin, 2) {
+            Ok(v) => Ok(ExprNode::Num(v)),
+            Err(_) => err(number, format!("bad binary literal `{t}`")),
+        };
+    }
+    if t.starts_with('\'') && t.ends_with('\'') && t.len() >= 3 {
+        let inner = &t[1..t.len() - 1];
+        let ch = match inner {
+            "\\n" => '\n',
+            "\\t" => '\t',
+            "\\0" => '\0',
+            "\\\\" => '\\',
+            s if s.chars().count() == 1 => s.chars().next().expect("one char"),
+            _ => return err(number, format!("bad character literal `{t}`")),
+        };
+        return Ok(ExprNode::Num(ch as i64));
+    }
+    if t.chars().next().map(|c| c.is_ascii_digit()) == Some(true) {
+        return match t.parse::<i64>() {
+            Ok(v) => Ok(ExprNode::Num(v)),
+            Err(_) => err(number, format!("bad decimal literal `{t}`")),
+        };
+    }
+    if t.chars().next().map(is_ident_start) == Some(true) && t.chars().all(is_ident) {
+        return Ok(ExprNode::Sym(t.to_string()));
+    }
+    err(number, format!("cannot parse expression term `{t}`"))
+}
+
+// ---------------------------------------------------------------------
+// Symbol resolution
+// ---------------------------------------------------------------------
+
+fn eval(expr: &ExprNode, symbols: &HashMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+    match expr {
+        ExprNode::Num(v) => Ok(*v),
+        ExprNode::Sym(name) => symbols.get(name).copied().ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined symbol `{name}`"),
+        }),
+        ExprNode::Add(a, b) => Ok(eval(a, symbols, line)? + eval(b, symbols, line)?),
+        ExprNode::Sub(a, b) => Ok(eval(a, symbols, line)? - eval(b, symbols, line)?),
+    }
+}
+
+fn to_u16(value: i64, line: usize, what: &str) -> Result<u16, AsmError> {
+    if (-(0x8000i64)..=0xFFFF).contains(&value) {
+        Ok(value as u16)
+    } else {
+        err(line, format!("{what} value {value} does not fit in 16 bits"))
+    }
+}
+
+fn to_u8(value: i64, line: usize, what: &str) -> Result<u8, AsmError> {
+    if (-(0x80i64)..=0xFF).contains(&value) {
+        Ok(value as u8)
+    } else {
+        err(line, format!("{what} value {value} does not fit in 8 bits"))
+    }
+}
+
+/// Number of words a statement occupies (syntactically determined, so
+/// pass 1 can lay out addresses before symbol values are known).
+fn stmt_size_bytes(stmt: &Stmt, line: usize) -> Result<Option<usize>, AsmError> {
+    Ok(match stmt {
+        Stmt::Org(_) | Stmt::Equ(..) => None,
+        Stmt::Word(list) => Some(list.len() * 2),
+        Stmt::Byte(list) => Some(list.len()),
+        Stmt::Space(_) => None, // handled specially (needs evaluation)
+        Stmt::Ascii(bytes) => Some(bytes.len()),
+        Stmt::Instr(mnemonic, operands) => {
+            Some(instr_size_words(mnemonic, operands, line)? * 2)
+        }
+    })
+}
+
+fn alu_from_mnemonic(m: &str) -> Option<AluOp> {
+    use AluOp::*;
+    Some(match m {
+        "add" => Add,
+        "sub" => Sub,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "shr" => Shr,
+        "sar" => Sar,
+        "mul" => Mul,
+        "adc" => Adc,
+        "sbc" => Sbc,
+        "neg" => Neg,
+        "not" => Not,
+        _ => return None,
+    })
+}
+
+fn cond_from_mnemonic(m: &str) -> Option<Cond> {
+    use Cond::*;
+    Some(match m {
+        "jmp" => Always,
+        "jz" | "jeq" => Z,
+        "jnz" | "jne" => Nz,
+        "jc" | "jhs" => C,
+        "jnc" | "jlo" => Nc,
+        "jn" => N,
+        "jnn" => Nn,
+        "jge" => Ge,
+        "jl" | "jlt" => Lt,
+        "jgt" => Gt,
+        "jle" => Le,
+        _ => return None,
+    })
+}
+
+fn instr_size_words(mnemonic: &str, operands: &[Operand], line: usize) -> Result<usize, AsmError> {
+    let m = mnemonic.trim_end_matches('i');
+    let has_imm_suffix = mnemonic.ends_with('i') && alu_from_mnemonic(m).is_some();
+    Ok(match mnemonic {
+        "nop" | "halt" | "ret" | "reti" | "ei" | "di" => 1,
+        "mov" => 1,
+        "movi" | "li" => 2,
+        "ld" | "st" | "ldb" | "stb" => 2,
+        "cmp" => match operands.get(1) {
+            Some(Operand::Register(_)) => 1,
+            _ => 2,
+        },
+        "cmpi" => 2,
+        "call" => match operands.first() {
+            Some(Operand::Register(_)) => 1, // treated as callr
+            _ => 2,
+        },
+        "callr" | "jmpr" => 1,
+        "push" | "pop" => 1,
+        "in" | "out" => 2,
+        _ if cond_from_mnemonic(mnemonic).is_some() => 2,
+        _ if alu_from_mnemonic(mnemonic).is_some() => match operands.get(1) {
+            Some(Operand::Register(_)) => 1,
+            Some(_) => 2,
+            None if matches!(mnemonic, "neg" | "not") => 1,
+            None => return err(line, format!("`{mnemonic}` needs two operands")),
+        },
+        _ if has_imm_suffix => 2,
+        _ => return err(line, format!("unknown mnemonic `{mnemonic}`")),
+    })
+}
+
+fn pass1(lines: &[Line]) -> Result<HashMap<String, i64>, AsmError> {
+    let mut symbols: HashMap<String, i64> = HashMap::new();
+    let mut lc: i64 = 0;
+    for line in lines {
+        if let Some(label) = &line.label {
+            if symbols.contains_key(label) {
+                return err(line.number, format!("duplicate symbol `{label}`"));
+            }
+            symbols.insert(label.clone(), lc);
+        }
+        if let Some(stmt) = &line.stmt {
+            match stmt {
+                Stmt::Org(expr) => {
+                    // .org may reference earlier symbols only.
+                    lc = eval(expr, &symbols, line.number)?;
+                    // Re-bind a label on the same line to the new origin.
+                    if let Some(label) = &line.label {
+                        symbols.insert(label.clone(), lc);
+                    }
+                }
+                Stmt::Equ(name, expr) => {
+                    if symbols.contains_key(name) {
+                        return err(line.number, format!("duplicate symbol `{name}`"));
+                    }
+                    let v = eval(expr, &symbols, line.number)?;
+                    symbols.insert(name.clone(), v);
+                }
+                Stmt::Space(expr) => {
+                    lc += eval(expr, &symbols, line.number)?;
+                }
+                other => {
+                    if let Some(sz) = stmt_size_bytes(other, line.number)? {
+                        lc += sz as i64;
+                    }
+                }
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+fn pass2(lines: &[Line], symbols: &HashMap<String, i64>) -> Result<Image, AsmError> {
+    let mut image = Image::new();
+    for (name, &value) in symbols {
+        if (0..=0xFFFF).contains(&value) {
+            image.define_symbol(name.clone(), value as u16);
+        }
+    }
+    let mut seg_start: i64 = 0;
+    let mut seg: Vec<u8> = Vec::new();
+    let flush =
+        |image: &mut Image, seg: &mut Vec<u8>, seg_start: i64| {
+            if !seg.is_empty() {
+                image.push_segment(seg_start as u16, std::mem::take(seg));
+            }
+        };
+
+    for line in lines {
+        let Some(stmt) = &line.stmt else { continue };
+        match stmt {
+            Stmt::Equ(..) => {}
+            Stmt::Org(expr) => {
+                flush(&mut image, &mut seg, seg_start);
+                seg_start = eval(expr, symbols, line.number)?;
+            }
+            Stmt::Space(expr) => {
+                let n = eval(expr, symbols, line.number)?;
+                if n < 0 {
+                    return err(line.number, ".space size cannot be negative");
+                }
+                seg.extend(std::iter::repeat_n(0u8, n as usize));
+            }
+            Stmt::Word(list) => {
+                for e in list {
+                    let v = to_u16(eval(e, symbols, line.number)?, line.number, ".word")?;
+                    seg.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Stmt::Byte(list) => {
+                for e in list {
+                    let v = to_u8(eval(e, symbols, line.number)?, line.number, ".byte")?;
+                    seg.push(v);
+                }
+            }
+            Stmt::Ascii(bytes) => {
+                seg.extend_from_slice(bytes);
+            }
+            Stmt::Instr(mnemonic, operands) => {
+                let instr = encode_instr(mnemonic, operands, symbols, line.number)?;
+                let (w0, w1) = instr.encode();
+                seg.extend_from_slice(&w0.to_le_bytes());
+                if let Some(w1) = w1 {
+                    seg.extend_from_slice(&w1.to_le_bytes());
+                }
+            }
+        }
+    }
+    flush(&mut image, &mut seg, seg_start);
+    Ok(image)
+}
+
+fn expect_reg(op: Option<&Operand>, line: usize, what: &str) -> Result<Reg, AsmError> {
+    match op {
+        Some(Operand::Register(r)) => Ok(*r),
+        other => err(line, format!("{what} must be a register, got {other:?}")),
+    }
+}
+
+fn expect_expr_u16(
+    op: Option<&Operand>,
+    symbols: &HashMap<String, i64>,
+    line: usize,
+    what: &str,
+) -> Result<u16, AsmError> {
+    match op {
+        Some(Operand::Expr(e)) => to_u16(eval(e, symbols, line)?, line, what),
+        other => err(line, format!("{what} must be an expression, got {other:?}")),
+    }
+}
+
+fn expect_mem(
+    op: Option<&Operand>,
+    symbols: &HashMap<String, i64>,
+    line: usize,
+) -> Result<(Reg, u16), AsmError> {
+    match op {
+        Some(Operand::Mem { base, offset }) => {
+            let off = eval(offset, symbols, line)?;
+            // Offsets are added mod 2^16, so negative offsets wrap.
+            Ok((*base, off as u16))
+        }
+        other => err(
+            line,
+            format!("expected memory operand `[rb + off]`, got {other:?}"),
+        ),
+    }
+}
+
+fn arity(operands: &[Operand], n: usize, line: usize, mnemonic: &str) -> Result<(), AsmError> {
+    if operands.len() != n {
+        err(
+            line,
+            format!(
+                "`{mnemonic}` takes {n} operand(s), got {}",
+                operands.len()
+            ),
+        )
+    } else {
+        Ok(())
+    }
+}
+
+fn encode_instr(
+    mnemonic: &str,
+    operands: &[Operand],
+    symbols: &HashMap<String, i64>,
+    line: usize,
+) -> Result<Instr, AsmError> {
+    use Instr::*;
+    match mnemonic {
+        "nop" => {
+            arity(operands, 0, line, mnemonic)?;
+            Ok(Nop)
+        }
+        "halt" => {
+            arity(operands, 0, line, mnemonic)?;
+            Ok(Halt)
+        }
+        "ret" => {
+            arity(operands, 0, line, mnemonic)?;
+            Ok(Ret)
+        }
+        "reti" => {
+            arity(operands, 0, line, mnemonic)?;
+            Ok(Reti)
+        }
+        "ei" => {
+            arity(operands, 0, line, mnemonic)?;
+            Ok(Ei)
+        }
+        "di" => {
+            arity(operands, 0, line, mnemonic)?;
+            Ok(Di)
+        }
+        "mov" => {
+            arity(operands, 2, line, mnemonic)?;
+            Ok(Mov {
+                rd: expect_reg(operands.first(), line, "destination")?,
+                rs: expect_reg(operands.get(1), line, "source")?,
+            })
+        }
+        "movi" | "li" => {
+            arity(operands, 2, line, mnemonic)?;
+            Ok(Movi {
+                rd: expect_reg(operands.first(), line, "destination")?,
+                imm: expect_expr_u16(operands.get(1), symbols, line, "immediate")?,
+            })
+        }
+        "ld" | "ldb" => {
+            arity(operands, 2, line, mnemonic)?;
+            let rd = expect_reg(operands.first(), line, "destination")?;
+            let (rb, off) = expect_mem(operands.get(1), symbols, line)?;
+            Ok(if mnemonic == "ld" {
+                Ld { rd, rb, off }
+            } else {
+                Ldb { rd, rb, off }
+            })
+        }
+        "st" | "stb" => {
+            arity(operands, 2, line, mnemonic)?;
+            let (ra, off) = expect_mem(operands.first(), symbols, line)?;
+            let rs = expect_reg(operands.get(1), line, "source")?;
+            Ok(if mnemonic == "st" {
+                St { ra, off, rs }
+            } else {
+                Stb { ra, off, rs }
+            })
+        }
+        "cmp" | "cmpi" => {
+            arity(operands, 2, line, mnemonic)?;
+            let rd = expect_reg(operands.first(), line, "left operand")?;
+            match operands.get(1) {
+                Some(Operand::Register(rs)) if mnemonic == "cmp" => Ok(Cmp { rd, rs: *rs }),
+                Some(Operand::Expr(e)) => Ok(Cmpi {
+                    rd,
+                    imm: to_u16(eval(e, symbols, line)?, line, "immediate")?,
+                }),
+                other => err(line, format!("bad cmp operand {other:?}")),
+            }
+        }
+        "call" => {
+            arity(operands, 1, line, mnemonic)?;
+            match operands.first() {
+                Some(Operand::Register(rb)) => Ok(Callr { rb: *rb }),
+                _ => Ok(Call {
+                    target: expect_expr_u16(operands.first(), symbols, line, "target")?,
+                }),
+            }
+        }
+        "callr" => {
+            arity(operands, 1, line, mnemonic)?;
+            Ok(Callr {
+                rb: expect_reg(operands.first(), line, "target register")?,
+            })
+        }
+        "jmpr" => {
+            arity(operands, 1, line, mnemonic)?;
+            Ok(Jmpr {
+                rb: expect_reg(operands.first(), line, "target register")?,
+            })
+        }
+        "push" => {
+            arity(operands, 1, line, mnemonic)?;
+            Ok(Push {
+                rs: expect_reg(operands.first(), line, "source")?,
+            })
+        }
+        "pop" => {
+            arity(operands, 1, line, mnemonic)?;
+            Ok(Pop {
+                rd: expect_reg(operands.first(), line, "destination")?,
+            })
+        }
+        "in" => {
+            arity(operands, 2, line, mnemonic)?;
+            let rd = expect_reg(operands.first(), line, "destination")?;
+            let port = match operands.get(1) {
+                Some(Operand::Expr(e)) => to_u8(eval(e, symbols, line)?, line, "port")?,
+                other => return err(line, format!("port must be an expression, got {other:?}")),
+            };
+            Ok(In { rd, port })
+        }
+        "out" => {
+            arity(operands, 2, line, mnemonic)?;
+            let port = match operands.first() {
+                Some(Operand::Expr(e)) => to_u8(eval(e, symbols, line)?, line, "port")?,
+                other => return err(line, format!("port must be an expression, got {other:?}")),
+            };
+            let rs = expect_reg(operands.get(1), line, "source")?;
+            Ok(Out { port, rs })
+        }
+        _ => {
+            if let Some(cond) = cond_from_mnemonic(mnemonic) {
+                arity(operands, 1, line, mnemonic)?;
+                return Ok(J {
+                    cond,
+                    target: expect_expr_u16(operands.first(), symbols, line, "target")?,
+                });
+            }
+            // ALU register / immediate forms, with auto-selection and an
+            // explicit `...i` suffix accepted.
+            let (stem, forced_imm) = match alu_from_mnemonic(mnemonic) {
+                Some(op) => (op, false),
+                None => {
+                    let base = mnemonic.strip_suffix('i').unwrap_or(mnemonic);
+                    match alu_from_mnemonic(base) {
+                        Some(op) => (op, true),
+                        None => return err(line, format!("unknown mnemonic `{mnemonic}`")),
+                    }
+                }
+            };
+            // `neg`/`not` accept one or two operands: `neg r0` = r0 ← −r0.
+            if matches!(stem, AluOp::Neg | AluOp::Not) && operands.len() == 1 {
+                let rd = expect_reg(operands.first(), line, "operand")?;
+                return Ok(Alu {
+                    op: stem,
+                    rd,
+                    rs: rd,
+                });
+            }
+            arity(operands, 2, line, mnemonic)?;
+            let rd = expect_reg(operands.first(), line, "destination")?;
+            match operands.get(1) {
+                Some(Operand::Register(rs)) if !forced_imm => Ok(Alu {
+                    op: stem,
+                    rd,
+                    rs: *rs,
+                }),
+                Some(Operand::Expr(e)) => Ok(Alui {
+                    op: stem,
+                    rd,
+                    imm: to_u16(eval(e, symbols, line)?, line, "immediate")?,
+                }),
+                other => err(line, format!("bad ALU operand {other:?}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disassembly
+// ---------------------------------------------------------------------
+
+/// Disassembles `bytes` (starting at address `base`) into
+/// `(address, text)` lines; undecodable words render as `.word 0x....`.
+///
+/// # Example
+///
+/// ```
+/// use edb_mcu::asm::{assemble, disassemble};
+/// let image = assemble(".org 0x4400\n movi r1, 0x2A\n halt")?;
+/// let (addr, bytes) = &image.segments()[0];
+/// let listing = disassemble(bytes, *addr);
+/// assert!(listing[0].1.contains("movi r1"));
+/// assert_eq!(listing[1].1, "halt");
+/// # Ok::<(), edb_mcu::asm::AsmError>(())
+/// ```
+pub fn disassemble(bytes: &[u8], base: u16) -> Vec<(u16, String)> {
+    use crate::isa::Instr;
+    let mut out = Vec::new();
+    let words: Vec<u16> = bytes
+        .chunks(2)
+        .map(|c| {
+            if c.len() == 2 {
+                u16::from_le_bytes([c[0], c[1]])
+            } else {
+                c[0] as u16
+            }
+        })
+        .collect();
+    let mut i = 0usize;
+    while i < words.len() {
+        let addr = base.wrapping_add((i * 2) as u16);
+        let w0 = words[i];
+        let w1 = words.get(i + 1).copied();
+        match Instr::decode(w0, w1) {
+            Ok((instr, size)) => {
+                out.push((addr, instr.to_string()));
+                i += size as usize;
+            }
+            Err(_) => {
+                out.push((addr, format!(".word {w0:#06x}")));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Cpu, NullBus};
+    use crate::mem::Memory;
+
+    fn run_to_halt(source: &str) -> (Cpu, Memory) {
+        let image = assemble(source).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+        let mut bus = NullBus;
+        for _ in 0..100_000 {
+            if !cpu.is_running() {
+                break;
+            }
+            cpu.step(&mut mem, &mut bus);
+        }
+        assert!(!cpu.is_running(), "program did not halt");
+        (cpu, mem)
+    }
+
+    #[test]
+    fn assembles_and_runs_arithmetic() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r0, 6
+                movi r1, 7
+                mul  r0, r1
+                halt
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0], 42);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r0, 0
+                movi r1, 10
+            loop:
+                add  r0, 1
+                cmp  r0, r1
+                jnz  loop
+                halt
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0], 10);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let (_, mut mem) = run_to_halt(
+            r#"
+            .equ BASE, 0x6000
+            .equ SLOT, BASE + 4
+            .org 0x4400
+            start:
+                movi r0, 0xAB
+                movi r1, SLOT
+                st   [r1 + 2], r0
+                halt
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(mem.read_word(0x6006), 0xAB);
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r1, data
+                ld   r0, [r1]
+                ld   r2, [r1 + 2]
+                ldb  r3, [r1 + 4]
+                halt
+            data: .word 0x1111, 0x2222
+                  .byte 0x33
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0], 0x1111);
+        assert_eq!(cpu.regs[2], 0x2222);
+        assert_eq!(cpu.regs[3], 0x33);
+    }
+
+    #[test]
+    fn negative_offsets_wrap() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r1, data + 2
+                ld   r0, [r1 - 2]
+                halt
+            data: .word 0xBEEF
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0], 0xBEEF);
+    }
+
+    #[test]
+    fn auto_immediate_alu_and_cmp() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r0, 5
+                add  r0, 10      ; immediate form auto-selected
+                cmp  r0, 15      ; cmpi auto-selected
+                jnz  bad
+                movi r1, 1
+                halt
+            bad:
+                movi r1, 2
+                halt
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0], 15);
+        assert_eq!(cpu.regs[1], 1);
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        let image = assemble(
+            r#"
+            .org 0x5000
+            msg: .asciz "hi\n"
+            "#,
+        )
+        .expect("assembles");
+        let (addr, bytes) = &image.segments()[0];
+        assert_eq!(*addr, 0x5000);
+        assert_eq!(bytes, &vec![b'h', b'i', b'\n', 0]);
+    }
+
+    #[test]
+    fn char_literals() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r0, 'A'
+                halt
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0], 65);
+    }
+
+    #[test]
+    fn comment_with_semicolon_in_string() {
+        let image = assemble(".org 0x5000\nmsg: .ascii \"a;b\" ; real comment").expect("ok");
+        assert_eq!(image.segments()[0].1, vec![b'a', b';', b'b']);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = assemble(".org 0x4400\n frobnicate r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_is_an_error() {
+        let e = assemble(".org 0x4400\n jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("a: .word 1\na: .word 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let image = assemble(
+            r#"
+            .org 0x4400
+            start: jmp later
+            later: halt
+            .org 0xFFFE
+            .word start
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(image.symbol("later"), Some(0x4404));
+    }
+
+    #[test]
+    fn space_directive_reserves_zeroed_bytes() {
+        let image = assemble(".org 0x5000\nbuf: .space 4\nafter: .word 1").expect("ok");
+        assert_eq!(image.symbol("after"), Some(0x5004));
+        assert_eq!(image.segments()[0].1, vec![0, 0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn disassembly_round_trips_mnemonics() {
+        let src = r#"
+            .org 0x4400
+            s:  movi r1, 0x2A
+                add  r1, r1
+                push r1
+                pop  r2
+                out  0x02, r2
+                halt
+        "#;
+        let image = assemble(src).expect("assembles");
+        let (addr, bytes) = &image.segments()[0];
+        let listing = disassemble(bytes, *addr);
+        let text: Vec<&str> = listing.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            text,
+            vec![
+                "movi r1, 0x2a",
+                "add r1, r1",
+                "push r1",
+                "pop r2",
+                "out 0x02, r2",
+                "halt"
+            ]
+        );
+    }
+
+    #[test]
+    fn neg_single_operand_form() {
+        let (cpu, _) = run_to_halt(
+            r#"
+            .org 0x4400
+            start:
+                movi r0, 5
+                neg  r0
+                halt
+            .org 0xFFFE
+            .word start
+            "#,
+        );
+        assert_eq!(cpu.regs[0] as i16, -5);
+    }
+
+    #[test]
+    fn in_out_ports_assemble() {
+        let image = assemble(".org 0x4400\n in r0, 0x07\n out 0x03, r0\n").expect("ok");
+        let listing = disassemble(&image.segments()[0].1, 0x4400);
+        assert_eq!(listing[0].1, "in r0, 0x07");
+        assert_eq!(listing[1].1, "out 0x03, r0");
+    }
+}

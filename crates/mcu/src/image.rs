@@ -1,0 +1,124 @@
+//! Loadable program images produced by the assembler.
+
+use crate::mem::Memory;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An assembled program: byte segments at absolute addresses plus the
+/// symbol table.
+///
+/// Loading an image is the simulation's "reflash": it writes every segment
+/// into (typically) FRAM, including the reset vector. The symbol table is
+/// kept so tests and the debug console can refer to data structures by
+/// name instead of magic addresses.
+///
+/// # Example
+///
+/// ```
+/// use edb_mcu::{asm::assemble, Memory};
+/// let image = assemble(".org 0x4400\nvalue: .word 42\n.org 0xFFFE\n.word value")?;
+/// let mut mem = Memory::new();
+/// image.load_into(&mut mem);
+/// assert_eq!(mem.read_word(image.symbol("value").unwrap()), 42);
+/// # Ok::<(), edb_mcu::asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Image {
+    segments: Vec<(u16, Vec<u8>)>,
+    symbols: BTreeMap<String, u16>,
+}
+
+impl Image {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        Image::default()
+    }
+
+    /// Appends a byte segment starting at `addr`.
+    pub fn push_segment(&mut self, addr: u16, bytes: Vec<u8>) {
+        if !bytes.is_empty() {
+            self.segments.push((addr, bytes));
+        }
+    }
+
+    /// Defines a symbol.
+    pub fn define_symbol(&mut self, name: impl Into<String>, addr: u16) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Looks up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols, sorted by name.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// The `(address, bytes)` segments in assembly order.
+    pub fn segments(&self) -> &[(u16, Vec<u8>)] {
+        &self.segments
+    }
+
+    /// Total payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.segments.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Writes every segment into memory — the simulated "reflash".
+    ///
+    /// Uses non-faulting pokes so that loading an image never trips the
+    /// bus-fault instrumentation.
+    pub fn load_into(&self, mem: &mut Memory) {
+        for (start, bytes) in &self.segments {
+            for (i, &b) in bytes.iter().enumerate() {
+                let lo = mem.peek_byte(start.wrapping_add(i as u16)); // force no-op read? no
+                let _ = lo;
+                // poke via word would double-write; write bytes directly
+                // through the fault-preserving path:
+                let addr = start.wrapping_add(i as u16);
+                let faults = mem.bus_faults();
+                mem.write_byte(addr, b);
+                debug_assert!(
+                    mem.bus_faults() == faults,
+                    "image writes outside mapped memory at {addr:#06x}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_writes_all_segments() {
+        let mut img = Image::new();
+        img.push_segment(0x4400, vec![1, 2, 3]);
+        img.push_segment(0x5000, vec![9]);
+        let mut mem = Memory::new();
+        img.load_into(&mut mem);
+        assert_eq!(mem.peek_byte(0x4400), 1);
+        assert_eq!(mem.peek_byte(0x4402), 3);
+        assert_eq!(mem.peek_byte(0x5000), 9);
+    }
+
+    #[test]
+    fn empty_segments_are_dropped() {
+        let mut img = Image::new();
+        img.push_segment(0x4400, vec![]);
+        assert!(img.segments().is_empty());
+        assert_eq!(img.size_bytes(), 0);
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let mut img = Image::new();
+        img.define_symbol("main", 0x4400);
+        assert_eq!(img.symbol("main"), Some(0x4400));
+        assert_eq!(img.symbol("missing"), None);
+        assert_eq!(img.symbols().count(), 1);
+    }
+}

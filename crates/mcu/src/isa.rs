@@ -1,0 +1,775 @@
+//! The IVM-16 instruction set: definition, binary encoding, decoding,
+//! cycle costs, and textual form.
+//!
+//! # Encoding
+//!
+//! Every instruction is one or two 16-bit words. The first word packs four
+//! nibbles `[op:4][a:4][b:4][c:4]`; instructions that carry an immediate,
+//! offset, or target address place it in a second word.
+//!
+//! | op  | mnemonic form                 | a      | b    | c      | word 1 |
+//! |-----|-------------------------------|--------|------|--------|--------|
+//! | 0x0 | `nop/halt/ret/reti/ei/di`     | —      | —    | sub-op | —      |
+//! | 0x1 | `mov rd, rs`                  | rd     | rs   | —      | —      |
+//! | 0x2 | `movi rd, #imm`               | rd     | —    | —      | imm    |
+//! | 0x3 | `ld rd, [rb + off]`           | rd     | rb   | —      | off    |
+//! | 0x4 | `st [ra + off], rs`           | ra     | rs   | —      | off    |
+//! | 0x5 | `ldb rd, [rb + off]`          | rd     | rb   | —      | off    |
+//! | 0x6 | `stb [ra + off], rs`          | ra     | rs   | —      | off    |
+//! | 0x7 | `<alu> rd, rs`                | rd     | rs   | alu-op | —      |
+//! | 0x8 | `<alu>i rd, #imm`             | rd     | —    | alu-op | imm    |
+//! | 0x9 | `cmp rd, rs` / `cmpi rd,#imm` | rd     | rs   | 0 / 1  | (imm)  |
+//! | 0xA | `j<cond> target`              | —      | —    | cond   | target |
+//! | 0xB | `call t` / `callr rb`/`jmpr`  | —      | rb   | 0/1/2  | (t)    |
+//! | 0xC | `push rs` / `pop rd`          | rd/rs  | —    | 0 / 1  | —      |
+//! | 0xD | `in rd, port`                 | rd     | —    | —      | port   |
+//! | 0xE | `out port, rs`                | rs     | —    | —      | port   |
+//!
+//! Opcode `0xF` is reserved; executing it (or any malformed word) faults
+//! the CPU until the next reboot — which is precisely what happens when a
+//! wild pointer write corrupts the reset vector and the machine vectors
+//! into garbage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A register index `r0`–`r15`.
+///
+/// By software convention `r15` is the stack pointer (`sp`), used
+/// implicitly by `push`, `pop`, `call`, `ret` and interrupt entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The stack pointer alias, `r15`.
+    pub const SP: Reg = Reg(15);
+
+    /// Creates a register from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 16, "register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// The register index, 0–15.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 15 {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Arithmetic/logic operations available in register and immediate form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add = 0,
+    Sub = 1,
+    And = 2,
+    Or = 3,
+    Xor = 4,
+    Shl = 5,
+    Shr = 6,
+    Sar = 7,
+    Mul = 8,
+    Adc = 9,
+    Sbc = 10,
+    Neg = 11,
+    Not = 12,
+}
+
+impl AluOp {
+    /// Decodes the 4-bit ALU sub-opcode.
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        use AluOp::*;
+        Some(match code {
+            0 => Add,
+            1 => Sub,
+            2 => And,
+            3 => Or,
+            4 => Xor,
+            5 => Shl,
+            6 => Shr,
+            7 => Sar,
+            8 => Mul,
+            9 => Adc,
+            10 => Sbc,
+            11 => Neg,
+            12 => Not,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic stem (`add`, `sub`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        use AluOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Sar => "sar",
+            Mul => "mul",
+            Adc => "adc",
+            Sbc => "sbc",
+            Neg => "neg",
+            Not => "not",
+        }
+    }
+}
+
+/// Branch conditions for `j<cond>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Cond {
+    /// Unconditional (`jmp`).
+    Always = 0,
+    /// Zero / equal (`jz`, `jeq`).
+    Z = 1,
+    /// Not zero / not equal (`jnz`, `jne`).
+    Nz = 2,
+    /// Carry set / unsigned ≥ (`jc`, `jhs`).
+    C = 3,
+    /// Carry clear / unsigned < (`jnc`, `jlo`).
+    Nc = 4,
+    /// Negative (`jn`).
+    N = 5,
+    /// Non-negative (`jnn`).
+    Nn = 6,
+    /// Signed ≥ (`jge`).
+    Ge = 7,
+    /// Signed < (`jl`).
+    Lt = 8,
+    /// Signed > (`jgt`).
+    Gt = 9,
+    /// Signed ≤ (`jle`).
+    Le = 10,
+}
+
+impl Cond {
+    /// Decodes the 4-bit condition code.
+    pub fn from_code(code: u8) -> Option<Cond> {
+        use Cond::*;
+        Some(match code {
+            0 => Always,
+            1 => Z,
+            2 => Nz,
+            3 => C,
+            4 => Nc,
+            5 => N,
+            6 => Nn,
+            7 => Ge,
+            8 => Lt,
+            9 => Gt,
+            10 => Le,
+            _ => return None,
+        })
+    }
+
+    /// Branch mnemonic (`jmp`, `jz`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        use Cond::*;
+        match self {
+            Always => "jmp",
+            Z => "jz",
+            Nz => "jnz",
+            C => "jc",
+            Nc => "jnc",
+            N => "jn",
+            Nn => "jnn",
+            Ge => "jge",
+            Lt => "jl",
+            Gt => "jgt",
+            Le => "jle",
+        }
+    }
+}
+
+/// One decoded IVM-16 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the CPU until the next reset.
+    Halt,
+    /// Return from subroutine: `pc ← pop`.
+    Ret,
+    /// Return from interrupt: `flags+IE ← pop; pc ← pop`.
+    Reti,
+    /// Enable interrupts.
+    Ei,
+    /// Disable interrupts.
+    Di,
+    /// `rd ← rs`.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd ← imm`.
+    Movi {
+        /// Destination register.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+    /// `rd ← mem16[rb + off]`.
+    Ld {
+        /// Destination register.
+        rd: Reg,
+        /// Base register.
+        rb: Reg,
+        /// Byte offset added to the base.
+        off: u16,
+    },
+    /// `mem16[ra + off] ← rs`.
+    St {
+        /// Base register.
+        ra: Reg,
+        /// Byte offset added to the base.
+        off: u16,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd ← zext(mem8[rb + off])`.
+    Ldb {
+        /// Destination register.
+        rd: Reg,
+        /// Base register.
+        rb: Reg,
+        /// Byte offset added to the base.
+        off: u16,
+    },
+    /// `mem8[ra + off] ← low8(rs)`.
+    Stb {
+        /// Base register.
+        ra: Reg,
+        /// Byte offset added to the base.
+        off: u16,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd ← rd <op> rs` (for `Neg`/`Not`: `rd ← <op> rs`).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and usually first-operand) register.
+        rd: Reg,
+        /// Second-operand register.
+        rs: Reg,
+    },
+    /// `rd ← rd <op> imm`.
+    Alui {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+    /// Compare registers: set flags from `rd − rs`.
+    Cmp {
+        /// Left-hand register.
+        rd: Reg,
+        /// Right-hand register.
+        rs: Reg,
+    },
+    /// Compare with immediate: set flags from `rd − imm`.
+    Cmpi {
+        /// Left-hand register.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+    /// Conditional (or unconditional) absolute jump.
+    J {
+        /// Condition.
+        cond: Cond,
+        /// Absolute target address.
+        target: u16,
+    },
+    /// `push pc_next; pc ← target`.
+    Call {
+        /// Absolute target address.
+        target: u16,
+    },
+    /// `push pc_next; pc ← rb` (indirect call).
+    Callr {
+        /// Register holding the target address.
+        rb: Reg,
+    },
+    /// `pc ← rb` (indirect jump).
+    Jmpr {
+        /// Register holding the target address.
+        rb: Reg,
+    },
+    /// `sp ← sp − 2; mem16[sp] ← rs`.
+    Push {
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd ← mem16[sp]; sp ← sp + 2`.
+    Pop {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `rd ← port[imm8]` — read a peripheral port.
+    In {
+        /// Destination register.
+        rd: Reg,
+        /// Port number.
+        port: u8,
+    },
+    /// `port[imm8] ← rs` — write a peripheral port.
+    Out {
+        /// Port number.
+        port: u8,
+        /// Source register.
+        rs: Reg,
+    },
+}
+
+/// Why a word sequence failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// The reserved opcode `0xF` or an undefined sub-opcode.
+    IllegalOpcode {
+        /// The offending first word.
+        word: u16,
+    },
+    /// The instruction needs a second word but none was supplied.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::IllegalOpcode { word } => write!(f, "illegal opcode word {word:#06x}"),
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn nibbles(word: u16) -> (u8, u8, u8, u8) {
+    (
+        (word >> 12) as u8,
+        ((word >> 8) & 0xF) as u8,
+        ((word >> 4) & 0xF) as u8,
+        (word & 0xF) as u8,
+    )
+}
+
+fn pack(op: u8, a: u8, b: u8, c: u8) -> u16 {
+    ((op as u16) << 12) | ((a as u16) << 8) | ((b as u16) << 4) | c as u16
+}
+
+impl Instr {
+    /// Encodes the instruction into one or two words.
+    pub fn encode(self) -> (u16, Option<u16>) {
+        use Instr::*;
+        match self {
+            Nop => (pack(0x0, 0, 0, 0), None),
+            Halt => (pack(0x0, 0, 0, 1), None),
+            Ret => (pack(0x0, 0, 0, 2), None),
+            Reti => (pack(0x0, 0, 0, 3), None),
+            Ei => (pack(0x0, 0, 0, 4), None),
+            Di => (pack(0x0, 0, 0, 5), None),
+            Mov { rd, rs } => (pack(0x1, rd.0, rs.0, 0), None),
+            Movi { rd, imm } => (pack(0x2, rd.0, 0, 0), Some(imm)),
+            Ld { rd, rb, off } => (pack(0x3, rd.0, rb.0, 0), Some(off)),
+            St { ra, off, rs } => (pack(0x4, ra.0, rs.0, 0), Some(off)),
+            Ldb { rd, rb, off } => (pack(0x5, rd.0, rb.0, 0), Some(off)),
+            Stb { ra, off, rs } => (pack(0x6, ra.0, rs.0, 0), Some(off)),
+            Alu { op, rd, rs } => (pack(0x7, rd.0, rs.0, op as u8), None),
+            Alui { op, rd, imm } => (pack(0x8, rd.0, 0, op as u8), Some(imm)),
+            Cmp { rd, rs } => (pack(0x9, rd.0, rs.0, 0), None),
+            Cmpi { rd, imm } => (pack(0x9, rd.0, 0, 1), Some(imm)),
+            J { cond, target } => (pack(0xA, 0, 0, cond as u8), Some(target)),
+            Call { target } => (pack(0xB, 0, 0, 0), Some(target)),
+            Callr { rb } => (pack(0xB, 0, rb.0, 1), None),
+            Jmpr { rb } => (pack(0xB, 0, rb.0, 2), None),
+            Push { rs } => (pack(0xC, rs.0, 0, 0), None),
+            Pop { rd } => (pack(0xC, rd.0, 0, 1), None),
+            In { rd, port } => (pack(0xD, rd.0, 0, 0), Some(port as u16)),
+            Out { port, rs } => (pack(0xE, rs.0, 0, 0), Some(port as u16)),
+        }
+    }
+
+    /// Decodes an instruction from its first word and an optional
+    /// following word (`fetch_next` is only consulted when needed).
+    ///
+    /// Returns the instruction and its size in words.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::IllegalOpcode`] for reserved encodings;
+    /// [`DecodeError::Truncated`] when a required second word is absent.
+    pub fn decode(word0: u16, word1: Option<u16>) -> Result<(Instr, u8), DecodeError> {
+        use Instr::*;
+        let (op, a, b, c) = nibbles(word0);
+        let ra = Reg(a);
+        let rb = Reg(b);
+        let need = |w: Option<u16>| w.ok_or(DecodeError::Truncated);
+        let ill = DecodeError::IllegalOpcode { word: word0 };
+        Ok(match op {
+            0x0 => (
+                match c {
+                    0 => Nop,
+                    1 => Halt,
+                    2 => Ret,
+                    3 => Reti,
+                    4 => Ei,
+                    5 => Di,
+                    _ => return Err(ill),
+                },
+                1,
+            ),
+            0x1 => (Mov { rd: ra, rs: rb }, 1),
+            0x2 => (
+                Movi {
+                    rd: ra,
+                    imm: need(word1)?,
+                },
+                2,
+            ),
+            0x3 => (
+                Ld {
+                    rd: ra,
+                    rb,
+                    off: need(word1)?,
+                },
+                2,
+            ),
+            0x4 => (
+                St {
+                    ra,
+                    off: need(word1)?,
+                    rs: rb,
+                },
+                2,
+            ),
+            0x5 => (
+                Ldb {
+                    rd: ra,
+                    rb,
+                    off: need(word1)?,
+                },
+                2,
+            ),
+            0x6 => (
+                Stb {
+                    ra,
+                    off: need(word1)?,
+                    rs: rb,
+                },
+                2,
+            ),
+            0x7 => (
+                Alu {
+                    op: AluOp::from_code(c).ok_or(ill)?,
+                    rd: ra,
+                    rs: rb,
+                },
+                1,
+            ),
+            0x8 => (
+                Alui {
+                    op: AluOp::from_code(c).ok_or(ill)?,
+                    rd: ra,
+                    imm: need(word1)?,
+                },
+                2,
+            ),
+            0x9 => match c {
+                0 => (Cmp { rd: ra, rs: rb }, 1),
+                1 => (
+                    Cmpi {
+                        rd: ra,
+                        imm: need(word1)?,
+                    },
+                    2,
+                ),
+                _ => return Err(ill),
+            },
+            0xA => (
+                J {
+                    cond: Cond::from_code(c).ok_or(ill)?,
+                    target: need(word1)?,
+                },
+                2,
+            ),
+            0xB => match c {
+                0 => (
+                    Call {
+                        target: need(word1)?,
+                    },
+                    2,
+                ),
+                1 => (Callr { rb }, 1),
+                2 => (Jmpr { rb }, 1),
+                _ => return Err(ill),
+            },
+            0xC => match c {
+                0 => (Push { rs: ra }, 1),
+                1 => (Pop { rd: ra }, 1),
+                _ => return Err(ill),
+            },
+            0xD => (
+                In {
+                    rd: ra,
+                    port: (need(word1)? & 0xFF) as u8,
+                },
+                2,
+            ),
+            0xE => (
+                Out {
+                    port: (need(word1)? & 0xFF) as u8,
+                    rs: ra,
+                },
+                2,
+            ),
+            _ => return Err(ill),
+        })
+    }
+
+    /// Size of the instruction in 16-bit words (1 or 2).
+    pub fn size_words(self) -> u8 {
+        match self.encode() {
+            (_, None) => 1,
+            (_, Some(_)) => 2,
+        }
+    }
+
+    /// Clock cycles consumed by the instruction, in the spirit of MSP430
+    /// timing: memory accesses and flow control cost more; `mul` is a
+    /// multi-cycle operation.
+    pub fn cycles(self) -> u32 {
+        use Instr::*;
+        match self {
+            Nop | Halt | Ei | Di => 1,
+            Mov { .. } => 1,
+            Movi { .. } => 2,
+            Ld { .. } | St { .. } | Ldb { .. } | Stb { .. } => 3,
+            Alu { op: AluOp::Mul, .. } => 8,
+            Alu { .. } => 1,
+            Alui { op: AluOp::Mul, .. } => 9,
+            Alui { .. } => 2,
+            Cmp { .. } => 1,
+            Cmpi { .. } => 2,
+            J { .. } => 2,
+            Call { .. } => 4,
+            Callr { .. } | Jmpr { .. } => 3,
+            Ret => 3,
+            Reti => 5,
+            Push { .. } => 3,
+            Pop { .. } => 2,
+            In { .. } | Out { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+            Ret => write!(f, "ret"),
+            Reti => write!(f, "reti"),
+            Ei => write!(f, "ei"),
+            Di => write!(f, "di"),
+            Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Movi { rd, imm } => write!(f, "movi {rd}, {imm:#x}"),
+            Ld { rd, rb, off } => write!(f, "ld {rd}, [{rb} + {off:#x}]"),
+            St { ra, off, rs } => write!(f, "st [{ra} + {off:#x}], {rs}"),
+            Ldb { rd, rb, off } => write!(f, "ldb {rd}, [{rb} + {off:#x}]"),
+            Stb { ra, off, rs } => write!(f, "stb [{ra} + {off:#x}], {rs}"),
+            Alu { op, rd, rs } => write!(f, "{} {rd}, {rs}", op.mnemonic()),
+            Alui { op, rd, imm } => write!(f, "{}i {rd}, {imm:#x}", op.mnemonic()),
+            Cmp { rd, rs } => write!(f, "cmp {rd}, {rs}"),
+            Cmpi { rd, imm } => write!(f, "cmpi {rd}, {imm:#x}"),
+            J { cond, target } => write!(f, "{} {target:#06x}", cond.mnemonic()),
+            Call { target } => write!(f, "call {target:#06x}"),
+            Callr { rb } => write!(f, "callr {rb}"),
+            Jmpr { rb } => write!(f, "jmpr {rb}"),
+            Push { rs } => write!(f, "push {rs}"),
+            Pop { rd } => write!(f, "pop {rd}"),
+            In { rd, port } => write!(f, "in {rd}, {port:#04x}"),
+            Out { port, rs } => write!(f, "out {port:#04x}, {rs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        let r = Reg::new;
+        vec![
+            Nop,
+            Halt,
+            Ret,
+            Reti,
+            Ei,
+            Di,
+            Mov { rd: r(1), rs: r(2) },
+            Movi {
+                rd: r(3),
+                imm: 0xBEEF,
+            },
+            Ld {
+                rd: r(4),
+                rb: r(5),
+                off: 0x10,
+            },
+            St {
+                ra: r(6),
+                off: 0x20,
+                rs: r(7),
+            },
+            Ldb {
+                rd: r(8),
+                rb: r(9),
+                off: 1,
+            },
+            Stb {
+                ra: r(10),
+                off: 2,
+                rs: r(11),
+            },
+            Alu {
+                op: AluOp::Add,
+                rd: r(0),
+                rs: r(1),
+            },
+            Alu {
+                op: AluOp::Mul,
+                rd: r(2),
+                rs: r(3),
+            },
+            Alui {
+                op: AluOp::Xor,
+                rd: r(4),
+                imm: 0x5555,
+            },
+            Cmp { rd: r(5), rs: r(6) },
+            Cmpi {
+                rd: r(7),
+                imm: 1234,
+            },
+            J {
+                cond: Cond::Nz,
+                target: 0x4400,
+            },
+            Call { target: 0x5000 },
+            Callr { rb: r(3) },
+            Jmpr { rb: r(4) },
+            Push { rs: r(12) },
+            Pop { rd: r(13) },
+            In { rd: r(1), port: 7 },
+            Out { port: 9, rs: r(2) },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in all_sample_instrs() {
+            let (w0, w1) = instr.encode();
+            let (decoded, size) = Instr::decode(w0, w1).expect("decodes");
+            assert_eq!(decoded, instr, "round trip failed for {instr}");
+            assert_eq!(size, instr.size_words());
+            assert_eq!(size == 2, w1.is_some());
+        }
+    }
+
+    #[test]
+    fn reserved_opcode_is_illegal() {
+        assert!(matches!(
+            Instr::decode(0xF000, Some(0)),
+            Err(DecodeError::IllegalOpcode { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_immediate_errors() {
+        let (w0, _) = Instr::Movi {
+            rd: Reg::new(0),
+            imm: 1,
+        }
+        .encode();
+        assert_eq!(Instr::decode(w0, None), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn undefined_sys_subop_is_illegal() {
+        assert!(Instr::decode(pack(0x0, 0, 0, 9), None).is_err());
+    }
+
+    #[test]
+    fn cycle_costs_are_positive_and_mul_is_slow() {
+        for instr in all_sample_instrs() {
+            assert!(instr.cycles() >= 1);
+        }
+        assert!(
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: Reg::new(0),
+                rs: Reg::new(1)
+            }
+            .cycles()
+                > Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::new(0),
+                    rs: Reg::new(1)
+                }
+                .cycles()
+        );
+    }
+
+    #[test]
+    fn display_forms_are_parsable_mnemonics() {
+        assert_eq!(
+            format!(
+                "{}",
+                Instr::Ld {
+                    rd: Reg::new(2),
+                    rb: Reg::new(15),
+                    off: 4
+                }
+            ),
+            "ld r2, [sp + 0x4]"
+        );
+        assert_eq!(format!("{}", Instr::Halt), "halt");
+    }
+
+    #[test]
+    fn sp_is_r15() {
+        assert_eq!(Reg::SP, Reg::new(15));
+        assert_eq!(format!("{}", Reg::SP), "sp");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_index_validated() {
+        let _ = Reg::new(16);
+    }
+}

@@ -1,0 +1,64 @@
+//! A 16-bit MSP430-class microcontroller for intermittent-computing
+//! simulation.
+//!
+//! This crate is the processor substrate under the EDB reproduction. It
+//! provides:
+//!
+//! * [`isa`] — a compact 16-bit instruction set (the "IVM-16") with binary
+//!   encode/decode, per-instruction cycle costs, and a disassembler;
+//! * [`asm`] — a two-pass assembler so that target applications (the
+//!   paper's linked-list, Fibonacci, activity-recognition and RFID
+//!   programs) can be written as readable assembly text;
+//! * [`mem`] — the MSP430FR-style memory map with volatile SRAM and
+//!   non-volatile FRAM, the split that intermittence bugs hinge on;
+//! * [`cpu`] — an interpreter stepped **one instruction at a time**, so a
+//!   power failure can interrupt execution between any two instructions.
+//!
+//! The machine deliberately mirrors the MSP430FR5969 on the WISP5 target
+//! used by the paper: 16 registers, byte-addressed 64 KiB space, reset and
+//! interrupt vectors at the top of FRAM, and bus semantics (unmapped reads
+//! return `0xFFFF`) that reproduce the paper's "wild pointer write bricks
+//! the device until reflash" failure mode.
+//!
+//! # Example
+//!
+//! Assemble and run a program to completion on continuous power:
+//!
+//! ```
+//! use edb_mcu::{asm::assemble, Cpu, Memory, NullBus};
+//!
+//! let image = assemble(r#"
+//!     .org 0x4400
+//! start:
+//!     movi r0, 21
+//!     add  r0, r0          ; r0 = 42
+//!     st   [r1 + 0x6000], r0
+//!     halt
+//!     .org 0xFFFE
+//!     .word start
+//! "#)?;
+//! let mut mem = Memory::new();
+//! image.load_into(&mut mem);
+//! let mut cpu = Cpu::new();
+//! cpu.reset(&mem);
+//! let mut bus = NullBus;
+//! while cpu.is_running() {
+//!     cpu.step(&mut mem, &mut bus);
+//! }
+//! assert_eq!(mem.read_word(0x6000), 42);
+//! # Ok::<(), edb_mcu::asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod cpu;
+pub mod image;
+pub mod isa;
+pub mod mem;
+
+pub use cpu::{Cpu, CpuState, Fault, NullBus, PortBus, StepOutcome};
+pub use image::Image;
+pub use isa::{AluOp, Cond, DecodeError, Instr, Reg};
+pub use mem::{Memory, FRAM_END, FRAM_START, IRQ_VECTOR, RESET_VECTOR, SRAM_END, SRAM_START};

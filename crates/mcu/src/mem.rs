@@ -1,0 +1,264 @@
+//! The MSP430FR-style memory map: volatile SRAM + non-volatile FRAM.
+//!
+//! The volatile/non-volatile split is the load-bearing piece of the whole
+//! reproduction: on a brown-out, [`Memory::power_cycle`] erases SRAM and
+//! keeps FRAM, which is exactly the state discontinuity that causes
+//! intermittence bugs.
+//!
+//! Bus semantics mirror a small MCU: reads from unmapped space return
+//! `0xFFFF` (floating bus with pull-ups), writes to unmapped space are
+//! dropped, and both increment a sticky fault counter that the debugger
+//! can inspect. The wild-pointer write of the paper's Figure 6, aimed near
+//! address zero after a `NULL` dereference chain, reads `0xFFFF` from
+//! unmapped memory and then writes through it — landing on the reset
+//! vector at the top of FRAM and bricking the device until reflash,
+//! exactly the observed symptom ("the only way to recover is to re-flash
+//! the device").
+
+use serde::{Deserialize, Serialize};
+
+/// First byte of volatile SRAM (inclusive).
+pub const SRAM_START: u16 = 0x1C00;
+/// One past the last byte of SRAM.
+pub const SRAM_END: u16 = 0x2400;
+/// First byte of non-volatile FRAM (inclusive).
+pub const FRAM_START: u16 = 0x4400;
+/// The last byte of FRAM is `0xFFFF`; [`FRAM_END`] is the exclusive bound
+/// as a `u32` because it does not fit in `u16`.
+pub const FRAM_END: u32 = 0x1_0000;
+/// Address of the reset vector word (in FRAM, hence persistent — and
+/// corruptible).
+pub const RESET_VECTOR: u16 = 0xFFFE;
+/// Address of the external-interrupt vector word.
+pub const IRQ_VECTOR: u16 = 0xFFFC;
+
+const SRAM_SIZE: usize = (SRAM_END - SRAM_START) as usize;
+const FRAM_SIZE: usize = (FRAM_END - FRAM_START as u32) as usize;
+
+/// The target's memory: SRAM that dies with power and FRAM that survives.
+///
+/// # Example
+///
+/// ```
+/// use edb_mcu::Memory;
+/// let mut mem = Memory::new();
+/// mem.write_word(0x1C00, 0x1234);   // SRAM
+/// mem.write_word(0x4400, 0x5678);   // FRAM
+/// mem.power_cycle();
+/// assert_eq!(mem.read_word(0x1C00), 0);       // volatile: gone
+/// assert_eq!(mem.read_word(0x4400), 0x5678);  // non-volatile: kept
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Memory {
+    sram: Vec<u8>,
+    fram: Vec<u8>,
+    bus_faults: u64,
+    last_fault_addr: Option<u16>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("sram_bytes", &self.sram.len())
+            .field("fram_bytes", &self.fram.len())
+            .field("bus_faults", &self.bus_faults)
+            .field("last_fault_addr", &self.last_fault_addr)
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates zeroed memory.
+    pub fn new() -> Self {
+        Memory {
+            sram: vec![0; SRAM_SIZE],
+            fram: vec![0; FRAM_SIZE],
+            bus_faults: 0,
+            last_fault_addr: None,
+        }
+    }
+
+    /// Whether `addr` lies in volatile SRAM.
+    pub fn is_sram(addr: u16) -> bool {
+        (SRAM_START..SRAM_END).contains(&addr)
+    }
+
+    /// Whether `addr` lies in non-volatile FRAM.
+    pub fn is_fram(addr: u16) -> bool {
+        addr >= FRAM_START
+    }
+
+    /// Whether `addr` maps to real storage at all.
+    pub fn is_mapped(addr: u16) -> bool {
+        Self::is_sram(addr) || Self::is_fram(addr)
+    }
+
+    /// Reads one byte; unmapped addresses return `0xFF` and count a bus
+    /// fault.
+    pub fn read_byte(&mut self, addr: u16) -> u8 {
+        if Self::is_sram(addr) {
+            self.sram[(addr - SRAM_START) as usize]
+        } else if Self::is_fram(addr) {
+            self.fram[(addr - FRAM_START) as usize]
+        } else {
+            self.note_fault(addr);
+            0xFF
+        }
+    }
+
+    /// Writes one byte; unmapped addresses drop the write and count a bus
+    /// fault.
+    pub fn write_byte(&mut self, addr: u16, value: u8) {
+        if Self::is_sram(addr) {
+            self.sram[(addr - SRAM_START) as usize] = value;
+        } else if Self::is_fram(addr) {
+            self.fram[(addr - FRAM_START) as usize] = value;
+        } else {
+            self.note_fault(addr);
+        }
+    }
+
+    /// Reads a little-endian word. The address wraps at the 64 KiB
+    /// boundary, like the bus it models.
+    pub fn read_word(&mut self, addr: u16) -> u16 {
+        let lo = self.read_byte(addr) as u16;
+        let hi = self.read_byte(addr.wrapping_add(1)) as u16;
+        lo | (hi << 8)
+    }
+
+    /// Writes a little-endian word (wrapping at the 64 KiB boundary).
+    pub fn write_word(&mut self, addr: u16, value: u16) {
+        self.write_byte(addr, (value & 0xFF) as u8);
+        self.write_byte(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// A non-faulting read for instrumentation (debugger memory views,
+    /// ground-truth checks): unmapped space reads as `0xFF` without
+    /// disturbing the fault counters.
+    pub fn peek_byte(&self, addr: u16) -> u8 {
+        if Self::is_sram(addr) {
+            self.sram[(addr - SRAM_START) as usize]
+        } else if Self::is_fram(addr) {
+            self.fram[(addr - FRAM_START) as usize]
+        } else {
+            0xFF
+        }
+    }
+
+    /// Non-faulting word read (see [`Memory::peek_byte`]).
+    pub fn peek_word(&self, addr: u16) -> u16 {
+        self.peek_byte(addr) as u16 | ((self.peek_byte(addr.wrapping_add(1)) as u16) << 8)
+    }
+
+    /// A non-faulting write for the debugger's `write` console command.
+    /// Writes to unmapped space are dropped silently.
+    pub fn poke_word(&mut self, addr: u16, value: u16) {
+        let faults = self.bus_faults;
+        let last = self.last_fault_addr;
+        self.write_word(addr, value);
+        self.bus_faults = faults;
+        self.last_fault_addr = last;
+    }
+
+    /// Erases volatile state (a power cycle). FRAM is untouched.
+    pub fn power_cycle(&mut self) {
+        self.sram.fill(0);
+    }
+
+    /// Number of accesses to unmapped space so far (sticky across power
+    /// cycles — it is bench instrumentation, not target state).
+    pub fn bus_faults(&self) -> u64 {
+        self.bus_faults
+    }
+
+    /// The most recent faulting address, if any.
+    pub fn last_fault_addr(&self) -> Option<u16> {
+        self.last_fault_addr
+    }
+
+    fn note_fault(&mut self, addr: u16) {
+        self.bus_faults += 1;
+        self.last_fault_addr = Some(addr);
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_and_fram_are_disjoint_and_sized() {
+        assert!(!Memory::is_sram(FRAM_START));
+        assert!(!Memory::is_fram(SRAM_START));
+        assert!(Memory::is_mapped(0x1C00));
+        assert!(Memory::is_mapped(0xFFFF));
+        assert!(!Memory::is_mapped(0x0000));
+        assert!(!Memory::is_mapped(0x3000));
+    }
+
+    #[test]
+    fn word_access_is_little_endian() {
+        let mut mem = Memory::new();
+        mem.write_word(0x4400, 0xABCD);
+        assert_eq!(mem.read_byte(0x4400), 0xCD);
+        assert_eq!(mem.read_byte(0x4401), 0xAB);
+    }
+
+    #[test]
+    fn unmapped_reads_pull_high_and_fault() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.read_word(0x0000), 0xFFFF);
+        assert_eq!(mem.bus_faults(), 2);
+        assert_eq!(mem.last_fault_addr(), Some(0x0001));
+    }
+
+    #[test]
+    fn unmapped_writes_are_dropped() {
+        let mut mem = Memory::new();
+        mem.write_word(0x0010, 0x1234);
+        assert_eq!(mem.bus_faults(), 2);
+        assert_eq!(mem.peek_word(0x0010), 0xFFFF);
+    }
+
+    #[test]
+    fn power_cycle_clears_only_sram() {
+        let mut mem = Memory::new();
+        mem.write_word(0x1C10, 7);
+        mem.write_word(0x5000, 9);
+        mem.power_cycle();
+        assert_eq!(mem.read_word(0x1C10), 0);
+        assert_eq!(mem.read_word(0x5000), 9);
+    }
+
+    #[test]
+    fn peek_and_poke_do_not_fault() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.peek_word(0x0000), 0xFFFF);
+        mem.poke_word(0x0000, 5);
+        assert_eq!(mem.bus_faults(), 0);
+    }
+
+    #[test]
+    fn vectors_live_in_fram() {
+        assert!(Memory::is_fram(RESET_VECTOR));
+        assert!(Memory::is_fram(IRQ_VECTOR));
+        let mut mem = Memory::new();
+        mem.write_word(RESET_VECTOR, 0x4400);
+        mem.power_cycle();
+        assert_eq!(mem.read_word(RESET_VECTOR), 0x4400);
+    }
+
+    #[test]
+    fn word_read_wraps_at_top_of_memory() {
+        let mut mem = Memory::new();
+        mem.write_byte(0xFFFF, 0x12);
+        // Low byte from 0xFFFF, high byte wraps to 0x0000 (unmapped, 0xFF).
+        assert_eq!(mem.read_word(0xFFFF), 0xFF12);
+    }
+}

@@ -1,0 +1,283 @@
+//! Property-based tests for the processor substrate.
+
+use edb_mcu::asm::{assemble, disassemble};
+use edb_mcu::{AluOp, Cond, Cpu, Instr, Memory, NullBus, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Sar),
+        Just(AluOp::Mul),
+        Just(AluOp::Adc),
+        Just(AluOp::Sbc),
+        Just(AluOp::Neg),
+        Just(AluOp::Not),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Always),
+        Just(Cond::Z),
+        Just(Cond::Nz),
+        Just(Cond::C),
+        Just(Cond::Nc),
+        Just(Cond::N),
+        Just(Cond::Nn),
+        Just(Cond::Ge),
+        Just(Cond::Lt),
+        Just(Cond::Gt),
+        Just(Cond::Le),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Ret),
+        Just(Instr::Reti),
+        Just(Instr::Ei),
+        Just(Instr::Di),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rd, rb, off)| Instr::Ld { rd, rb, off }),
+        (arb_reg(), any::<u16>(), arb_reg()).prop_map(|(ra, off, rs)| Instr::St { ra, off, rs }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rd, rb, off)| Instr::Ldb { rd, rb, off }),
+        (arb_reg(), any::<u16>(), arb_reg()).prop_map(|(ra, off, rs)| Instr::Stb { ra, off, rs }),
+        (arb_alu_op(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs)| Instr::Alu { op, rd, rs }),
+        (arb_alu_op(), arb_reg(), any::<u16>())
+            .prop_map(|(op, rd, imm)| Instr::Alui { op, rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Cmp { rd, rs }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Cmpi { rd, imm }),
+        (arb_cond(), any::<u16>()).prop_map(|(cond, target)| Instr::J { cond, target }),
+        any::<u16>().prop_map(|target| Instr::Call { target }),
+        arb_reg().prop_map(|rb| Instr::Callr { rb }),
+        arb_reg().prop_map(|rb| Instr::Jmpr { rb }),
+        arb_reg().prop_map(|rs| Instr::Push { rs }),
+        arb_reg().prop_map(|rd| Instr::Pop { rd }),
+        (arb_reg(), any::<u8>()).prop_map(|(rd, port)| Instr::In { rd, port }),
+        (any::<u8>(), arb_reg()).prop_map(|(port, rs)| Instr::Out { port, rs }),
+    ]
+}
+
+proptest! {
+    /// Binary encode → decode is the identity for every instruction.
+    #[test]
+    fn encode_decode_identity(instr in arb_instr()) {
+        let (w0, w1) = instr.encode();
+        let (decoded, size) = Instr::decode(w0, w1).expect("round trip decodes");
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(size, instr.size_words());
+    }
+
+    /// Display → assemble → disassemble reproduces the mnemonic text for
+    /// instructions that round-trip textually (all of them, by
+    /// construction of `Display`).
+    #[test]
+    fn text_round_trip(instrs in prop::collection::vec(arb_instr(), 1..20)) {
+        let mut src = String::from(".org 0x4400\n");
+        for i in &instrs {
+            src.push_str(&format!("    {i}\n"));
+        }
+        let image = assemble(&src).expect("display form assembles");
+        let (addr, bytes) = &image.segments()[0];
+        let listing = disassemble(bytes, *addr);
+        prop_assert_eq!(listing.len(), instrs.len());
+        for ((_, text), orig) in listing.iter().zip(&instrs) {
+            prop_assert_eq!(text.clone(), orig.to_string());
+        }
+    }
+
+    /// ALU reference semantics: the interpreter's add/sub/mul agree with
+    /// wrapping integer arithmetic for arbitrary inputs.
+    #[test]
+    fn alu_matches_reference(a in any::<u16>(), b in any::<u16>()) {
+        let cases = [
+            (AluOp::Add, a.wrapping_add(b)),
+            (AluOp::Sub, a.wrapping_sub(b)),
+            (AluOp::And, a & b),
+            (AluOp::Or, a | b),
+            (AluOp::Xor, a ^ b),
+            (AluOp::Mul, a.wrapping_mul(b)),
+        ];
+        for (op, expected) in cases {
+            let src = format!(
+                ".org 0x4400\ns: movi r0, {a}\n movi r1, {b}\n {} r0, r1\n halt\n.org 0xFFFE\n.word s\n",
+                op.mnemonic()
+            );
+            let image = assemble(&src).expect("assembles");
+            let mut mem = Memory::new();
+            image.load_into(&mut mem);
+            let mut cpu = Cpu::new();
+            cpu.reset(&mem);
+            let mut bus = NullBus;
+            for _ in 0..10 {
+                if !cpu.is_running() { break; }
+                cpu.step(&mut mem, &mut bus);
+            }
+            prop_assert_eq!(cpu.regs[0], expected, "op {}", op.mnemonic());
+        }
+    }
+
+    /// Signed comparison branches agree with Rust's `i16` ordering.
+    #[test]
+    fn signed_compare_matches_i16(a in any::<i16>(), b in any::<i16>()) {
+        let src = format!(
+            ".org 0x4400\ns: movi r0, {ua}\n movi r1, {ub}\n cmp r0, r1\n jl less\n movi r2, 0\n halt\nless: movi r2, 1\n halt\n.org 0xFFFE\n.word s\n",
+            ua = a as u16,
+            ub = b as u16,
+        );
+        let image = assemble(&src).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+        let mut bus = NullBus;
+        for _ in 0..20 {
+            if !cpu.is_running() { break; }
+            cpu.step(&mut mem, &mut bus);
+        }
+        prop_assert_eq!(cpu.regs[2] == 1, a < b, "{} < {}", a, b);
+    }
+
+    /// Unsigned comparison branches agree with Rust's `u16` ordering.
+    #[test]
+    fn unsigned_compare_matches_u16(a in any::<u16>(), b in any::<u16>()) {
+        let src = format!(
+            ".org 0x4400\ns: movi r0, {a}\n movi r1, {b}\n cmp r0, r1\n jlo less\n movi r2, 0\n halt\nless: movi r2, 1\n halt\n.org 0xFFFE\n.word s\n",
+        );
+        let image = assemble(&src).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+        let mut bus = NullBus;
+        for _ in 0..20 {
+            if !cpu.is_running() { break; }
+            cpu.step(&mut mem, &mut bus);
+        }
+        prop_assert_eq!(cpu.regs[2] == 1, a < b, "{} < {}", a, b);
+    }
+
+    /// Memory power-cycling erases all of SRAM and nothing in FRAM, for
+    /// arbitrary write patterns.
+    #[test]
+    fn power_cycle_respects_volatility(
+        writes in prop::collection::vec((any::<u16>(), any::<u16>()), 1..100)
+    ) {
+        let mut mem = Memory::new();
+        let mut fram_shadow: Vec<(u16, u16)> = Vec::new();
+        for (addr, value) in &writes {
+            mem.write_word(*addr, *value);
+            if Memory::is_fram(*addr) && Memory::is_fram(addr.wrapping_add(1)) {
+                fram_shadow.retain(|(a, _)| a != addr);
+                fram_shadow.push((*addr, *value));
+            }
+        }
+        mem.power_cycle();
+        for a in edb_mcu::SRAM_START..edb_mcu::SRAM_END {
+            prop_assert_eq!(mem.peek_byte(a), 0);
+        }
+        // Last-writer-wins shadow check, skipping addresses later
+        // overlapped by other writes (word writes span two bytes).
+        for (addr, value) in fram_shadow {
+            let overlapped = writes.iter().rev()
+                .take_while(|(a, v)| !(a == &addr && v == &value))
+                .any(|(a, _)| {
+                    let d = a.wrapping_sub(addr);
+                    d == 1 || d == 0xFFFF
+                });
+            if !overlapped {
+                prop_assert_eq!(mem.peek_word(addr), value);
+            }
+        }
+    }
+
+    /// The assembler is total: arbitrary line soup either assembles or
+    /// returns a line-numbered error — it never panics.
+    #[test]
+    fn assembler_total_on_garbage(
+        lines in prop::collection::vec("[ -~]{0,40}", 0..30)
+    ) {
+        let src = lines.join("\n");
+        match assemble(&src) {
+            Ok(image) => {
+                // Anything that assembles must also load cleanly.
+                let mut mem = Memory::new();
+                let in_bounds = image.segments().iter().all(|(start, bytes)| {
+                    bytes.iter().enumerate().all(|(i, _)| {
+                        Memory::is_mapped(start.wrapping_add(i as u16))
+                    })
+                });
+                if in_bounds {
+                    image.load_into(&mut mem);
+                }
+            }
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    /// Structured-but-random instruction text always assembles, loads,
+    /// and disassembles to the same mnemonics.
+    #[test]
+    fn random_valid_text_round_trips(
+        ops in prop::collection::vec((0u8..4, 0u8..14, 0u8..14, 0u16..0x100), 1..25)
+    ) {
+        let mut src = String::from(".org 0x4400\n");
+        for (kind, a, b, imm) in ops {
+            let line = match kind {
+                0 => format!("add r{a}, r{b}"),
+                1 => format!("movi r{a}, {imm}"),
+                2 => format!("ld r{a}, [r{b} + {imm}]"),
+                _ => format!("st [r{a} + {imm}], r{b}"),
+            };
+            src.push_str(&line);
+            src.push('\n');
+        }
+        let image = assemble(&src).expect("valid text assembles");
+        let (addr, bytes) = &image.segments()[0];
+        let listing = disassemble(bytes, *addr);
+        prop_assert!(!listing.is_empty());
+        let reassembled = assemble(&format!(
+            ".org 0x4400\n{}",
+            listing.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>().join("\n")
+        )).expect("disassembly reassembles");
+        prop_assert_eq!(reassembled.segments()[0].1.clone(), bytes.clone());
+    }
+
+    /// The CPU never spontaneously un-halts: once halted or faulted it
+    /// stays that way through arbitrary further stepping (only reset
+    /// revives it).
+    #[test]
+    fn halt_is_sticky(extra_steps in 1usize..50) {
+        let image = assemble(".org 0x4400\ns: halt\n.org 0xFFFE\n.word s\n").expect("ok");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+        let mut bus = NullBus;
+        cpu.step(&mut mem, &mut bus);
+        prop_assert!(!cpu.is_running());
+        let insns = cpu.instructions;
+        for _ in 0..extra_steps {
+            let out = cpu.step(&mut mem, &mut bus);
+            prop_assert_eq!(out.cycles, 0);
+        }
+        prop_assert_eq!(cpu.instructions, insns);
+    }
+}

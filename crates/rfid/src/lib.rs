@@ -1,0 +1,32 @@
+//! A Gen2-style RFID protocol and reader model.
+//!
+//! The EDB paper's target (a WISP5 tag) is powered by an Impinj RFID
+//! reader that continuously inventories tags: the reader's carrier powers
+//! the tag, its commands (`CMD_QUERY`, `CMD_QUERYREP`) appear on the tag's
+//! demodulator line, and the tag firmware decodes them *in software* and
+//! replies over the backscatter modulator (`RSP_GENERIC` in the paper's
+//! Figure 12).
+//!
+//! This crate provides the pieces of that RF world:
+//!
+//! * [`crc`] — the CRC-5 and CRC-16 used to protect commands and replies
+//!   (tag firmware checks them in target code; EDB's external monitor
+//!   checks them independently, which is how it can decode messages "even
+//!   if the target does not correctly decode them due to power failures");
+//! * [`message`] — command/reply frames and their wire encoding;
+//! * [`channel`] — corruption-in-flight with a distance-scaled bit-flip
+//!   model;
+//! * [`reader`] — an Impinj-like inventory state machine that drives the
+//!   harvester's carrier and schedules commands.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod crc;
+pub mod message;
+pub mod reader;
+
+pub use channel::Channel;
+pub use message::{Command, DecodeFailure, Frame, TagReply};
+pub use reader::{Reader, ReaderConfig, ReaderEvent};

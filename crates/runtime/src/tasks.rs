@@ -1,0 +1,308 @@
+//! A DINO-style task-atomic runtime: checkpointing *plus* versioning of
+//! non-volatile data.
+//!
+//! §6.2 of the EDB paper: "DINO characterized the intermittent execution
+//! model and addressed these consistency issues with a task-based
+//! programming and execution model that selectively preserves both
+//! non-volatile and volatile memory across power failures." Plain
+//! checkpointing (this crate's root module) protects registers and
+//! stack, but non-volatile writes made *after* the checkpoint survive a
+//! reboot while the volatile context rolls back — exactly the mixed
+//! state that drives the paper's Figure 3/6 bugs.
+//!
+//! The task runtime closes that hole: `__tk_boundary` snapshots a
+//! declared set of protected non-volatile words into a shadow buffer
+//! tied to the checkpoint's double-buffer commit, so one `__cp_sel`
+//! write atomically commits *both* the volatile context and the
+//! non-volatile version. On reboot, the shadow rolls the protected words
+//! back to the last boundary before execution resumes — whole loop
+//! iterations become atomic with respect to power failures.
+//!
+//! # Usage
+//!
+//! ```
+//! use edb_runtime::tasks::task_runtime_asm;
+//! use edb_mcu::asm::assemble;
+//!
+//! // Protect two NV words; boundary at the top of every iteration.
+//! let app = format!(r#"
+//!     .org 0x4400
+//! init:
+//!     movi sp, 0x2400
+//! loop:
+//!     call __tk_boundary
+//!     movi r1, 0x6000
+//!     ld   r0, [r1]
+//!     add  r0, 1
+//!     st   [r1], r0
+//!     jmp  loop
+//! {runtime}
+//!     .org 0xFFFE
+//!     .word __tk_boot
+//! "#, runtime = task_runtime_asm("init", &[0x6000, 0x6002]));
+//! let image = assemble(&app)?;
+//! assert!(image.symbol("__tk_boundary").is_some());
+//! # Ok::<(), edb_mcu::asm::AsmError>(())
+//! ```
+
+use crate::{runtime_asm, SEL_BUF0, SEL_BUF1};
+use std::fmt::Write as _;
+
+/// FRAM address of the task runtime's shadow area.
+pub const SHADOW_ORG: u16 = 0xDA00;
+
+/// Generates the task runtime: the checkpointing core plus shadow
+/// versioning of `protected` non-volatile word addresses.
+///
+/// Point the reset vector at `__tk_boot` and call `__tk_boundary` at
+/// every task boundary. Like `__cp_checkpoint`, the boundary clobbers
+/// `r11`–`r13`.
+///
+/// # Panics
+///
+/// Panics if more than 64 words are protected (the shadow area is
+/// statically sized).
+pub fn task_runtime_asm(init_label: &str, protected: &[u16]) -> String {
+    assert!(
+        protected.len() <= 64,
+        "at most 64 protected words ({} given)",
+        protected.len()
+    );
+    let shadow_bytes = (protected.len().max(1) * 2) as u16;
+
+    let mut save_lines = String::new();
+    for (i, addr) in protected.iter().enumerate() {
+        let off = i * 2;
+        let _ = writeln!(save_lines, "    movi r11, {addr:#06x}");
+        let _ = writeln!(save_lines, "    ld   r12, [r11]");
+        let _ = writeln!(save_lines, "    st   [r13 + {off}], r12");
+    }
+    let mut restore_lines = String::new();
+    for (i, addr) in protected.iter().enumerate() {
+        let off = i * 2;
+        let _ = writeln!(restore_lines, "    ld   r12, [r13 + {off}]");
+        let _ = writeln!(restore_lines, "    movi r11, {addr:#06x}");
+        let _ = writeln!(restore_lines, "    st   [r11], r12");
+    }
+
+    format!(
+        r#"
+; ------------------------------------------------------------------
+; edb-runtime tasks: DINO-style NV versioning over the checkpoint core
+; ------------------------------------------------------------------
+.org {shadow_org:#06x}
+__tk_shadow0: .space {shadow_bytes}
+__tk_shadow1: .space {shadow_bytes}
+
+; Task boundary: version the protected NV words into the inactive
+; shadow, then collect a checkpoint — the checkpoint's single-word
+; commit publishes both. Clobbers r11-r13.
+__tk_boundary:
+    movi r12, __cp_sel
+    ld   r12, [r12]
+    cmpi r12, {sel0:#04x}
+    jz   __tkb_to1
+    movi r13, __tk_shadow0
+    jmp  __tkb_copy
+__tkb_to1:
+    movi r13, __tk_shadow1
+__tkb_copy:
+{save_lines}
+    call __cp_checkpoint
+    ret
+
+; Boot: roll the protected NV words back to the committed version, then
+; restore the matching volatile checkpoint. First boot falls through to
+; the application's init label.
+__tk_boot:
+    movi sp, 0x2400
+    movi r12, __cp_sel
+    ld   r12, [r12]
+    cmpi r12, {sel0:#04x}
+    jz   __tkb_use0
+    cmpi r12, {sel1:#04x}
+    jz   __tkb_use1
+    jmp  {init}
+__tkb_use0:
+    movi r13, __tk_shadow0
+    call __tk_nv_restore
+    movi r13, __cp_buf0
+    jmp  __cp_restore
+__tkb_use1:
+    movi r13, __tk_shadow1
+    call __tk_nv_restore
+    movi r13, __cp_buf1
+    jmp  __cp_restore
+
+; Restore the protected words from the shadow at r13.
+__tk_nv_restore:
+{restore_lines}
+    ret
+
+{core}
+"#,
+        shadow_org = SHADOW_ORG,
+        sel0 = SEL_BUF0,
+        sel1 = SEL_BUF1,
+        init = init_label,
+        core = runtime_asm(init_label),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_device::{Device, DeviceConfig};
+    use edb_energy::{Fading, SimTime, TheveninSource};
+    use edb_mcu::asm::assemble;
+
+    /// A two-word "bank transfer" that is only correct if both writes
+    /// commit atomically: ping-pong 1 unit between A and B forever, with
+    /// the invariant A + B == 1000 at every task boundary.
+    fn transfer_app(with_boundary: bool) -> edb_mcu::Image {
+        let boundary = if with_boundary {
+            "call __tk_boundary"
+        } else {
+            "nop"
+        };
+        let src = format!(
+            r#"
+            .equ ACCT_A, 0x6000
+            .equ ACCT_B, 0x6002
+            .equ MAGIC,  0x6004
+            .org 0x4400
+            init:
+                movi sp, 0x2400
+                movi r1, MAGIC
+                ld   r0, [r1]
+                cmpi r0, 0x77AA
+                jz   go
+                movi r2, 1000
+                movi r3, ACCT_A
+                st   [r3], r2
+                movi r2, 0
+                movi r3, ACCT_B
+                st   [r3], r2
+                movi r0, 0x77AA
+                st   [r1], r0
+            go:
+            loop:
+                {boundary}
+                movi r1, ACCT_A
+                ld   r2, [r1]
+                cmpi r2, 0
+                jz   refill_a
+                ; debit A, credit B — a non-atomic pair
+                sub  r2, 1
+                st   [r1], r2
+                movi r1, ACCT_B
+                ld   r3, [r1]
+                add  r3, 1
+                st   [r1], r3
+                jmp  loop
+            refill_a:
+                ; move one back the other way (also non-atomic)
+                movi r1, ACCT_B
+                ld   r3, [r1]
+                sub  r3, 1
+                st   [r1], r3
+                movi r1, ACCT_A
+                ld   r2, [r1]
+                add  r2, 1
+                st   [r1], r2
+                jmp  loop
+            {runtime}
+            .org 0xFFFE
+            .word __tk_boot
+            "#,
+            runtime = task_runtime_asm("init", &[0x6000, 0x6002]),
+        );
+        assemble(&src).expect("transfer app assembles")
+    }
+
+    /// Counts invariant violations observed 1 ms after each turn-on —
+    /// late enough for the boot-time rollback to have run, early enough
+    /// that the loop is at (or just past) a boundary.
+    fn invariant_violations(image: &edb_mcu::Image, seed: u64) -> (u32, u64) {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(image);
+        let mut src = Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, seed);
+        let mut violations = 0u32;
+        let mut check_at: Option<SimTime> = None;
+        while dev.now() < SimTime::from_secs(3) {
+            let step = dev.step(&mut src, 0.0);
+            if step.power_edge == Some(edb_energy::PowerEdge::TurnOn) && dev.reboots() > 0 {
+                check_at = Some(dev.now() + SimTime::from_ms(1));
+            }
+            if let Some(t) = check_at {
+                if dev.now() >= t {
+                    check_at = None;
+                    if dev.powered() && dev.mem().peek_word(0x6004) == 0x77AA {
+                        let a = dev.mem().peek_word(0x6000);
+                        let b = dev.mem().peek_word(0x6002);
+                        if a as u32 + b as u32 != 1000 {
+                            violations += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (violations, dev.total_instructions())
+    }
+
+    #[test]
+    fn task_runtime_assembles_with_symbols() {
+        let image = transfer_app(true);
+        for sym in ["__tk_boundary", "__tk_boot", "__tk_shadow0", "__cp_checkpoint"] {
+            assert!(image.symbol(sym).is_some(), "missing {sym}");
+        }
+    }
+
+    #[test]
+    fn without_boundaries_the_invariant_breaks_under_intermittence() {
+        // The bare app points its vector at __tk_boot but never collects
+        // a boundary, so every reboot restarts at init with whatever
+        // half-committed NV state the failure left: A+B drifts.
+        let image = transfer_app(false);
+        let mut total_violations = 0;
+        for seed in 0..3 {
+            total_violations += invariant_violations(&image, seed).0;
+        }
+        assert!(
+            total_violations > 0,
+            "the non-atomic transfer must be observed broken"
+        );
+    }
+
+    #[test]
+    fn boundaries_make_iterations_atomic() {
+        let image = transfer_app(true);
+        for seed in 0..3 {
+            let (violations, instructions) = invariant_violations(&image, seed);
+            assert_eq!(violations, 0, "seed {seed}: invariant broke");
+            assert!(instructions > 100_000, "seed {seed}: made real progress");
+        }
+    }
+
+    #[test]
+    fn continuous_power_behaviour_is_unchanged() {
+        let image = transfer_app(true);
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&image);
+        let mut supply = TheveninSource::new(3.0, 10.0);
+        while dev.now() < SimTime::from_secs(1) {
+            dev.step(&mut supply, 0.0);
+        }
+        let a = dev.mem().peek_word(0x6000);
+        let b = dev.mem().peek_word(0x6002);
+        assert_eq!(a as u32 + b as u32, 1000, "invariant holds continuously");
+        assert!(dev.total_instructions() > 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn protected_set_is_bounded() {
+        let many: Vec<u16> = (0..65).map(|i| 0x6000 + i * 2).collect();
+        let _ = task_runtime_asm("init", &many);
+    }
+}

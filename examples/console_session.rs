@@ -1,0 +1,77 @@
+//! A scripted tour of the debug console (Table 1): charge, discharge,
+//! breakpoints, traces, and memory access from the command line.
+//!
+//! ```sh
+//! cargo run --release --example console_session
+//! ```
+
+use edb_suite::core::{libedb, Console, System};
+use edb_suite::device::DeviceConfig;
+use edb_suite::energy::{Fading, SimTime, TheveninSource};
+use edb_suite::mcu::asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with an internal breakpoint in its loop: `break en 2`
+    // arms it from the console; the energy condition makes it combined.
+    let image = assemble(&libedb::wrap_program(
+        r#"
+        .equ COUNTER, 0x6000
+        .org 0x4400
+        main:
+            movi sp, 0x2400
+            ei
+        loop:
+            movi r1, COUNTER
+            ld   r0, [r1]
+            add  r0, 1
+            st   [r1], r0
+            movi r0, 2
+            call __edb_breakpoint      ; site id 2
+            jmp  loop
+        .org 0xFFFC
+        .word __edb_isr
+        .org 0xFFFE
+        .word main
+        "#,
+    ))?;
+    let mut sys = System::new(
+        DeviceConfig::wisp5(),
+        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 3)),
+    );
+    sys.flash(&image);
+
+    let mut console = Console::new();
+    let mut exec = |cmd: &str, sys: &mut System| {
+        println!("(edb) {cmd}");
+        match console.execute(cmd, sys) {
+            Ok(out) => {
+                for line in out.lines().take(6) {
+                    println!("      {line}");
+                }
+            }
+            Err(e) => println!("      error: {e}"),
+        }
+    };
+
+    exec("status", &mut sys);
+    exec("charge 2.4", &mut sys);
+    exec("run 50", &mut sys);
+    exec("status", &mut sys);
+    exec("trace energy", &mut sys);
+    // Arm the combined breakpoint: code point 2, but only below 2.0 V.
+    exec("break en 2 2.0", &mut sys);
+    println!("(edb) ; running until the breakpoint triggers in a low-energy iteration...");
+    let hit = sys.run_until(SimTime::from_secs(2), |s| {
+        s.edb().is_some_and(|e| e.session_active())
+    });
+    println!("      breakpoint hit: {hit} (Vcap {:.2} V)", sys.device().v_cap());
+    exec("read 0x6000", &mut sys);
+    exec("write 0x6000 0x0000", &mut sys);
+    exec("read 0x6000", &mut sys);
+    exec("break dis 2", &mut sys);
+    exec("resume", &mut sys);
+    exec("run 20", &mut sys);
+    exec("read 0x6000", &mut sys); // fails: no session — shows the guard rails
+    exec("status", &mut sys);
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! §6.1 — Ekho-style record/replay plus EDB: make a heisenbug
+//! repeatable, *then* debug it.
+//!
+//! Ekho records a live harvesting environment and replays it; EDB
+//! explains what the program did inside it. Together: record the
+//! unrepeatable field conditions once, then replay them identically as
+//! many times as the investigation needs — adding instrumentation
+//! between runs without losing the failure.
+//!
+//! ```sh
+//! cargo run --release --example ekho_replay
+//! ```
+
+use edb_suite::apps::linked_list as ll;
+use edb_suite::core::System;
+use edb_suite::device::{Device, DeviceConfig};
+use edb_suite::energy::{ekho, Fading, SimTime, TheveninSource};
+use edb_suite::mcu::RESET_VECTOR;
+
+fn main() {
+    // 1. The unrepeatable field environment: RF with live fading.
+    let mut live = Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 0);
+    println!("recording 10 s of the live RF environment at 1 ms resolution...");
+    let tape = ekho::record(
+        &mut live,
+        1500.0,
+        2.1,
+        SimTime::from_secs(10),
+        SimTime::from_ms(1),
+    );
+    println!("tape: {} samples ({} bytes as CSV)\n", tape.len(), tape.to_csv().len());
+
+    // 2. Replay against the buggy app — the failure is now a fixture.
+    let strike = |tape: &ekho::Tape| {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&ll::image(ll::Variant::Plain));
+        let mut src = ekho::replay(tape, 1500.0);
+        while dev.now() < SimTime::from_secs(10) {
+            dev.step(&mut src, 0.0);
+            if dev.mem().peek_word(RESET_VECTOR) != 0x4400 {
+                return Some(dev.now());
+            }
+        }
+        None
+    };
+    let t1 = strike(&tape);
+    let t2 = strike(&tape);
+    println!("replay 1: bug strikes at {:?}", t1.map(|t| t.to_string()));
+    println!("replay 2: bug strikes at {:?}  (identical — that's the point)\n", t2.map(|t| t.to_string()));
+    assert_eq!(t1, t2);
+
+    // 3. Now replay the same tape with the *instrumented* build and EDB
+    //    attached: the assert catches the same failure live.
+    let mut sys = System::new(
+        DeviceConfig::wisp5(),
+        Box::new(ekho::replay(&tape, 1500.0)),
+    );
+    sys.flash(&ll::image(ll::Variant::Assert));
+    let caught = sys.run_until(SimTime::from_secs(10), |s| {
+        s.edb().is_some_and(|e| e.session_active())
+    });
+    println!("replay 3 (assert build + EDB): caught={caught} at {}", sys.now());
+    let tail = sys.debug_read_word(ll::TAILP).expect("read");
+    println!("  (edb) read TAILP -> {tail:#06x}  — the same stale tail, now on a live device");
+    println!("\nworkflow: field failure -> tape -> deterministic replays -> root cause.");
+}

@@ -1,0 +1,88 @@
+//! Quickstart: write an intermittent program, run it on harvested power,
+//! and watch it through EDB.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use edb_suite::core::{libedb, DebugEvent, System};
+use edb_suite::device::DeviceConfig;
+use edb_suite::energy::{Fading, SimTime, TheveninSource};
+use edb_suite::mcu::asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A target program in the device's assembly: count in FRAM, pulse
+    //    a watchpoint each lap, and print the counter via EDB printf
+    //    every 256 laps. `wrap_program` links in the libEDB routines.
+    let image = assemble(&libedb::wrap_program(
+        r#"
+        .equ COUNTER, 0x6000
+        .org 0x4400
+        main:
+            movi sp, 0x2400
+        loop:
+            movi r0, 1
+            out  CODE_MARKER, r0        ; watchpoint 1: loop heartbeat
+            movi r1, COUNTER
+            ld   r0, [r1]
+            add  r0, 1
+            st   [r1], r0               ; progress survives power failures
+            and  r0, 0xFF
+            cmpi r0, 0
+            jnz  loop
+            movi r1, COUNTER
+            ld   r0, [r1]
+            call __edb_print_hex16      ; energy-interference-free printf
+            jmp  loop
+        .org 0xFFFE
+        .word main
+        "#,
+    ))?;
+
+    // 2. The bench: a WISP-like target on an RF-like harvested supply,
+    //    with EDB on its header.
+    let mut sys = System::new(
+        DeviceConfig::wisp5(),
+        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 1)),
+    );
+    sys.flash(&image);
+
+    // 3. Run two seconds of wall-clock time on harvested power.
+    sys.run_for(SimTime::from_secs(2));
+
+    // 4. What happened?
+    let dev = sys.device();
+    println!("powered {} times, browned out {} times", dev.turn_ons(), dev.reboots());
+    println!(
+        "counter reached {} across all those reboots (FRAM persists!)",
+        dev.mem().peek_word(0x6000)
+    );
+
+    let edb = sys.edb().expect("attached");
+    println!(
+        "EDB logged {} watchpoint pulses and {} energy samples",
+        edb.log().with_tag("watchpoint").count(),
+        edb.log().with_tag("energy").count(),
+    );
+    println!("printf lines (cost the target almost nothing):");
+    for line in edb.log().printf_lines().iter().take(8) {
+        println!("  target> {line}");
+    }
+
+    // A brief energy-trace excerpt: the sawtooth of intermittent life.
+    println!("energy trace excerpt:");
+    let mut shown = 0;
+    for ev in edb.log().with_tag("energy") {
+        if let DebugEvent::EnergySample { v_cap, .. } = ev.event {
+            if shown % 40 == 0 {
+                let bar = "#".repeat((v_cap * 20.0) as usize);
+                println!("  {:>10} {v_cap:.2} V |{bar}", ev.at.to_string());
+            }
+            shown += 1;
+        }
+        if shown > 400 {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! `edb-cli` — the interactive debug console against a simulated bench.
+//!
+//! The closest thing this reproduction has to plugging the real EDB
+//! board into a WISP and opening the Python console: pick a bundled
+//! target application, get a prompt, and drive the Table 1 command set
+//! (plus `sym`/`disasm`) against a live intermittent device.
+//!
+//! ```sh
+//! cargo run --release --bin edb-cli -- --app linked-list-assert
+//! cargo run --release --bin edb-cli -- --app activity --script "charge 2.4; run 500; trace printf"
+//! ```
+
+use edb_suite::apps::{activity, fib, linked_list, rfid_fw};
+use edb_suite::core::{libedb, Console, System};
+use edb_suite::device::DeviceConfig;
+use edb_suite::energy::{Fading, SimTime, TheveninSource};
+use edb_suite::mcu::asm::assemble;
+use edb_suite::rfid::ReaderConfig;
+use std::io::{BufRead, Write};
+
+const APPS: &[(&str, &str)] = &[
+    ("spin", "a bare counting loop (default)"),
+    ("linked-list", "the Figure 6 intermittence bug, uninstrumented"),
+    ("linked-list-assert", "the same bug with the keep-alive assert"),
+    ("linked-list-atomic", "the DINO-style task-atomic fix"),
+    ("fib-checked", "Fibonacci list with the O(n) consistency check"),
+    ("fib-guarded", "the same check inside energy guards"),
+    ("activity", "activity recognition with EDB printf"),
+    ("rfid", "the WISP RFID firmware under a reader (RF world)"),
+];
+
+fn spin_image() -> edb_suite::mcu::Image {
+    assemble(&libedb::wrap_program(
+        r#"
+        .equ COUNTER, 0x6000
+        .org 0x4400
+        main:
+            movi sp, 0x2400
+            ei
+        loop:
+            movi r1, COUNTER
+            ld   r0, [r1]
+            add  r0, 1
+            st   [r1], r0
+            jmp  loop
+        .org 0xFFFC
+        .word __edb_isr
+        .org 0xFFFE
+        .word main
+        "#,
+    ))
+    .expect("spin app assembles")
+}
+
+fn build_system(app: &str, seed: u64) -> Option<System> {
+    let harvested = || -> Box<dyn edb_suite::energy::Harvester> {
+        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, seed))
+    };
+    let mut sys = match app {
+        "rfid" => {
+            let device = DeviceConfig {
+                i_active: 0.95e-3,
+                ..DeviceConfig::wisp5()
+            };
+            let reader = ReaderConfig {
+                query_period: SimTime::from_ms(260),
+                rep_gap: SimTime::from_ms(65),
+                reps_per_round: 3,
+                ..ReaderConfig::paper_setup()
+            };
+            let mut sys = System::with_rfid_reader(device, reader, 1.0, seed);
+            sys.flash(&rfid_fw::image());
+            return Some(sys);
+        }
+        _ => System::new(DeviceConfig::wisp5(), harvested()),
+    };
+    let image = match app {
+        "spin" => spin_image(),
+        "linked-list" => linked_list::image(linked_list::Variant::Plain),
+        "linked-list-assert" => linked_list::image(linked_list::Variant::Assert),
+        "linked-list-atomic" => linked_list::image(linked_list::Variant::TaskAtomic),
+        "fib-checked" => fib::image(fib::Variant::Checked),
+        "fib-guarded" => fib::image(fib::Variant::Guarded),
+        "activity" => activity::image(activity::Variant::EdbPrintf),
+        _ => return None,
+    };
+    sys.flash(&image);
+    Some(sys)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut app = "spin".to_string();
+    let mut script: Option<String> = None;
+    let mut seed = 1u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" if i + 1 < args.len() => {
+                app = args[i + 1].clone();
+                i += 2;
+            }
+            "--script" if i + 1 < args.len() => {
+                script = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(1);
+                i += 2;
+            }
+            "--list" => {
+                println!("bundled target applications:");
+                for (name, what) in APPS {
+                    println!("  {name:<20} {what}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(mut sys) = build_system(&app, seed) else {
+        eprintln!("unknown app `{app}`; options:");
+        for (name, what) in APPS {
+            eprintln!("  {name:<20} {what}");
+        }
+        std::process::exit(2);
+    };
+    let mut console = Console::new();
+
+    println!("edb-cli — energy-interference-free debugging of a simulated intermittent device");
+    println!("target: {app}   (type `help` for commands, `quit` to exit)");
+    println!("tip: `run 500` advances simulated time; nothing happens until you run.");
+
+    let handle_line = |line: &str, sys: &mut System, console: &mut Console| -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        if line == "quit" || line == "exit" {
+            return false;
+        }
+        match console.execute(line, sys) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) if out.ends_with('\n') => print!("{out}"),
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+        true
+    };
+
+    if let Some(script) = script {
+        for cmd in script.split(';') {
+            println!("(edb) {}", cmd.trim());
+            if !handle_line(cmd, &mut sys, &mut console) {
+                break;
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("(edb) ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !handle_line(&line, &mut sys, &mut console) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

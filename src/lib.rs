@@ -1,0 +1,29 @@
+//! **edb-suite** — the facade crate of the EDB reproduction.
+//!
+//! This workspace reproduces *"An Energy-interference-free
+//! Hardware-Software Debugger for Intermittent Energy-harvesting
+//! Systems"* (Colin, Harvey, Lucia & Sample, ASPLOS 2016) as a pure-Rust
+//! simulation, from the electrons up:
+//!
+//! * [`energy`] — capacitors, harvesters, supervisors, traces;
+//! * [`mcu`] — a 16-bit MSP430-class CPU, its assembler, and the
+//!   volatile-SRAM/non-volatile-FRAM memory split;
+//! * [`device`] — the WISP-like intermittent target, stepped one
+//!   instruction at a time with per-instruction energy integration;
+//! * [`rfid`] — the Gen2-style reader that powers and talks to the tag;
+//! * [`core`] — **EDB itself**: passive monitoring, active energy
+//!   manipulation, keep-alive assertions, energy guards, breakpoints,
+//!   energy-interference-free printf, and the debug console;
+//! * [`runtime`] — a Mementos-style checkpointing runtime;
+//! * [`apps`] — the paper's workloads, written in the target's assembly.
+//!
+//! See `examples/` for runnable walkthroughs of the paper's §5 case
+//! studies and `crates/bench` for the table/figure reproductions.
+
+pub use edb_apps as apps;
+pub use edb_core as core;
+pub use edb_device as device;
+pub use edb_energy as energy;
+pub use edb_mcu as mcu;
+pub use edb_rfid as rfid;
+pub use edb_runtime as runtime;

@@ -1,0 +1,196 @@
+//! Integration tests of the §6 related-work substrates built alongside
+//! EDB: Ekho-style record/replay, the DINO-style task runtime, and
+//! §3.3.3's "energy guards around non-intermittence-safe third-party
+//! code".
+
+use edb_suite::apps::linked_list as ll;
+use edb_suite::core::{libedb, System};
+use edb_suite::device::{Device, DeviceConfig};
+use edb_suite::energy::{ekho, Fading, SimTime, TheveninSource};
+use edb_suite::mcu::asm::assemble;
+use edb_suite::mcu::RESET_VECTOR;
+
+#[test]
+fn ekho_replay_makes_the_heisenbug_repeatable() {
+    // §6.1: Ekho "can reproduce problematic program behavior". Record a
+    // live fading environment once; the buggy app then fails at the
+    // *identical* instant on every replay — a heisenbug made repeatable.
+    let mut live = Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 0);
+    let tape = ekho::record(
+        &mut live,
+        1500.0,
+        2.1,
+        SimTime::from_secs(10),
+        SimTime::from_ms(1),
+    );
+
+    let strike_time = |tape: &ekho::Tape| -> Option<SimTime> {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&ll::image(ll::Variant::Plain));
+        let mut src = ekho::replay(tape, 1500.0);
+        while dev.now() < SimTime::from_secs(10) {
+            dev.step(&mut src, 0.0);
+            if dev.mem().peek_word(RESET_VECTOR) != 0x4400 {
+                return Some(dev.now());
+            }
+        }
+        None
+    };
+
+    let first = strike_time(&tape);
+    let second = strike_time(&tape);
+    assert_eq!(first, second, "replays must fail identically");
+    // (Whether it strikes within this tape is seed-dependent; the
+    // repeatability is the property. With seed 0 it does strike.)
+    assert!(first.is_some(), "seed 0's environment reproduces the bug");
+}
+
+#[test]
+fn ekho_tape_survives_csv_round_trip_with_identical_behaviour() {
+    let mut live = Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 3);
+    let tape = ekho::record(
+        &mut live,
+        1500.0,
+        2.1,
+        SimTime::from_secs(1),
+        SimTime::from_ms(1),
+    );
+    let csv = tape.to_csv();
+    let restored = ekho::Tape::from_csv(&csv).expect("parses");
+
+    let run = |tape: &ekho::Tape| {
+        let mut dev = Device::new(DeviceConfig::wisp5());
+        dev.flash(&ll::image(ll::Variant::Plain));
+        let mut src = ekho::replay(tape, 1500.0);
+        while dev.now() < SimTime::from_secs(1) {
+            dev.step(&mut src, 0.0);
+        }
+        (dev.reboots(), dev.total_instructions())
+    };
+    // CSV quantizes v_oc to 1e-6 V; behaviour stays statistically
+    // identical (reboot count must match exactly here).
+    assert_eq!(run(&tape).0, run(&restored).0);
+}
+
+/// §3.3.3: "As long as third-party library calls are wrapped in energy
+/// guards, intermittence failures are guaranteed to not occur within
+/// the library." The "library" here is a routine that rebuilds a 16-word
+/// NV table in place — safe on continuous power, corruptible by a reboot
+/// midway.
+fn library_app(guarded: bool) -> edb_suite::mcu::Image {
+    let (pre, post) = if guarded {
+        ("call __edb_guard_begin", "call __edb_guard_end")
+    } else {
+        ("nop", "nop")
+    };
+    let src = format!(
+        r#"
+        .equ TABLE, 0x7000
+        .equ GEN,   0x7040
+        .equ BAD,   0x7042
+        .org 0x4400
+        main:
+            movi sp, 0x2400
+        loop:
+            ; --- verify the whole table is one generation (host checks too)
+            movi r1, TABLE
+            ld   r2, [r1]              ; expected generation
+            movi r3, 16
+        vloop:
+            ld   r4, [r1]
+            cmp  r4, r2
+            jz   vok
+            movi r5, BAD
+            ld   r6, [r5]
+            add  r6, 1
+            st   [r5], r6
+            jmp  vdone
+        vok:
+            add  r1, 2
+            sub  r3, 1
+            jnz  vloop
+        vdone:
+            ; --- the third-party library call: bump every entry to the
+            ;     next generation, one word at a time (not power-safe!)
+            {pre}
+            movi r1, GEN
+            ld   r2, [r1]
+            add  r2, 1
+            st   [r1], r2
+            movi r1, TABLE
+            movi r3, 16
+        wloop:
+            st   [r1], r2
+            add  r1, 2
+            sub  r3, 1
+            jnz  wloop
+            {post}
+            jmp  loop
+        .org 0xFFFE
+        .word main
+        "#
+    );
+    assemble(&libedb::wrap_program(&src)).expect("library app assembles")
+}
+
+fn table_mixed_generations(dev: &Device) -> bool {
+    let first = dev.mem().peek_word(0x7000);
+    (1..16).any(|k| dev.mem().peek_word(0x7000 + k * 2) != first)
+}
+
+#[test]
+fn unguarded_library_call_corrupts_under_intermittence() {
+    let mut sys = System::new(
+        DeviceConfig::wisp5(),
+        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 2)),
+    );
+    sys.flash(&library_app(false));
+    let mut mixed_after_reboot = 0u32;
+    let mut reboots_seen = 0u64;
+    while sys.now() < SimTime::from_secs(3) {
+        let step = sys.step();
+        if step.power_edge == Some(edb_suite::energy::PowerEdge::BrownOut) {
+            reboots_seen += 1;
+            if table_mixed_generations(sys.device()) {
+                mixed_after_reboot += 1;
+            }
+        }
+    }
+    assert!(reboots_seen > 10);
+    assert!(
+        mixed_after_reboot > 0,
+        "a reboot mid-rebuild must leave a mixed-generation table"
+    );
+}
+
+#[test]
+fn guards_make_the_library_call_atomic() {
+    let mut sys = System::new(
+        DeviceConfig::wisp5(),
+        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 2)),
+    );
+    sys.flash(&library_app(true));
+    let mut reboots_seen = 0u64;
+    while sys.now() < SimTime::from_secs(3) {
+        let step = sys.step();
+        if step.power_edge == Some(edb_suite::energy::PowerEdge::BrownOut) {
+            reboots_seen += 1;
+            assert!(
+                !table_mixed_generations(sys.device()),
+                "guarded library region must never be interrupted (reboot {reboots_seen})"
+            );
+        }
+    }
+    assert!(reboots_seen > 5, "still intermittent outside the guards");
+    let guards = sys
+        .edb()
+        .map(|e| e.log().with_tag("guard-enter").count())
+        .unwrap_or(0);
+    assert!(guards > 50, "the library ran under guards ({guards} episodes)");
+    // And the target's own verifier agrees: no mixed generations seen.
+    assert_eq!(
+        sys.device().mem().peek_word(0x7042),
+        0,
+        "target-side verifier must never trip in the guarded build"
+    );
+}
