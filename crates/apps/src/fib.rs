@@ -290,9 +290,7 @@ pub fn read_list(mem: &edb_mcu::Memory) -> Option<Vec<u16>> {
 
 /// Whether `values` follows the (wrapping) Fibonacci recurrence.
 pub fn is_fibonacci(values: &[u16]) -> bool {
-    values
-        .windows(3)
-        .all(|w| w[2] == w[0].wrapping_add(w[1]))
+    values.windows(3).all(|w| w[2] == w[0].wrapping_add(w[1]))
 }
 
 #[cfg(test)]

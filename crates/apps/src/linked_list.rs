@@ -218,9 +218,7 @@ ms_loop:
                 ITER_COUNT,
             ];
             let runtime = edb_runtime::tasks::task_runtime_asm("main", &protected);
-            libedb::wrap_program(&format!(
-                "{app}\n{runtime}\n.org 0xFFFE\n.word __tk_boot\n"
-            ))
+            libedb::wrap_program(&format!("{app}\n{runtime}\n.org 0xFFFE\n.word __tk_boot\n"))
         }
         _ => libedb::wrap_program(&format!("{app}\n.org 0xFFFE\n.word main\n")),
     }
@@ -336,7 +334,7 @@ mod tests {
         // main loop stops forever and the reset vector is corrupted.
         let mut dev = Device::new(DeviceConfig::wisp5());
         dev.flash(&image(Variant::Plain));
-        let mut src = harvested(1);
+        let mut src = harvested(2);
         let end = SimTime::from_secs(30);
         let mut corrupted_at = None;
         while dev.now() < end {

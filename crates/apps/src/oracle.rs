@@ -161,7 +161,10 @@ mod tests {
     fn plain_build_has_exactly_the_two_commit_races() {
         let results = explore_linked_list(ll::Variant::Plain);
         let race_sites = sites_with(&results, Outcome::Bricked);
-        let hung = results.iter().filter(|r| r.outcome == Outcome::Hung).count();
+        let hung = results
+            .iter()
+            .filter(|r| r.outcome == Outcome::Hung)
+            .count();
         // One commit race in append and one in remove: cutting after
         // exactly two distinct instructions bricks the device.
         assert_eq!(

@@ -54,10 +54,9 @@ fn bench_system_with_edb(c: &mut Criterion) {
     group.bench_function("step_10k_with_edb_attached", |b| {
         b.iter_batched(
             || {
-                let mut sys = System::new(
-                    DeviceConfig::wisp5(),
-                    Box::new(TheveninSource::new(3.2, 1500.0)),
-                );
+                let mut sys = System::builder(DeviceConfig::wisp5())
+                    .harvester(TheveninSource::new(3.2, 1500.0))
+                    .build();
                 sys.flash(&spin_image());
                 sys.device_mut().set_v_cap(2.45);
                 sys
@@ -129,10 +128,9 @@ fn bench_charge_convergence(c: &mut Criterion) {
     c.bench_function("edb_charge_1v8_to_2v4", |b| {
         b.iter_batched(
             || {
-                let mut sys = System::new(
-                    DeviceConfig::wisp5(),
-                    Box::new(TheveninSource::new(3.2, 1500.0)),
-                );
+                let mut sys = System::builder(DeviceConfig::wisp5())
+                    .harvester(TheveninSource::new(3.2, 1500.0))
+                    .build();
                 sys.flash(&spin_image());
                 sys.device_mut().set_v_cap(1.8);
                 sys

@@ -12,6 +12,7 @@
 //!    overhead trade-off.
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_core::{DebugEvent, Edb, EdbConfig, System};
 use edb_device::{Device, DeviceConfig};
@@ -22,7 +23,8 @@ use edb_runtime::runtime_asm;
 /// Ablation 1: raise the idle activity fraction of the wiring by
 /// simulating a cheap debugger built with leakier buffers, modeled as a
 /// constant parasitic drain. Measures reboot-cadence distortion.
-fn leakage_ablation(report: &mut Report) {
+fn leakage_ablation() -> Report {
+    let mut report = Report::new("leakage_ablation");
     let image = edb_apps::activity::image(edb_apps::activity::Variant::NoPrint);
     let run = |extra_drain: f64| {
         let mut dev = Device::new(DeviceConfig::wisp5());
@@ -52,17 +54,21 @@ fn leakage_ablation(report: &mut Report) {
             report.metric("usb_class_distortion_pct", delta);
         }
     }
+    report
 }
 
 /// Ablation 2: the guard restore band. A loose band quietly *donates*
 /// energy to the target at every guard exit, corrupting the measured
 /// application behaviour.
-fn guard_band_ablation(report: &mut Report) {
+fn guard_band_ablation() -> Report {
+    let mut report = Report::new("guard_band_ablation");
     report.line(String::new());
     report.line("guard restore band vs per-guard energy error:".to_string());
     let image = edb_apps::activity::image(edb_apps::activity::Variant::EdbPrintf);
     for band_mv in [2.0, 4.0, 20.0, 60.0] {
-        let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(22)));
+        let mut sys = System::builder(DeviceConfig::wisp5())
+            .harvester(harness::harvested(22))
+            .build();
         sys.attach_edb(Edb::new(EdbConfig {
             guard_band: band_mv / 1e3,
             ..EdbConfig::prototype()
@@ -95,16 +101,20 @@ fn guard_band_ablation(report: &mut Report) {
             report.metric("loose_band_err_mv", mean);
         }
     }
+    report
 }
 
 /// Ablation 3: debugger tick period vs keep-alive margin — how far the
 /// target's voltage falls between the assert signal and the tether.
-fn tick_latency_ablation(report: &mut Report) {
+fn tick_latency_ablation() -> Report {
+    let mut report = Report::new("tick_latency_ablation");
     report.line(String::new());
     report.line("debugger tick period vs keep-alive margin at the assert:".to_string());
     let image = edb_apps::linked_list::image(edb_apps::linked_list::Variant::Assert);
     for tick_us in [20u64, 200, 1000, 5000] {
-        let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(1)));
+        let mut sys = System::builder(DeviceConfig::wisp5())
+            .harvester(harness::harvested(1))
+            .build();
         sys.attach_edb(Edb::new(EdbConfig {
             tick_period: SimTime::from_us(tick_us),
             ..EdbConfig::prototype()
@@ -129,11 +139,13 @@ fn tick_latency_ablation(report: &mut Report) {
         "  (a slow debugger loop erodes the margin; a real assert near brown-out would be lost)"
             .to_string(),
     );
+    report
 }
 
 /// Ablation 4: checkpoint interval on the runtime substrate — overhead
 /// when checkpointing every iteration vs every 16th.
-fn checkpoint_interval_ablation(report: &mut Report) {
+fn checkpoint_interval_ablation() -> Report {
+    let mut report = Report::new("checkpoint_interval_ablation");
     report.line(String::new());
     report.line("checkpoint interval vs throughput (counter app, 2 s harvested):".to_string());
     for interval in [1u16, 4, 16] {
@@ -175,16 +187,36 @@ fn checkpoint_interval_ablation(report: &mut Report) {
         ));
         report.metric(format!("cp_interval_{interval}_count"), count as f64);
     }
-    report.line("  (sparser checkpoints amortize runtime cost but re-execute more on failure)".to_string());
+    report.line(
+        "  (sparser checkpoints amortize runtime cost but re-execute more on failure)".to_string(),
+    );
+    report
 }
 
-/// Runs all ablations.
-pub fn run() -> Report {
-    let mut report = Report::new("Ablations: leakage budget, guard band, tick latency, checkpoint interval");
-    leakage_ablation(&mut report);
-    guard_band_ablation(&mut report);
-    tick_latency_ablation(&mut report);
-    checkpoint_interval_ablation(&mut report);
+/// The suite entry for this experiment.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "ablations",
+    title: "Ablations: leakage budget, guard band, tick latency, checkpoint interval",
+    run,
+};
+
+/// The ablations, in the order the report presents them.
+const ABLATIONS: [fn() -> Report; 4] = [
+    leakage_ablation,
+    guard_band_ablation,
+    tick_latency_ablation,
+    checkpoint_interval_ablation,
+];
+
+/// Runs all ablations as independent fragments fanned out through the
+/// runner, merged back in presentation order. Like the claims, each
+/// ablation pins its own scenario seeds, so the report does not depend
+/// on thread count or root seed.
+pub fn run(runner: &Runner) -> Report {
+    let mut report = Report::new(SPEC.title);
+    for fragment in runner.map_trials("ablations", ABLATIONS.len(), |ctx| ABLATIONS[ctx.trial]()) {
+        report.merge(fragment);
+    }
     report
 }
 
@@ -194,7 +226,7 @@ mod tests {
 
     #[test]
     fn ablations_confirm_the_design_choices() {
-        let r = run();
+        let r = run(&Runner::quiet(2, 42));
         // Sub-µA leakage: behaviour essentially unchanged; 100 µA: badly
         // distorted.
         assert!(r.get("edb_class_distortion_pct") < 2.0);

@@ -1,4 +1,9 @@
-//! Runs the design-choice ablations. See `edb_bench::ablations`.
+//! Regenerates the paper's ablations experiment. See `edb_bench::ablations`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed).
 fn main() {
-    println!("{}", edb_bench::ablations::run());
+    let cli = edb_bench::runner::Cli::from_env();
+    for result in cli.runner().run_experiments(&[edb_bench::ablations::SPEC]) {
+        println!("{}", result.report);
+    }
 }

@@ -1,4 +1,9 @@
 //! Regenerates the paper's claims experiment. See `edb_bench::claims`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed).
 fn main() {
-    println!("{}", edb_bench::claims::run());
+    let cli = edb_bench::runner::Cli::from_env();
+    for result in cli.runner().run_experiments(&[edb_bench::claims::SPEC]) {
+        println!("{}", result.report);
+    }
 }

@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig11 experiment. See `edb_bench::fig11`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed).
 fn main() {
-    println!("{}", edb_bench::fig11::run());
+    let cli = edb_bench::runner::Cli::from_env();
+    for result in cli.runner().run_experiments(&[edb_bench::fig11::SPEC]) {
+        println!("{}", result.report);
+    }
 }

@@ -1,23 +1,19 @@
-//! Runs every table/figure experiment and writes a combined summary to
-//! `target/experiments/summary.md`.
+//! Runs every table/figure experiment through the deterministic
+//! parallel runner and writes a combined summary to
+//! `target/experiments/summary.md` plus the machine-readable run
+//! manifest to `target/experiments/manifest.json`.
+//!
+//! Flags: `--threads N` (parallelism budget; `--threads 1` is the
+//! sequential path), `--seed S` (root seed; defaults to 42, the
+//! suite's published numbers).
 fn main() {
+    let cli = edb_bench::runner::Cli::from_env();
+    let runner = cli.runner();
+    let results = runner.run_experiments(&edb_bench::all_specs());
     let mut all = String::new();
-    let reports = vec![
-        edb_bench::table2::run(),
-        edb_bench::table3::run(true),
-        edb_bench::table4::run(),
-        edb_bench::fig2::run(),
-        edb_bench::fig3::run(),
-        edb_bench::fig7::run(),
-        edb_bench::fig9::run(),
-        edb_bench::fig11::run(),
-        edb_bench::fig12::run(),
-        edb_bench::claims::run(),
-        edb_bench::ablations::run(),
-    ];
-    for r in reports {
-        println!("{r}");
-        all.push_str(&format!("{r}\n"));
+    for r in &results {
+        println!("{}", r.report);
+        all.push_str(&format!("{}\n", r.report));
     }
     let path = edb_bench::write_artifact("summary.md", &all);
     println!("combined summary: {path}");

@@ -1,6 +1,16 @@
 //! Regenerates the paper's Table 3. Pass `--sweep` for the
 //! control-period ablation. See `edb_bench::table3`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed),
+//! `--sweep` (control-period ablation).
 fn main() {
-    let sweep = std::env::args().any(|a| a == "--sweep");
-    println!("{}", edb_bench::table3::run(sweep));
+    let cli = edb_bench::runner::Cli::from_env();
+    let spec = if cli.flag("--sweep") {
+        edb_bench::table3::SPEC
+    } else {
+        edb_bench::table3::PLAIN_SPEC
+    };
+    for result in cli.runner().run_experiments(&[spec]) {
+        println!("{}", result.report);
+    }
 }

@@ -5,6 +5,7 @@
 //! target's intermittent behaviour statistically unchanged.
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_apps::linked_list as ll;
 use edb_core::baselines::{JtagDebugger, Oscilloscope};
@@ -16,11 +17,14 @@ use edb_mcu::RESET_VECTOR;
 
 /// Claim 1 — "Powering an LED increases the WISP's current draw by five
 /// times, from around 1 mA to over 5 mA."
-fn led_claim(report: &mut Report) {
+fn led_claim() -> Report {
+    let mut report = Report::new("led_claim");
     // The paper quotes the WISP's idle-ish 1 mA baseline; measure the
     // ratio with that baseline and with our compute-burst calibration.
-    for (label, base) in [("1.0 mA baseline (paper's)", 1.0e-3), ("2.2 mA compute burst", 2.2e-3)]
-    {
+    for (label, base) in [
+        ("1.0 mA baseline (paper's)", 1.0e-3),
+        ("2.2 mA compute burst", 2.2e-3),
+    ] {
         let config = DeviceConfig {
             i_active: base,
             ..DeviceConfig::wisp5()
@@ -52,11 +56,13 @@ fn led_claim(report: &mut Report) {
             report.metric("led_ratio", on / off);
         }
     }
+    report
 }
 
 /// Claim 2 — a JTAG debugger provides continuous power and can never
 /// observe the intermittence bug; EDB-free harvested operation hits it.
-fn jtag_claim(report: &mut Report) {
+fn jtag_claim() -> Report {
+    let mut report = Report::new("jtag_claim");
     let image = ll::image(ll::Variant::Plain);
     let mut jtag = JtagDebugger::attach(DeviceConfig::wisp5(), &image);
     jtag.run_for(SimTime::from_secs(10));
@@ -84,11 +90,13 @@ fn jtag_claim(report: &mut Report) {
     ));
     report.metric("jtag_masked", jtag_ok as u8 as f64);
     report.metric("harvested_struck", struck.is_some() as u8 as f64);
+    report
 }
 
 /// Claim 3 — the oscilloscope sees the sawtooth but not the program
 /// state that explains it.
-fn scope_claim(report: &mut Report) {
+fn scope_claim() -> Report {
+    let mut report = Report::new("scope_claim");
     let image = ll::image(ll::Variant::Plain);
     let mut dev = Device::new(DeviceConfig::wisp5());
     dev.flash(&image);
@@ -104,12 +112,14 @@ fn scope_claim(report: &mut Report) {
         scope.v_cap().min().unwrap_or(0.0),
         scope.v_cap().max().unwrap_or(0.0),
     ));
+    report
 }
 
 /// Claim 4 — §4.1.3: "The main energy cost is the target device holding
 /// a GPIO pin high for one cycle to encode each traced code point ...
 /// we measured the cost of this GPIO-based signaling to be negligible."
-fn watchpoint_cost_claim(report: &mut Report) {
+fn watchpoint_cost_claim() -> Report {
+    let mut report = Report::new("watchpoint_cost_claim");
     let run_iters = |with_marker: bool| {
         let marker = if with_marker {
             "movi r2, 1\n out 0x02, r2"
@@ -135,8 +145,7 @@ fn watchpoint_cost_claim(report: &mut Report) {
     let cyc_without = cycles / without_iters;
     let marker_cycles = cyc_with - cyc_without + 2.0; // vs the 2-cycle nop pad
     let marker_us = marker_cycles / 4.0; // 4 MHz clock
-    let marker_energy_pct =
-        (2.2e-3 * 2.2 * marker_us * 1e-6) / harness::e_max() * 100.0;
+    let marker_energy_pct = (2.2e-3 * 2.2 * marker_us * 1e-6) / harness::e_max() * 100.0;
     // As a fraction of a realistic instrumented iteration (the AR app's
     // ~0.76 ms loop from Table 4):
     let ar_iteration_us = 760.0;
@@ -146,15 +155,19 @@ fn watchpoint_cost_claim(report: &mut Report) {
     ));
     report.metric("watchpoint_cost_pct_of_store", marker_energy_pct);
     report.metric("watchpoint_pct_of_ar_iteration", relative);
+    report
 }
 
 /// Claim 5 — energy-interference-freedom end to end: the same seeded
 /// workload behaves statistically identically with EDB attached
 /// (passively) and with it physically absent.
-fn interference_claim(report: &mut Report) {
+fn interference_claim() -> Report {
+    let mut report = Report::new("interference_claim");
     let image = edb_apps::activity::image(edb_apps::activity::Variant::NoPrint);
     let run = |attached: bool| {
-        let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(77)));
+        let mut sys = System::builder(DeviceConfig::wisp5())
+            .harvester(harness::harvested(77))
+            .build();
         sys.flash(&image);
         if !attached {
             sys.detach_edb();
@@ -174,16 +187,35 @@ fn interference_claim(report: &mut Report) {
     ));
     report.metric("interference_reboot_delta_pct", reboot_delta);
     report.metric("interference_iter_delta_pct", iter_delta);
+    report
 }
 
-/// Runs all claims.
-pub fn run() -> Report {
-    let mut report = Report::new("Scattered claims: LED 5x, JTAG masking, scope, watchpoints, interference");
-    led_claim(&mut report);
-    jtag_claim(&mut report);
-    scope_claim(&mut report);
-    watchpoint_cost_claim(&mut report);
-    interference_claim(&mut report);
+/// The suite entry for this experiment.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "claims",
+    title: "Scattered claims: LED 5x, JTAG masking, scope, watchpoints, interference",
+    run,
+};
+
+/// The claims, in the order the report presents them.
+const CLAIMS: [fn() -> Report; 5] = [
+    led_claim,
+    jtag_claim,
+    scope_claim,
+    watchpoint_cost_claim,
+    interference_claim,
+];
+
+/// Runs all claims: each is an independent fragment fanned out through
+/// the runner and merged back in presentation order. The claims pin
+/// their own scenario seeds (they are narratives about specific traces,
+/// not Monte Carlo trials), so the report is identical at any thread
+/// count and for any root seed.
+pub fn run(runner: &Runner) -> Report {
+    let mut report = Report::new(SPEC.title);
+    for fragment in runner.map_trials("claims", CLAIMS.len(), |ctx| CLAIMS[ctx.trial]()) {
+        report.merge(fragment);
+    }
     report
 }
 
@@ -193,7 +225,7 @@ mod tests {
 
     #[test]
     fn all_claims_hold() {
-        let r = run();
+        let r = run(&Runner::quiet(2, 42));
         assert!(r.get("led_ratio") > 4.0, "LED must multiply current ~5x");
         assert_eq!(r.get("jtag_masked"), 1.0, "JTAG must mask the bug");
         assert_eq!(r.get("harvested_struck"), 1.0);

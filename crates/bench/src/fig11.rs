@@ -2,24 +2,41 @@
 //! recognition application when instrumented with different output
 //! mechanisms": the CDF of per-iteration energy cost.
 
+use crate::runner::{ExperimentSpec, Runner};
 use crate::table4::profile_variant;
 use crate::{write_artifact, Report};
 use edb_apps::activity::Variant;
 use edb_energy::Cdf;
 use std::fmt::Write as _;
 
-/// Runs the Figure 11 experiment.
-pub fn run() -> Report {
-    let mut report = Report::new("Figure 11: per-iteration energy CDF by output mechanism");
+/// The suite entry for this experiment.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig11",
+    title: "Figure 11: per-iteration energy CDF by output mechanism",
+    run,
+};
+
+/// The figure's series, in legend order.
+const SERIES: [(&str, Variant); 3] = [
+    ("No print", Variant::NoPrint),
+    ("UART printf", Variant::UartPrintf),
+    ("EDB printf", Variant::EdbPrintf),
+];
+
+/// Runs the Figure 11 experiment: the three variants profile in
+/// parallel, sharing one root-derived harvested trace so the CDFs stay
+/// comparable.
+pub fn run(runner: &Runner) -> Report {
+    let mut report = Report::new(SPEC.title);
     let mut csv = String::from("energy_pct,cdf,variant\n");
     let mut medians = Vec::new();
 
-    for (label, variant) in [
-        ("No print", Variant::NoPrint),
-        ("UART printf", Variant::UartPrintf),
-        ("EDB printf", Variant::EdbPrintf),
-    ] {
-        let profile = profile_variant(variant, 13);
+    let shared_seed = runner.seed_for("fig11", 0);
+    let profiles = runner.map_trials("fig11", SERIES.len(), |ctx| {
+        profile_variant(SERIES[ctx.trial].1, shared_seed)
+    });
+
+    for ((label, _), profile) in SERIES.iter().zip(&profiles) {
         let energies: Vec<f64> = profile
             .completed
             .iter()
@@ -46,9 +63,7 @@ pub fn run() -> Report {
                 let _ = writeln!(csv, "{x:.4},{p:.4},{label}");
             }
         }
-        let tag = label
-            .to_lowercase()
-            .replace(' ', "_");
+        let tag = label.to_lowercase().replace(' ', "_");
         report.metric(format!("{tag}_median_pct"), q50);
     }
     report.line(
@@ -64,9 +79,11 @@ pub fn run() -> Report {
 mod tests {
     use super::*;
 
+    use crate::runner::Runner;
+
     #[test]
     fn cdf_ordering_matches_figure_11() {
-        let r = run();
+        let r = run(&Runner::quiet(3, 42));
         let no_print = r.get("no_print_median_pct");
         let uart = r.get("uart_printf_median_pct");
         let edb = r.get("edb_printf_median_pct");

@@ -7,6 +7,7 @@
 //! correlation no other tool could produce. The paper's lab measured an
 //! 86 % response rate at ~13 replies/second.
 
+use crate::runner::{ExperimentSpec, Runner};
 use crate::{write_artifact, Report};
 use edb_apps::rfid_fw;
 use edb_core::{DebugEvent, System};
@@ -14,6 +15,18 @@ use edb_device::DeviceConfig;
 use edb_energy::SimTime;
 use edb_rfid::ReaderConfig;
 use std::fmt::Write as _;
+
+/// The suite entry for this experiment (a single scripted scenario —
+/// the runner's trial pool is not used).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig12",
+    title: "Figure 12: RFID messages correlated with energy",
+    run: run_spec,
+};
+
+fn run_spec(_runner: &Runner) -> Report {
+    run()
+}
 
 /// Runs the Figure 12 experiment.
 pub fn run() -> Report {
@@ -32,7 +45,11 @@ pub fn run() -> Report {
         reps_per_round: 3,
         ..ReaderConfig::paper_setup()
     };
-    let mut sys = System::with_rfid_reader(device_config, reader_config, 1.0, 2024);
+    let mut sys = System::builder(device_config)
+        .rfid(1.0)
+        .reader_config(reader_config)
+        .seed(2024)
+        .build();
     sys.flash(&rfid_fw::image());
     let duration = SimTime::from_secs(20);
     sys.run_for(duration);
@@ -81,7 +98,9 @@ pub fn run() -> Report {
     let mut excerpt = String::from("time_ms,kind,detail\n");
     for ev in log.window(from, to) {
         match &ev.event {
-            DebugEvent::Rfid { label, downlink, .. } => {
+            DebugEvent::Rfid {
+                label, downlink, ..
+            } => {
                 let dir = if *downlink { "cmd" } else { "rsp" };
                 let _ = writeln!(excerpt, "{:.3},{dir},{label}", ev.at.as_millis_f64());
             }
@@ -104,13 +123,22 @@ pub fn run() -> Report {
     report.line(String::new());
     report.line("reader distance sweep (8 s each):".to_string());
     for distance in [1.0f64, 1.3, 1.6] {
-        let mut sys = System::with_rfid_reader(device_config, reader_config, distance, 2024);
+        let mut sys = System::builder(device_config)
+            .rfid(distance)
+            .reader_config(reader_config)
+            .seed(2024)
+            .build();
         sys.flash(&rfid_fw::image());
         sys.run_for(SimTime::from_secs(8));
         let log = sys.edb().expect("attached").log();
         let (mut cmds, mut rsps) = (0u64, 0u64);
         for ev in log.with_tag("rfid") {
-            if let DebugEvent::Rfid { downlink, valid: true, .. } = ev.event {
+            if let DebugEvent::Rfid {
+                downlink,
+                valid: true,
+                ..
+            } = ev.event
+            {
                 if downlink {
                     cmds += 1;
                 } else {

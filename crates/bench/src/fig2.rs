@@ -3,11 +3,24 @@
 //! second" cadence.
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::{write_artifact, Report};
 use edb_core::System;
 use edb_device::DeviceConfig;
 use edb_energy::{SimTime, Trace};
 use edb_mcu::asm::assemble;
+
+/// The suite entry for this experiment (a single scripted scenario —
+/// the runner's trial pool is not used).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig2",
+    title: "Figure 2B: the charge/discharge sawtooth",
+    run: run_spec,
+};
+
+fn run_spec(_runner: &Runner) -> Report {
+    run()
+}
 
 /// Runs the sawtooth characterization.
 pub fn run() -> Report {
@@ -23,7 +36,9 @@ pub fn run() -> Report {
         "#,
     ))
     .expect("assembles");
-    let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(3)));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harness::harvested(3))
+        .build();
     sys.flash(&image);
 
     let mut v_trace = Trace::new("Vcap", SimTime::from_us(250));

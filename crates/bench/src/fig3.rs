@@ -10,11 +10,24 @@
 //! non-idempotent code dangerous).
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_device::{Device, DeviceConfig};
 use edb_energy::SimTime;
 use edb_mcu::asm::assemble;
 use edb_runtime::runtime_asm;
+
+/// The suite entry for this experiment (a single scripted scenario —
+/// the runner's trial pool is not used).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig3",
+    title: "Figure 3: checkpointed intermittent execution",
+    run: run_spec,
+};
+
+fn run_spec(_runner: &Runner) -> Report {
+    run()
+}
 
 /// Runs the checkpointed-execution characterization.
 pub fn run() -> Report {
@@ -73,7 +86,9 @@ pub fn run() -> Report {
         "re-executed iterations after restores: {} (executed - counted)",
         executed.saturating_sub(counted)
     ));
-    report.line(format!("progress regressions beyond one iteration: {regressions}"));
+    report.line(format!(
+        "progress regressions beyond one iteration: {regressions}"
+    ));
     report.line(
         "paper: a reboot returns control to the checkpoint; work since the checkpoint re-executes"
             .to_string(),

@@ -9,6 +9,7 @@
 //! right panel, in which the stale tail pointer is directly visible.
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::{write_artifact, Report};
 use edb_apps::linked_list as ll;
 use edb_core::System;
@@ -16,12 +17,26 @@ use edb_device::DeviceConfig;
 use edb_energy::{SimTime, Trace};
 use edb_mcu::RESET_VECTOR;
 
+/// The suite entry for this experiment (a single scripted scenario —
+/// the runner's trial pool is not used).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig7",
+    title: "Figure 7: intermittence bug without / with EDB assert",
+    run: run_spec,
+};
+
+fn run_spec(_runner: &Runner) -> Report {
+    run()
+}
+
 /// Runs both halves of the experiment.
 pub fn run() -> Report {
     let mut report = Report::new("Figure 7: intermittence bug without / with EDB assert");
 
     // ---- top trace: no instrumentation -----------------------------
-    let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(1)));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harness::harvested(1))
+        .build();
     sys.flash(&ll::image(ll::Variant::Plain));
     let mut v_trace = Trace::new("Vcap", SimTime::from_us(500));
     let mut loop_trace = Trace::new("MainLoopPin", SimTime::from_us(500));
@@ -68,7 +83,9 @@ pub fn run() -> Report {
     report.metric("post_corruption_pulses", post_window_active as f64);
 
     // ---- bottom trace: EDB assert + keep-alive + interactive session
-    let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(1)));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harness::harvested(1))
+        .build();
     sys.flash(&ll::image(ll::Variant::Assert));
     let mut v_trace = Trace::new("Vcap", SimTime::from_us(500));
     let caught = sys.run_until(SimTime::from_secs(60), |s| {
@@ -102,8 +119,12 @@ pub fn run() -> Report {
         sys.device().reboots()
     ));
     report.line("interactive session (Figure 6 right panel):".to_string());
-    report.line(format!("  (edb) read TAILP       -> {tail:#06x}  (the sentinel!)"));
-    report.line(format!("  (edb) read HEAD->next  -> {head_next:#06x}  (node e)"));
+    report.line(format!(
+        "  (edb) read TAILP       -> {tail:#06x}  (the sentinel!)"
+    ));
+    report.line(format!(
+        "  (edb) read HEAD->next  -> {head_next:#06x}  (node e)"
+    ));
     report.line(format!(
         "  (edb) read tail->next  -> {tail_next:#06x}  (should be NULL; the stale-tail smoking gun)"
     ));
@@ -135,6 +156,10 @@ mod tests {
         assert!(r.get("tethered_v") > 2.6, "keep-alive tether engaged");
         assert_eq!(r.get("tail_is_sentinel"), 1.0);
         assert_eq!(r.get("tail_next_nonnull"), 1.0);
-        assert_eq!(r.get("vector_intact"), 1.0, "assert preempted the wild write");
+        assert_eq!(
+            r.get("vector_intact"),
+            1.0,
+            "assert preempted the wild write"
+        );
     }
 }

@@ -8,11 +8,24 @@
 //! runs on tethered power and the main loop always executes (bottom).
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_apps::fib::{self, Variant};
 use edb_core::System;
 use edb_device::DeviceConfig;
 use edb_energy::SimTime;
+
+/// The suite entry for this experiment (a single scripted scenario —
+/// the runner's trial pool is not used).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig9",
+    title: "Figure 9: consistency check without / with energy guards",
+    run: run_spec,
+};
+
+fn run_spec(_runner: &Runner) -> Report {
+    run()
+}
 
 /// A hungrier compute current halves the per-cycle budget, pulling the
 /// starvation point toward the paper's ~555 items without changing the
@@ -25,7 +38,9 @@ fn device_config() -> DeviceConfig {
 }
 
 fn run_variant(variant: Variant, budget: SimTime) -> (u16, u16, bool, u64, u64) {
-    let mut sys = System::new(device_config(), Box::new(harness::harvested(9)));
+    let mut sys = System::builder(device_config())
+        .harvester(harness::harvested(9))
+        .build();
     sys.flash(&fib::image(variant));
     let mut last_count = 0u16;
     let mut last_change = SimTime::ZERO;

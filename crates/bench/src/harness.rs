@@ -15,16 +15,10 @@ pub fn tethered() -> TheveninSource {
     TheveninSource::new(3.0, 10.0)
 }
 
-/// Maximum storable energy the paper denominates costs in:
-/// `E = ½·C·V_on²` for the 47 µF / 2.4 V target, joules.
-pub fn e_max() -> f64 {
-    0.5 * 47e-6 * 2.4 * 2.4
-}
-
-/// Energy between two capacitor voltages as a percentage of [`e_max`].
-pub fn delta_e_percent(v_a: f64, v_b: f64) -> f64 {
-    (0.5 * 47e-6 * (v_a * v_a - v_b * v_b)) / e_max() * 100.0
-}
+// The canonical energy arithmetic lives in `edb_energy::budget`;
+// re-exported here because every experiment module reaches for it
+// through the harness.
+pub use edb_energy::budget::{delta_e_percent, e_max};
 
 /// One completed main-loop iteration recovered from watchpoint events.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,8 +73,7 @@ impl LoopProfile {
         if self.completed.is_empty() {
             return 0.0;
         }
-        self.completed.iter().map(Iteration::time_ms).sum::<f64>()
-            / self.completed.len() as f64
+        self.completed.iter().map(Iteration::time_ms).sum::<f64>() / self.completed.len() as f64
     }
 
     /// Mean completed-iteration energy, % of the full store.

@@ -35,16 +35,18 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig9;
 pub mod harness;
+pub mod runner;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The outcome of one experiment: a human-readable report plus named
 /// metrics that integration tests assert against.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Report {
     /// Experiment title.
     pub title: String,
@@ -73,16 +75,27 @@ impl Report {
         self.metrics.insert(name.into(), value);
     }
 
+    /// Fetches a metric if it was recorded.
+    pub fn try_get(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
     /// Fetches a metric.
     ///
     /// # Panics
     ///
     /// Panics if the metric was never recorded.
     pub fn get(&self, name: &str) -> f64 {
-        *self
-            .metrics
-            .get(name)
+        self.try_get(name)
             .unwrap_or_else(|| panic!("metric `{name}` missing from report `{}`", self.title))
+    }
+
+    /// Appends another report fragment's lines and metrics onto this
+    /// one (the title of `other` is dropped). Used by experiments that
+    /// build their report from independently-computed sections.
+    pub fn merge(&mut self, other: Report) {
+        self.lines.extend(other.lines);
+        self.metrics.extend(other.metrics);
     }
 }
 
@@ -100,6 +113,23 @@ impl fmt::Display for Report {
         }
         Ok(())
     }
+}
+
+/// Every experiment in suite order — what `reproduce_all` runs.
+pub fn all_specs() -> Vec<runner::ExperimentSpec> {
+    vec![
+        table2::SPEC,
+        table3::SPEC,
+        table4::SPEC,
+        fig2::SPEC,
+        fig3::SPEC,
+        fig7::SPEC,
+        fig9::SPEC,
+        fig11::SPEC,
+        fig12::SPEC,
+        claims::SPEC,
+        ablations::SPEC,
+    ]
 }
 
 /// Writes an artifact (CSV, etc.) under `target/experiments/`, returning

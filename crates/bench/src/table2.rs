@@ -6,6 +6,7 @@
 //! many sampled board instances, many readings per connection and state,
 //! reporting min/avg/max in nA and the worst-case total.
 
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_core::Wiring;
 
@@ -17,9 +18,19 @@ const READINGS: usize = 40;
 /// Paper's worst-case total, nA.
 const PAPER_TOTAL_NA: f64 = 836.51;
 
-/// Runs the Table 2 measurement.
-pub fn run() -> Report {
-    let mut report = Report::new("Table 2: EDB<->target connection leakage (nA)");
+/// The suite entry for this experiment.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "table2",
+    title: "Table 2: EDB<->target connection leakage (nA)",
+    run,
+};
+
+/// Runs the Table 2 measurement: one trial per header connection,
+/// fanned out through the runner. Board instances are seeded by board
+/// index (the measurement sweeps the manufacturing tolerance space, not
+/// the trial seed), so the result depends only on the model.
+pub fn run(runner: &Runner) -> Report {
+    let mut report = Report::new(SPEC.title);
     report.line(format!(
         "{:<34} {:>6} {:>10} {:>10} {:>10}",
         "Connection", "state", "min", "avg", "max"
@@ -27,9 +38,9 @@ pub fn run() -> Report {
 
     let probe = Wiring::standard(0);
     let n_connections = probe.connections().len();
-    let mut worst_case_total: f64 = 0.0;
 
-    for idx in 0..n_connections {
+    let per_connection = runner.map_trials("table2", n_connections, |ctx| {
+        let idx = ctx.trial;
         let name = probe.connections()[idx].name;
         let analog = idx < 2;
         let states: &[(&str, bool)] = if analog {
@@ -37,6 +48,7 @@ pub fn run() -> Report {
         } else {
             &[("high", true), ("low", false)]
         };
+        let mut lines = Vec::new();
         let mut conn_worst: f64 = 0.0;
         for (label, high) in states {
             let mut min = f64::INFINITY;
@@ -55,9 +67,17 @@ pub fn run() -> Report {
             }
             let avg = sum / n as f64;
             conn_worst = conn_worst.max(min.abs()).max(max.abs());
-            report.line(format!(
+            lines.push(format!(
                 "{name:<34} {label:>6} {min:>10.4} {avg:>10.4} {max:>10.4}"
             ));
+        }
+        (lines, conn_worst)
+    });
+
+    let mut worst_case_total: f64 = 0.0;
+    for (lines, conn_worst) in per_connection {
+        for l in lines {
+            report.line(l);
         }
         worst_case_total += conn_worst;
     }
@@ -80,9 +100,11 @@ pub fn run() -> Report {
 mod tests {
     use super::*;
 
+    use crate::runner::Runner;
+
     #[test]
     fn worst_case_total_is_sub_microamp_like_the_paper() {
-        let r = run();
+        let r = run(&Runner::quiet(2, 42));
         let total = r.get("worst_case_total_na");
         assert!(
             (300.0..1200.0).contains(&total),
@@ -93,7 +115,7 @@ mod tests {
 
     #[test]
     fn report_has_one_row_per_connection_state() {
-        let r = run();
+        let r = run(&Runner::quiet(1, 42));
         // 2 analog rows + 10 digital connections x 2 states + header +
         // 2 summary lines + blank.
         assert!(r.lines.len() >= 24, "got {} lines", r.lines.len());

@@ -9,11 +9,34 @@
 //! ADC, and reporting `ΔE` and `ΔE` as a percentage of the 47 µF store.
 
 use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_core::{libedb, DebugEvent, Edb, EdbConfig, System};
 use edb_device::DeviceConfig;
 use edb_energy::{SimTime, Summary};
 use edb_mcu::asm::assemble;
+
+/// The suite entry for this experiment (control-period sweep included).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "table3",
+    title: "Table 3: save/restore accuracy (energy breakpoint at 2.3 V)",
+    run: run_with_sweep,
+};
+
+/// The bin's default entry: the 50-trial table without the sweep.
+pub const PLAIN_SPEC: ExperimentSpec = ExperimentSpec {
+    name: "table3",
+    title: "Table 3: save/restore accuracy (energy breakpoint at 2.3 V)",
+    run: run_plain,
+};
+
+fn run_with_sweep(runner: &Runner) -> Report {
+    run(runner, true)
+}
+
+fn run_plain(runner: &Runner) -> Report {
+    run(runner, false)
+}
 
 /// A spin loop with interrupts enabled, so EDB's energy breakpoint can
 /// pull the IRQ line and land the target in the `libEDB` service loop.
@@ -45,62 +68,58 @@ struct Trial {
     restored_adc: f64,
 }
 
-fn run_trials(config: EdbConfig, trials: usize) -> Vec<Trial> {
-    let mut sys = System::new(DeviceConfig::wisp5(), Box::new(harness::harvested(42)));
+/// One independent save/restore trial: fresh bench, fresh harvested
+/// trace from the trial's derived seed.
+fn one_trial(config: EdbConfig, image: &edb_mcu::Image, seed: u64) -> Trial {
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harness::harvested(seed))
+        .build();
     sys.attach_edb(Edb::new(config));
-    let image = spin_app();
-    sys.flash(&image);
+    sys.flash(image);
     sys.edb_mut().arm_energy_breakpoint(2.3);
 
-    let mut out = Vec::with_capacity(trials);
-    for trial in 0..trials {
-        sys.charge_to(2.4);
-        let opened = sys.wait_for_session(SimTime::from_secs(2));
-        assert!(opened, "energy breakpoint must fire (trial {trial})");
-        let saved_truth = sys.device().v_cap();
-        // Linger in the session briefly (the paper's operator latency).
-        sys.run_for(SimTime::from_ms(5));
-        sys.resume();
-        let restored_truth = sys.device().v_cap();
+    sys.charge_to(2.4);
+    let opened = sys.wait_for_session(SimTime::from_secs(2));
+    assert!(opened, "energy breakpoint must fire (seed {seed})");
+    let saved_truth = sys.device().v_cap();
+    // Linger in the session briefly (the paper's operator latency).
+    sys.run_for(SimTime::from_ms(5));
+    sys.resume();
+    let restored_truth = sys.device().v_cap();
 
-        // EDB's own view from its event log.
-        let log = sys.edb().expect("attached").log();
-        let saved_adc = log
-            .events()
-            .iter()
-            .rev()
-            .find_map(|e| match e.event {
-                DebugEvent::EnergyBreakpoint { v_cap, .. } => Some(v_cap),
-                _ => None,
-            })
-            .expect("breakpoint event logged");
-        let restored_adc = log
-            .events()
-            .iter()
-            .rev()
-            .find_map(|e| match e.event {
-                DebugEvent::SessionClosed { restored_v } => Some(restored_v),
-                _ => None,
-            })
-            .expect("session close logged");
-        out.push(Trial {
-            saved_truth,
-            restored_truth,
-            saved_adc,
-            restored_adc,
-        });
+    // EDB's own view from its event log.
+    let log = sys.edb().expect("attached").log();
+    let saved_adc = log
+        .events()
+        .iter()
+        .rev()
+        .find_map(|e| match e.event {
+            DebugEvent::EnergyBreakpoint { v_cap, .. } => Some(v_cap),
+            _ => None,
+        })
+        .expect("breakpoint event logged");
+    let restored_adc = log
+        .events()
+        .iter()
+        .rev()
+        .find_map(|e| match e.event {
+            DebugEvent::SessionClosed { restored_v } => Some(restored_v),
+            _ => None,
+        })
+        .expect("session close logged");
+    Trial {
+        saved_truth,
+        restored_truth,
+        saved_adc,
+        restored_adc,
     }
-    out
 }
 
 fn summarize(label: &str, saved_restored: &[(f64, f64)], report: &mut Report) -> (f64, f64) {
-    let dv_mv: Vec<f64> = saved_restored
-        .iter()
-        .map(|(s, r)| (r - s) * 1e3)
-        .collect();
+    let dv_mv: Vec<f64> = saved_restored.iter().map(|(s, r)| (r - s) * 1e3).collect();
     let de_uj: Vec<f64> = saved_restored
         .iter()
-        .map(|(s, r)| 0.5 * 47e-6 * (r * r - s * s) * 1e6)
+        .map(|(s, r)| edb_energy::budget::delta_energy(edb_energy::WISP5_CAPACITANCE, *r, *s) * 1e6)
         .collect();
     let de_pct: Vec<f64> = saved_restored
         .iter()
@@ -116,14 +135,24 @@ fn summarize(label: &str, saved_restored: &[(f64, f64)], report: &mut Report) ->
     (sv.mean, sp.mean)
 }
 
-/// Runs the Table 3 experiment (50 trials), plus the control-period
-/// ablation from DESIGN.md when `sweep` is set.
-pub fn run(sweep: bool) -> Report {
-    let mut report = Report::new("Table 3: save/restore accuracy (energy breakpoint at 2.3 V)");
-    let trials = run_trials(EdbConfig::prototype(), 50);
+/// Runs the Table 3 experiment (50 independent trials through the
+/// runner), plus the control-period ablation from DESIGN.md when
+/// `sweep` is set.
+pub fn run(runner: &Runner, sweep: bool) -> Report {
+    let mut report = Report::new(SPEC.title);
+    let image = spin_app();
+    let trials = runner.map_trials("table3", 50, |ctx| {
+        one_trial(EdbConfig::prototype(), &image, ctx.seed)
+    });
 
-    report.line("paper:   ΔV =   54 ±   16 mV   ΔE =  1.25 ± 0.37 µJ   ΔE% =  4.34 ± 1.30 %  (o-scope)".to_string());
-    report.line("paper:   ΔV =   55 ±  7.8 mV   ΔE =  1.25 ± 0.18 µJ   ΔE% =  4.34 ± 0.62 %  (ADC)".to_string());
+    report.line(
+        "paper:   ΔV =   54 ±   16 mV   ΔE =  1.25 ± 0.37 µJ   ΔE% =  4.34 ± 1.30 %  (o-scope)"
+            .to_string(),
+    );
+    report.line(
+        "paper:   ΔV =   55 ±  7.8 mV   ΔE =  1.25 ± 0.18 µJ   ΔE% =  4.34 ± 0.62 %  (ADC)"
+            .to_string(),
+    );
 
     let truth: Vec<(f64, f64)> = trials
         .iter()
@@ -148,7 +177,9 @@ pub fn run(sweep: bool) -> Report {
                 control_period: SimTime::from_us(period_us),
                 ..EdbConfig::prototype()
             };
-            let trials = run_trials(config, 12);
+            let trials = runner.map_trials(&format!("table3/sweep-{period_us}us"), 12, |ctx| {
+                one_trial(config, &image, ctx.seed)
+            });
             let dv: Vec<f64> = trials
                 .iter()
                 .map(|t| (t.restored_truth - t.saved_truth) * 1e3)
@@ -174,7 +205,7 @@ mod tests {
 
     #[test]
     fn save_restore_discrepancy_matches_paper_shape() {
-        let r = run(false);
+        let r = run(&Runner::quiet(2, 42), false);
         // Positive mean (conservative restore), tens of millivolts.
         let dv = r.get("dv_truth_mv");
         assert!((10.0..120.0).contains(&dv), "ΔV {dv} mV out of band");

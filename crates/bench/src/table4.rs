@@ -8,6 +8,7 @@
 //! cost of each print mechanism.
 
 use crate::harness::{self, profile_loop, LoopProfile};
+use crate::runner::{ExperimentSpec, Runner};
 use crate::Report;
 use edb_apps::activity::{self, Variant};
 use edb_core::System;
@@ -17,12 +18,21 @@ use edb_energy::SimTime;
 /// Seconds of harvested execution per variant.
 const RUN_SECS: u64 = 8;
 
+/// The suite entry for this experiment.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "table4",
+    title: "Table 4: cost of debug output on the AR application",
+    run,
+};
+
+/// The three builds Table 4 compares, in row order.
+const VARIANTS: [Variant; 3] = [Variant::NoPrint, Variant::UartPrintf, Variant::EdbPrintf];
+
 /// Profiles one variant of the AR app.
 pub fn profile_variant(variant: Variant, seed: u64) -> LoopProfile {
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(harness::harvested(seed)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harness::harvested(seed))
+        .build();
     sys.flash(&activity::image(variant));
     sys.run_for(SimTime::from_secs(RUN_SECS));
     profile_loop(
@@ -32,9 +42,11 @@ pub fn profile_variant(variant: Variant, seed: u64) -> LoopProfile {
     )
 }
 
-/// Runs the Table 4 experiment.
-pub fn run() -> Report {
-    let mut report = Report::new("Table 4: cost of debug output on the AR application");
+/// Runs the Table 4 experiment: the three variants profile in parallel
+/// through the runner, but all share one harvested trace (derived from
+/// the root seed) so the marginal print costs stay paired comparisons.
+pub fn run(runner: &Runner) -> Report {
+    let mut report = Report::new(SPEC.title);
     report.line(format!(
         "{:<14} {:>9} {:>12} {:>10} {:>13} {:>11}",
         "", "success", "iter energy", "iter time", "print energy", "print time"
@@ -43,19 +55,24 @@ pub fn run() -> Report {
         "{:<14} {:>9} {:>12} {:>10} {:>13} {:>11}",
         "", "rate (%)", "(% of cap)", "(ms)", "(% of cap)", "(ms)"
     ));
-    report.line(
-        "paper: NoPrint    87        3.0          1.1           -            -".to_string(),
-    );
-    report.line(
-        "paper: UART       74        5.3          2.1          2.5          1.1".to_string(),
-    );
-    report.line(
-        "paper: EDB        82        3.4          4.7          0.11         3.1".to_string(),
-    );
+    report
+        .line("paper: NoPrint    87        3.0          1.1           -            -".to_string());
+    report
+        .line("paper: UART       74        5.3          2.1          2.5          1.1".to_string());
+    report
+        .line("paper: EDB        82        3.4          4.7          0.11         3.1".to_string());
 
-    let base = profile_variant(Variant::NoPrint, 7);
-    let uart = profile_variant(Variant::UartPrintf, 7);
-    let edb = profile_variant(Variant::EdbPrintf, 7);
+    let shared_seed = runner.seed_for("table4", 0);
+    let mut profiles = runner
+        .map_trials("table4", VARIANTS.len(), |ctx| {
+            profile_variant(VARIANTS[ctx.trial], shared_seed)
+        })
+        .into_iter();
+    let (base, uart, edb) = (
+        profiles.next().expect("NoPrint profile"),
+        profiles.next().expect("UartPrintf profile"),
+        profiles.next().expect("EdbPrintf profile"),
+    );
 
     let mut emit = |label: &str, p: &LoopProfile, base: Option<&LoopProfile>| {
         let (pe, pt) = match base {
@@ -101,7 +118,7 @@ mod tests {
 
     #[test]
     fn table4_shape_holds() {
-        let r = run();
+        let r = run(&Runner::quiet(3, 42));
         // UART printf costs far more energy per print than EDB printf —
         // the paper's headline comparison (2.5 % vs 0.11 %).
         let uart_e = r.get("uart_print_energy_pct");

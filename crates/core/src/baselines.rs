@@ -82,8 +82,7 @@ impl Oscilloscope {
         }
         self.next_sample = now + self.period;
         self.v_cap.record(now, device.v_cap());
-        self.gpio
-            .record(now, device.peripherals.gpio.read() as f64);
+        self.gpio.record(now, device.peripherals.gpio.read() as f64);
     }
 
     /// The captured `Vcap` channel.

@@ -288,7 +288,10 @@ mod tests {
         }
         let v = cap.voltage();
         let expected = circuit.tether_level() - 3e-3 * circuit.r_charge;
-        assert!((v - expected).abs() < 0.02, "tether sits at {v}, expected {expected}");
+        assert!(
+            (v - expected).abs() < 0.02,
+            "tether sits at {v}, expected {expected}"
+        );
     }
 
     #[test]

@@ -55,10 +55,9 @@ fn cerr<T>(message: impl Into<String>) -> Result<T, ConsoleError> {
 /// ```no_run
 /// use edb_core::{Console, System};
 /// use edb_device::DeviceConfig;
-/// let mut sys = System::new(
-///     DeviceConfig::wisp5(),
-///     Box::new(edb_energy::TheveninSource::new(3.2, 1500.0)),
-/// );
+/// let mut sys = System::builder(DeviceConfig::wisp5())
+///     .harvester(edb_energy::TheveninSource::new(3.2, 1500.0))
+///     .build();
 /// let mut console = Console::new();
 /// let out = console.execute("charge 2.4", &mut sys)?;
 /// println!("{out}");
@@ -171,7 +170,9 @@ impl Console {
                     None => 1,
                 };
                 if sys.edb().is_none_or(|e| !e.session_active()) {
-                    return cerr("read requires an active session (hit a breakpoint or assert first)");
+                    return cerr(
+                        "read requires an active session (hit a breakpoint or assert first)",
+                    );
                 }
                 let mut out = String::new();
                 for k in 0..count.min(64) {
@@ -321,10 +322,9 @@ fn split_edb_device(
     // SAFETY-free split: go through the System's two accessors one at a
     // time is impossible with the borrow checker, so expose a combined
     // accessor on System instead.
-    sys.edb_and_device()
-        .ok_or_else(|| ConsoleError {
-            message: "EDB not attached".to_string(),
-        })
+    sys.edb_and_device().ok_or_else(|| ConsoleError {
+        message: "EDB not attached".to_string(),
+    })
 }
 
 fn parse_volts(tok: Option<&&str>) -> Result<f64, ConsoleError> {
@@ -339,10 +339,9 @@ fn parse_volts(tok: Option<&&str>) -> Result<f64, ConsoleError> {
 }
 
 fn parse_u8(tok: &str) -> Result<u8, ConsoleError> {
-    tok.parse::<u8>()
-        .map_err(|_| ConsoleError {
-            message: format!("bad id `{tok}`"),
-        })
+    tok.parse::<u8>().map_err(|_| ConsoleError {
+        message: format!("bad id `{tok}`"),
+    })
 }
 
 /// Parses an address argument: hex/decimal, or a symbol from the
@@ -399,10 +398,9 @@ mod tests {
 
     fn bench(app: &str) -> System {
         let image = assemble(&libedb::wrap_program(app)).expect("assembles");
-        let mut sys = System::new(
-            DeviceConfig::wisp5(),
-            Box::new(edb_energy::TheveninSource::new(3.2, 1500.0)),
-        );
+        let mut sys = System::builder(DeviceConfig::wisp5())
+            .harvester(edb_energy::TheveninSource::new(3.2, 1500.0))
+            .build();
         sys.flash(&image);
         sys
     }
@@ -424,7 +422,9 @@ mod tests {
         let mut console = Console::new();
         let out = console.execute("charge 2.45", &mut sys).expect("charges");
         assert!(out.contains("charged to"), "{out}");
-        let out = console.execute("discharge 2.0", &mut sys).expect("discharges");
+        let out = console
+            .execute("discharge 2.0", &mut sys)
+            .expect("discharges");
         assert!(out.contains("discharged to"), "{out}");
     }
 
@@ -498,7 +498,9 @@ mod tests {
         let out = console.execute("disasm main 4", &mut sys).expect("disasm");
         assert!(out.contains("movi sp, 0x2400"), "{out}");
         assert!(out.contains("main:"), "label annotation: {out}");
-        let out = console.execute("disasm 0x4400 2", &mut sys).expect("hex ok");
+        let out = console
+            .execute("disasm 0x4400 2", &mut sys)
+            .expect("hex ok");
         assert!(out.contains("0x4400"));
     }
 
@@ -521,10 +523,9 @@ mod tests {
         let err = console.execute("where", &mut sys).unwrap_err();
         assert!(err.message.contains("session"));
         console.execute("charge 2.45", &mut sys).expect("charge");
-        assert!(sys.run_until(
-            edb_energy::SimTime::from_ms(200),
-            |s| s.edb().is_some_and(|e| e.session_active())
-        ));
+        assert!(sys.run_until(edb_energy::SimTime::from_ms(200), |s| s
+            .edb()
+            .is_some_and(|e| e.session_active())));
         let out = console.execute("where", &mut sys).expect("where");
         assert!(out.contains("resume at"), "{out}");
         // The immediate resume point is inside the assert shim (which
@@ -537,7 +538,15 @@ mod tests {
         let mut sys = bench(SPIN);
         let mut console = Console::new();
         let out = console.execute("help", &mut sys).expect("help");
-        for cmd in ["charge", "discharge", "break", "watch", "trace", "read", "write"] {
+        for cmd in [
+            "charge",
+            "discharge",
+            "break",
+            "watch",
+            "trace",
+            "read",
+            "write",
+        ] {
             assert!(out.contains(cmd), "help missing {cmd}");
         }
     }

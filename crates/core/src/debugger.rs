@@ -207,7 +207,10 @@ impl Edb {
     /// Whether an interactive session is open (including the
     /// energy-restore phase before the target is released).
     pub fn session_active(&self) -> bool {
-        matches!(self.mode, Mode::Session { .. } | Mode::SessionRestore { .. })
+        matches!(
+            self.mode,
+            Mode::Session { .. } | Mode::SessionRestore { .. }
+        )
     }
 
     /// Whether the target is inside an energy-guarded region.
@@ -382,12 +385,19 @@ impl Edb {
                 DeviceEvent::CodeMarker { id } => {
                     if self.watch_all || self.watch_enabled.contains(id) {
                         let v = self.adc.read_volts(dev.v_cap());
-                        self.log.push(at, DebugEvent::Watchpoint { id: *id, v_cap: v });
+                        self.log
+                            .push(at, DebugEvent::Watchpoint { id: *id, v_cap: v });
                     }
                 }
                 DeviceEvent::GpioChange { old, new } => {
                     if self.config.io_trace {
-                        self.log.push(at, DebugEvent::Gpio { old: *old, new: *new });
+                        self.log.push(
+                            at,
+                            DebugEvent::Gpio {
+                                old: *old,
+                                new: *new,
+                            },
+                        );
                     }
                 }
                 DeviceEvent::UartByte { byte } => {
@@ -466,7 +476,8 @@ impl Edb {
             self.last_reading = v;
             if self.config.energy_trace {
                 let v_reg = self.adc.read_volts(dev.v_reg());
-                self.log.push(now, DebugEvent::EnergySample { v_cap: v, v_reg });
+                self.log
+                    .push(now, DebugEvent::EnergySample { v_cap: v, v_reg });
             }
             self.check_energy_breakpoints(dev, now, v);
         }
@@ -547,7 +558,8 @@ impl Edb {
                         None => false,
                     };
                     if enabled {
-                        self.log.push(now, DebugEvent::BreakpointHit { id, v_cap: v });
+                        self.log
+                            .push(now, DebugEvent::BreakpointHit { id, v_cap: v });
                         self.open_session(dev, now, SessionKind::Breakpoint { id }, v);
                     } else {
                         // Not interesting: release the service loop.
@@ -562,7 +574,8 @@ impl Edb {
                     self.circuit.set_mode(ChargeMode::Tether);
                     dev.peripherals.debug.set_ack(true);
                     self.mode = Mode::Guard { saved };
-                    self.log.push(now, DebugEvent::GuardEnter { saved_v: saved });
+                    self.log
+                        .push(now, DebugEvent::GuardEnter { saved_v: saved });
                 }
                 protocol::SIG_GUARD_END => {
                     if let Mode::Guard { saved } = self.mode {
@@ -623,10 +636,7 @@ impl Edb {
         self.circuit.set_mode(ctl.desired_mode());
         let truth = dev.v_cap();
         let adc = &mut self.adc;
-        let finished = ctl.update(now, &mut || {
-            
-            adc.read_volts(truth)
-        });
+        let finished = ctl.update(now, &mut || adc.read_volts(truth));
         self.controller = Some(ctl);
         if finished {
             self.controller = None;
@@ -711,8 +721,16 @@ mod tests {
         assert_eq!(events.len(), 2);
         match (&events[0].event, &events[1].event) {
             (
-                DebugEvent::Rfid { label: a, valid: va, .. },
-                DebugEvent::Rfid { label: b, valid: vb, .. },
+                DebugEvent::Rfid {
+                    label: a,
+                    valid: va,
+                    ..
+                },
+                DebugEvent::Rfid {
+                    label: b,
+                    valid: vb,
+                    ..
+                },
             ) => {
                 assert_eq!(a, "CMD_QUERY");
                 assert!(*va);

@@ -280,15 +280,11 @@ mod tests {
         let mut log = EventLog::new();
         log.push(
             SimTime::from_ms(1),
-            DebugEvent::Printf {
-                line: "a=1".into(),
-            },
+            DebugEvent::Printf { line: "a=1".into() },
         );
         log.push(
             SimTime::from_ms(2),
-            DebugEvent::Printf {
-                line: "a=2".into(),
-            },
+            DebugEvent::Printf { line: "a=2".into() },
         );
         assert_eq!(log.printf_lines(), vec!["a=1", "a=2"]);
     }

@@ -44,10 +44,9 @@
 //! "#))?;
 //!
 //! // The bench: WISP-like target, RF-like harvester, EDB attached.
-//! let mut sys = System::new(
-//!     DeviceConfig::wisp5(),
-//!     Box::new(edb_energy::TheveninSource::new(3.2, 1500.0)),
-//! );
+//! let mut sys = System::builder(DeviceConfig::wisp5())
+//!     .harvester(edb_energy::TheveninSource::new(3.2, 1500.0))
+//!     .build();
 //! sys.flash(&image);
 //! sys.run_for(edb_energy::SimTime::from_ms(200));
 //!
@@ -76,5 +75,5 @@ pub use charge::{ChargeCircuit, ChargeMode, LevelController};
 pub use console::{Console, ConsoleError};
 pub use debugger::{Edb, EdbConfig, SessionKind};
 pub use events::{DebugEvent, EventLog, LoggedEvent};
-pub use system::System;
+pub use system::{System, SystemBuilder};
 pub use wiring::{ConnectionKind, LineStates, Wiring};

@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn equates_assemble() {
-        let src = format!("{}\n.org 0x4400\n movi r0, SIG_GUARD_BEGIN\n", asm_equates());
+        let src = format!(
+            "{}\n.org 0x4400\n movi r0, SIG_GUARD_BEGIN\n",
+            asm_equates()
+        );
         edb_mcu::asm::assemble(&src).expect("equates are valid assembly");
     }
 }

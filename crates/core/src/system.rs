@@ -9,8 +9,8 @@
 use crate::debugger::{Edb, EdbConfig};
 use crate::wiring::LineStates;
 use edb_device::{Device, DeviceConfig, DeviceEvent, DeviceStep};
-use edb_energy::{Harvester, SimTime};
 use edb_energy::RfField;
+use edb_energy::{Harvester, SimTime};
 use edb_rfid::{Channel, Reader, ReaderConfig};
 
 /// The energy-and-RF environment around the target.
@@ -40,6 +40,137 @@ impl std::fmt::Debug for World {
     }
 }
 
+/// What powers the target while the bench runs.
+enum WorldSpec {
+    /// A plain harvester (constant, Thévenin, solar, trace playback).
+    Harvester(Box<dyn Harvester>),
+    /// An RFID reader's carrier at `distance_m` metres.
+    Rfid { distance_m: f64 },
+}
+
+/// Builder for a [`System`] — the one way to stand up a bench.
+///
+/// Exactly one energy world must be chosen: [`harvester`] or [`rfid`].
+/// Everything else has the defaults the paper's setup uses: EDB attached
+/// with [`EdbConfig::prototype`], the paper's reader schedule, channel
+/// seed 0.
+///
+/// [`harvester`]: SystemBuilder::harvester
+/// [`rfid`]: SystemBuilder::rfid
+///
+/// # Example
+///
+/// ```
+/// use edb_core::System;
+/// use edb_device::DeviceConfig;
+/// use edb_energy::TheveninSource;
+///
+/// let tethered = System::builder(DeviceConfig::wisp5())
+///     .harvester(TheveninSource::new(3.0, 10.0))
+///     .build();
+/// assert!(tethered.edb().is_some());
+///
+/// let bare_rfid = System::builder(DeviceConfig::wisp5())
+///     .rfid(1.0)
+///     .seed(42)
+///     .no_edb()
+///     .build();
+/// assert!(bare_rfid.edb().is_none());
+/// ```
+pub struct SystemBuilder {
+    device_config: DeviceConfig,
+    world: Option<WorldSpec>,
+    reader_config: ReaderConfig,
+    seed: u64,
+    edb: bool,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("seed", &self.seed)
+            .field("edb", &self.edb)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts a bench around a target with the given configuration.
+    pub fn new(device_config: DeviceConfig) -> Self {
+        SystemBuilder {
+            device_config,
+            world: None,
+            reader_config: ReaderConfig::paper_setup(),
+            seed: 0,
+            edb: true,
+        }
+    }
+
+    /// Powers the target from a plain harvester.
+    pub fn harvester(mut self, harvester: impl Harvester + 'static) -> Self {
+        self.world = Some(WorldSpec::Harvester(Box::new(harvester)));
+        self
+    }
+
+    /// Powers the target from an RFID reader's carrier at `distance_m`
+    /// metres — the paper's experimental setup.
+    pub fn rfid(mut self, distance_m: f64) -> Self {
+        self.world = Some(WorldSpec::Rfid { distance_m });
+        self
+    }
+
+    /// Overrides the reader schedule (experiments tune the inventory
+    /// cadence). Only meaningful with [`rfid`](SystemBuilder::rfid).
+    pub fn reader_config(mut self, config: ReaderConfig) -> Self {
+        self.reader_config = config;
+        self
+    }
+
+    /// Seeds the RF channel's packet-loss randomness. Only meaningful
+    /// with [`rfid`](SystemBuilder::rfid).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the bench without a debugger — the control condition for
+    /// energy-interference experiments.
+    pub fn no_edb(mut self) -> Self {
+        self.edb = false;
+        self
+    }
+
+    /// Builds the [`System`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no energy world was chosen.
+    pub fn build(self) -> System {
+        let world = match self.world {
+            Some(WorldSpec::Harvester(h)) => World::Harvester(h),
+            Some(WorldSpec::Rfid { distance_m }) => {
+                let mut field = RfField::paper_setup();
+                field.set_distance(distance_m);
+                let mut channel = Channel::new(self.seed);
+                channel.set_distance(distance_m);
+                World::Rfid {
+                    field,
+                    reader: Reader::new(self.reader_config),
+                    channel,
+                    inflight: Vec::new(),
+                }
+            }
+            None => panic!("SystemBuilder: choose an energy world (.harvester(..) or .rfid(..))"),
+        };
+        System {
+            device: Device::new(self.device_config),
+            edb: self.edb.then(|| Edb::new(EdbConfig::prototype())),
+            world,
+            symbols: Default::default(),
+        }
+    }
+}
+
 /// The complete bench: device, debugger, energy environment.
 #[derive(Debug)]
 pub struct System {
@@ -50,45 +181,44 @@ pub struct System {
 }
 
 impl System {
+    /// Starts a [`SystemBuilder`] around a target with the given
+    /// configuration.
+    pub fn builder(device_config: DeviceConfig) -> SystemBuilder {
+        SystemBuilder::new(device_config)
+    }
+
     /// A target on a plain harvester with EDB attached.
+    #[deprecated(note = "use System::builder(config).harvester(..).build()")]
     pub fn new(device_config: DeviceConfig, harvester: Box<dyn Harvester>) -> Self {
-        System {
-            device: Device::new(device_config),
-            edb: Some(Edb::new(EdbConfig::prototype())),
-            world: World::Harvester(harvester),
-            symbols: Default::default(),
-        }
+        System::builder(device_config).harvester(harvester).build()
     }
 
     /// A target powered by an RFID reader at `distance_m`, with EDB
     /// attached — the paper's experimental setup.
+    #[deprecated(note = "use System::builder(config).rfid(distance_m).seed(seed).build()")]
     pub fn with_rfid(device_config: DeviceConfig, distance_m: f64, seed: u64) -> Self {
-        Self::with_rfid_reader(device_config, ReaderConfig::paper_setup(), distance_m, seed)
+        System::builder(device_config)
+            .rfid(distance_m)
+            .seed(seed)
+            .build()
     }
 
-    /// Like [`System::with_rfid`] but with an explicit reader schedule
+    /// Like `System::with_rfid` but with an explicit reader schedule
     /// (experiments tune the inventory cadence).
+    #[deprecated(
+        note = "use System::builder(config).rfid(distance_m).reader_config(..).seed(seed).build()"
+    )]
     pub fn with_rfid_reader(
         device_config: DeviceConfig,
         reader_config: ReaderConfig,
         distance_m: f64,
         seed: u64,
     ) -> Self {
-        let mut field = RfField::paper_setup();
-        field.set_distance(distance_m);
-        let mut channel = Channel::new(seed);
-        channel.set_distance(distance_m);
-        System {
-            device: Device::new(device_config),
-            edb: Some(Edb::new(EdbConfig::prototype())),
-            world: World::Rfid {
-                field,
-                reader: Reader::new(reader_config),
-                channel,
-                inflight: Vec::new(),
-            },
-            symbols: Default::default(),
-        }
+        System::builder(device_config)
+            .rfid(distance_m)
+            .reader_config(reader_config)
+            .seed(seed)
+            .build()
     }
 
     /// Detaches the debugger entirely — the control condition for
@@ -105,10 +235,7 @@ impl System {
     /// Flashes an image and informs the debugger of its symbols.
     pub fn flash(&mut self, image: &edb_mcu::Image) {
         self.device.flash(image);
-        self.symbols = image
-            .symbols()
-            .map(|(n, a)| (n.to_string(), a))
-            .collect();
+        self.symbols = image.symbols().map(|(n, a)| (n.to_string(), a)).collect();
         if let Some(edb) = &mut self.edb {
             edb.attach(image);
         }
@@ -404,10 +531,9 @@ mod tests {
 
     fn flashed_system(app: &str) -> System {
         let image = assemble(&libedb::wrap_program(app)).expect("assembles");
-        let mut sys = System::new(
-            DeviceConfig::wisp5(),
-            Box::new(edb_energy::TheveninSource::new(3.2, 1500.0)),
-        );
+        let mut sys = System::builder(DeviceConfig::wisp5())
+            .harvester(edb_energy::TheveninSource::new(3.2, 1500.0))
+            .build();
         sys.flash(&image);
         sys
     }
@@ -473,7 +599,11 @@ mod tests {
         // Keep-alive: voltage is pulled up toward tether level and the
         // device never browns out.
         sys.run_for(SimTime::from_ms(50));
-        assert!(sys.device().v_cap() > 2.6, "tethered: {}", sys.device().v_cap());
+        assert!(
+            sys.device().v_cap() > 2.6,
+            "tethered: {}",
+            sys.device().v_cap()
+        );
         assert_eq!(sys.device().reboots(), 0);
         assert_eq!(sys.edb().unwrap().log().with_tag("assert").count(), 1);
     }
@@ -540,7 +670,10 @@ mod tests {
             .with_tag("guard-enter")
             .next()
             .expect("guard entry logged");
-        let exit = log.with_tag("guard-exit").next().expect("guard exit logged");
+        let exit = log
+            .with_tag("guard-exit")
+            .next()
+            .expect("guard exit logged");
         let (saved, restored) = match (&enter.event, &exit.event) {
             (
                 crate::events::DebugEvent::GuardEnter { saved_v },
@@ -584,7 +717,10 @@ mod tests {
             "#,
         ))
         .expect("assembles");
-        let mut sys = System::with_rfid(DeviceConfig::wisp5(), 1.0, 42);
+        let mut sys = System::builder(DeviceConfig::wisp5())
+            .rfid(1.0)
+            .seed(42)
+            .build();
         sys.flash(&image);
         sys.run_for(SimTime::from_ms(300));
         assert!(sys.device().turn_ons() > 0, "RF field must boot the tag");
@@ -592,9 +728,44 @@ mod tests {
         let downlink = edb
             .log()
             .with_tag("rfid")
-            .filter(|e| matches!(e.event, crate::events::DebugEvent::Rfid { downlink: true, .. }))
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    crate::events::DebugEvent::Rfid { downlink: true, .. }
+                )
+            })
             .count();
-        assert!(downlink >= 4, "EDB must see reader commands, saw {downlink}");
+        assert!(
+            downlink >= 4,
+            "EDB must see reader commands, saw {downlink}"
+        );
         assert!(sys.reader().unwrap().commands_sent() >= 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_delegate_to_the_builder() {
+        let sys = System::new(
+            DeviceConfig::wisp5(),
+            Box::new(edb_energy::TheveninSource::new(3.0, 10.0)),
+        );
+        assert!(sys.edb().is_some());
+        assert!(sys.reader().is_none());
+        let sys = System::with_rfid(DeviceConfig::wisp5(), 1.0, 42);
+        assert!(sys.edb().is_some());
+        assert!(sys.reader().is_some());
+        let sys = System::with_rfid_reader(
+            DeviceConfig::wisp5(),
+            edb_rfid::ReaderConfig::paper_setup(),
+            1.0,
+            42,
+        );
+        assert!(sys.reader().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "energy world")]
+    fn builder_requires_an_energy_world() {
+        let _ = System::builder(DeviceConfig::wisp5()).build();
     }
 }

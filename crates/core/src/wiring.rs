@@ -98,7 +98,10 @@ impl Wiring {
         let mut rng = StdRng::seed_from_u64(seed);
         let rows: Vec<(&'static str, ConnectionKind)> = vec![
             ("Capacitor sense, manipulate", ConnectionKind::AnalogSense),
-            ("Regulator sense, level reference", ConnectionKind::AnalogSense),
+            (
+                "Regulator sense, level reference",
+                ConnectionKind::AnalogSense,
+            ),
             ("Debugger→Target comm.", ConnectionKind::DebuggerDriven),
             ("Target→Debugger comm.", ConnectionKind::TargetDriven),
             ("Code marker 0", ConnectionKind::TargetDriven),

@@ -22,10 +22,9 @@ fn spin_system() -> System {
         "#,
     ))
     .expect("assembles");
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 1)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 1))
+        .build();
     sys.flash(&image);
     sys
 }
@@ -89,10 +88,9 @@ fn edb_serves_a_non_wisp_target_profile() {
         "#,
     ))
     .expect("assembles");
-    let mut sys = System::new(
-        config,
-        Box::new(Fading::new(TheveninSource::new(3.8, 1500.0), 0.05, 4)),
-    );
+    let mut sys = System::builder(config)
+        .harvester(Fading::new(TheveninSource::new(3.8, 1500.0), 0.05, 4))
+        .build();
     sys.flash(&image);
     // Charge below the turn-on threshold first (deterministic, no app
     // guard traffic), then let the strong solar source carry it up.
@@ -121,7 +119,10 @@ fn charge_delivery_accounting_tracks_the_tether() {
     sys.discharge_to(2.0);
     sys.charge_to(2.4);
     let after = sys.edb().unwrap().charge_delivered();
-    assert!(after > before, "accounting accumulates: {after} vs {before}");
+    assert!(
+        after > before,
+        "accounting accumulates: {after} vs {before}"
+    );
 }
 
 proptest! {

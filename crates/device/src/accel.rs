@@ -69,7 +69,7 @@ impl SyntheticMotion {
             } else {
                 Regime::Moving
             };
-            let hold_ms = self.rng.gen_range(500..2000);
+            let hold_ms = self.rng.gen_range(500u64..2000);
             self.regime_until = now.advance_ns(hold_ms * 1_000_000);
         }
         self.regime

@@ -48,9 +48,9 @@ impl DeviceConfig {
     pub fn wisp5() -> Self {
         DeviceConfig {
             clock_hz: 4e6,
-            capacitance: 47e-6,
-            v_on: 2.4,
-            v_off: 1.8,
+            capacitance: edb_energy::budget::WISP5_CAPACITANCE,
+            v_on: edb_energy::budget::WISP5_V_ON,
+            v_off: edb_energy::budget::WISP5_V_OFF,
             i_active: 2.2e-3,
             i_halted: 0.1e-3,
             i_off_leak: 1e-6,
@@ -484,17 +484,15 @@ impl PortBus for BusCtx<'_> {
                     self.events.push(DeviceEvent::UartByte { byte });
                 }
             }
-            ports::ACCEL_CTRL
-                if value & 1 != 0 => {
-                    self.peripherals.accel.start_transaction(self.now);
-                }
+            ports::ACCEL_CTRL if value & 1 != 0 => {
+                self.peripherals.accel.start_transaction(self.now);
+            }
             ports::RF_TX_DATA => self.peripherals.rf.push_tx((value & 0xFF) as u8),
-            ports::RF_TX_CTRL
-                if value & 1 != 0 => {
-                    if let Some(frame) = self.peripherals.rf.flush_tx(self.now) {
-                        self.events.push(DeviceEvent::RfTx(frame));
-                    }
+            ports::RF_TX_CTRL if value & 1 != 0 => {
+                if let Some(frame) = self.peripherals.rf.flush_tx(self.now) {
+                    self.events.push(DeviceEvent::RfTx(frame));
                 }
+            }
             _ => {}
         }
     }
@@ -579,7 +577,10 @@ mod tests {
         }
         let counter = dev.mem().peek_word(0x6000);
         assert!(dev.reboots() >= 1, "must have rebooted");
-        assert!(counter > 1000, "counter {counter} keeps growing across reboots");
+        assert!(
+            counter > 1000,
+            "counter {counter} keeps growing across reboots"
+        );
     }
 
     #[test]
@@ -727,13 +728,19 @@ mod tests {
     fn marker_width_caps_distinct_ids() {
         // §4.1.3: n marker lines distinguish 2^n - 1 watchpoint IDs.
         // With 1 line, ID 2 masks to zero (no pulse) and 3 aliases to 1.
-        for (lines, expect) in [(1u8, vec![1, 1]), (2, vec![1, 2, 3]), (3, vec![1, 2, 3, 4, 5, 6, 7])] {
+        for (lines, expect) in [
+            (1u8, vec![1, 1]),
+            (2, vec![1, 2, 3]),
+            (3, vec![1, 2, 3, 4, 5, 6, 7]),
+        ] {
             let n = if lines == 3 { 7 } else { 3 };
             let mut body = String::new();
             for id in 1..=n {
-                body.push_str(&format!(" movi r0, {id}
+                body.push_str(&format!(
+                    " movi r0, {id}
  out 0x02, r0
-"));
+"
+                ));
             }
             let src_text = format!(
                 ".org 0x4400

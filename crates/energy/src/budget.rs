@@ -1,0 +1,64 @@
+//! Canonical energy-budget arithmetic for the WISP5-class target.
+//!
+//! The paper denominates every energy cost in fractions of the target's
+//! storage capacitor between its operating thresholds, and several
+//! crates need the same three numbers (47 µF, 2.4 V turn-on, 1.8 V
+//! brown-out) plus the `½·C·V²` arithmetic around them. This module is
+//! the single home for both; `edb-device`'s WISP5 config, the
+//! supervisor's WISP5 preset, and the bench harness all delegate here
+//! so the constants cannot drift apart.
+
+/// WISP5 storage capacitance, farads (47 µF).
+pub const WISP5_CAPACITANCE: f64 = 47e-6;
+
+/// WISP5 turn-on threshold, volts (the supervisor releases reset here).
+pub const WISP5_V_ON: f64 = 2.4;
+
+/// WISP5 brown-out threshold, volts (execution dies below this).
+pub const WISP5_V_OFF: f64 = 1.8;
+
+/// Energy stored on a capacitor at a given voltage: `½·C·V²`, joules.
+pub fn stored_energy(capacitance: f64, v: f64) -> f64 {
+    0.5 * capacitance * v * v
+}
+
+/// Energy released moving a capacitor from `v_a` down to `v_b`, joules
+/// (negative when charging up).
+pub fn delta_energy(capacitance: f64, v_a: f64, v_b: f64) -> f64 {
+    stored_energy(capacitance, v_a) - stored_energy(capacitance, v_b)
+}
+
+/// The paper's cost denominator: energy stored at the WISP5 turn-on
+/// voltage, joules (`½ · 47 µF · (2.4 V)²` ≈ 135.4 µJ).
+pub fn e_max() -> f64 {
+    stored_energy(WISP5_CAPACITANCE, WISP5_V_ON)
+}
+
+/// Energy between two WISP5 capacitor voltages as a percentage of
+/// [`e_max`].
+pub fn delta_e_percent(v_a: f64, v_b: f64) -> f64 {
+    delta_energy(WISP5_CAPACITANCE, v_a, v_b) / e_max() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e_max_matches_paper_figure() {
+        // ½ · 47e-6 · 2.4² = 135.36 µJ.
+        assert!((e_max() - 135.36e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_energy_signs_and_full_store() {
+        assert!((delta_e_percent(WISP5_V_ON, 0.0) - 100.0).abs() < 1e-9);
+        assert!(delta_e_percent(2.3, 2.4) < 0.0);
+        assert!(delta_energy(WISP5_CAPACITANCE, 2.4, 1.8) > 0.0);
+        assert_eq!(
+            delta_energy(WISP5_CAPACITANCE, 2.0, 2.0),
+            0.0,
+            "no voltage change, no energy"
+        );
+    }
+}

@@ -87,26 +87,26 @@ impl Capacitor {
 
     /// The energy stored right now, `E = C·V²/2`, in joules.
     pub fn energy(&self) -> f64 {
-        0.5 * self.capacitance * self.voltage * self.voltage
+        crate::budget::stored_energy(self.capacitance, self.voltage)
     }
 
     /// The energy that would be stored at `volts`, in joules.
     pub fn energy_at(&self, volts: f64) -> f64 {
-        0.5 * self.capacitance * volts * volts
+        crate::budget::stored_energy(self.capacitance, volts)
     }
 
     /// Energy difference between two voltage levels,
     /// `ΔE = C·(v_a² − v_b²)/2` — the expression the paper uses to quantify
     /// save/restore accuracy (Table 3).
     pub fn delta_energy(&self, v_a: f64, v_b: f64) -> f64 {
-        0.5 * self.capacitance * (v_a * v_a - v_b * v_b)
+        crate::budget::delta_energy(self.capacitance, v_a, v_b)
     }
 }
 
 impl Default for Capacitor {
     /// A WISP5-like 47 µF capacitor.
     fn default() -> Self {
-        Capacitor::new(47e-6)
+        Capacitor::new(crate::budget::WISP5_CAPACITANCE)
     }
 }
 

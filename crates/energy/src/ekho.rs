@@ -204,7 +204,13 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let mut live = live_source(8);
-        let tape = record(&mut live, 1500.0, 2.1, SimTime::from_ms(50), SimTime::from_ms(5));
+        let tape = record(
+            &mut live,
+            1500.0,
+            2.1,
+            SimTime::from_ms(50),
+            SimTime::from_ms(5),
+        );
         let csv = tape.to_csv();
         let back = Tape::from_csv(&csv).expect("parses");
         assert_eq!(back.len(), tape.len());

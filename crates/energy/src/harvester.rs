@@ -21,6 +21,12 @@ pub trait Harvester {
     fn current_into(&mut self, v_cap: f64, now: SimTime, dt: f64) -> f64;
 }
 
+impl<H: Harvester + ?Sized> Harvester for Box<H> {
+    fn current_into(&mut self, v_cap: f64, now: SimTime, dt: f64) -> f64 {
+        (**self).current_into(v_cap, now, dt)
+    }
+}
+
 /// A fixed charging current, useful in unit tests and for idealized
 /// experiments.
 ///
@@ -39,7 +45,9 @@ pub struct ConstantCurrent {
 impl ConstantCurrent {
     /// Creates a source that always delivers `amps`.
     pub fn new(amps: f64) -> Self {
-        ConstantCurrent { amps: amps.max(0.0) }
+        ConstantCurrent {
+            amps: amps.max(0.0),
+        }
     }
 }
 
@@ -256,7 +264,7 @@ impl Harvester for SolarHarvester {
         if now >= self.next_occlusion_change {
             // New occlusion factor in [0.3, 1.0]; next change 50–500 ms out.
             self.occlusion = self.rng.gen_range(0.3..=1.0);
-            let hold_ms = self.rng.gen_range(50..500);
+            let hold_ms = self.rng.gen_range(50u64..500);
             self.next_occlusion_change = now.advance_ns(hold_ms * 1_000_000);
         }
         let phase = (now.as_secs_f64() / self.period_s) * std::f64::consts::TAU;
@@ -468,7 +476,10 @@ mod tests {
             assert!(t < SimTime::from_ms(500), "charging unreasonably slow");
         }
         let ms = t.as_millis_f64();
-        assert!((10.0..120.0).contains(&ms), "charge time {ms} ms out of band");
+        assert!(
+            (10.0..120.0).contains(&ms),
+            "charge time {ms} ms out of band"
+        );
     }
 
     #[test]

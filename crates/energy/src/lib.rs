@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 pub mod capacitor;
 pub mod ekho;
 pub mod harvester;
@@ -48,6 +49,7 @@ pub mod supervisor;
 pub mod time;
 pub mod trace;
 
+pub use budget::{WISP5_CAPACITANCE, WISP5_V_OFF, WISP5_V_ON};
 pub use capacitor::Capacitor;
 pub use harvester::{
     ConstantCurrent, Fading, Harvester, RfField, SolarHarvester, TheveninSource, TraceHarvester,

@@ -128,9 +128,7 @@ impl Cdf {
     /// The smallest sample `v` with P(X ≤ v) ≥ `p` (p clamped to (0, 1]).
     pub fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(f64::MIN_POSITIVE, 1.0);
-        let idx = ((p * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len())
-            - 1;
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
         self.sorted[idx]
     }
 

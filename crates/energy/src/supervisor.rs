@@ -68,7 +68,7 @@ impl Supervisor {
 
     /// The WISP5 thresholds from the paper: turn-on 2.4 V, brown-out 1.8 V.
     pub fn wisp5() -> Self {
-        Supervisor::new(2.4, 1.8)
+        Supervisor::new(crate::budget::WISP5_V_ON, crate::budget::WISP5_V_OFF)
     }
 
     /// Turn-on threshold, volts.

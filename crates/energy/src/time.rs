@@ -24,7 +24,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_ns(), 2_000_500);
 /// assert!(t > SimTime::from_us(1999));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -90,10 +90,7 @@ pub fn assemble(source: &str) -> Result<Image, AsmError> {
 enum Operand {
     Register(Reg),
     Expr(ExprNode),
-    Mem {
-        base: Reg,
-        offset: ExprNode,
-    },
+    Mem { base: Reg, offset: ExprNode },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -291,11 +288,10 @@ fn parse_operand(text: &str, number: usize) -> Result<Operand, AsmError> {
             Some((b, o, sign)) => (b.trim(), o.trim(), sign == '-'),
             None => (inner, "", false),
         };
-        let base = parse_register(base_txt)
-            .ok_or_else(|| AsmError {
-                line: number,
-                message: format!("memory operand base must be a register, got `{base_txt}`"),
-            })?;
+        let base = parse_register(base_txt).ok_or_else(|| AsmError {
+            line: number,
+            message: format!("memory operand base must be a register, got `{base_txt}`"),
+        })?;
         let offset = if off_txt.is_empty() {
             ExprNode::Num(0)
         } else {
@@ -442,7 +438,10 @@ fn to_u16(value: i64, line: usize, what: &str) -> Result<u16, AsmError> {
     if (-(0x8000i64)..=0xFFFF).contains(&value) {
         Ok(value as u16)
     } else {
-        err(line, format!("{what} value {value} does not fit in 16 bits"))
+        err(
+            line,
+            format!("{what} value {value} does not fit in 16 bits"),
+        )
     }
 }
 
@@ -463,9 +462,7 @@ fn stmt_size_bytes(stmt: &Stmt, line: usize) -> Result<Option<usize>, AsmError> 
         Stmt::Byte(list) => Some(list.len()),
         Stmt::Space(_) => None, // handled specially (needs evaluation)
         Stmt::Ascii(bytes) => Some(bytes.len()),
-        Stmt::Instr(mnemonic, operands) => {
-            Some(instr_size_words(mnemonic, operands, line)? * 2)
-        }
+        Stmt::Instr(mnemonic, operands) => Some(instr_size_words(mnemonic, operands, line)? * 2),
     })
 }
 
@@ -589,12 +586,11 @@ fn pass2(lines: &[Line], symbols: &HashMap<String, i64>) -> Result<Image, AsmErr
     }
     let mut seg_start: i64 = 0;
     let mut seg: Vec<u8> = Vec::new();
-    let flush =
-        |image: &mut Image, seg: &mut Vec<u8>, seg_start: i64| {
-            if !seg.is_empty() {
-                image.push_segment(seg_start as u16, std::mem::take(seg));
-            }
-        };
+    let flush = |image: &mut Image, seg: &mut Vec<u8>, seg_start: i64| {
+        if !seg.is_empty() {
+            image.push_segment(seg_start as u16, std::mem::take(seg));
+        }
+    };
 
     for line in lines {
         let Some(stmt) = &line.stmt else { continue };
@@ -681,10 +677,7 @@ fn arity(operands: &[Operand], n: usize, line: usize, mnemonic: &str) -> Result<
     if operands.len() != n {
         err(
             line,
-            format!(
-                "`{mnemonic}` takes {n} operand(s), got {}",
-                operands.len()
-            ),
+            format!("`{mnemonic}` takes {n} operand(s), got {}", operands.len()),
         )
     } else {
         Ok(())

@@ -752,11 +752,7 @@ mod tests {
         load(
             &mut mem,
             0x4400,
-            &[
-                Movi { rd: r(0), imm: 1 },
-                Movi { rd: r(0), imm: 2 },
-                Halt,
-            ],
+            &[Movi { rd: r(0), imm: 1 }, Movi { rd: r(0), imm: 2 }, Halt],
         );
         let mut cpu = Cpu::new();
         cpu.reset(&mem);
@@ -786,11 +782,7 @@ mod tests {
         load(
             &mut mem,
             0x4400,
-            &[
-                In { rd: r(0), port: 3 },
-                Out { port: 5, rs: r(0) },
-                Halt,
-            ],
+            &[In { rd: r(0), port: 3 }, Out { port: 5, rs: r(0) }, Halt],
         );
         let mut cpu = Cpu::new();
         cpu.reset(&mem);
@@ -884,11 +876,7 @@ mod tests {
     fn cycle_accounting_accumulates() {
         use Instr::*;
         let mut mem = Memory::new();
-        load(
-            &mut mem,
-            0x4400,
-            &[Movi { rd: r(0), imm: 1 }, Nop, Halt],
-        );
+        load(&mut mem, 0x4400, &[Movi { rd: r(0), imm: 1 }, Nop, Halt]);
         let cpu = run(&mut mem, 10);
         assert_eq!(cpu.instructions, 3);
         assert_eq!(cpu.cycles, 2 + 1 + 1);

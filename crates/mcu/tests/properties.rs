@@ -57,8 +57,11 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rd, rb, off)| Instr::Ldb { rd, rb, off }),
         (arb_reg(), any::<u16>(), arb_reg()).prop_map(|(ra, off, rs)| Instr::Stb { ra, off, rs }),
         (arb_alu_op(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs)| Instr::Alu { op, rd, rs }),
-        (arb_alu_op(), arb_reg(), any::<u16>())
-            .prop_map(|(op, rd, imm)| Instr::Alui { op, rd, imm }),
+        (arb_alu_op(), arb_reg(), any::<u16>()).prop_map(|(op, rd, imm)| Instr::Alui {
+            op,
+            rd,
+            imm
+        }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Cmp { rd, rs }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Cmpi { rd, imm }),
         (arb_cond(), any::<u16>()).prop_map(|(cond, target)| Instr::J { cond, target }),

@@ -135,7 +135,10 @@ mod tests {
             }
         }
         assert!(corrupted > 150, "only {corrupted} corrupted at BER 0.2");
-        assert!(crc_failures > 0, "some corruption must survive the type byte");
+        assert!(
+            crc_failures > 0,
+            "some corruption must survive the type byte"
+        );
         assert!(ch.bits_flipped() > 0);
     }
 

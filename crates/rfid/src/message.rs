@@ -115,9 +115,7 @@ impl Command {
                     rn: bytes[1] as u16 | ((bytes[2] as u16) << 8),
                 },
             ),
-            (Some(&TYPE_QUERY | &TYPE_QUERY_REP | &TYPE_ACK), _) => {
-                Err(DecodeFailure::BadLength)
-            }
+            (Some(&TYPE_QUERY | &TYPE_QUERY_REP | &TYPE_ACK), _) => Err(DecodeFailure::BadLength),
             (Some(_), _) => Err(DecodeFailure::UnknownType),
             (None, _) => Err(DecodeFailure::BadLength),
         }

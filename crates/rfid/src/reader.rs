@@ -131,8 +131,7 @@ impl Reader {
             return None;
         }
         let start = self.next_tx;
-        let command = if !self.started || self.reps_sent_this_round >= self.config.reps_per_round
-        {
+        let command = if !self.started || self.reps_sent_this_round >= self.config.reps_per_round {
             // Open a new round.
             self.started = true;
             self.round_start = start;

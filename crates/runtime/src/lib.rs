@@ -315,8 +315,7 @@ mod tests {
         }
         let counted = mem.peek_word(0x6000);
         assert!(counted > 5, "counter advanced to {counted}");
-        let layout =
-            CheckpointLayout::from_image(&image).expect("layout");
+        let layout = CheckpointLayout::from_image(&image).expect("layout");
         assert!(layout.committed(&mem).is_some(), "a checkpoint committed");
 
         // Simulate a reboot: volatile state gone, FRAM kept.

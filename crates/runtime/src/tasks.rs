@@ -253,7 +253,12 @@ mod tests {
     #[test]
     fn task_runtime_assembles_with_symbols() {
         let image = transfer_app(true);
-        for sym in ["__tk_boundary", "__tk_boot", "__tk_shadow0", "__cp_checkpoint"] {
+        for sym in [
+            "__tk_boundary",
+            "__tk_boot",
+            "__tk_shadow0",
+            "__cp_checkpoint",
+        ] {
             assert!(image.symbol(sym).is_some(), "missing {sym}");
         }
     }

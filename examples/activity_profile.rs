@@ -12,10 +12,9 @@ use edb_suite::device::DeviceConfig;
 use edb_suite::energy::{Fading, SimTime, TheveninSource};
 
 fn main() {
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 5)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 5))
+        .build();
     sys.flash(&activity::image(Variant::EdbPrintf));
     sys.run_for(SimTime::from_secs(4));
 

@@ -34,10 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .word main
         "#,
     ))?;
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 3)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 3))
+        .build();
     sys.flash(&image);
 
     let mut console = Console::new();
@@ -64,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hit = sys.run_until(SimTime::from_secs(2), |s| {
         s.edb().is_some_and(|e| e.session_active())
     });
-    println!("      breakpoint hit: {hit} (Vcap {:.2} V)", sys.device().v_cap());
+    println!(
+        "      breakpoint hit: {hit} (Vcap {:.2} V)",
+        sys.device().v_cap()
+    );
     exec("read 0x6000", &mut sys);
     exec("write 0x6000 0x0000", &mut sys);
     exec("read 0x6000", &mut sys);

@@ -28,7 +28,11 @@ fn main() {
         SimTime::from_secs(10),
         SimTime::from_ms(1),
     );
-    println!("tape: {} samples ({} bytes as CSV)\n", tape.len(), tape.to_csv().len());
+    println!(
+        "tape: {} samples ({} bytes as CSV)\n",
+        tape.len(),
+        tape.to_csv().len()
+    );
 
     // 2. Replay against the buggy app — the failure is now a fixture.
     let strike = |tape: &ekho::Tape| {
@@ -46,20 +50,25 @@ fn main() {
     let t1 = strike(&tape);
     let t2 = strike(&tape);
     println!("replay 1: bug strikes at {:?}", t1.map(|t| t.to_string()));
-    println!("replay 2: bug strikes at {:?}  (identical — that's the point)\n", t2.map(|t| t.to_string()));
+    println!(
+        "replay 2: bug strikes at {:?}  (identical — that's the point)\n",
+        t2.map(|t| t.to_string())
+    );
     assert_eq!(t1, t2);
 
     // 3. Now replay the same tape with the *instrumented* build and EDB
     //    attached: the assert catches the same failure live.
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(ekho::replay(&tape, 1500.0)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(ekho::replay(&tape, 1500.0))
+        .build();
     sys.flash(&ll::image(ll::Variant::Assert));
     let caught = sys.run_until(SimTime::from_secs(10), |s| {
         s.edb().is_some_and(|e| e.session_active())
     });
-    println!("replay 3 (assert build + EDB): caught={caught} at {}", sys.now());
+    println!(
+        "replay 3 (assert build + EDB): caught={caught} at {}",
+        sys.now()
+    );
     let tail = sys.debug_read_word(ll::TAILP).expect("read");
     println!("  (edb) read TAILP -> {tail:#06x}  — the same stale tail, now on a live device");
     println!("\nworkflow: field failure -> tape -> deterministic replays -> root cause.");

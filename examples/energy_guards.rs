@@ -17,10 +17,9 @@ fn run(variant: fib::Variant, label: &str) {
         i_active: 4.4e-3,
         ..DeviceConfig::wisp5()
     };
-    let mut sys = System::new(
-        config,
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 9)),
-    );
+    let mut sys = System::builder(config)
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 9))
+        .build();
     sys.flash(&fib::image(variant));
 
     let mut last = (0u16, SimTime::ZERO);

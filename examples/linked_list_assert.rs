@@ -18,7 +18,9 @@ fn harvested(seed: u64) -> Box<Fading<TheveninSource>> {
 
 fn main() {
     println!("--- act 1: the release build fails mysteriously ---");
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(1));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(1))
+        .build();
     sys.flash(&ll::image(ll::Variant::Plain));
     let bricked = sys.run_until(SimTime::from_secs(30), |s| {
         s.device().mem().peek_word(RESET_VECTOR) != 0x4400
@@ -33,7 +35,9 @@ fn main() {
 
     println!("--- act 2: the same code, with one EDB assert ---");
     println!("ASSERT(list->tail->next == NULL) at the top of remove():\n");
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(1));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(1))
+        .build();
     sys.flash(&ll::image(ll::Variant::Assert));
     let caught = sys.run_until(SimTime::from_secs(60), |s| {
         s.edb().is_some_and(|e| e.session_active())
@@ -63,7 +67,10 @@ fn main() {
         .expect("read");
     println!("  (edb) read e->prev        -> {e_prev:#06x}");
     println!();
-    println!("diagnosis: tail points at the sentinel ({:#06x}) while the sentinel's", ll::HEAD);
+    println!(
+        "diagnosis: tail points at the sentinel ({:#06x}) while the sentinel's",
+        ll::HEAD
+    );
     println!("next already points at node e ({head_next:#06x}) — append was interrupted between");
     println!("`list->tail->next = e` and `list->tail = e`. One more remove() would have");
     println!("dereferenced e->next == NULL and memset a wild pointer over the reset vector.");

@@ -41,10 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The bench: a WISP-like target on an RF-like harvested supply,
     //    with EDB on its header.
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 1)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 1))
+        .build();
     sys.flash(&image);
 
     // 3. Run two seconds of wall-clock time on harvested power.
@@ -52,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. What happened?
     let dev = sys.device();
-    println!("powered {} times, browned out {} times", dev.turn_ons(), dev.reboots());
+    println!(
+        "powered {} times, browned out {} times",
+        dev.turn_ons(),
+        dev.reboots()
+    );
     println!(
         "counter reached {} across all those reboots (FRAM persists!)",
         dev.mem().peek_word(0x6000)

@@ -22,7 +22,10 @@ fn main() {
         .filter(|r| r.outcome == Outcome::Recovered)
         .count();
     let races = oracle::sites_with(&results, Outcome::Bricked);
-    println!("{total} cut points: {recovered} recover cleanly, {} brick the device", total - recovered);
+    println!(
+        "{total} cut points: {recovered} recover cleanly, {} brick the device",
+        total - recovered
+    );
     println!("distinct race sites: {races:04x?}\n");
 
     // Show the culprit instructions in context.
@@ -32,7 +35,9 @@ fn main() {
         let seg = image
             .segments()
             .iter()
-            .find(|(start, bytes)| site >= *start && (site as usize) < *start as usize + bytes.len())
+            .find(|(start, bytes)| {
+                site >= *start && (site as usize) < *start as usize + bytes.len()
+            })
             .expect("site is in the image");
         let from = site.saturating_sub(8).max(seg.0);
         let offset = (from - seg.0) as usize;
@@ -47,9 +52,7 @@ fn main() {
 
     println!("same exploration against the DINO-style task-atomic build:");
     let atomic = oracle::explore_linked_list(ll::Variant::TaskAtomic);
-    let survived = atomic
-        .iter()
-        .all(|r| r.outcome == Outcome::Recovered);
+    let survived = atomic.iter().all(|r| r.outcome == Outcome::Recovered);
     println!(
         "{} cut points, all recovered: {survived} — per-iteration task boundaries make the races unreachable.",
         atomic.len()

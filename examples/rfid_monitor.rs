@@ -24,14 +24,21 @@ fn main() {
         reps_per_round: 3,
         ..ReaderConfig::paper_setup()
     };
-    let mut sys = System::with_rfid_reader(device_config, reader_config, 1.0, 7);
+    let mut sys = System::builder(device_config)
+        .rfid(1.0)
+        .reader_config(reader_config)
+        .seed(7)
+        .build();
     sys.flash(&rfid_fw::image());
     sys.run_for(SimTime::from_secs(10));
 
     let edb = sys.edb().expect("attached");
     let (mut cmds, mut rsps, mut corrupt) = (0u32, 0u32, 0u32);
     for ev in edb.log().with_tag("rfid") {
-        if let DebugEvent::Rfid { downlink, valid, .. } = ev.event {
+        if let DebugEvent::Rfid {
+            downlink, valid, ..
+        } = ev.event
+        {
             match (downlink, valid) {
                 (true, true) => cmds += 1,
                 (false, true) => rsps += 1,
@@ -42,8 +49,14 @@ fn main() {
     println!("10 s at 1 m from the reader:");
     println!("  commands reaching the tag : {cmds} ({corrupt} corrupted in flight)");
     println!("  tag replies               : {rsps}");
-    println!("  response rate             : {:.0} %  (paper measured 86 %)", rsps as f64 / cmds.max(1) as f64 * 100.0);
-    println!("  replies per second        : {:.1}  (paper: ~13)", rsps as f64 / 10.0);
+    println!(
+        "  response rate             : {:.0} %  (paper measured 86 %)",
+        rsps as f64 / cmds.max(1) as f64 * 100.0
+    );
+    println!(
+        "  replies per second        : {:.1}  (paper: ~13)",
+        rsps as f64 / 10.0
+    );
     let fw = rfid_fw::read_stats(sys.device().mem());
     println!(
         "  target's own decode tally : {} ok / {} crc-rejected",
@@ -57,9 +70,14 @@ fn main() {
     for ev in edb.log().window(from, to) {
         match &ev.event {
             DebugEvent::EnergySample { v_cap, .. } => last_v = *v_cap,
-            DebugEvent::Rfid { label, downlink, .. } => {
+            DebugEvent::Rfid {
+                label, downlink, ..
+            } => {
                 let arrow = if *downlink { "->" } else { "<-" };
-                println!("  {:>9.1} ms  {arrow} {label:<13} Vcap={last_v:.2} V", ev.at.as_millis_f64());
+                println!(
+                    "  {:>9.1} ms  {arrow} {label:<13} Vcap={last_v:.2} V",
+                    ev.at.as_millis_f64()
+                );
             }
             _ => {}
         }

@@ -20,10 +20,19 @@ use std::io::{BufRead, Write};
 
 const APPS: &[(&str, &str)] = &[
     ("spin", "a bare counting loop (default)"),
-    ("linked-list", "the Figure 6 intermittence bug, uninstrumented"),
-    ("linked-list-assert", "the same bug with the keep-alive assert"),
+    (
+        "linked-list",
+        "the Figure 6 intermittence bug, uninstrumented",
+    ),
+    (
+        "linked-list-assert",
+        "the same bug with the keep-alive assert",
+    ),
     ("linked-list-atomic", "the DINO-style task-atomic fix"),
-    ("fib-checked", "Fibonacci list with the O(n) consistency check"),
+    (
+        "fib-checked",
+        "Fibonacci list with the O(n) consistency check",
+    ),
     ("fib-guarded", "the same check inside energy guards"),
     ("activity", "activity recognition with EDB printf"),
     ("rfid", "the WISP RFID firmware under a reader (RF world)"),
@@ -68,11 +77,17 @@ fn build_system(app: &str, seed: u64) -> Option<System> {
                 reps_per_round: 3,
                 ..ReaderConfig::paper_setup()
             };
-            let mut sys = System::with_rfid_reader(device, reader, 1.0, seed);
+            let mut sys = System::builder(device)
+                .rfid(1.0)
+                .reader_config(reader)
+                .seed(seed)
+                .build();
             sys.flash(&rfid_fw::image());
             return Some(sys);
         }
-        _ => System::new(DeviceConfig::wisp5(), harvested()),
+        _ => System::builder(DeviceConfig::wisp5())
+            .harvester(harvested())
+            .build(),
     };
     let image = match app {
         "spin" => spin_image(),

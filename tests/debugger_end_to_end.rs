@@ -12,7 +12,9 @@ fn harvested(seed: u64) -> Box<Fading<TheveninSource>> {
 
 #[test]
 fn keep_alive_assert_preempts_the_crash_and_allows_diagnosis() {
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(0));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(0))
+        .build();
     sys.flash(&ll::image(ll::Variant::Assert));
     assert!(
         sys.run_until(SimTime::from_secs(30), |s| {
@@ -62,7 +64,9 @@ fn energy_breakpoint_fires_at_the_threshold() {
         "#,
     ))
     .expect("assembles");
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(2));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(2))
+        .build();
     sys.flash(&image);
     sys.edb_mut().arm_energy_breakpoint(2.1);
     sys.charge_to(2.4);
@@ -77,7 +81,10 @@ fn energy_breakpoint_fires_at_the_threshold() {
     // After resume, execution continues and the breakpoint re-arms: it
     // fires again on the next pass through 2.1 V.
     sys.charge_to(2.4);
-    assert!(sys.wait_for_session(SimTime::from_secs(2)), "re-armed and re-fired");
+    assert!(
+        sys.wait_for_session(SimTime::from_secs(2)),
+        "re-armed and re-fired"
+    );
 }
 
 #[test]
@@ -101,7 +108,9 @@ fn combined_breakpoint_respects_the_energy_condition() {
         "#,
     ))
     .expect("assembles");
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(3));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(3))
+        .build();
     sys.flash(&image);
     // Enabled, but only below 2.0 V: iterations above that sail through.
     {
@@ -117,7 +126,10 @@ fn combined_breakpoint_respects_the_energy_condition() {
     assert!(v < 2.05, "triggered at {v} V, condition was 2.0 V");
     // Plenty of laps completed above the threshold before the hit.
     let laps = sys.device().mem().peek_word(0x6000);
-    assert!(laps > 100, "breakpoint must not fire above the threshold ({laps} laps)");
+    assert!(
+        laps > 100,
+        "breakpoint must not fire above the threshold ({laps} laps)"
+    );
 }
 
 #[test]
@@ -139,7 +151,9 @@ fn edb_printf_reaches_the_host_intact() {
         "#,
     ))
     .expect("assembles");
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(4));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(4))
+        .build();
     sys.flash(&image);
     let got = sys.run_until(SimTime::from_secs(2), |s| {
         s.edb().is_some_and(|e| e.log().printf_lines().len() >= 2)
@@ -153,7 +167,9 @@ fn edb_printf_reaches_the_host_intact() {
 
 #[test]
 fn console_drives_a_full_session() {
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(0));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(0))
+        .build();
     sys.flash(&ll::image(ll::Variant::Assert));
     let mut console = Console::new();
     console.execute("charge 2.4", &mut sys).expect("charge");
@@ -163,7 +179,10 @@ fn console_drives_a_full_session() {
     let out = console
         .execute(&format!("read {:#06x}", ll::TAILP), &mut sys)
         .expect("read");
-    assert!(out.contains("0x6000"), "console showed the stale tail: {out}");
+    assert!(
+        out.contains("0x6000"),
+        "console showed the stale tail: {out}"
+    );
     let out = console.execute("resume", &mut sys).expect("resume");
     assert!(out.contains("resumed"));
     let out = console.execute("status", &mut sys).expect("status");
@@ -172,7 +191,9 @@ fn console_drives_a_full_session() {
 
 #[test]
 fn watchpoints_stream_with_energy_snapshots() {
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(5));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(5))
+        .build();
     sys.flash(&activity::image(activity::Variant::NoPrint));
     sys.run_for(SimTime::from_secs(1));
     let edb = sys.edb().unwrap();
@@ -192,7 +213,9 @@ fn watchpoints_stream_with_energy_snapshots() {
 
 #[test]
 fn guard_exit_event_restores_close_to_entry_level() {
-    let mut sys = System::new(DeviceConfig::wisp5(), harvested(6));
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harvested(6))
+        .build();
     sys.flash(&activity::image(activity::Variant::EdbPrintf));
     sys.run_for(SimTime::from_secs(2));
     let edb = sys.edb().unwrap();

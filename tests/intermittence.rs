@@ -37,7 +37,10 @@ fn the_headline_claim_bug_needs_intermittence() {
             break;
         }
     }
-    assert!(struck, "intermittence must corrupt the same correct-looking code");
+    assert!(
+        struck,
+        "intermittence must corrupt the same correct-looking code"
+    );
 }
 
 #[test]
@@ -92,12 +95,18 @@ fn checkpointing_runtime_carries_volatile_progress_across_failures() {
         let step = dev.step(&mut src, 0.0);
         if step.power_edge == Some(PowerEdge::TurnOn) && dev.reboots() > 0 {
             let v = dev.mem().peek_word(0x6000);
-            assert!(v + 2 >= prev_max, "checkpoint restore lost progress: {prev_max} -> {v}");
+            assert!(
+                v + 2 >= prev_max,
+                "checkpoint restore lost progress: {prev_max} -> {v}"
+            );
         }
         prev_max = prev_max.max(dev.mem().peek_word(0x6000));
     }
     assert!(dev.reboots() >= 2, "needs real power failures");
-    assert!(prev_max > 50, "the register counter must make real progress");
+    assert!(
+        prev_max > 50,
+        "the register counter must make real progress"
+    );
 }
 
 #[test]

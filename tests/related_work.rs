@@ -140,10 +140,9 @@ fn table_mixed_generations(dev: &Device) -> bool {
 
 #[test]
 fn unguarded_library_call_corrupts_under_intermittence() {
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 2)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 2))
+        .build();
     sys.flash(&library_app(false));
     let mut mixed_after_reboot = 0u32;
     let mut reboots_seen = 0u64;
@@ -165,10 +164,9 @@ fn unguarded_library_call_corrupts_under_intermittence() {
 
 #[test]
 fn guards_make_the_library_call_atomic() {
-    let mut sys = System::new(
-        DeviceConfig::wisp5(),
-        Box::new(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 2)),
-    );
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 2))
+        .build();
     sys.flash(&library_app(true));
     let mut reboots_seen = 0u64;
     while sys.now() < SimTime::from_secs(3) {
@@ -186,7 +184,10 @@ fn guards_make_the_library_call_atomic() {
         .edb()
         .map(|e| e.log().with_tag("guard-enter").count())
         .unwrap_or(0);
-    assert!(guards > 50, "the library ran under guards ({guards} episodes)");
+    assert!(
+        guards > 50,
+        "the library ran under guards ({guards} episodes)"
+    );
     // And the target's own verifier agrees: no mixed generations seen.
     assert_eq!(
         sys.device().mem().peek_word(0x7042),

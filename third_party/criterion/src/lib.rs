@@ -1,0 +1,206 @@
+//! Vendored offline stand-in for the subset of `criterion` this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups with throughput annotations, `Bencher::iter`, and
+//! `Bencher::iter_batched`.
+//!
+//! The real criterion performs warm-up calibration, outlier rejection,
+//! and HTML reporting; this stand-in just times a bounded number of
+//! iterations and prints median per-iteration latency (plus derived
+//! throughput when declared). That is enough to keep `cargo bench`
+//! compiling and producing comparable numbers in an offline build.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark aims to spend measuring.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Iteration bounds per benchmark.
+const MIN_ITERS: usize = 5;
+const MAX_ITERS: usize = 1000;
+
+/// Declared units of work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; ignored by the
+/// stand-in (every batch is a single routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let start = Instant::now();
+            let out = routine();
+            let dt = start.elapsed();
+            std::hint::black_box(out);
+            dt
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let dt = start.elapsed();
+            std::hint::black_box(out);
+            dt
+        });
+    }
+
+    fn run(&mut self, mut timed_once: impl FnMut() -> Duration) {
+        // Warm-up: one untimed call.
+        let first = timed_once();
+        let budget = TARGET_MEASURE;
+        let mut spent = Duration::ZERO;
+        while self.samples.len() < MIN_ITERS || (spent < budget && self.samples.len() < MAX_ITERS) {
+            let dt = timed_once();
+            spent += dt;
+            self.samples.push(dt);
+        }
+        // Keep the warm-up sample if it's all we can afford.
+        if self.samples.is_empty() {
+            self.samples.push(first);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    let median = bencher.median();
+    let rate = |units: u64| {
+        let secs = median.as_secs_f64().max(1e-12);
+        units as f64 / secs
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "bench: {label:<40} {median:>12?}/iter  {:>12.0} elem/s",
+            rate(n)
+        ),
+        Some(Throughput::Bytes(n)) => println!(
+            "bench: {label:<40} {median:>12?}/iter  {:>12.0} B/s",
+            rate(n)
+        ),
+        None => println!("bench: {label:<40} {median:>12?}/iter"),
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_batched_record_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3, 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,419 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; this crate parses the item's `TokenStream` by hand and
+//! emits the generated impl as source text, which is then re-parsed
+//! into a `TokenStream`. Only the shapes actually present in this
+//! workspace are supported: non-generic structs (named, tuple, unit)
+//! and non-generic enums (unit, tuple, and struct variants, with
+//! optional explicit discriminants). Generic types produce a
+//! `compile_error!` rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize` (the stand-in's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the stand-in's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+/// The shapes we know how to generate code for.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let src = match dir {
+                Direction::Serialize => gen_serialize(&name, &shape),
+                Direction::Deserialize => gen_deserialize(&name, &shape),
+            };
+            src.parse().unwrap_or_else(|e| {
+                error(&format!(
+                    "serde_derive internal error: generated code failed to parse: {e}"
+                ))
+            })
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses the derive input down to a type name plus [`Shape`].
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stand-in cannot derive for generic type `{name}`"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Skips leading attributes (`#[...]`, including doc comments) and any
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                // Optional restriction: `pub(crate)` and friends.
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a `{ ... }` struct body. Field types may
+/// contain generic arguments (`BTreeMap<String, f64>`), so commas only
+/// split fields at angle-bracket depth zero.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        skip_type(&mut toks);
+    }
+}
+
+/// Consumes a type, stopping after the `,` that ends it (or at end of
+/// stream). Tracks `<`/`>` nesting; `->` cannot appear at depth zero in
+/// a field type, and `>>` arrives as two separate '>' puncts.
+fn skip_type(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0usize;
+    for tok in toks.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Counts the fields of a `( ... )` tuple body (top-level commas plus
+/// one, ignoring a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    for tok in stream {
+        saw_any = true;
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream())?);
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        // Optional explicit discriminant (`Add = 0`): consume to the
+        // variant-separating comma.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            skip_type(&mut toks);
+        } else if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("::serde::Value::Map(::std::vec![");
+    for f in fields {
+        let _ = write!(
+            out,
+            "(::serde::Value::Str(::std::string::String::from({f:?})), \
+             ::serde::Serialize::to_value({})),",
+            accessor(f)
+        );
+    }
+    out.push_str("])");
+    out
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => named_fields_to_map(fields, |f| format!("&self.{f}")),
+        Shape::TupleStruct(n) => {
+            let mut out = String::from("::serde::Value::Seq(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            out.push_str("])");
+            out
+        }
+        Shape::UnitStruct => String::from("::serde::Value::Null"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut seq = String::from("::serde::Value::Seq(::std::vec![");
+                        for b in &binders {
+                            let _ = write!(seq, "::serde::Serialize::to_value({b}),");
+                        }
+                        seq.push_str("])");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({binders}) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from({vn:?})), {seq})]),",
+                            binders = binders.join(", ")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let inner = named_fields_to_map(fields, str::to_string);
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {fields} }} => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from({vn:?})), {inner})]),",
+                            fields = fields.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn named_fields_from_map(fields: &[String], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let _ = write!(
+            out,
+            "{f}: ::serde::Deserialize::from_value(\
+             {source}.get_field({f:?}).unwrap_or(&::serde::Value::Null))?,"
+        );
+    }
+    out
+}
+
+fn tuple_fields_from_seq(n: usize, source: &str) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let _ = write!(
+            out,
+            "::serde::Deserialize::from_value(\
+             {source}.get_index({i}).unwrap_or(&::serde::Value::Null))?,"
+        );
+    }
+    out
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => format!(
+            "if v.as_map().is_none() {{ \
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"map\", {name:?})); \
+             }} \
+             ::std::result::Result::Ok({name} {{ {fields} }})",
+            fields = named_fields_from_map(fields, "v")
+        ),
+        Shape::TupleStruct(n) => format!(
+            "if v.as_seq().is_none() {{ \
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"sequence\", {name:?})); \
+             }} \
+             ::std::result::Result::Ok({name}({fields}))",
+            fields = tuple_fields_from_seq(*n, "v")
+        ),
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            // Externally tagged: unit variants are a bare string, data
+            // variants a single-entry map keyed by the variant name.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => return ::std::result::Result::Ok(\
+                             {name}::{vn}({fields})),",
+                            fields = tuple_fields_from_seq(*n, "__payload")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => return ::std::result::Result::Ok(\
+                             {name}::{vn} {{ {fields} }}),",
+                            fields = named_fields_from_map(fields, "__payload")
+                        );
+                    }
+                }
+            }
+            // Emit only the blocks that have arms, so enums with (say)
+            // no unit variants don't generate unused bindings.
+            let str_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::std::option::Option::Some(__s) = v.as_str() {{ \
+                         match __s {{ {unit_arms} _ => {{}} }} \
+                     }} "
+                )
+            };
+            let map_block = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::std::option::Option::Some(__entries) = v.as_map() {{ \
+                         if __entries.len() == 1 {{ \
+                             let (__tag, __payload) = &__entries[0]; \
+                             match __tag.as_str().unwrap_or(\"\") {{ {data_arms} _ => {{}} }} \
+                         }} \
+                     }} "
+                )
+            };
+            format!(
+                "{str_block}{map_block}\
+                 ::std::result::Result::Err(::serde::DeError::expected(\"variant\", {name:?}))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+         {body} }} }}"
+    )
+}

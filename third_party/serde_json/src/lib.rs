@@ -1,0 +1,481 @@
+//! Vendored offline stand-in for the subset of `serde_json` this
+//! workspace uses: `to_string`, `to_string_pretty`, and `from_str`
+//! over the vendored `serde::Value` model.
+//!
+//! Encoding notes, chosen to match real `serde_json` behaviour where it
+//! matters for round-trips:
+//! - non-finite floats serialize as `null`, and `null` deserializes
+//!   into `f64` as NaN (our `serde` stand-in's float rule);
+//! - map keys are emitted as strings; non-string scalar keys use their
+//!   plain text form (`42`, `true`) so numeric-keyed maps round-trip
+//!   through the stand-in's string-tolerant integer parsing;
+//! - floats print via Rust's shortest round-trip formatting, with a
+//!   `.0` suffix forced onto integral values so they re-parse as `F64`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` out of a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_compound(out, indent, level, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, level + 1);
+        }),
+        Value::Map(entries) => {
+            write_compound(out, indent, level, '{', '}', entries.len(), |out, i| {
+                let (k, val) = &entries[i];
+                write_string(out, &key_text(k));
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let text = format!("{x}");
+    out.push_str(&text);
+    // Keep the float/integer distinction through a round-trip.
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// The string form used for a map key.
+fn key_text(k: &Value) -> String {
+    match k {
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => format!("{x}"),
+        Value::Null => "null".to_string(),
+        other => {
+            // Structured keys can't be represented in JSON; fall back to
+            // their compact JSON text (they won't round-trip).
+            let mut s = String::new();
+            write_value(&mut s, other, None, 0);
+            s
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Value::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path over unescaped runs.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut s)?;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, s: &mut String) -> Result<(), Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::new("unterminated escape"))?;
+        self.pos += 1;
+        match b {
+            b'"' => s.push('"'),
+            b'\\' => s.push('\\'),
+            b'/' => s.push('/'),
+            b'b' => s.push('\u{08}'),
+            b'f' => s.push('\u{0C}'),
+            b'n' => s.push('\n'),
+            b'r' => s.push('\r'),
+            b't' => s.push('\t'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair.
+                    if !self.eat_literal("\\u") {
+                        return Err(Error::new("unpaired surrogate"));
+                    }
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(Error::new("invalid low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                s.push(char::from_u32(code).ok_or_else(|| Error::new("invalid codepoint"))?);
+            }
+            other => {
+                return Err(Error::new(format!("invalid escape `\\{}`", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| Error::new("bad \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("bad number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // Negative integral: keep as I64 when it fits.
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Value::I64(n)),
+                Err(_) => stripped
+                    .parse::<f64>()
+                    .map(|x| Value::F64(-x))
+                    .map_err(|_| Error::new(format!("bad number `{text}`"))),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Value::U64(n)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error::new(format!("bad number `{text}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<String>("\"a\\u00e9\\n\"").unwrap(), "a\u{e9}\n");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u16, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u16>>(&json).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("alpha".to_string(), 0.5f64);
+        m.insert("beta".to_string(), -2.0);
+        let json = to_string(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<String, f64>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let json = to_string(&f64::NAN).unwrap();
+        assert_eq!(json, "null");
+        assert!(from_str::<f64>(&json).unwrap().is_nan());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1u8, 2]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains("\n  \"k\": [\n    1,\n    2\n  ]"));
+        assert_eq!(from_str::<BTreeMap<String, Vec<u8>>>(&pretty).unwrap(), m);
+    }
+
+    #[test]
+    fn integer_keyed_maps_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(7u32, "seven".to_string());
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"7\":\"seven\"}");
+        assert_eq!(from_str::<BTreeMap<u32, String>>(&json).unwrap(), m);
+    }
+}
