@@ -1,0 +1,151 @@
+//! CI gate: compares a freshly produced `manifest.json` against the
+//! checked-in golden manifest.
+//!
+//! Two families of check, matching the two things the manifest records:
+//!
+//! * **Metrics are exact.** Every experiment in the golden must appear
+//!   in the candidate with bit-identical metric values and the same
+//!   trial count — the suite is deterministic for a given root seed and
+//!   trial budget, so any difference is a real behavior change (or a
+//!   stale golden), never noise.
+//! * **Wall time is bounded.** The candidate's `total_wall_s` may not
+//!   exceed the golden's by more than the regression factor (default
+//!   1.3, i.e. +30%) — wall clocks are noisy, so this is a tripwire for
+//!   large regressions, not a precision gate.
+//!
+//! Usage: `manifest_check <golden.json> <candidate.json>
+//! [--wall-factor F] [--ignore-wall]`. Exits 0 on pass, 1 on any
+//! failed check, 2 on usage/parse errors.
+
+use edb_bench::runner::Manifest;
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: manifest_check <golden.json> <candidate.json> [--wall-factor F] [--ignore-wall]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Manifest {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut wall_factor = 1.3f64;
+    let mut ignore_wall = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--wall-factor=") {
+            wall_factor = v
+                .parse()
+                .unwrap_or_else(|_| die("--wall-factor takes a number"));
+        } else if a == "--wall-factor" {
+            wall_factor = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--wall-factor takes a number"));
+        } else if a == "--ignore-wall" {
+            ignore_wall = true;
+        } else if a.starts_with("--") {
+            die(&format!("unknown flag {a}"));
+        } else {
+            paths.push(a);
+        }
+    }
+    let [golden_path, candidate_path] = paths.as_slice() else {
+        die("expected exactly two manifest paths");
+    };
+    let golden = load(golden_path);
+    let candidate = load(candidate_path);
+
+    let mut failures = 0usize;
+    let mut fail = |msg: String| {
+        eprintln!("FAIL: {msg}");
+        failures += 1;
+    };
+
+    if candidate.root_seed != golden.root_seed {
+        fail(format!(
+            "root seed {} != golden {}",
+            candidate.root_seed, golden.root_seed
+        ));
+    }
+
+    let cand_names: Vec<&str> = candidate
+        .experiments
+        .iter()
+        .map(|e| e.name.as_str())
+        .collect();
+    let gold_names: Vec<&str> = golden.experiments.iter().map(|e| e.name.as_str()).collect();
+    if cand_names != gold_names {
+        fail(format!(
+            "experiment set {cand_names:?} != golden {gold_names:?}"
+        ));
+    }
+
+    for gold in &golden.experiments {
+        let Some(cand) = candidate.experiments.iter().find(|e| e.name == gold.name) else {
+            continue; // already reported by the set check
+        };
+        if cand.trials != gold.trials {
+            fail(format!(
+                "{}: {} trials != golden {}",
+                gold.name, cand.trials, gold.trials
+            ));
+        }
+        for (key, &gold_val) in &gold.metrics {
+            match cand.metrics.get(key) {
+                // Bit comparison: exact equality including NaN and
+                // signed-zero cases, which `==` would mishandle.
+                Some(&cand_val) if cand_val.to_bits() == gold_val.to_bits() => {}
+                Some(&cand_val) => fail(format!(
+                    "{}: metric {key} = {cand_val} != golden {gold_val}",
+                    gold.name
+                )),
+                None => fail(format!("{}: metric {key} missing", gold.name)),
+            }
+        }
+        for key in cand.metrics.keys() {
+            if !gold.metrics.contains_key(key) {
+                fail(format!(
+                    "{}: metric {key} not in golden (stale golden manifest?)",
+                    gold.name
+                ));
+            }
+        }
+    }
+
+    let wall_limit = golden.total_wall_s * wall_factor;
+    if ignore_wall {
+        println!(
+            "wall: {:.2} s (golden {:.2} s, check skipped)",
+            candidate.total_wall_s, golden.total_wall_s
+        );
+    } else if candidate.total_wall_s > wall_limit {
+        fail(format!(
+            "total wall {:.2} s exceeds {:.2} s ({}x golden {:.2} s)",
+            candidate.total_wall_s, wall_limit, wall_factor, golden.total_wall_s
+        ));
+    } else {
+        println!(
+            "wall: {:.2} s within {:.2} s budget ({}x golden {:.2} s)",
+            candidate.total_wall_s, wall_limit, wall_factor, golden.total_wall_s
+        );
+    }
+
+    if failures == 0 {
+        println!(
+            "OK: {} experiment(s), all metrics bit-identical to golden",
+            golden.experiments.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("manifest check failed: {failures} difference(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -152,6 +152,7 @@ pub struct Runner {
     root_seed: u64,
     progress: bool,
     write_manifest: bool,
+    max_trials: Option<usize>,
     budget: Budget,
     trials_run: Mutex<BTreeMap<String, u64>>,
 }
@@ -175,11 +176,25 @@ impl Runner {
             root_seed,
             progress: chatty,
             write_manifest: chatty,
+            max_trials: None,
             budget: Budget {
                 permits: Mutex::new(threads - 1),
             },
             trials_run: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Caps every [`map_trials`](Runner::map_trials) call at `n` trials.
+    ///
+    /// This is the CI smoke budget: the suite runs end to end with the
+    /// same seed derivation (trial `i` keeps the exact seed it would
+    /// have in a full run — the cap truncates, it never re-derives), so
+    /// a capped run's metrics are a deterministic function of the root
+    /// seed and the cap, comparable against a golden manifest produced
+    /// with the same cap. `None` (the default) runs every trial.
+    pub fn with_max_trials(mut self, max_trials: Option<usize>) -> Self {
+        self.max_trials = max_trials;
+        self
     }
 
     /// The thread budget.
@@ -252,6 +267,10 @@ impl Runner {
         T: Send,
         F: Fn(&TrialCtx) -> T + Sync,
     {
+        let n = match self.max_trials {
+            Some(m) => n.min(m.max(1)),
+            None => n,
+        };
         if n == 0 {
             return Vec::new();
         }
@@ -352,14 +371,17 @@ impl Runner {
     }
 }
 
-/// Shared command-line handling for the experiment bins: `--threads N`
-/// and `--seed S`, with the rest of the arguments left for the bin.
+/// Shared command-line handling for the experiment bins: `--threads N`,
+/// `--seed S`, and `--max-trials N`, with the rest of the arguments
+/// left for the bin.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Thread budget (defaults to the machine's parallelism).
     pub threads: usize,
     /// Root seed (defaults to 42 — the suite's published numbers).
     pub root_seed: u64,
+    /// Per-call trial cap (defaults to none — the full budget).
+    pub max_trials: Option<usize>,
     rest: Vec<String>,
 }
 
@@ -371,7 +393,8 @@ impl Cli {
 
     /// Parses an explicit argument list (testable).
     ///
-    /// Exits with status 2 on a malformed `--threads` / `--seed`.
+    /// Exits with status 2 on a malformed `--threads` / `--seed` /
+    /// `--max-trials`.
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         fn number<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
             value
@@ -379,11 +402,14 @@ impl Cli {
                 .unwrap_or_else(|| usage(flag))
         }
         fn usage(flag: &str) -> ! {
-            eprintln!("error: {flag} takes a number (usage: [--threads N] [--seed S])");
+            eprintln!(
+                "error: {flag} takes a number (usage: [--threads N] [--seed S] [--max-trials N])"
+            );
             std::process::exit(2);
         }
         let mut threads = default_threads();
         let mut root_seed = 42;
+        let mut max_trials = None;
         let mut rest = Vec::new();
         let mut it = args;
         while let Some(a) = it.next() {
@@ -395,6 +421,10 @@ impl Cli {
                 root_seed = number("--seed", Some(v.to_string()));
             } else if a == "--seed" {
                 root_seed = number("--seed", it.next());
+            } else if let Some(v) = a.strip_prefix("--max-trials=") {
+                max_trials = Some(number("--max-trials", Some(v.to_string())));
+            } else if a == "--max-trials" {
+                max_trials = Some(number("--max-trials", it.next()));
             } else {
                 rest.push(a);
             }
@@ -402,6 +432,7 @@ impl Cli {
         Cli {
             threads,
             root_seed,
+            max_trials,
             rest,
         }
     }
@@ -413,7 +444,7 @@ impl Cli {
 
     /// A [`Runner`] configured from the parsed arguments.
     pub fn runner(&self) -> Runner {
-        Runner::new(self.threads, self.root_seed)
+        Runner::new(self.threads, self.root_seed).with_max_trials(self.max_trials)
     }
 }
 
@@ -441,6 +472,35 @@ mod tests {
         let seeds: std::collections::BTreeSet<u64> =
             (0..1000).map(|t| seed_for(42, "x", t)).collect();
         assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn max_trials_truncates_without_reseeding() {
+        let job = |ctx: &TrialCtx| (ctx.trial, ctx.seed);
+        let full = Runner::quiet(1, 9).map_trials("exp", 64, job);
+        let capped = Runner::quiet(1, 9)
+            .with_max_trials(Some(5))
+            .map_trials("exp", 64, job);
+        // The capped run is an exact prefix of the full run: same trial
+        // indices, same derived seeds.
+        assert_eq!(capped, full[..5]);
+        // A cap larger than the budget changes nothing.
+        let roomy = Runner::quiet(1, 9)
+            .with_max_trials(Some(1000))
+            .map_trials("exp", 64, job);
+        assert_eq!(roomy, full);
+        // The cap never drops below one trial per call.
+        let floor = Runner::quiet(1, 9)
+            .with_max_trials(Some(0))
+            .map_trials("exp", 64, job);
+        assert_eq!(floor, full[..1]);
+        // Cli wires the flag through in both spellings.
+        let cli = Cli::parse(["--max-trials", "3"].iter().map(|s| s.to_string()));
+        assert_eq!(cli.max_trials, Some(3));
+        let cli = Cli::parse(["--max-trials=7"].iter().map(|s| s.to_string()));
+        assert_eq!(cli.max_trials, Some(7));
+        let cli = Cli::parse(std::iter::empty());
+        assert_eq!(cli.max_trials, None);
     }
 
     #[test]

@@ -150,6 +150,10 @@ pub struct Edb {
     /// Charge delivered through the tether/charge circuit, coulombs
     /// (instrumentation).
     charge_delivered: f64,
+    /// Memoized passive wire drain for the last-seen line states —
+    /// `Wiring::drain_amps` is deterministic in the states, so the
+    /// (states → amps) pair caches the common all-idle case.
+    drain_cache: Option<(LineStates, f64)>,
 }
 
 impl Edb {
@@ -175,6 +179,7 @@ impl Edb {
             reply: VecDeque::new(),
             bkpt_mask_addr: None,
             charge_delivered: 0.0,
+            drain_cache: None,
             config,
         }
     }
@@ -371,11 +376,42 @@ impl Edb {
     /// ground-truth node voltage and line states. This is the *only*
     /// electrical path from debugger to target.
     pub fn electrical_current(&mut self, v_cap: f64, states: LineStates, dt: f64) -> f64 {
+        let drain = self.drain_for(states);
+        self.electrical_current_with_drain(v_cap, drain, dt)
+    }
+
+    /// The passive wire drain for the given line states, memoized.
+    /// `Wiring::drain_amps` is a pure function of the states, so a
+    /// repeated lookup returns the identical `f64`.
+    pub fn drain_for(&mut self, states: LineStates) -> f64 {
+        match self.drain_cache {
+            Some((cached, amps)) if cached == states => amps,
+            _ => {
+                let amps = self.wiring.drain_amps(states);
+                self.drain_cache = Some((states, amps));
+                amps
+            }
+        }
+    }
+
+    /// [`Edb::electrical_current`] with a precomputed drain (from
+    /// [`Edb::drain_for`]): the batched span path hoists the drain
+    /// lookup out of the per-quantum closure, which is sound because
+    /// line states cannot change within a span.
+    pub fn electrical_current_with_drain(&mut self, v_cap: f64, drain: f64, dt: f64) -> f64 {
         let circuit = self.circuit.current_into(v_cap);
         if circuit > 0.0 {
             self.charge_delivered += circuit * dt;
         }
-        circuit - self.wiring.drain_amps(states)
+        circuit - drain
+    }
+
+    /// The next instant at which [`Edb::tick`] does anything at all —
+    /// before this, a `tick` call is provably a no-op (the ADC schedule
+    /// and the firmware tick are both in the future), so the batched
+    /// span path may skip the calls entirely.
+    pub fn next_wakeup(&self) -> SimTime {
+        self.next_adc.min(self.next_tick)
     }
 
     /// Ingests one device step's wire-observable events.

@@ -180,6 +180,11 @@ pub struct System {
     symbols: std::collections::BTreeMap<String, u16>,
 }
 
+/// The `dt` hint passed to the debugger's electrical model each quantum
+/// (charge-delivered bookkeeping only; the capacitor uses exact per-
+/// quantum `dt`s).
+const DT_GUESS: f64 = 1e-6;
+
 impl System {
     /// Starts a [`SystemBuilder`] around a target with the given
     /// configuration.
@@ -349,9 +354,8 @@ impl System {
 
         // Electrical influence of the debugger.
         let states = self.line_states();
-        let dt_guess = 1e-6;
         let i_ext = match &mut self.edb {
-            Some(edb) => edb.electrical_current(self.device.v_cap(), states, dt_guess),
+            Some(edb) => edb.electrical_current(self.device.v_cap(), states, DT_GUESS),
             None => 0.0,
         };
 
@@ -391,16 +395,87 @@ impl System {
         step
     }
 
+    /// Advances the bench by one *span*: a batch of device quanta that is
+    /// bit-identical to calling [`System::step`] in a loop, but skips the
+    /// per-step debugger calls that are provably no-ops in between.
+    ///
+    /// The span deadline is the earliest of `limit`, the debugger's next
+    /// wakeup ([`Edb::next_wakeup`] — before it, `Edb::tick` returns
+    /// without touching anything), and the device's next silent
+    /// peripheral deadline ([`Device::next_silent_deadline`] — before
+    /// it, the load model and line states are constant). The device
+    /// additionally breaks the span on any port access, wire event,
+    /// power edge, or CPU state change, so `Edb::observe` (a no-op on
+    /// empty event lists) and the line-state/drain model see every
+    /// change exactly when the per-step loop would.
+    ///
+    /// The RFID world polls the reader each step, so it falls back to
+    /// [`System::step`].
+    fn advance_span(&mut self, limit: SimTime) {
+        let now = self.device.now();
+        let mut deadline = limit;
+        if let Some(edb) = &self.edb {
+            deadline = deadline.min(edb.next_wakeup());
+        }
+        if let Some(t) = self.device.next_silent_deadline() {
+            deadline = deadline.min(t);
+        }
+        if matches!(self.world, World::Rfid { .. }) || deadline <= now {
+            // No batchable window (e.g. a debugger wakeup due right
+            // now): take a single plain step, which handles it.
+            self.step();
+            return;
+        }
+
+        let states = self.line_states();
+        let System {
+            device, edb, world, ..
+        } = self;
+        let drain = edb.as_mut().map(|e| e.drain_for(states));
+        let mut i_ext = |v: f64| match (edb.as_mut(), drain) {
+            (Some(e), Some(d)) => e.electrical_current_with_drain(v, d, DT_GUESS),
+            _ => 0.0,
+        };
+        let span = match world {
+            World::Harvester(h) => device.run_span(h.as_mut(), &mut i_ext, deadline),
+            World::Rfid { .. } => unreachable!("RFID handled above"),
+        };
+        let now = self.device.now();
+
+        // Identical post-step observation flow: events only occur on the
+        // span's final quantum, so timestamps match the per-step loop.
+        for event in &span.events {
+            if let DeviceEvent::RfTx(frame) = event {
+                if let Some(edb) = &mut self.edb {
+                    edb.observe_rfid(&frame.bytes, false, frame.at);
+                }
+            }
+        }
+        if let Some(edb) = &mut self.edb {
+            edb.observe(&self.device, &span.events, now);
+            if let Some(edge) = span.power_edge {
+                edb.observe_power_edge(edge, now);
+            }
+            edb.tick(&mut self.device, now);
+        }
+    }
+
     /// Runs the bench for `duration` of simulated time.
     pub fn run_for(&mut self, duration: SimTime) {
         let end = self.device.now() + duration;
         while self.device.now() < end {
-            self.step();
+            self.advance_span(end);
         }
     }
 
     /// Runs until `pred` holds or `timeout` elapses; returns whether the
     /// predicate fired.
+    ///
+    /// The predicate is re-evaluated after every device step (it may
+    /// watch arbitrary ground-truth state, e.g. a memory word the target
+    /// writes), so this is the per-instruction path. Blocking console
+    /// operations whose predicates only change on debugger ticks use the
+    /// batched `System::run_until_edb` internally.
     pub fn run_until(&mut self, timeout: SimTime, mut pred: impl FnMut(&System) -> bool) -> bool {
         let end = self.device.now() + timeout;
         while self.device.now() < end {
@@ -408,6 +483,22 @@ impl System {
                 return true;
             }
             self.step();
+        }
+        pred(self)
+    }
+
+    /// Like [`System::run_until`] but advancing span-at-a-time, for
+    /// predicates that only depend on state the debugger mutates in
+    /// `tick`/`observe` (session flags, level-op completion, replies).
+    /// Those calls happen exactly at span boundaries, so checking there
+    /// sees every transition the per-step loop would.
+    fn run_until_edb(&mut self, timeout: SimTime, pred: impl Fn(&System) -> bool) -> bool {
+        let end = self.device.now() + timeout;
+        while self.device.now() < end {
+            if pred(self) {
+                return true;
+            }
+            self.advance_span(end);
         }
         pred(self)
     }
@@ -421,7 +512,7 @@ impl System {
     pub fn charge_to(&mut self, volts: f64) -> f64 {
         let now = self.now();
         self.edb_mut().start_charge(volts, now);
-        let ok = self.run_until(SimTime::from_secs(2), |s| {
+        let ok = self.run_until_edb(SimTime::from_secs(2), |s| {
             s.edb().is_some_and(|e| e.level_op_done())
         });
         assert!(ok, "charge to {volts} V did not converge");
@@ -432,7 +523,7 @@ impl System {
     pub fn discharge_to(&mut self, volts: f64) -> f64 {
         let now = self.now();
         self.edb_mut().start_discharge(volts, now);
-        let ok = self.run_until(SimTime::from_secs(2), |s| {
+        let ok = self.run_until_edb(SimTime::from_secs(2), |s| {
             s.edb().is_some_and(|e| e.level_op_done())
         });
         assert!(ok, "discharge to {volts} V did not converge");
@@ -442,7 +533,7 @@ impl System {
     /// Waits for an interactive session to open (assert, breakpoint, or
     /// energy breakpoint), up to `timeout`.
     pub fn wait_for_session(&mut self, timeout: SimTime) -> bool {
-        self.run_until(timeout, |s| s.edb().is_some_and(|e| e.session_active()))
+        self.run_until_edb(timeout, |s| s.edb().is_some_and(|e| e.session_active()))
     }
 
     /// Reads a word of target memory through the live debug protocol.
@@ -462,7 +553,7 @@ impl System {
             if let Some(v) = self.edb_mut().take_reply() {
                 return Some(v);
             }
-            self.step();
+            self.advance_span(deadline);
         }
         self.edb_mut().take_reply()
     }
@@ -483,7 +574,7 @@ impl System {
             if let Some(v) = self.edb_mut().take_reply() {
                 return Some(v);
             }
-            self.step();
+            self.advance_span(deadline);
         }
         self.edb_mut().take_reply()
     }
@@ -506,7 +597,7 @@ impl System {
             if let Some(v) = self.edb_mut().take_reply() {
                 return v == crate::protocol::ACK as u16;
             }
-            self.step();
+            self.advance_span(deadline);
         }
         false
     }
@@ -516,7 +607,7 @@ impl System {
     pub fn resume(&mut self) {
         let now = self.now();
         self.edb_mut().resume(now);
-        let ok = self.run_until(SimTime::from_secs(1), |s| {
+        let ok = self.run_until_edb(SimTime::from_secs(1), |s| {
             s.edb().is_some_and(|e| !e.session_active())
         });
         assert!(ok, "session did not close on resume");
@@ -743,23 +834,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_delegate_to_the_builder() {
-        let sys = System::new(
-            DeviceConfig::wisp5(),
-            Box::new(edb_energy::TheveninSource::new(3.0, 10.0)),
-        );
+    fn builder_covers_every_bench_configuration() {
+        // The configurations the deprecated `System::new`/`with_rfid*`
+        // wrappers used to stand up, now spelled with the builder (the
+        // wrappers have no remaining callers).
+        let sys = System::builder(DeviceConfig::wisp5())
+            .harvester(edb_energy::TheveninSource::new(3.0, 10.0))
+            .build();
         assert!(sys.edb().is_some());
         assert!(sys.reader().is_none());
-        let sys = System::with_rfid(DeviceConfig::wisp5(), 1.0, 42);
+        let sys = System::builder(DeviceConfig::wisp5())
+            .rfid(1.0)
+            .seed(42)
+            .build();
         assert!(sys.edb().is_some());
         assert!(sys.reader().is_some());
-        let sys = System::with_rfid_reader(
-            DeviceConfig::wisp5(),
-            edb_rfid::ReaderConfig::paper_setup(),
-            1.0,
-            42,
-        );
+        let sys = System::builder(DeviceConfig::wisp5())
+            .rfid(1.0)
+            .reader_config(edb_rfid::ReaderConfig::paper_setup())
+            .seed(42)
+            .build();
         assert!(sys.reader().is_some());
     }
 
@@ -767,5 +861,59 @@ mod tests {
     #[should_panic(expected = "energy world")]
     fn builder_requires_an_energy_world() {
         let _ = System::builder(DeviceConfig::wisp5()).build();
+    }
+
+    #[test]
+    fn batched_run_for_is_bit_identical_to_stepping() {
+        // An intermittent workload with code markers and printf-style
+        // debug traffic, so the span batcher crosses power edges, wire
+        // events, ADC samples, and debugger ticks.
+        let app = r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+            loop:
+                add  r0, 1
+                movi r1, 1
+                out  0x02, r1      ; code marker
+                jmp  loop
+            .org 0xFFFE
+            .word main
+        "#;
+        let end = SimTime::from_ms(250);
+
+        let mut a = flashed_system(app);
+        while a.now() < end {
+            a.step();
+        }
+
+        let mut b = flashed_system(app);
+        b.run_for(end);
+
+        assert_eq!(
+            a.device().v_cap().to_bits(),
+            b.device().v_cap().to_bits(),
+            "capacitor voltage must match to the last bit"
+        );
+        assert_eq!(a.now(), b.now());
+        assert_eq!(
+            a.device().total_instructions(),
+            b.device().total_instructions()
+        );
+        assert_eq!(a.device().reboots(), b.device().reboots());
+        assert_eq!(a.device().turn_ons(), b.device().turn_ons());
+        let (ea, eb) = (a.edb().unwrap(), b.edb().unwrap());
+        assert_eq!(ea.log().len(), eb.log().len(), "same debug events");
+        assert_eq!(
+            ea.last_reading().to_bits(),
+            eb.last_reading().to_bits(),
+            "same ADC sample sequence"
+        );
+        assert_eq!(
+            ea.charge_delivered().to_bits(),
+            eb.charge_delivered().to_bits()
+        );
+        assert!(a.device().turn_ons() >= 1, "workload must actually run");
+        assert!(ea.log().len() > 10, "workload must actually log events");
     }
 }

@@ -215,6 +215,11 @@ pub struct Device {
     turn_ons: u64,
     total_instructions: u64,
     i_load_last: f64,
+    /// Nanoseconds per CPU cycle, hoisted out of the step loop
+    /// (`config` is immutable after construction).
+    cycle_ns: u64,
+    /// Code-marker ID mask, likewise hoisted.
+    marker_mask: u16,
 }
 
 impl Device {
@@ -232,6 +237,8 @@ impl Device {
             turn_ons: 0,
             total_instructions: 0,
             i_load_last: 0.0,
+            cycle_ns: (1e9 / config.clock_hz).round() as u64,
+            marker_mask: (1u16 << config.marker_lines.min(8)) - 1,
             config,
         }
     }
@@ -330,8 +337,6 @@ impl Device {
         let mut retired = None;
 
         let dt_ns = if powered && self.cpu.is_running() {
-            let cycle_ns = (1e9 / self.config.clock_hz).round() as u64;
-            let was_running = self.cpu.is_running();
             let outcome = {
                 let mut bus = BusCtx {
                     peripherals: &mut self.peripherals,
@@ -339,7 +344,8 @@ impl Device {
                     now: self.now,
                     v_cap: self.cap.voltage(),
                     cycles: self.cpu.cycles,
-                    marker_mask: (1u16 << self.config.marker_lines.min(8)) - 1,
+                    marker_mask: self.marker_mask,
+                    touched: false,
                 };
                 self.cpu.step(&mut self.mem, &mut bus)
             };
@@ -347,19 +353,189 @@ impl Device {
             if outcome.retired.is_some() {
                 self.total_instructions += 1;
             }
-            if was_running {
-                if let CpuState::Faulted(f) = self.cpu.state() {
-                    events.push(DeviceEvent::CpuFault(f));
-                }
+            if let CpuState::Faulted(f) = self.cpu.state() {
+                events.push(DeviceEvent::CpuFault(f));
             }
-            (outcome.cycles.max(1) as u64) * cycle_ns
+            (outcome.cycles.max(1) as u64) * self.cycle_ns
         } else {
             self.config.idle_step.as_ns()
         };
         let dt = dt_ns as f64 * 1e-9;
 
-        // Load model.
-        let i_load = if powered {
+        let i_load = self.i_load_now(powered);
+        self.i_load_last = i_load;
+        edb_energy::integrate_quantum(&mut self.cap, harvester, i_external, i_load, self.now, dt);
+        self.now = self.now.advance_ns(dt_ns);
+
+        // Peripheral clocks that complete asynchronously.
+        if powered {
+            if let Some(txn) = self.peripherals.accel.tick(self.now) {
+                events.push(DeviceEvent::I2c(txn));
+            }
+        }
+
+        // Supervisor last: a brown-out lands *between* instructions.
+        let power_edge = self.supervisor.update(self.cap.voltage());
+        self.apply_power_edge(power_edge);
+
+        DeviceStep {
+            elapsed: SimTime::from_ns(dt_ns),
+            events,
+            power_edge,
+            retired,
+        }
+    }
+
+    /// Advances the device until `deadline` (or the first span-breaking
+    /// occurrence), integrating each quantum with exactly the arithmetic
+    /// of [`Device::step`] but skipping redundant load-model
+    /// recomputation in between.
+    ///
+    /// This is the batched fast path. Its contract is *bit identity*
+    /// with a loop of `step` calls: it may only elide work that is
+    /// provably a no-op in that loop. The span ends — leaving the caller
+    /// to re-establish its invariants — at the first of:
+    ///
+    /// * the deadline (callers cap it with the next debugger wakeup and
+    ///   [`Device::next_silent_deadline`], so the load model and
+    ///   observer state stay exact);
+    /// * any port access (`in`/`out` can change peripheral currents,
+    ///   wire states, and RF bookkeeping);
+    /// * any wire-observable event, a power edge, or the CPU leaving
+    ///   the running state.
+    ///
+    /// Note the final quantum may overshoot `deadline`, exactly like the
+    /// unbatched `while now < deadline { step() }` loop it replaces.
+    ///
+    /// `i_external` is sampled per quantum with the present capacitor
+    /// voltage, matching the per-step closure evaluation order.
+    pub fn run_span(
+        &mut self,
+        harvester: &mut dyn Harvester,
+        i_external: &mut dyn FnMut(f64) -> f64,
+        deadline: SimTime,
+    ) -> DeviceStep {
+        let start = self.now;
+        let mut events = Vec::new();
+        let mut retired = None;
+        let mut power_edge = None;
+        let mut i_load_cache = 0.0;
+        let mut have_i_load = false;
+
+        while self.now < deadline {
+            let powered = self.supervisor.powered();
+            let mut refresh = !have_i_load;
+            let mut stop = false;
+
+            let dt_ns = if powered && self.cpu.is_running() {
+                let had_events = events.len();
+                let outcome = {
+                    let mut bus = BusCtx {
+                        peripherals: &mut self.peripherals,
+                        events: &mut events,
+                        now: self.now,
+                        v_cap: self.cap.voltage(),
+                        cycles: self.cpu.cycles,
+                        marker_mask: self.marker_mask,
+                        touched: false,
+                    };
+                    let o = self.cpu.step(&mut self.mem, &mut bus);
+                    if bus.touched {
+                        refresh = true;
+                        stop = true;
+                    }
+                    o
+                };
+                if outcome.retired.is_some() {
+                    self.total_instructions += 1;
+                    retired = outcome.retired;
+                }
+                if let CpuState::Faulted(f) = self.cpu.state() {
+                    events.push(DeviceEvent::CpuFault(f));
+                }
+                if !self.cpu.is_running() {
+                    refresh = true;
+                    stop = true;
+                }
+                if events.len() > had_events {
+                    stop = true;
+                }
+                (outcome.cycles.max(1) as u64) * self.cycle_ns
+            } else {
+                self.config.idle_step.as_ns()
+            };
+            let dt = dt_ns as f64 * 1e-9;
+
+            if refresh {
+                i_load_cache = self.i_load_now(powered);
+                have_i_load = true;
+            }
+            self.i_load_last = i_load_cache;
+            let i_ext = i_external(self.cap.voltage());
+            edb_energy::integrate_quantum(
+                &mut self.cap,
+                harvester,
+                i_ext,
+                i_load_cache,
+                self.now,
+                dt,
+            );
+            self.now = self.now.advance_ns(dt_ns);
+
+            if powered {
+                if let Some(txn) = self.peripherals.accel.tick(self.now) {
+                    events.push(DeviceEvent::I2c(txn));
+                    stop = true;
+                }
+            }
+
+            let edge = self.supervisor.update(self.cap.voltage());
+            if edge.is_some() {
+                self.apply_power_edge(edge);
+                power_edge = edge;
+                stop = true;
+            }
+
+            if stop {
+                break;
+            }
+        }
+
+        DeviceStep {
+            elapsed: SimTime::from_ns(self.now.as_ns() - start.as_ns()),
+            events,
+            power_edge,
+            retired,
+        }
+    }
+
+    /// The earliest future instant at which a peripheral's load current
+    /// changes *without* any port access or event — UART byte done, ADC
+    /// conversion done, RF burst off the air. [`Device::run_span`]
+    /// callers must not batch past this (the accelerometer needs no
+    /// entry here: its completion emits an I²C event, which already
+    /// breaks the span).
+    pub fn next_silent_deadline(&self) -> Option<SimTime> {
+        let mut deadline: Option<SimTime> = None;
+        for t in [
+            self.peripherals.uart.busy_deadline(),
+            self.peripherals.adc.busy_deadline(),
+            self.peripherals.rf.busy_deadline(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if t > self.now {
+                deadline = Some(deadline.map_or(t, |d| d.min(t)));
+            }
+        }
+        deadline
+    }
+
+    /// The instantaneous load model — shared verbatim by the per-step
+    /// and batched paths.
+    fn i_load_now(&self, powered: bool) -> f64 {
+        if powered {
             let base = if self.cpu.is_running() {
                 self.config.i_active
             } else {
@@ -373,23 +549,11 @@ impl Device {
                 + self.ldo.quiescent_current()
         } else {
             self.config.i_off_leak
-        };
-        self.i_load_last = i_load;
-
-        let i_harvest = harvester.current_into(self.cap.voltage(), self.now, dt);
-        self.cap.apply_current(i_harvest + i_external - i_load, dt);
-        self.now = self.now.advance_ns(dt_ns);
-
-        // Peripheral clocks that complete asynchronously.
-        if powered {
-            if let Some(txn) = self.peripherals.accel.tick(self.now) {
-                events.push(DeviceEvent::I2c(txn));
-            }
         }
+    }
 
-        // Supervisor last: a brown-out lands *between* instructions.
-        let power_edge = self.supervisor.update(self.cap.voltage());
-        match power_edge {
+    fn apply_power_edge(&mut self, edge: Option<PowerEdge>) {
+        match edge {
             Some(PowerEdge::TurnOn) => {
                 self.peripherals.reset();
                 self.cpu.reset(&self.mem);
@@ -401,13 +565,6 @@ impl Device {
                 self.reboots += 1;
             }
             None => {}
-        }
-
-        DeviceStep {
-            elapsed: SimTime::from_ns(dt_ns),
-            events,
-            power_edge,
-            retired,
         }
     }
 }
@@ -421,10 +578,14 @@ struct BusCtx<'a> {
     v_cap: f64,
     cycles: u64,
     marker_mask: u16,
+    /// Set on any `in`/`out`: port traffic may change peripheral state
+    /// (and thus the load model), so a batched span must end here.
+    touched: bool,
 }
 
 impl PortBus for BusCtx<'_> {
     fn port_in(&mut self, port: u8) -> u16 {
+        self.touched = true;
         match port {
             ports::GPIO_OUT => self.peripherals.gpio.read(),
             ports::GPIO_IN => 0,
@@ -455,6 +616,7 @@ impl PortBus for BusCtx<'_> {
     }
 
     fn port_out(&mut self, port: u8, value: u16) {
+        self.touched = true;
         match port {
             ports::GPIO_OUT => {
                 if let Some((old, new)) = self.peripherals.gpio.write(value) {
@@ -772,6 +934,80 @@ main:
             }
             assert_eq!(ids, expect, "{lines} marker lines");
         }
+    }
+
+    #[test]
+    fn run_span_is_bit_identical_to_stepping() {
+        // A workload that exercises the span breakers: port traffic
+        // (UART bytes, ADC self-samples, code markers), intermittent
+        // power edges, and silent peripheral deadlines.
+        let image = assemble(
+            r#"
+            .org 0x4400
+            start:
+                movi r3, 0
+            loop:
+                add  r3, 1
+                movi r0, 1
+                out  0x02, r0      ; code marker
+                in   r2, 0x0A      ; ADC self-sample (50 us busy window)
+                movi r0, 0x41
+                out  0x08, r0      ; UART byte (86.8 us busy window)
+            spin:
+                add  r1, 1
+                cmpi r1, 400
+                jnz  spin
+                movi r1, 0
+                jmp  loop
+            .org 0xFFFE
+            .word start
+            "#,
+        )
+        .expect("assembles");
+        let end = SimTime::from_ms(400);
+
+        let mut a = Device::new(DeviceConfig::wisp5());
+        a.flash(&image);
+        let mut src_a = TheveninSource::new(3.2, 1500.0);
+        let mut events_a = 0usize;
+        while a.now() < end {
+            events_a += a.step(&mut src_a, 0.0).events.len();
+        }
+
+        let mut b = Device::new(DeviceConfig::wisp5());
+        b.flash(&image);
+        let mut src_b = TheveninSource::new(3.2, 1500.0);
+        let mut events_b = 0usize;
+        while b.now() < end {
+            let mut cap = end;
+            if let Some(t) = b.next_silent_deadline() {
+                cap = cap.min(t);
+            }
+            let span = if cap > b.now() {
+                b.run_span(&mut src_b, &mut |_| 0.0, cap)
+            } else {
+                b.step(&mut src_b, 0.0)
+            };
+            events_b += span.events.len();
+        }
+
+        assert_eq!(
+            a.v_cap().to_bits(),
+            b.v_cap().to_bits(),
+            "capacitor voltage must match to the last bit"
+        );
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.total_instructions(), b.total_instructions());
+        assert_eq!(a.reboots(), b.reboots());
+        assert_eq!(a.turn_ons(), b.turn_ons());
+        assert_eq!(events_a, events_b, "same wire events either way");
+        assert_eq!(
+            a.peripherals.uart.sent(),
+            b.peripherals.uart.sent(),
+            "same UART bytes at the same timestamps"
+        );
+        assert!(a.reboots() >= 1, "workload must actually be intermittent");
+        assert!(events_a > 100, "workload must actually emit events");
     }
 
     #[test]

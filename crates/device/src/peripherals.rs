@@ -104,6 +104,14 @@ impl Uart {
         self.busy_until.is_some_and(|t| now < t)
     }
 
+    /// When the in-flight byte (if any) finishes shifting out — the
+    /// moment [`Uart::current`] and [`Uart::busy`] silently change
+    /// without any port access. Span batching must not integrate past
+    /// this instant with a stale load model.
+    pub fn busy_deadline(&self) -> Option<SimTime> {
+        self.busy_until
+    }
+
     /// `UART_STATUS` port value: bit 1 = TX busy.
     pub fn status(&self, now: SimTime) -> u16 {
         (self.busy(now) as u16) << 1
@@ -283,6 +291,12 @@ impl SelfAdc {
         } else {
             0.0
         }
+    }
+
+    /// When the running conversion (if any) stops burning energy — a
+    /// silent load-model change span batching must stop at.
+    pub fn busy_deadline(&self) -> Option<SimTime> {
+        self.busy_until
     }
 
     /// Power-loss reset.

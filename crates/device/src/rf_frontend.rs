@@ -94,6 +94,12 @@ impl RfFrontend {
         }
     }
 
+    /// When the in-flight backscatter burst (if any) leaves the air — a
+    /// silent load-model change span batching must stop at.
+    pub fn busy_deadline(&self) -> Option<SimTime> {
+        self.tx_busy_until
+    }
+
     /// Power-loss reset: the FIFO and half-built reply vanish — a frame
     /// the target was decoding when it browned out is simply lost to the
     /// target (but not to EDB, which monitored the line externally).

@@ -43,6 +43,7 @@ pub mod budget;
 pub mod capacitor;
 pub mod ekho;
 pub mod harvester;
+pub mod integrate;
 pub mod regulator;
 pub mod stats;
 pub mod supervisor;
@@ -51,6 +52,8 @@ pub mod trace;
 
 pub use budget::{WISP5_CAPACITANCE, WISP5_V_OFF, WISP5_V_ON};
 pub use capacitor::Capacitor;
+pub use integrate::integrate_quantum;
+
 pub use harvester::{
     ConstantCurrent, Fading, Harvester, RfField, SolarHarvester, TheveninSource, TraceHarvester,
 };

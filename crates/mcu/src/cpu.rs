@@ -342,8 +342,44 @@ impl Cpu {
         }
     }
 
+    /// Interrupt entry: pushes `pc` and the flags word, clears `ie`, and
+    /// vectors through [`IRQ_VECTOR`]. Cold — taken at most once per
+    /// peripheral event, never on the straight-line dispatch path.
+    #[cold]
+    fn take_irq(&mut self, mem: &mut Memory) -> StepOutcome {
+        self.irq_pending = false;
+        let flags_word = self.flags.to_word(self.ie);
+        let pc = self.pc;
+        self.push(mem, pc);
+        self.push(mem, flags_word);
+        self.ie = false;
+        self.pc = mem.read_word(IRQ_VECTOR);
+        self.cycles += 6;
+        StepOutcome {
+            cycles: 6,
+            retired: None,
+            irq_entry: true,
+        }
+    }
+
+    /// Latches an illegal-instruction fault. Cold — a faulted CPU stays
+    /// faulted until reset, so this runs at most once per power-on.
+    #[cold]
+    fn fault_illegal(&mut self, pc: u16, word: u16) -> StepOutcome {
+        self.state = CpuState::Faulted(Fault::IllegalInstruction { pc, word });
+        StepOutcome {
+            cycles: 0,
+            retired: None,
+            irq_entry: false,
+        }
+    }
+
     /// Executes one instruction (or takes a pending interrupt) and returns
     /// what happened. Returns `cycles: 0` when halted or faulted.
+    ///
+    /// Inline so the per-quantum simulation loop absorbs the call and the
+    /// dispatch sees the caller's concrete [`PortBus`].
+    #[inline(always)]
     pub fn step(&mut self, mem: &mut Memory, bus: &mut dyn PortBus) -> StepOutcome {
         if self.state != CpuState::Running {
             return StepOutcome {
@@ -354,34 +390,13 @@ impl Cpu {
         }
 
         if self.irq_pending && self.ie {
-            self.irq_pending = false;
-            let flags_word = self.flags.to_word(self.ie);
-            let pc = self.pc;
-            self.push(mem, pc);
-            self.push(mem, flags_word);
-            self.ie = false;
-            self.pc = mem.read_word(IRQ_VECTOR);
-            self.cycles += 6;
-            return StepOutcome {
-                cycles: 6,
-                retired: None,
-                irq_entry: true,
-            };
+            return self.take_irq(mem);
         }
 
         let pc = self.pc;
-        let w0 = mem.read_word(pc);
-        let w1 = mem.peek_word(pc.wrapping_add(2));
-        let (instr, size) = match Instr::decode(w0, Some(w1)) {
+        let (instr, size, cycles) = match mem.fetch_decoded(pc) {
             Ok(ok) => ok,
-            Err(_) => {
-                self.state = CpuState::Faulted(Fault::IllegalInstruction { pc, word: w0 });
-                return StepOutcome {
-                    cycles: 0,
-                    retired: None,
-                    irq_entry: false,
-                };
-            }
+            Err(word) => return self.fault_illegal(pc, word),
         };
         self.pc = pc.wrapping_add(size as u16 * 2);
 
@@ -463,7 +478,7 @@ impl Cpu {
             Out { port, rs } => bus.port_out(port, self.regs[rs.index()]),
         }
 
-        let cycles = instr.cycles();
+        let cycles = cycles as u32;
         self.cycles += cycles as u64;
         self.instructions += 1;
         StepOutcome {
@@ -671,6 +686,44 @@ mod tests {
         );
         let cpu = run(&mut mem, 100);
         assert_eq!(cpu.regs[1], 0xCAFE);
+    }
+
+    #[test]
+    fn self_modifying_code_executes_the_new_bytes() {
+        use Instr::*;
+        let mut mem = Memory::new();
+        // The program overwrites an instruction it has *already executed*
+        // (and therefore already decode-cached) with `halt`, then jumps
+        // back to it. A stale cache would re-run the old instruction and
+        // loop forever; correct invalidation halts with the markers set.
+        let target = 0x4408u16; // address of `movi r2, 7` below
+        let (halt_w0, _) = Halt.encode();
+        load(
+            &mut mem,
+            0x4400,
+            &[
+                Movi {
+                    rd: r(0),
+                    imm: target,
+                },
+                Movi {
+                    rd: r(1),
+                    imm: halt_w0,
+                },
+                Movi { rd: r(2), imm: 7 }, // at `target`; becomes `halt`
+                St {
+                    ra: r(0),
+                    off: 0,
+                    rs: r(1),
+                },
+                Movi { rd: r(3), imm: 1 },
+                Jmpr { rb: r(0) },
+            ],
+        );
+        let cpu = run(&mut mem, 50);
+        assert_eq!(cpu.state(), CpuState::Halted, "patched halt must run");
+        assert_eq!(cpu.regs[2], 7, "original instruction ran first");
+        assert_eq!(cpu.regs[3], 1, "patch sequence completed");
     }
 
     #[test]

@@ -55,8 +55,13 @@ impl Reg {
     }
 
     /// The register index, 0–15.
+    #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        // Masked so the register-file access compiles without a bounds
+        // check: the constructor and the decoder both guarantee < 16, but
+        // that invariant is invisible once a `Reg` round-trips through the
+        // decode cache.
+        (self.0 & 15) as usize
     }
 }
 

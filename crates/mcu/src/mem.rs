@@ -15,6 +15,7 @@
 //! exactly the observed symptom ("the only way to recover is to re-flash
 //! the device").
 
+use crate::isa::Instr;
 use serde::{Deserialize, Serialize};
 
 /// First byte of volatile SRAM (inclusive).
@@ -35,6 +36,99 @@ pub const IRQ_VECTOR: u16 = 0xFFFC;
 const SRAM_SIZE: usize = (SRAM_END - SRAM_START) as usize;
 const FRAM_SIZE: usize = (FRAM_END - FRAM_START as u32) as usize;
 
+/// The longest instruction encoding is two 16-bit words, so a cached
+/// decode at address `pc` depends on the bytes `pc ..= pc + 3` only.
+const MAX_INSTR_BYTES: u16 = 4;
+
+/// Number of direct-mapped decode-cache slots (8 KiB of slots — small
+/// enough to live in L1, to clone warm, and to flush in full on a
+/// power cycle; hot loops on this class of MCU are far smaller).
+const DECODE_SLOTS: usize = 1024;
+
+/// Sentinel tag for an empty slot. `0xFFFF` can never tag a real entry:
+/// its second byte would sit at address `0x0000`, which is unmapped, and
+/// entries are only created when the whole first word is mapped.
+const DECODE_EMPTY: u16 = 0xFFFF;
+
+/// One direct-mapped cache slot: the code address it caches (`tag`), the
+/// decoded instruction, its size in words, and its cycle cost (also
+/// predecoded, so a hit skips the `Instr::cycles` table too). Padded to
+/// a 16-byte stride so indexing is a shift and no slot straddles a
+/// host cache line.
+#[derive(Clone, Copy)]
+#[repr(align(16))]
+struct DecodeSlot {
+    tag: u16,
+    size: u8,
+    cycles: u8,
+    instr: Instr,
+}
+
+const EMPTY_SLOT: DecodeSlot = DecodeSlot {
+    tag: DECODE_EMPTY,
+    size: 1,
+    cycles: 1,
+    instr: Instr::Nop,
+};
+
+/// A predecoded-instruction cache: a small direct-mapped table of
+/// decoded [`Instr`]s keyed by code address (index `(pc >> 1) mod N`,
+/// full-address tag).
+///
+/// The cache is *pure acceleration* — it never changes what a fetch
+/// returns or which bus faults it counts:
+///
+/// * an entry is created only when both bytes of the instruction's first
+///   word are mapped, so fetches that would count bus faults (unmapped or
+///   straddling addresses) always take the uncached path and fault
+///   exactly as before;
+/// * any write landing in `pc ..= pc + 3` of a cached entry invalidates
+///   it (self-modifying FRAM code, checkpoint restores into executable
+///   SRAM);
+/// * a power cycle invalidates every entry that read SRAM bytes.
+///
+/// Clones carry the warm table (8 KiB memcpy — snapshot/replay analyses
+/// clone devices constantly, and the entries stay valid because the
+/// memory bytes they decode are cloned with them).
+#[derive(Clone)]
+struct DecodeCache {
+    // A fixed-size array stored inline (not a `Vec` or `Box`): the masked
+    // index is statically in range, so the hit path compiles without a
+    // bounds check or a pointer chase.
+    slots: [DecodeSlot; DECODE_SLOTS],
+    enabled: bool,
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        DecodeCache {
+            slots: [EMPTY_SLOT; DECODE_SLOTS],
+            enabled: true,
+        }
+    }
+}
+
+impl DecodeCache {
+    #[inline]
+    fn index(addr: u16) -> usize {
+        ((addr >> 1) as usize) & (DECODE_SLOTS - 1)
+    }
+}
+
+// The cache is derived state, so snapshots carry no entries: it
+// serializes as `null` and deserializes cold.
+impl Serialize for DecodeCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for DecodeCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(DecodeCache::default())
+    }
+}
+
 /// The target's memory: SRAM that dies with power and FRAM that survives.
 ///
 /// # Example
@@ -54,6 +148,7 @@ pub struct Memory {
     fram: Vec<u8>,
     bus_faults: u64,
     last_fault_addr: Option<u16>,
+    decode_cache: DecodeCache,
 }
 
 impl std::fmt::Debug for Memory {
@@ -75,6 +170,7 @@ impl Memory {
             fram: vec![0; FRAM_SIZE],
             bus_faults: 0,
             last_fault_addr: None,
+            decode_cache: DecodeCache::default(),
         }
     }
 
@@ -91,6 +187,71 @@ impl Memory {
     /// Whether `addr` maps to real storage at all.
     pub fn is_mapped(addr: u16) -> bool {
         Self::is_sram(addr) || Self::is_fram(addr)
+    }
+
+    /// Fetches and decodes the instruction at `pc` through the predecode
+    /// cache.
+    ///
+    /// A hit returns the cached `(instr, size_in_words, cycles)` with no
+    /// memory traffic; by construction a hit can only exist where the
+    /// uncached fetch would not have faulted, so fault accounting is
+    /// unchanged. A miss performs exactly the uncached sequence — a
+    /// faulting word read at `pc`, a non-faulting peek at `pc + 2` — and
+    /// caches the decoded result when the first word's bytes are both
+    /// mapped.
+    ///
+    /// # Errors
+    ///
+    /// `Err(word0)` when the fetched word does not decode (the caller
+    /// raises the illegal-instruction fault with it). Decode failures are
+    /// never cached.
+    #[inline]
+    pub fn fetch_decoded(&mut self, pc: u16) -> Result<(Instr, u8, u8), u16> {
+        let slot = &self.decode_cache.slots[DecodeCache::index(pc)];
+        if slot.tag == pc {
+            return Ok((slot.instr, slot.size, slot.cycles));
+        }
+        let w0 = self.read_word(pc);
+        let w1 = self.peek_word(pc.wrapping_add(2));
+        match Instr::decode(w0, Some(w1)) {
+            Ok((instr, size)) => {
+                let cycles = instr.cycles() as u8;
+                if self.decode_cache.enabled
+                    && Self::is_mapped(pc)
+                    && Self::is_mapped(pc.wrapping_add(1))
+                {
+                    self.decode_cache.slots[DecodeCache::index(pc)] = DecodeSlot {
+                        tag: pc,
+                        size,
+                        cycles,
+                        instr,
+                    };
+                }
+                Ok((instr, size, cycles))
+            }
+            Err(_) => Err(w0),
+        }
+    }
+
+    /// Enables or disables the predecode cache (disabling also drops all
+    /// entries). The cache is on by default; turning it off exists for
+    /// benchmarking the cold-decode path.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.decode_cache.enabled = enabled;
+        self.decode_cache.slots.fill(EMPTY_SLOT);
+    }
+
+    /// Drops decode-cache entries that may have fetched the byte at
+    /// `addr` (an entry at `pc` depends on `pc ..= pc + 3`).
+    #[inline]
+    fn invalidate_decode(&mut self, addr: u16) {
+        for back in 0..MAX_INSTR_BYTES {
+            let a = addr.wrapping_sub(back);
+            let slot = &mut self.decode_cache.slots[DecodeCache::index(a)];
+            if slot.tag == a {
+                slot.tag = DECODE_EMPTY;
+            }
+        }
     }
 
     /// Reads one byte; unmapped addresses return `0xFF` and count a bus
@@ -111,8 +272,10 @@ impl Memory {
     pub fn write_byte(&mut self, addr: u16, value: u8) {
         if Self::is_sram(addr) {
             self.sram[(addr - SRAM_START) as usize] = value;
+            self.invalidate_decode(addr);
         } else if Self::is_fram(addr) {
             self.fram[(addr - FRAM_START) as usize] = value;
+            self.invalidate_decode(addr);
         } else {
             self.note_fault(addr);
         }
@@ -163,6 +326,15 @@ impl Memory {
     /// Erases volatile state (a power cycle). FRAM is untouched.
     pub fn power_cycle(&mut self) {
         self.sram.fill(0);
+        // Any entry at `pc >= SRAM_START - 3` may have fetched an SRAM
+        // byte; entries at `SRAM_END` and above cannot (FRAM starts well
+        // past SRAM, so no instruction straddles back into it).
+        let lo = SRAM_START - (MAX_INSTR_BYTES - 1);
+        for slot in self.decode_cache.slots.iter_mut() {
+            if (lo..SRAM_END).contains(&slot.tag) {
+                slot.tag = DECODE_EMPTY;
+            }
+        }
     }
 
     /// Number of accesses to unmapped space so far (sticky across power
@@ -252,6 +424,147 @@ mod tests {
         mem.write_word(RESET_VECTOR, 0x4400);
         mem.power_cycle();
         assert_eq!(mem.read_word(RESET_VECTOR), 0x4400);
+    }
+
+    #[test]
+    fn decode_cache_hits_return_the_same_instruction() {
+        let mut mem = Memory::new();
+        let (w0, w1) = (Instr::Movi {
+            rd: crate::isa::Reg::new(3),
+            imm: 0xBEEF,
+        })
+        .encode();
+        mem.write_word(0x4400, w0);
+        mem.write_word(0x4402, w1.unwrap());
+        let cold = mem.fetch_decoded(0x4400).unwrap();
+        let warm = mem.fetch_decoded(0x4400).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold.1, 2, "two-word instruction");
+        assert_eq!(mem.bus_faults(), 0);
+    }
+
+    #[test]
+    fn decode_cache_invalidates_on_writes_into_the_span() {
+        let mut mem = Memory::new();
+        let (nop, _) = Instr::Nop.encode();
+        mem.write_word(0x4400, nop);
+        assert_eq!(mem.fetch_decoded(0x4400).unwrap().0, Instr::Nop);
+        // Overwrite the cached word: the next fetch must re-decode.
+        let (halt, _) = Instr::Halt.encode();
+        mem.write_word(0x4400, halt);
+        assert_eq!(mem.fetch_decoded(0x4400).unwrap().0, Instr::Halt);
+        // A write into the *second* word of a cached two-word instruction
+        // also invalidates (the entry spans pc ..= pc + 3).
+        let (w0, w1) = (Instr::Movi {
+            rd: crate::isa::Reg::new(0),
+            imm: 1,
+        })
+        .encode();
+        mem.write_word(0x4400, w0);
+        mem.write_word(0x4402, w1.unwrap());
+        assert_eq!(mem.fetch_decoded(0x4400).unwrap().1, 2);
+        mem.write_word(0x4402, 7);
+        let (i, _, _) = mem.fetch_decoded(0x4400).unwrap();
+        assert_eq!(
+            i,
+            Instr::Movi {
+                rd: crate::isa::Reg::new(0),
+                imm: 7
+            },
+            "patched immediate must be fetched, not the stale decode"
+        );
+    }
+
+    #[test]
+    fn decode_cache_invalidates_on_poke_and_power_cycle() {
+        let mut mem = Memory::new();
+        let (nop, _) = Instr::Nop.encode();
+        // SRAM-resident code (checkpoint restores write here).
+        mem.write_word(0x1C00, nop);
+        assert_eq!(mem.fetch_decoded(0x1C00).unwrap().0, Instr::Nop);
+        let (halt, _) = Instr::Halt.encode();
+        mem.poke_word(0x1C00, halt);
+        assert_eq!(
+            mem.fetch_decoded(0x1C00).unwrap().0,
+            Instr::Halt,
+            "non-faulting pokes must invalidate like writes"
+        );
+        // A power cycle zeroes SRAM: the cached decode must not survive.
+        mem.power_cycle();
+        assert_eq!(mem.peek_word(0x1C00), 0);
+        assert_eq!(
+            mem.fetch_decoded(0x1C00).unwrap().0,
+            Instr::Nop,
+            "zeroed SRAM decodes as nop, not the stale halt"
+        );
+    }
+
+    #[test]
+    fn decode_cache_preserves_fault_accounting() {
+        let mut mem = Memory::new();
+        // Unmapped fetch: faults every time, cached never (reads 0xFFFF,
+        // whose opcode nibble is reserved).
+        for round in 1..=3u64 {
+            assert_eq!(mem.fetch_decoded(0x0000), Err(0xFFFF));
+            assert_eq!(mem.bus_faults(), 2 * round, "two byte faults per fetch");
+        }
+        // A fetch whose first word straddles mapped/unmapped space also
+        // keeps faulting (the straddle byte is the unmapped one).
+        let before = mem.bus_faults();
+        let _ = mem.fetch_decoded(0x23FF);
+        let _ = mem.fetch_decoded(0x23FF);
+        assert_eq!(mem.bus_faults(), before + 2);
+        // Illegal words are not cached and keep failing.
+        mem.write_word(0x4400, 0xF000);
+        assert_eq!(mem.fetch_decoded(0x4400), Err(0xF000));
+        assert_eq!(mem.fetch_decoded(0x4400), Err(0xF000));
+    }
+
+    #[test]
+    fn decode_cache_can_be_disabled_and_snapshots_stay_correct() {
+        let filled = |m: &Memory| m.decode_cache.slots.iter().any(|s| s.tag != DECODE_EMPTY);
+        let mut mem = Memory::new();
+        let (nop, _) = Instr::Nop.encode();
+        mem.write_word(0x4400, nop);
+        mem.set_decode_cache_enabled(false);
+        assert_eq!(mem.fetch_decoded(0x4400).unwrap().0, Instr::Nop);
+        assert!(!filled(&mem), "disabled: never fills");
+        mem.set_decode_cache_enabled(true);
+        let _ = mem.fetch_decoded(0x4400);
+        assert!(filled(&mem));
+        // Clones carry the warm cache, and entries stay coherent with
+        // the clone's own memory: a patch to the clone invalidates only
+        // the clone, not the original.
+        let mut snap = mem.clone();
+        assert!(filled(&snap), "clones stay warm");
+        let (halt, _) = Instr::Halt.encode();
+        snap.write_word(0x4400, halt);
+        assert_eq!(snap.fetch_decoded(0x4400).unwrap().0, Instr::Halt);
+        assert_eq!(mem.fetch_decoded(0x4400).unwrap().0, Instr::Nop);
+        // Serialized snapshots deserialize cold but fetch correctly.
+        let value = mem.to_value();
+        let mut back = Memory::from_value(&value).unwrap();
+        assert!(!filled(&back), "deserialized: cold");
+        assert_eq!(back.fetch_decoded(0x4400).unwrap().0, Instr::Nop);
+    }
+
+    #[test]
+    fn decode_cache_conflicting_addresses_stay_correct() {
+        // Two code addresses that map to the same direct-mapped slot
+        // (indices are `(pc >> 1) mod N`): the cache must evict, never
+        // serve one address's decode for the other.
+        let a = 0x4400u16;
+        let b = a + (DECODE_SLOTS as u16) * 2;
+        assert_eq!(DecodeCache::index(a), DecodeCache::index(b));
+        let mut mem = Memory::new();
+        let (nop, _) = Instr::Nop.encode();
+        let (halt, _) = Instr::Halt.encode();
+        mem.write_word(a, nop);
+        mem.write_word(b, halt);
+        for _ in 0..3 {
+            assert_eq!(mem.fetch_decoded(a).unwrap().0, Instr::Nop);
+            assert_eq!(mem.fetch_decoded(b).unwrap().0, Instr::Halt);
+        }
     }
 
     #[test]

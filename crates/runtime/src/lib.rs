@@ -360,6 +360,88 @@ mod tests {
     }
 
     #[test]
+    fn restored_checkpoint_executes_patched_code() {
+        // Firmware update across a power failure: the counter's
+        // increment instruction is patched in nonvolatile memory while
+        // the device is off, and the checkpoint-restored execution must
+        // run the NEW bytes. This is the runtime-level counterpart of
+        // the CPU's self-modifying-code test: the increment has been
+        // executed thousands of times, so its predecoded entry is warm,
+        // and FRAM entries deliberately *survive* a power cycle (the
+        // bytes are nonvolatile) — only the write probe can invalidate
+        // it. The patch touches the second (immediate) word of the
+        // two-word `add`, so a cache that only probed first words would
+        // keep serving the stale stride.
+        let src = format!(
+            r#"
+            .equ MIRROR, 0x6000
+            .org 0x4400
+            init:
+                movi sp, 0x2400
+                movi r0, 0
+            loop:
+            hook:
+                add  r0, 1             ; stride; reflashed to 5 below
+                movi r1, MIRROR
+                st   [r1], r0          ; publish for inspection
+                call __cp_checkpoint
+                jmp  loop
+            {runtime}
+            .org 0xFFFE
+            .word __cp_boot
+            "#,
+            runtime = runtime_asm("init")
+        );
+        let image = assemble(&src).expect("assembles");
+        let hook = image.symbol("hook").expect("hook symbol");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mem);
+        let mut bus = NullBus;
+        for _ in 0..5_000 {
+            cpu.step(&mut mem, &mut bus);
+        }
+        let layout = CheckpointLayout::from_image(&image).expect("layout");
+        assert!(layout.committed(&mem).is_some(), "a checkpoint committed");
+        let before = mem.peek_word(0x6000);
+        assert!(before > 5, "counter advanced to {before}");
+
+        // Power fails; the image is reflashed while off.
+        mem.power_cycle();
+        assert_eq!(mem.peek_word(hook + 2), 1, "imm word is where we think");
+        mem.write_word(hook + 2, 5);
+        cpu.reset(&mem);
+
+        // Watch two consecutive mirror updates after the restore: their
+        // difference is the stride the restored execution actually ran.
+        let mut seen = Vec::new();
+        let mut last = mem.peek_word(0x6000);
+        for _ in 0..2_000 {
+            cpu.step(&mut mem, &mut bus);
+            let v = mem.peek_word(0x6000);
+            if v != last {
+                seen.push(v);
+                last = v;
+                if seen.len() == 2 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2, "restored run kept counting");
+        assert_eq!(
+            seen[1] - seen[0],
+            5,
+            "restored execution must run the patched stride"
+        );
+        assert!(
+            seen[0] + 1 >= before,
+            "restore resumed from the checkpoint: {before} -> {}",
+            seen[0]
+        );
+    }
+
+    #[test]
     fn interrupted_checkpoint_preserves_previous_one() {
         // Run on continuous power, stop the CPU mid-checkpoint (at a
         // random instruction inside __cp_checkpoint), clear volatile
