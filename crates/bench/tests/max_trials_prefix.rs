@@ -1,0 +1,125 @@
+//! `--max-trials N` must be an exact *prefix* of the full suite: trial
+//! `i` of a capped run keeps the seed — and therefore the result — it
+//! would have had in the full run. This pins that claim at the manifest
+//! level for two experiments, the same artifact the CI golden gate
+//! compares.
+
+use edb_bench::runner::{ExperimentSpec, Runner};
+use edb_bench::Report;
+use edb_device::{Device, DeviceConfig};
+use edb_energy::{SimTime, TheveninSource};
+
+const FULL_TRIALS: usize = 8;
+const CAPPED_TRIALS: usize = 3;
+
+/// A tiny seeded device trial: run an intermittent counter for a few
+/// milliseconds and report where the capacitor lands. Sensitive to the
+/// trial seed through the starting voltage.
+fn trial_metric(seed: u64) -> f64 {
+    let image = edb_mcu::asm::assemble(
+        ".org 0x4400\nstart: movi sp, 0x2400\nloop: add r1, 1\n jmp loop\n.org 0xFFFE\n.word start\n",
+    )
+    .expect("assembles");
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    dev.set_v_cap(2.0 + (seed % 512) as f64 / 1024.0);
+    let mut h = TheveninSource::new(3.2, 1500.0);
+    while dev.now() < SimTime::from_ms(3) {
+        dev.step(&mut h, 0.0);
+    }
+    dev.v_cap() + dev.total_instructions() as f64
+}
+
+fn exp_counter(runner: &Runner) -> Report {
+    let vals = runner.map_trials("prefix_counter", FULL_TRIALS, |ctx| trial_metric(ctx.seed));
+    let mut report = Report::new("intermittent counter trials");
+    for (i, v) in vals.iter().enumerate() {
+        report.metric(format!("trial{i}"), *v);
+    }
+    report
+}
+
+fn exp_seeds(runner: &Runner) -> Report {
+    // Pure seed-derivation experiment: the metric *is* the trial seed,
+    // so any re-derivation under a cap is visible directly.
+    let vals = runner.map_trials("prefix_seeds", FULL_TRIALS, |ctx| (ctx.seed >> 16) as f64);
+    let mut report = Report::new("trial seed derivation");
+    for (i, v) in vals.iter().enumerate() {
+        report.metric(format!("trial{i}"), *v);
+    }
+    report
+}
+
+fn specs() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            name: "prefix_counter",
+            title: "intermittent counter trials",
+            run: exp_counter,
+        },
+        ExperimentSpec {
+            name: "prefix_seeds",
+            title: "trial seed derivation",
+            run: exp_seeds,
+        },
+    ]
+}
+
+#[test]
+fn capped_manifest_is_an_exact_prefix_of_the_full_one() {
+    let specs = specs();
+
+    let full_runner = Runner::quiet(2, 42);
+    let full_results = full_runner.run_experiments(&specs);
+    let full = full_runner.manifest(&specs, &full_results, 0.0);
+
+    let capped_runner = Runner::quiet(2, 42).with_max_trials(Some(CAPPED_TRIALS));
+    let capped_results = capped_runner.run_experiments(&specs);
+    let capped = capped_runner.manifest(&specs, &capped_results, 0.0);
+
+    for (fe, ce) in full.experiments.iter().zip(&capped.experiments) {
+        assert_eq!(fe.name, ce.name);
+        assert_eq!(fe.trials, FULL_TRIALS as u64, "{}", fe.name);
+        assert_eq!(ce.trials, CAPPED_TRIALS as u64, "{}", ce.name);
+        for i in 0..CAPPED_TRIALS {
+            let key = format!("trial{i}");
+            assert_eq!(
+                fe.metrics.get(&key),
+                ce.metrics.get(&key),
+                "{}: capped trial {i} must equal the full run's (bit-exact)",
+                fe.name
+            );
+        }
+        for i in CAPPED_TRIALS..FULL_TRIALS {
+            let key = format!("trial{i}");
+            assert!(
+                fe.metrics.contains_key(&key),
+                "{}: full run has {key}",
+                fe.name
+            );
+            assert!(
+                !ce.metrics.contains_key(&key),
+                "{}: capped run must truncate {key}, not re-derive it",
+                ce.name
+            );
+        }
+    }
+}
+
+#[test]
+fn capped_prefix_holds_at_any_thread_count() {
+    let specs = specs();
+    let capped_1 = Runner::quiet(1, 42).with_max_trials(Some(CAPPED_TRIALS));
+    let r1 = capped_1.run_experiments(&specs);
+    let m1 = capped_1.manifest(&specs, &r1, 0.0);
+    let capped_4 = Runner::quiet(4, 42).with_max_trials(Some(CAPPED_TRIALS));
+    let r4 = capped_4.run_experiments(&specs);
+    let m4 = capped_4.manifest(&specs, &r4, 0.0);
+    for (a, b) in m1.experiments.iter().zip(&m4.experiments) {
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: thread count must not matter",
+            a.name
+        );
+    }
+}

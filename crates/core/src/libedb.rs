@@ -504,4 +504,97 @@ mod tests {
         assert_eq!(host.from_target, vec![0x34, 0x12, crate::protocol::ACK]);
         assert_eq!(mem.peek_word(0x6002), 0xBEEF);
     }
+
+    /// Framing edge cases on the debug UART: an empty payload (no bytes
+    /// at all) parks the target in the service loop without emitting
+    /// anything; a corrupted command byte is skipped and the *next*
+    /// valid frame is still served; the longest frame (`CMD_WRITE`,
+    /// five bytes) carries an all-ones payload intact.
+    #[test]
+    fn service_loop_framing_edge_cases() {
+        use edb_mcu::{Cpu, Memory, PortBus};
+        let src = wrap_program(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r1, 0x6000
+                movi r0, 0x1234
+                st   [r1], r0
+                call __edb_service_loop
+                halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        let image = assemble(&src).expect("assembles");
+
+        #[derive(Default)]
+        struct Host {
+            to_target: std::collections::VecDeque<u8>,
+            from_target: Vec<u8>,
+        }
+        impl PortBus for Host {
+            fn port_in(&mut self, port: u8) -> u16 {
+                match port {
+                    p if p == edb_device::ports::DBG_UART_STATUS => {
+                        (!self.to_target.is_empty()) as u16
+                    }
+                    p if p == edb_device::ports::DBG_UART_RX => {
+                        self.to_target.pop_front().map_or(0, u16::from)
+                    }
+                    _ => 0,
+                }
+            }
+            fn port_out(&mut self, port: u8, value: u16) {
+                if port == edb_device::ports::DBG_UART_TX {
+                    self.from_target.push((value & 0xFF) as u8);
+                }
+            }
+        }
+
+        let fresh = |host: &mut Host| {
+            let mut mem = Memory::new();
+            image.load_into(&mut mem);
+            let mut cpu = Cpu::new();
+            cpu.reset(&mem);
+            for _ in 0..10_000 {
+                if !cpu.is_running() {
+                    break;
+                }
+                cpu.step(&mut mem, host);
+            }
+            (cpu, mem)
+        };
+
+        // Empty payload: the target waits in the service loop forever,
+        // sending nothing — no spurious ACKs, no garbage replies.
+        let mut host = Host::default();
+        let (cpu, _) = fresh(&mut host);
+        assert!(cpu.is_running(), "no bytes -> still parked in the loop");
+        assert!(host.from_target.is_empty(), "nothing to say unprompted");
+
+        // Corrupted command byte: junk that is no command (0x7F, 0xFF,
+        // 0x00) must be discarded, and the following valid frames still
+        // complete the session.
+        let mut host = Host::default();
+        host.to_target.extend([0x7F, 0xFF, 0x00]);
+        host.to_target
+            .extend([crate::protocol::CMD_READ, 0x00, 0x60]);
+        host.to_target.push_back(crate::protocol::CMD_CONTINUE);
+        let (cpu, _) = fresh(&mut host);
+        assert!(!cpu.is_running(), "valid frame after junk must be served");
+        assert_eq!(host.from_target, vec![0x34, 0x12]);
+
+        // Max-length frame: CMD_WRITE is the longest (five bytes); an
+        // all-ones address-adjacent payload survives byte-exact.
+        let mut host = Host::default();
+        host.to_target
+            .extend([crate::protocol::CMD_WRITE, 0x02, 0x60, 0xFF, 0xFF]);
+        host.to_target.push_back(crate::protocol::CMD_CONTINUE);
+        let (cpu, mem) = fresh(&mut host);
+        assert!(!cpu.is_running());
+        assert_eq!(host.from_target, vec![crate::protocol::ACK]);
+        assert_eq!(mem.peek_word(0x6002), 0xFFFF);
+    }
 }

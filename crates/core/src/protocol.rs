@@ -92,6 +92,22 @@ mod tests {
     }
 
     #[test]
+    fn signal_round_trip_is_total() {
+        // Every representable (code, id) pair survives, including the
+        // degenerate code 0 and the full 8-bit id range: the split is
+        // 4 + 8 bits and the u16 has room for both.
+        for code in 0u8..=0xF {
+            for id in 0u8..=0xFF {
+                let word = encode_signal(code, id);
+                assert_eq!(decode_signal(word), (code, id), "code {code} id {id}");
+                assert!(word <= 0x0FFF, "12-bit envelope");
+            }
+        }
+        // Out-of-range codes are masked, never smeared into the id.
+        assert_eq!(decode_signal(encode_signal(0xFF, 0)), (0xF, 0));
+    }
+
+    #[test]
     fn codes_are_distinct() {
         let codes = [SIG_ASSERT, SIG_BREAKPOINT, SIG_GUARD_BEGIN, SIG_GUARD_END];
         let set: std::collections::HashSet<u8> = codes.into_iter().collect();

@@ -311,6 +311,15 @@ impl Device {
         &mut self.mem
     }
 
+    /// Enables or disables the predecode cache on the device's memory.
+    ///
+    /// The flag is sticky across power cycles (it is bench/test
+    /// plumbing, not target state), which is what lets a differential
+    /// harness run a cold-decode twin of an intermittent execution.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.mem.set_decode_cache_enabled(enabled);
+    }
+
     /// Forces the capacitor voltage (test initial conditions; EDB's
     /// charge circuit uses currents through [`Device::step`]).
     pub fn set_v_cap(&mut self, volts: f64) {

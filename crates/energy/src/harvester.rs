@@ -333,6 +333,62 @@ impl<H: Harvester> Harvester for Fading<H> {
     }
 }
 
+/// Deterministic on/off gating around an inner harvester: the source
+/// delivers for `on` out of every `on + off` of simulated time,
+/// starting on.
+///
+/// Unlike [`Fading`] this needs no RNG, so two independently
+/// constructed instances with the same parameters produce *bit-equal*
+/// current streams — the property differential tests (per-quantum vs.
+/// batched integration, cached vs. cold decode) rely on when they run
+/// paired devices through repeated, cleanly phased power failures.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::{PulsedSource, TheveninSource, Harvester, SimTime};
+/// let mut h = PulsedSource::new(
+///     TheveninSource::new(3.2, 1500.0),
+///     SimTime::from_ms(20),
+///     SimTime::from_ms(30),
+/// );
+/// assert!(h.current_into(2.0, SimTime::from_ms(5), 1e-6) > 0.0);   // on
+/// assert_eq!(h.current_into(2.0, SimTime::from_ms(25), 1e-6), 0.0); // off
+/// assert!(h.current_into(2.0, SimTime::from_ms(51), 1e-6) > 0.0);  // on again
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulsedSource<H> {
+    inner: H,
+    on_ns: u64,
+    period_ns: u64,
+}
+
+impl<H> PulsedSource<H> {
+    /// Gates `inner` on for `on`, then off for `off`, repeating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on` is zero (the source would never deliver).
+    pub fn new(inner: H, on: SimTime, off: SimTime) -> Self {
+        assert!(on > SimTime::ZERO, "on window must be non-empty");
+        PulsedSource {
+            inner,
+            on_ns: on.as_ns(),
+            period_ns: on.as_ns() + off.as_ns(),
+        }
+    }
+}
+
+impl<H: Harvester> Harvester for PulsedSource<H> {
+    fn current_into(&mut self, v_cap: f64, now: SimTime, dt: f64) -> f64 {
+        if now.as_ns() % self.period_ns < self.on_ns {
+            self.inner.current_into(v_cap, now, dt)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Playback of a recorded harvesting trace, in the spirit of Ekho
 /// (Hester et al., SenSys 2014): a sequence of `(time, v_oc)` samples
 /// replayed with step interpolation behind a fixed source resistance.
@@ -480,6 +536,37 @@ mod tests {
             (10.0..120.0).contains(&ms),
             "charge time {ms} ms out of band"
         );
+    }
+
+    #[test]
+    fn pulsed_source_gates_on_schedule() {
+        let mut h = PulsedSource::new(
+            ConstantCurrent::new(1e-3),
+            SimTime::from_ms(10),
+            SimTime::from_ms(5),
+        );
+        assert_eq!(h.current_into(2.0, SimTime::ZERO, 1e-6), 1e-3);
+        assert_eq!(h.current_into(2.0, SimTime::from_ms(9), 1e-6), 1e-3);
+        assert_eq!(h.current_into(2.0, SimTime::from_ms(12), 1e-6), 0.0);
+        assert_eq!(h.current_into(2.0, SimTime::from_ms(16), 1e-6), 1e-3);
+        // Bit-equal across independently constructed instances.
+        let mut a = PulsedSource::new(
+            TheveninSource::new(3.2, 1500.0),
+            SimTime::from_ms(7),
+            SimTime::from_ms(3),
+        );
+        let mut b = PulsedSource::new(
+            TheveninSource::new(3.2, 1500.0),
+            SimTime::from_ms(7),
+            SimTime::from_ms(3),
+        );
+        for k in 0..1000u64 {
+            let t = SimTime::from_us(k * 13);
+            assert_eq!(
+                a.current_into(1.9, t, 1e-6).to_bits(),
+                b.current_into(1.9, t, 1e-6).to_bits()
+            );
+        }
     }
 
     #[test]

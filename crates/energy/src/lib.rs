@@ -55,7 +55,8 @@ pub use capacitor::Capacitor;
 pub use integrate::integrate_quantum;
 
 pub use harvester::{
-    ConstantCurrent, Fading, Harvester, RfField, SolarHarvester, TheveninSource, TraceHarvester,
+    ConstantCurrent, Fading, Harvester, PulsedSource, RfField, SolarHarvester, TheveninSource,
+    TraceHarvester,
 };
 pub use regulator::Ldo;
 pub use stats::{Cdf, Summary};

@@ -1,0 +1,94 @@
+//! Reproducer artifacts for failing fuzz cases.
+//!
+//! A divergence writes two files under `target/fuzz-artifacts/`:
+//! the *shrunk* program as assembler source (`case-<seed>.s`, with the
+//! seed, engine configuration, and divergence recorded in a header
+//! comment so the file alone is a complete bug report) and the original
+//! un-shrunk program (`case-<seed>.orig.s`).
+//!
+//! Reproduce a case from its seed with:
+//! `cargo run --release -p edb-fuzz --bin fuzz_smoke -- --replay-seed <seed>`
+
+use crate::diff::Divergence;
+use crate::gen::Program;
+use crate::FuzzConfig;
+use std::path::PathBuf;
+
+/// Directory the reproducers land in (workspace-relative, like the
+/// bench suite's `target/experiments/`).
+pub const ARTIFACT_DIR: &str = "target/fuzz-artifacts";
+
+fn header(prog: &Program, div: &Divergence, cfg: &FuzzConfig, shrunk: bool) -> String {
+    let mut s = String::new();
+    s.push_str("; edb-fuzz reproducer\n");
+    s.push_str(&format!("; case seed : {:#018x}\n", prog.case_seed));
+    s.push_str(&format!("; arm       : {}\n", div.arm));
+    s.push_str(&format!("; divergence: {}\n", div.detail));
+    s.push_str(&format!(
+        "; config    : mcu_steps={} device_ms={} system_ms={}\n",
+        cfg.mcu_steps, cfg.device_sim_ms, cfg.system_sim_ms
+    ));
+    s.push_str(&format!(
+        "; body      : {} instruction(s){}\n",
+        prog.len(),
+        if shrunk { " (shrunk)" } else { " (original)" }
+    ));
+    s.push_str(&format!(
+        "; reproduce : cargo run --release -p edb-fuzz --bin fuzz_smoke -- --replay-seed {:#x}\n;\n",
+        prog.case_seed
+    ));
+    s
+}
+
+/// Writes the reproducer pair; returns the paths written. Failures to
+/// write are reported on stderr but never panic (artifacts are a
+/// best-effort courtesy, the process exit code carries the verdict).
+pub fn write_reproducer(
+    shrunk: &Program,
+    original: &Program,
+    div: &Divergence,
+    cfg: &FuzzConfig,
+) -> Vec<PathBuf> {
+    let dir = PathBuf::from(ARTIFACT_DIR);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("fuzz: cannot create {}: {e}", dir.display());
+        return Vec::new();
+    }
+    let mut written = Vec::new();
+    let cases = [
+        (format!("case-{:016x}.s", shrunk.case_seed), shrunk, true),
+        (
+            format!("case-{:016x}.orig.s", original.case_seed),
+            original,
+            false,
+        ),
+    ];
+    for (name, prog, is_shrunk) in cases {
+        let path = dir.join(name);
+        let body = format!("{}{}", header(prog, div, cfg, is_shrunk), prog.render());
+        match std::fs::write(&path, body) {
+            Ok(()) => written.push(path),
+            Err(e) => eprintln!("fuzz: cannot write {}: {e}", path.display()),
+        }
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_carries_seed_arm_and_repro_command() {
+        let prog = crate::gen::generate(0xABCD);
+        let div = Divergence::new("device", "v_cap bits diverged");
+        let cfg = FuzzConfig::default();
+        let h = header(&prog, &div, &cfg, true);
+        assert!(h.contains("0x000000000000abcd"));
+        assert!(h.contains("device"));
+        assert!(h.contains("--replay-seed 0xabcd"));
+        // Header lines are comments: the artifact must still assemble.
+        let full = format!("{h}{}", prog.render());
+        edb_mcu::asm::assemble(&full).expect("artifact assembles");
+    }
+}

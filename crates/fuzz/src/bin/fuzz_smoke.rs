@@ -1,0 +1,142 @@
+//! Seed-driven fuzzing smoke run.
+//!
+//! ```text
+//! fuzz_smoke [--seed S] [--threads N] [--cases N] [--max-shrink-steps N]
+//!            [--replay-seed S]
+//! ```
+//!
+//! Runs `--cases` generated programs (default 100) through every
+//! differential and fault-injection arm, plus a smaller batch of
+//! checkpoint round-trips, using `edb-bench`'s deterministic runner:
+//! the same `--seed` yields bit-identical verdicts at any `--threads`.
+//! On divergence the lowest-trial failure is shrunk and written to
+//! `target/fuzz-artifacts/`, and the process exits non-zero.
+//!
+//! `--replay-seed` re-runs a single case seed (as printed in an
+//! artifact header) verbosely and skips the batch.
+
+use edb_bench::runner::Cli;
+use edb_fuzz::{artifact, check_program, fault, gen, run_case, shrink, FuzzConfig};
+
+/// Pulls `--name <value>` (decimal or `0x` hex) out of raw argv;
+/// `Cli::parse` tolerates the leftovers.
+fn arg_u64(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let eq = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        let raw = if a == name {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix(&eq).map(str::to_string)
+        };
+        if let Some(raw) = raw {
+            let parsed = raw
+                .strip_prefix("0x")
+                .or_else(|| raw.strip_prefix("0X"))
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| raw.parse());
+            match parsed {
+                Ok(v) => return Some(v),
+                Err(_) => {
+                    eprintln!("fuzz_smoke: bad value for {name}: {raw}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let mut cfg = FuzzConfig::default();
+    if let Some(n) = arg_u64("--max-shrink-steps") {
+        cfg.max_shrink_steps = n as usize;
+    }
+
+    if let Some(seed) = arg_u64("--replay-seed") {
+        replay(seed, &cfg);
+        return;
+    }
+
+    let cases = arg_u64("--cases").unwrap_or(100) as usize;
+    let runner = cli.runner();
+
+    let t0 = std::time::Instant::now();
+    let diff_failures: Vec<_> = runner
+        .map_trials("fuzz/diff", cases, |ctx| run_case(ctx.seed, &cfg))
+        .into_iter()
+        .flatten()
+        .collect();
+    let ckpt_cases = (cases / 8).max(1);
+    let ckpt_failures: Vec<_> = runner
+        .map_trials("fuzz/checkpoint", ckpt_cases, |ctx| {
+            fault::checkpoint_round_trip(ctx.seed).map(|_| ctx.seed)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!(
+        "fuzz_smoke: {cases} differential case(s) + {ckpt_cases} checkpoint round-trip(s) \
+         in {wall:.1}s"
+    );
+
+    for seed in &ckpt_failures {
+        // Re-derive the divergence for the report (cheap relative to the run).
+        if let Some(d) = fault::checkpoint_round_trip(*seed) {
+            println!("  checkpoint seed {seed:#x}: {d}");
+        }
+    }
+
+    if let Some(first) = diff_failures.first() {
+        println!(
+            "  FAIL: {} divergence(s); shrinking seed {:#x}: {}",
+            diff_failures.len(),
+            first.seed,
+            first.divergence
+        );
+        let shrunk = shrink(
+            &first.program,
+            first.divergence.clone(),
+            cfg.max_shrink_steps,
+            |p| check_program(p, first.seed, &cfg),
+        );
+        println!(
+            "  shrunk {} -> {} instruction(s) in {} evaluation(s): {}",
+            first.program.len(),
+            shrunk.program.len(),
+            shrunk.evaluations,
+            shrunk.divergence
+        );
+        for path in
+            artifact::write_reproducer(&shrunk.program, &first.program, &shrunk.divergence, &cfg)
+        {
+            println!("  wrote {}", path.display());
+        }
+    }
+
+    if diff_failures.is_empty() && ckpt_failures.is_empty() {
+        println!("  OK: zero divergences");
+    } else {
+        std::process::exit(1);
+    }
+}
+
+/// Re-runs one case seed with the full program listing on stdout.
+fn replay(seed: u64, cfg: &FuzzConfig) {
+    let prog = gen::generate(seed);
+    println!(
+        "; replaying case seed {seed:#x} ({} instructions)",
+        prog.len()
+    );
+    println!("{}", prog.render());
+    match check_program(&prog, seed, cfg) {
+        None => println!("replay: no divergence"),
+        Some(d) => {
+            println!("replay: {d}");
+            std::process::exit(1);
+        }
+    }
+}

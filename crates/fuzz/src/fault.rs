@@ -1,0 +1,302 @@
+//! Power-cycle fault injection: reboot the device at seeded instruction
+//! boundaries and check the volatile/non-volatile invariants the whole
+//! intermittent-computing model rests on.
+//!
+//! Checked per injected failure:
+//!
+//! * **FRAM persists** — the non-volatile image is byte-identical across
+//!   the brown-out;
+//! * **SRAM and registers clear** — volatile state reads zero after the
+//!   reboot, and the CPU restarts from the reset vector;
+//! * **cache invalidation holds** — a post-reboot execution with the
+//!   (warm, partially invalidated) predecode cache is in lockstep with a
+//!   cold-decode twin, so no stale entry for vanished SRAM bytes (or
+//!   patched FRAM) survives the cycle;
+//! * **checkpoint-restore round-trips** — a Mementos-style checkpointed
+//!   counter (from `edb-runtime`) never loses more than the
+//!   un-checkpointed tail of work, no matter where the failure lands.
+
+use crate::diff::{assemble_program, Divergence};
+use crate::gen::Program;
+use edb_device::{Device, DeviceConfig};
+use edb_energy::{SimTime, TheveninSource};
+use edb_mcu::RESET_VECTOR;
+use edb_runtime::{runtime_asm, CheckpointLayout};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the device until `target` instructions have retired (or `guard`
+/// sim time passes — instruction soup can halt or fault, after which no
+/// instruction ever retires).
+fn run_until_instructions(dev: &mut Device, h: &mut TheveninSource, target: u64, guard: SimTime) {
+    while dev.total_instructions() < target && dev.now() < guard {
+        dev.step(h, 0.0);
+    }
+}
+
+/// Forces a brown-out *now* (at the current instruction boundary) by
+/// collapsing the capacitor below the supervisor's off threshold, then
+/// stepping until the edge fires.
+fn force_brownout(dev: &mut Device, h: &mut TheveninSource) -> bool {
+    dev.set_v_cap(1.0);
+    for _ in 0..8 {
+        if dev
+            .step(h, 0.0)
+            .power_edge
+            .map(|e| e == edb_energy::PowerEdge::BrownOut)
+            .unwrap_or(false)
+        {
+            return true;
+        }
+        if !dev.powered() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Recharges past the turn-on threshold and steps until the supervisor
+/// reboots the CPU.
+fn force_turn_on(dev: &mut Device, h: &mut TheveninSource) -> bool {
+    dev.set_v_cap(3.0);
+    for _ in 0..8 {
+        if dev
+            .step(h, 0.0)
+            .power_edge
+            .map(|e| e == edb_energy::PowerEdge::TurnOn)
+            .unwrap_or(false)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Fault-injection arm for one generated program: `cuts` reboots at
+/// seeded instruction boundaries, each followed by the invariant checks
+/// and a bounded lockstep race against a cold-decode twin.
+pub fn inject_power_cycles(prog: &Program, seed: u64) -> Option<Divergence> {
+    let image = match assemble_program(prog) {
+        Ok(i) => i,
+        Err(d) => return Some(d),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_17);
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    let mut h = TheveninSource::new(3.2, 1500.0);
+    if !force_turn_on(&mut dev, &mut h) {
+        return Some(Divergence::new("fault", "device refused to turn on"));
+    }
+
+    let cuts = rng.gen_range(2u32..=4);
+    for cut in 0..cuts {
+        let target = dev.total_instructions() + rng.gen_range(200u64..3000);
+        let guard = SimTime::from_ns(dev.now().as_ns() + 20_000_000);
+        run_until_instructions(&mut dev, &mut h, target, guard);
+
+        // The cut may land inside a natural off window (the sawtooth
+        // spends most of its period recharging); an injected brown-out
+        // only means something if the device is on when it hits.
+        if !dev.powered() && !force_turn_on(&mut dev, &mut h) {
+            return Some(Divergence::new(
+                "fault",
+                format!("cut {cut}: could not repower before the cut"),
+            ));
+        }
+
+        let reboots_before = dev.reboots();
+        if !force_brownout(&mut dev, &mut h) {
+            return Some(Divergence::new(
+                "fault",
+                format!("cut {cut}: brown-out edge never fired"),
+            ));
+        }
+        if dev.reboots() != reboots_before + 1 {
+            return Some(Divergence::new(
+                "fault",
+                format!(
+                    "cut {cut}: reboot count {} -> {}",
+                    reboots_before,
+                    dev.reboots()
+                ),
+            ));
+        }
+        if let Some(at) = dev.mem().sram().iter().position(|&b| b != 0) {
+            return Some(Divergence::new(
+                "fault",
+                format!("cut {cut}: SRAM byte survived brown-out at +{at:#x}"),
+            ));
+        }
+
+        // Snapshot FRAM with the device dead (the last instructions
+        // before the edge may legitimately have written it); it must be
+        // byte-identical through the off period and the reboot.
+        let fram_off = dev.mem().fram().to_vec();
+        if !force_turn_on(&mut dev, &mut h) {
+            return Some(Divergence::new(
+                "fault",
+                format!("cut {cut}: turn-on edge never fired"),
+            ));
+        }
+        if dev.mem().fram() != fram_off.as_slice() {
+            let at = dev
+                .mem()
+                .fram()
+                .iter()
+                .zip(&fram_off)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Some(Divergence::new(
+                "fault",
+                format!("cut {cut}: FRAM changed across the power cycle at +{at:#x}"),
+            ));
+        }
+        if dev.cpu().regs != [0u16; 16] {
+            return Some(Divergence::new(
+                "fault",
+                format!(
+                    "cut {cut}: registers survived the reboot: {:x?}",
+                    dev.cpu().regs
+                ),
+            ));
+        }
+        let reset_pc = dev.mem().peek_word(RESET_VECTOR);
+        if dev.cpu().pc != reset_pc {
+            return Some(Divergence::new(
+                "fault",
+                format!(
+                    "cut {cut}: post-reboot pc {:#06x} != reset vector {:#06x}",
+                    dev.cpu().pc,
+                    reset_pc
+                ),
+            ));
+        }
+
+        // Cache-invalidation race: the freshly rebooted device (warm
+        // cache minus whatever the power cycle and write probes dropped)
+        // against a cold-decode clone. Any stale entry shows up as a
+        // divergence within the window.
+        let mut cold = dev.clone();
+        cold.set_decode_cache_enabled(false);
+        let mut h_warm = h;
+        let mut h_cold = h;
+        for step in 0..1500u32 {
+            dev.step(&mut h_warm, 0.0);
+            cold.step(&mut h_cold, 0.0);
+            if dev.cpu().pc != cold.cpu().pc
+                || dev.cpu().regs != cold.cpu().regs
+                || dev.v_cap().to_bits() != cold.v_cap().to_bits()
+                || dev.total_instructions() != cold.total_instructions()
+            {
+                return Some(Divergence::new(
+                    "fault",
+                    format!(
+                        "cut {cut}, step {step}: warm cache diverged from cold decode \
+                         (pc {:#06x} vs {:#06x})",
+                        dev.cpu().pc,
+                        cold.cpu().pc
+                    ),
+                ));
+            }
+        }
+        if dev.mem().sram() != cold.mem().sram() || dev.mem().fram() != cold.mem().fram() {
+            return Some(Divergence::new(
+                "fault",
+                format!("cut {cut}: post-reboot memory image diverged from cold decode"),
+            ));
+        }
+        h = h_warm;
+    }
+    None
+}
+
+/// The checkpointed-counter program used by the round-trip arm.
+fn checkpointed_counter() -> String {
+    format!(
+        r#"
+        .equ MIRROR, 0x6000
+        .org 0x4400
+        init:
+            movi sp, 0x2400
+            movi r0, 0
+        loop:
+            add  r0, 1
+            movi r1, MIRROR
+            st   [r1], r0
+            call __cp_checkpoint
+            jmp  loop
+        {runtime}
+        .org 0xFFFE
+        .word __cp_boot
+        "#,
+        runtime = runtime_asm("init")
+    )
+}
+
+/// Checkpoint-restore round-trip arm: power failures at seeded
+/// instruction boundaries must never make the checkpointed counter
+/// regress by more than the one un-checkpointed iteration in flight.
+pub fn checkpoint_round_trip(seed: u64) -> Option<Divergence> {
+    let src = checkpointed_counter();
+    let image = match edb_mcu::asm::assemble(&src) {
+        Ok(i) => i,
+        Err(e) => {
+            return Some(Divergence::new(
+                "checkpoint",
+                format!("runtime program does not assemble: {e}"),
+            ))
+        }
+    };
+    let layout = match CheckpointLayout::from_image(&image) {
+        Some(l) => l,
+        None => return Some(Divergence::new("checkpoint", "missing checkpoint symbols")),
+    };
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4EC_4401);
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    let mut h = TheveninSource::new(3.2, 1500.0);
+    if !force_turn_on(&mut dev, &mut h) {
+        return Some(Divergence::new("checkpoint", "device refused to turn on"));
+    }
+
+    let mut high_water = 0u16;
+    for cut in 0..rng.gen_range(3u32..=6) {
+        let target = dev.total_instructions() + rng.gen_range(500u64..6000);
+        let guard = SimTime::from_ns(dev.now().as_ns() + 40_000_000);
+        run_until_instructions(&mut dev, &mut h, target, guard);
+        high_water = high_water.max(dev.mem().peek_word(0x6000));
+
+        if !force_brownout(&mut dev, &mut h) {
+            return Some(Divergence::new("checkpoint", "brown-out edge never fired"));
+        }
+        if !force_turn_on(&mut dev, &mut h) {
+            return Some(Divergence::new("checkpoint", "turn-on edge never fired"));
+        }
+        // Let the restore path run, then check monotonic progress.
+        let target = dev.total_instructions() + 600;
+        let guard = SimTime::from_ns(dev.now().as_ns() + 20_000_000);
+        run_until_instructions(&mut dev, &mut h, target, guard);
+        let resumed = dev.mem().peek_word(0x6000);
+        if resumed + 2 < high_water {
+            return Some(Divergence::new(
+                "checkpoint",
+                format!("cut {cut}: counter regressed {high_water} -> {resumed}"),
+            ));
+        }
+        high_water = high_water.max(resumed);
+    }
+    if layout.committed(dev.mem()).is_none() {
+        return Some(Divergence::new(
+            "checkpoint",
+            "no committed checkpoint after repeated cycles",
+        ));
+    }
+    if high_water < 3 {
+        return Some(Divergence::new(
+            "checkpoint",
+            format!("counter made no progress (high water {high_water})"),
+        ));
+    }
+    None
+}

@@ -45,9 +45,12 @@ const MAX_INSTR_BYTES: u16 = 4;
 /// power cycle; hot loops on this class of MCU are far smaller).
 const DECODE_SLOTS: usize = 1024;
 
-/// Sentinel tag for an empty slot. `0xFFFF` can never tag a real entry:
-/// its second byte would sit at address `0x0000`, which is unmapped, and
-/// entries are only created when the whole first word is mapped.
+/// Sentinel tag for an empty slot. `0xFFFF` can never tag a real entry
+/// (its second byte would sit at address `0x0000`, which is unmapped,
+/// and entries are only created when the whole first word is mapped) —
+/// but a fetch *can* ask for `pc == 0xFFFF` after a computed jump, so
+/// the lookup must reject the sentinel explicitly or an empty slot
+/// reads as a phantom `Nop` hit there (found by `edb-fuzz`).
 const DECODE_EMPTY: u16 = 0xFFFF;
 
 /// One direct-mapped cache slot: the code address it caches (`tag`), the
@@ -208,7 +211,7 @@ impl Memory {
     #[inline]
     pub fn fetch_decoded(&mut self, pc: u16) -> Result<(Instr, u8, u8), u16> {
         let slot = &self.decode_cache.slots[DecodeCache::index(pc)];
-        if slot.tag == pc {
+        if slot.tag == pc && pc != DECODE_EMPTY {
             return Ok((slot.instr, slot.size, slot.cycles));
         }
         let w0 = self.read_word(pc);
@@ -335,6 +338,18 @@ impl Memory {
                 slot.tag = DECODE_EMPTY;
             }
         }
+    }
+
+    /// The raw SRAM image (`SRAM_START ..`), for whole-memory oracles
+    /// (differential fuzzing, snapshot diffing) that would otherwise
+    /// peek byte by byte.
+    pub fn sram(&self) -> &[u8] {
+        &self.sram
+    }
+
+    /// The raw FRAM image (`FRAM_START ..`), see [`Memory::sram`].
+    pub fn fram(&self) -> &[u8] {
+        &self.fram
     }
 
     /// Number of accesses to unmapped space so far (sticky across power
@@ -518,6 +533,21 @@ mod tests {
         mem.write_word(0x4400, 0xF000);
         assert_eq!(mem.fetch_decoded(0x4400), Err(0xF000));
         assert_eq!(mem.fetch_decoded(0x4400), Err(0xF000));
+    }
+
+    #[test]
+    fn fetch_at_the_empty_sentinel_address_is_not_a_phantom_hit() {
+        // pc == 0xFFFF equals the empty-slot tag; the lookup must still
+        // take the uncached path (reading 0xFFFF + the unmapped 0x0000
+        // byte) instead of serving the sentinel slot's nop. Found by
+        // edb-fuzz: a patched jump target sent the cpu here and the
+        // cached and cold configurations disagreed.
+        let mut mem = Memory::new();
+        let r = mem.fetch_decoded(0xFFFF);
+        assert_eq!(mem.bus_faults(), 1, "the 0x0000 byte fault is counted");
+        let mut cold = Memory::new();
+        cold.set_decode_cache_enabled(false);
+        assert_eq!(r, cold.fetch_decoded(0xFFFF), "cached == cold at 0xFFFF");
     }
 
     #[test]

@@ -263,6 +263,37 @@ proptest! {
         prop_assert_eq!(reassembled.segments()[0].1.clone(), bytes.clone());
     }
 
+    /// Full assembler round trip through a *loaded memory*: assemble →
+    /// load image → read the bytes back off the bus → disassemble →
+    /// reassemble must reproduce the identical image. This pins the
+    /// loader and the peek path into the loop, not just the encoder.
+    #[test]
+    fn assemble_load_disassemble_reassemble_identity(
+        instrs in prop::collection::vec(arb_instr(), 1..30)
+    ) {
+        let mut src = String::from(".org 0x4400\n");
+        for i in &instrs {
+            src.push_str(&format!("    {i}\n"));
+        }
+        let image = assemble(&src).expect("display form assembles");
+        let (base, bytes) = &image.segments()[0];
+
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let from_mem: Vec<u8> = (0..bytes.len() as u16)
+            .map(|i| mem.peek_byte(base.wrapping_add(i)))
+            .collect();
+        prop_assert_eq!(&from_mem, bytes, "loader must be byte-faithful");
+
+        let listing = disassemble(&from_mem, *base);
+        let relisted = format!(
+            ".org 0x4400\n{}",
+            listing.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>().join("\n")
+        );
+        let image2 = assemble(&relisted).expect("disassembly reassembles");
+        prop_assert_eq!(image2.segments()[0].1.clone(), bytes.clone());
+    }
+
     /// The CPU never spontaneously un-halts: once halted or faulted it
     /// stays that way through arbitrary further stepping (only reset
     /// revives it).

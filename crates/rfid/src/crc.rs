@@ -106,4 +106,29 @@ mod tests {
     fn crc16_empty_is_complement_of_preset() {
         assert_eq!(crc16(&[]), !0xFFFF);
     }
+
+    #[test]
+    fn crc5_empty_is_the_preset() {
+        // Zero payload bits shift nothing through the register: the
+        // Gen2 preset comes back unchanged (and within 5 bits).
+        assert_eq!(crc5(&[]), 0b01001);
+    }
+
+    #[test]
+    fn crc16_detects_flips_in_a_max_length_epc_body() {
+        // The longest Gen2 body we frame: type byte + 96-bit EPC.
+        let mut body = [0u8; 13];
+        body[0] = 0xA2;
+        for (i, b) in body.iter_mut().enumerate().skip(1) {
+            *b = (i as u8).wrapping_mul(0x1F) ^ 0xA5;
+        }
+        let good = crc16(&body);
+        for byte in 0..body.len() {
+            for bit in 0..8 {
+                let mut bad = body;
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc16(&bad), good, "flip {byte}/{bit} undetected");
+            }
+        }
+    }
 }

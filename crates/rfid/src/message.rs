@@ -349,6 +349,83 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_truncated_frames_are_bad_length() {
+        // Empty payloads must fail cleanly on both decode paths, as
+        // must every truncation of a valid frame down to nothing.
+        assert_eq!(Command::decode(&[]), Err(DecodeFailure::BadLength));
+        assert_eq!(TagReply::decode(&[]), Err(DecodeFailure::BadLength));
+        let full = TagReply::Epc { epc: [7; 12] }.encode();
+        for len in 0..full.len() {
+            assert_ne!(
+                TagReply::decode(&full[..len]),
+                Ok(TagReply::Epc { epc: [7; 12] }),
+                "truncated to {len} bytes must not decode"
+            );
+        }
+        assert_eq!(
+            Command::decode(&[TYPE_QUERY]),
+            Err(DecodeFailure::BadLength)
+        );
+        assert_eq!(
+            TagReply::decode(&[TYPE_EPC, 0]),
+            Err(DecodeFailure::BadLength)
+        );
+    }
+
+    #[test]
+    fn max_length_epc_frame_round_trips_and_rejects_resizing() {
+        // The Epc frame is the longest on the wire (15 bytes); an
+        // all-ones payload must survive byte-exact and any padding or
+        // truncation must be rejected as a length error.
+        let reply = TagReply::Epc { epc: [0xFF; 12] };
+        let bytes = reply.encode();
+        assert_eq!(bytes.len(), 15);
+        assert_eq!(TagReply::decode(&bytes), Ok(reply));
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(TagReply::decode(&extended), Err(DecodeFailure::BadLength));
+        assert_eq!(
+            TagReply::decode(&bytes[..14]),
+            Err(DecodeFailure::BadLength)
+        );
+    }
+
+    #[test]
+    fn every_corrupted_byte_position_is_detected() {
+        // Single-bit corruption anywhere in a frame — type byte, payload,
+        // or the CRC itself — must never decode as the original message.
+        let epc_frame = TagReply::Epc {
+            epc: *b"WISP5-EDB-00",
+        }
+        .encode();
+        for byte in 0..epc_frame.len() {
+            for bit in 0..8 {
+                let mut bad = epc_frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(
+                    TagReply::decode(&bad),
+                    Ok(TagReply::Epc {
+                        epc: *b"WISP5-EDB-00"
+                    }),
+                    "flip {byte}/{bit} slipped through"
+                );
+            }
+        }
+        let ack_frame = Command::Ack { rn: 0xBEEF }.encode();
+        for byte in 0..ack_frame.len() {
+            for bit in 0..8 {
+                let mut bad = ack_frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(
+                    Command::decode(&bad),
+                    Ok(Command::Ack { rn: 0xBEEF }),
+                    "flip {byte}/{bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn labels_match_the_paper() {
         assert_eq!(Command::Query { q: 0, session: 0 }.label(), "CMD_QUERY");
         assert_eq!(Command::QueryRep { session: 0 }.label(), "CMD_QUERYREP");

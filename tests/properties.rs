@@ -58,6 +58,126 @@ fn load_program(dev: &mut Device, prog: &[Instr]) {
     dev.flash(&image);
 }
 
+/// The program pinned in `properties.proptest-regressions` (historical
+/// shrink of a `brownout_always_clears_sram` failure). The vendored
+/// proptest stand-in does not auto-replay that file, so this test
+/// replays the case explicitly: it must stay in lockstep with the
+/// listing in the regressions file.
+fn pinned_regression_program() -> Vec<Instr> {
+    use AluOp::{Add, Xor};
+    let r = Reg::new;
+    vec![
+        Instr::Movi { rd: r(0), imm: 0 },
+        Instr::Alu {
+            op: Xor,
+            rd: r(5),
+            rs: r(2),
+        },
+        Instr::Ld {
+            rd: r(4),
+            rb: r(3),
+            off: 31,
+        },
+        Instr::Out { port: 5, rs: r(13) },
+        Instr::Out {
+            port: 183,
+            rs: r(6),
+        },
+        Instr::Alu {
+            op: Xor,
+            rd: r(11),
+            rs: r(3),
+        },
+        Instr::Mov {
+            rd: r(12),
+            rs: r(1),
+        },
+        Instr::Mov {
+            rd: r(10),
+            rs: r(3),
+        },
+        Instr::Mov { rd: r(7), rs: r(5) },
+        Instr::Mov {
+            rd: r(1),
+            rs: r(13),
+        },
+        Instr::Movi {
+            rd: r(1),
+            imm: 62441,
+        },
+        Instr::Movi {
+            rd: r(9),
+            imm: 59837,
+        },
+        Instr::Alu {
+            op: Add,
+            rd: r(14),
+            rs: r(3),
+        },
+        Instr::Alu {
+            op: Xor,
+            rd: r(10),
+            rs: r(0),
+        },
+        Instr::Ld {
+            rd: r(6),
+            rb: r(12),
+            off: 60,
+        },
+        Instr::Movi {
+            rd: r(6),
+            imm: 47514,
+        },
+        Instr::Mov { rd: r(8), rs: r(4) },
+        Instr::Out {
+            port: 122,
+            rs: r(9),
+        },
+        Instr::Movi {
+            rd: r(3),
+            imm: 50824,
+        },
+        Instr::St {
+            ra: r(14),
+            off: 47,
+            rs: r(15),
+        },
+    ]
+}
+
+/// Explicit replay of the pinned regression: the historical failure was
+/// in the brown-out invariant, so hold that program to the same checks
+/// the property applies to fresh cases.
+#[test]
+fn pinned_regression_brownout_still_clears_sram() {
+    let prog = pinned_regression_program();
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    load_program(&mut dev, &prog);
+    let mut src = ConstantCurrent::new(0.0);
+    dev.set_v_cap(2.45);
+    let mut saw_brownout = false;
+    while dev.now() < SimTime::from_ms(500) {
+        let step = dev.step(&mut src, 0.0);
+        if step.power_edge == Some(edb_suite::energy::PowerEdge::BrownOut) {
+            saw_brownout = true;
+            for addr in (edb_suite::mcu::SRAM_START..edb_suite::mcu::SRAM_END).step_by(37) {
+                assert_eq!(dev.mem().peek_byte(addr), 0, "SRAM byte at {addr:#06x}");
+            }
+            break;
+        }
+    }
+    assert!(saw_brownout, "an unpowered device must brown out");
+    // The same soup must also satisfy the physics-sane invariant.
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    load_program(&mut dev, &prog);
+    let mut src = edb_suite::energy::Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 7);
+    while dev.now() < SimTime::from_ms(100) {
+        let step = dev.step(&mut src, 0.0);
+        assert!(dev.v_cap() >= 0.0 && dev.v_cap() <= 5.5);
+        assert!(step.elapsed.as_ns() > 0, "time must advance");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
