@@ -103,12 +103,12 @@ pub fn run() -> Report {
     let tethered_v = sys.device().v_cap();
 
     // The Figure 6 interactive session: inspect the data structure live.
-    let tail = sys.debug_read_word(ll::TAILP).expect("read tail");
+    let tail = sys.read_word(ll::TAILP).expect("read tail");
     let head_next = sys
-        .debug_read_word(ll::HEAD + ll::NODE_NEXT)
+        .read_word(ll::HEAD + ll::NODE_NEXT)
         .expect("read head->next");
     let tail_next = sys
-        .debug_read_word(tail.wrapping_add(ll::NODE_NEXT))
+        .read_word(tail.wrapping_add(ll::NODE_NEXT))
         .expect("read tail->next");
     report.line(String::new());
     report.line(format!(

@@ -42,6 +42,14 @@ impl fmt::Display for ConsoleError {
 
 impl std::error::Error for ConsoleError {}
 
+impl From<crate::EdbError> for ConsoleError {
+    fn from(e: crate::EdbError) -> Self {
+        ConsoleError {
+            message: e.to_string(),
+        }
+    }
+}
+
 fn cerr<T>(message: impl Into<String>) -> Result<T, ConsoleError> {
     Err(ConsoleError {
         message: message.into(),
@@ -91,12 +99,12 @@ impl Console {
             "help" => Ok(HELP.to_string()),
             "charge" => {
                 let v = parse_volts(args.first())?;
-                let got = sys.charge_to(v);
+                let got = sys.try_charge_to(v)?;
                 Ok(format!("charged to {got:.3} V (target {v:.3} V)"))
             }
             "discharge" => {
                 let v = parse_volts(args.first())?;
-                let got = sys.discharge_to(v);
+                let got = sys.try_discharge_to(v)?;
                 Ok(format!("discharged to {got:.3} V (target {v:.3} V)"))
             }
             "break" => match args {
@@ -177,11 +185,11 @@ impl Console {
                 let mut out = String::new();
                 for k in 0..count.min(64) {
                     let a = addr.wrapping_add((k * 2) as u16);
-                    match sys.debug_read_word(a) {
-                        Some(v) => {
+                    match sys.read_word(a) {
+                        Ok(v) => {
                             let _ = writeln!(out, "{a:#06x}: {v:#06x}");
                         }
-                        None => return cerr(format!("target did not answer read of {a:#06x}")),
+                        Err(e) => return cerr(format!("read of {a:#06x} failed: {e}")),
                     }
                 }
                 Ok(out)
@@ -192,10 +200,9 @@ impl Console {
                 if sys.edb().is_none_or(|e| !e.session_active()) {
                     return cerr("write requires an active session");
                 }
-                if sys.debug_write_word(addr, value) {
-                    Ok(format!("{addr:#06x} <- {value:#06x}"))
-                } else {
-                    cerr("target did not acknowledge the write")
+                match sys.write_word(addr, value) {
+                    Ok(()) => Ok(format!("{addr:#06x} <- {value:#06x}")),
+                    Err(e) => cerr(format!("write failed: {e}")),
                 }
             }
             "run" => {
@@ -247,8 +254,8 @@ impl Console {
                 if sys.edb().is_none_or(|e| !e.session_active()) {
                     return cerr("where requires an active session");
                 }
-                match sys.debug_resume_pc() {
-                    Some(pc) => {
+                match sys.resume_pc() {
+                    Ok(pc) => {
                         // Annotate with the nearest preceding symbol.
                         let nearest = sys
                             .symbols()
@@ -261,14 +268,14 @@ impl Console {
                             None => format!("resume at {pc:#06x}"),
                         })
                     }
-                    None => cerr("target did not answer"),
+                    Err(e) => cerr(format!("target did not answer: {e}")),
                 }
             }
             "resume" => {
                 if sys.edb().is_none_or(|e| !e.session_active()) {
                     return cerr("no active session to resume from");
                 }
-                sys.resume();
+                sys.try_resume()?;
                 Ok("target resumed".to_string())
             }
             "status" => {

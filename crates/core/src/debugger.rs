@@ -11,11 +11,14 @@
 
 use crate::adc::Adc;
 use crate::charge::{ChargeCircuit, ChargeMode, LevelController};
+use crate::error::EdbError;
 use crate::events::{DebugEvent, EventLog};
-use crate::protocol;
-use crate::wiring::{LineStates, Wiring};
+use crate::protocol::{self, HostCommand, ReplyDecoder};
+use crate::wiring::{ChannelFault, ChannelFaultConfig, LineStates, Wiring};
 use edb_device::{Device, DeviceEvent};
 use edb_energy::{PowerEdge, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Debugger firmware parameters.
@@ -43,6 +46,17 @@ pub struct EdbConfig {
     pub io_trace: bool,
     /// RNG seed for the ADC and wiring instances.
     pub seed: u64,
+    /// Per-attempt sim-time deadline for a framed debug command: if no
+    /// checksum-valid reply completes within this window, the command is
+    /// re-sent (or aborted once the retry budget runs out).
+    pub cmd_timeout: SimTime,
+    /// Bounded re-sends after a command's first attempt.
+    pub cmd_retries: u32,
+    /// Minimum backoff before a re-send. Sized to cover the worst-case
+    /// tail of a torn reply still pacing out of the target's UART, so
+    /// stale bytes arrive (and are discarded) *during* the backoff
+    /// instead of rotating into the retry's reply decoder.
+    pub retry_flush: SimTime,
 }
 
 impl EdbConfig {
@@ -57,6 +71,10 @@ impl EdbConfig {
             energy_trace: true,
             io_trace: true,
             seed: 0xEDB,
+            cmd_timeout: SimTime::from_ms(5),
+            cmd_retries: 3,
+            // Four reply bytes at the ~174 µs/byte debug-UART pacing.
+            retry_flush: SimTime::from_us(700),
         }
     }
 }
@@ -101,13 +119,62 @@ enum Mode {
     SessionRestore { saved: f64 },
 }
 
-/// An in-flight debug-UART exchange with the target.
+/// An in-flight framed debug-UART exchange with the target.
 #[derive(Debug, Clone)]
-enum Pending {
-    /// Awaiting `n` reply bytes for a read.
-    Read { got: Vec<u8> },
-    /// Awaiting the write acknowledge byte.
-    Write,
+struct InFlight {
+    /// The command being exchanged.
+    cmd: HostCommand,
+    /// Incremental reply parser (reset on every retry and torn attempt).
+    decoder: ReplyDecoder,
+    /// Send attempts so far (1 = first try).
+    attempts: u32,
+    /// When the current attempt times out.
+    attempt_deadline: SimTime,
+    /// Backoff: when to send the next attempt (None while one is live).
+    resend_at: Option<SimTime>,
+    /// The target browned out mid-exchange; the command is parked until
+    /// it re-enters its service loop (a new session opens).
+    await_service: bool,
+    /// While parked: give up if no service loop appears by then.
+    park_deadline: SimTime,
+}
+
+/// How the last framed command exchange ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// The first attempt completed with a checksum-valid reply.
+    Completed,
+    /// Completed after `retries` re-sends (timeouts or corrupt replies).
+    Retried {
+        /// Number of re-sends beyond the first attempt.
+        retries: u32,
+    },
+    /// The target browned out mid-command and never re-entered its
+    /// service loop within the recovery window.
+    AbortedByBrownout,
+    /// Gave up for another reason (retry budget exhausted, persistent
+    /// corruption).
+    Aborted {
+        /// The surfaced error.
+        error: EdbError,
+    },
+}
+
+/// What [`Edb::poll_reply`] found — the typed replacement for the old
+/// bare `Option<u16>`, distinguishing *pending* from *aborted*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyStatus {
+    /// No command in flight and nothing buffered.
+    Idle,
+    /// A command is still being exchanged.
+    Pending {
+        /// Send attempts so far.
+        attempts: u32,
+    },
+    /// A completed reply word (a read's value, a write's acknowledge).
+    Ready(u16),
+    /// The command aborted with a typed error (consumed by this poll).
+    Aborted(EdbError),
 }
 
 /// A pending energy breakpoint.
@@ -144,8 +211,17 @@ pub struct Edb {
     watch_enabled: HashSet<u8>,
     watch_all: bool,
     printf_buf: Vec<u8>,
-    pending: Option<Pending>,
+    inflight: Option<InFlight>,
     reply: VecDeque<u16>,
+    /// The typed abort waiting for the next [`Edb::poll_reply`].
+    aborted: Option<EdbError>,
+    last_outcome: Option<SessionOutcome>,
+    /// Injectable noise on both directions of the debug UART.
+    channel_fault: Option<ChannelFault>,
+    /// Backoff RNG — seeded from the config, drawn ONLY when a retry is
+    /// scheduled, so fault-free runs consume zero draws and stay
+    /// bit-identical to the golden manifests.
+    retry_rng: StdRng,
     bkpt_mask_addr: Option<u16>,
     /// Charge delivered through the tether/charge circuit, coulombs
     /// (instrumentation).
@@ -175,8 +251,12 @@ impl Edb {
             watch_enabled: HashSet::new(),
             watch_all: true,
             printf_buf: Vec::new(),
-            pending: None,
+            inflight: None,
             reply: VecDeque::new(),
+            aborted: None,
+            last_outcome: None,
+            channel_fault: None,
+            retry_rng: StdRng::seed_from_u64(config.seed.wrapping_add(0x5EED)),
             bkpt_mask_addr: None,
             charge_delivered: 0.0,
             drain_cache: None,
@@ -316,41 +396,235 @@ impl Edb {
         self.watch_enabled.remove(&id);
     }
 
-    /// Starts a memory read over the debug protocol. The target must be
-    /// in its service loop (session active). Poll [`Edb::take_reply`].
-    pub fn start_read(&mut self, dev: &mut Device, addr: u16) {
-        self.pending = Some(Pending::Read { got: Vec::new() });
-        let q = &mut dev.peripherals.debug.rx_from_debugger;
-        q.push_back(protocol::CMD_READ);
-        q.push_back((addr & 0xFF) as u8);
-        q.push_back((addr >> 8) as u8);
+    /// Installs (or clears) the injectable channel-fault model on both
+    /// directions of the debug UART.
+    pub fn set_channel_fault(&mut self, config: Option<ChannelFaultConfig>) {
+        self.channel_fault = config.map(ChannelFault::new);
+    }
+
+    /// The channel-fault configuration, if fault injection is on.
+    pub fn channel_fault_config(&self) -> Option<ChannelFaultConfig> {
+        self.channel_fault.as_ref().map(ChannelFault::config)
+    }
+
+    /// Starts a framed command exchange. The target must be parked in
+    /// its service loop (session active). Poll [`Edb::poll_reply`]; the
+    /// state machine re-sends on timeout or corruption with bounded,
+    /// deterministic backoff, and surfaces a typed [`EdbError`] when the
+    /// retry budget runs out. A prior in-flight command is preempted
+    /// (logged, discarded).
+    pub fn start_command(&mut self, dev: &mut Device, cmd: HostCommand, now: SimTime) {
+        if let Some(stale) = self.inflight.take() {
+            self.log.push(
+                now,
+                DebugEvent::CommandAborted {
+                    cmd: stale.cmd.name().to_string(),
+                    error: "preempted by a new command".to_string(),
+                },
+            );
+        }
+        self.aborted = None;
+        self.last_outcome = None;
+        let Some(decoder) = ReplyDecoder::new(cmd) else {
+            // CONTINUE expects no reply; it is not a tracked exchange.
+            self.push_host_bytes(dev, &cmd.encode());
+            return;
+        };
+        self.inflight = Some(InFlight {
+            cmd,
+            decoder,
+            attempts: 0,
+            attempt_deadline: now,
+            resend_at: None,
+            await_service: false,
+            park_deadline: now,
+        });
+        self.send_attempt(dev, now);
+    }
+
+    /// Starts a memory read over the debug protocol.
+    pub fn start_read(&mut self, dev: &mut Device, addr: u16, now: SimTime) {
+        self.start_command(dev, HostCommand::Read { addr }, now);
     }
 
     /// Asks the target where execution will resume (the service loop's
-    /// return address). Poll [`Edb::take_reply`].
-    pub fn start_get_pc(&mut self, dev: &mut Device) {
-        self.pending = Some(Pending::Read { got: Vec::new() });
-        dev.peripherals
-            .debug
-            .rx_from_debugger
-            .push_back(protocol::CMD_GET_PC);
+    /// return address).
+    pub fn start_get_pc(&mut self, dev: &mut Device, now: SimTime) {
+        self.start_command(dev, HostCommand::GetPc, now);
     }
 
     /// Starts a memory write over the debug protocol.
-    pub fn start_write(&mut self, dev: &mut Device, addr: u16, value: u16) {
-        self.pending = Some(Pending::Write);
-        let q = &mut dev.peripherals.debug.rx_from_debugger;
-        q.push_back(protocol::CMD_WRITE);
-        q.push_back((addr & 0xFF) as u8);
-        q.push_back((addr >> 8) as u8);
-        q.push_back((value & 0xFF) as u8);
-        q.push_back((value >> 8) as u8);
+    pub fn start_write(&mut self, dev: &mut Device, addr: u16, value: u16, now: SimTime) {
+        self.start_command(dev, HostCommand::Write { addr, value }, now);
+    }
+
+    /// Polls the outcome of the current exchange: a completed reply
+    /// word, a still-pending command, a typed abort (consumed by this
+    /// call), or nothing at all.
+    pub fn poll_reply(&mut self) -> ReplyStatus {
+        if let Some(word) = self.reply.pop_front() {
+            return ReplyStatus::Ready(word);
+        }
+        if let Some(error) = self.aborted.take() {
+            return ReplyStatus::Aborted(error);
+        }
+        match &self.inflight {
+            Some(fl) => ReplyStatus::Pending {
+                attempts: fl.attempts,
+            },
+            None => ReplyStatus::Idle,
+        }
     }
 
     /// Takes a completed protocol reply (a read's word, or a write's
     /// acknowledge rendered as `0xAA`).
+    #[deprecated(note = "use poll_reply, which distinguishes pending from aborted")]
     pub fn take_reply(&mut self) -> Option<u16> {
         self.reply.pop_front()
+    }
+
+    /// Abandons the in-flight command, if any, and clears any buffered
+    /// abort. Returns how many send attempts had been made.
+    pub fn cancel_command(&mut self) -> u32 {
+        self.aborted = None;
+        self.inflight.take().map_or(0, |fl| fl.attempts)
+    }
+
+    /// How the most recent framed exchange ended — `None` while one is
+    /// still in flight, or before any ran.
+    pub fn last_outcome(&self) -> Option<&SessionOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Pushes host→target bytes through the (optional) noisy channel.
+    fn push_host_bytes(&mut self, dev: &mut Device, bytes: &[u8]) {
+        for &raw in bytes {
+            let (delivered, n) = match &mut self.channel_fault {
+                Some(fault) => fault.corrupt(raw),
+                None => ([raw, 0], 1),
+            };
+            dev.peripherals
+                .debug
+                .rx_from_debugger
+                .extend(delivered[..n].iter().copied());
+        }
+    }
+
+    /// Releases the target's service loop with a framed `CMD_CONTINUE`.
+    fn send_continue(&mut self, dev: &mut Device) {
+        let frame = HostCommand::Continue.encode();
+        self.push_host_bytes(dev, &frame);
+    }
+
+    fn send_attempt(&mut self, dev: &mut Device, now: SimTime) {
+        let (frame, cmd, attempts) = {
+            let Some(fl) = &mut self.inflight else {
+                return;
+            };
+            fl.attempts += 1;
+            fl.decoder.reset();
+            fl.resend_at = None;
+            fl.attempt_deadline = now + self.config.cmd_timeout;
+            (fl.cmd.encode(), fl.cmd.name(), fl.attempts)
+        };
+        if attempts > 1 {
+            self.log.push(
+                now,
+                DebugEvent::CommandRetry {
+                    cmd: cmd.to_string(),
+                    attempt: attempts,
+                },
+            );
+        }
+        self.push_host_bytes(dev, &frame);
+    }
+
+    /// Schedules a retry with deterministic backoff, or aborts with
+    /// `error` once the budget (`1 + cmd_retries` attempts) is spent.
+    fn retry_or_abort(&mut self, now: SimTime, error: EdbError) {
+        let budget = self.config.cmd_retries + 1;
+        let exhausted = self
+            .inflight
+            .as_ref()
+            .is_some_and(|fl| fl.attempts >= budget);
+        if exhausted {
+            self.abort_inflight(now, error);
+            return;
+        }
+        if let Some(fl) = &mut self.inflight {
+            fl.decoder.reset();
+            // Deterministic backoff: the flush window (so any stale
+            // bytes of the torn attempt drain into the swallow path
+            // first) plus 1–4 firmware ticks of seeded jitter, drawn
+            // only on this (faulty) path — clean runs never touch it.
+            let ticks = self.retry_rng.gen_range(1..=4u64);
+            fl.resend_at = Some(
+                now + self.config.retry_flush
+                    + SimTime::from_ns(self.config.tick_period.as_ns() * ticks),
+            );
+        }
+    }
+
+    fn abort_inflight(&mut self, now: SimTime, error: EdbError) {
+        let Some(fl) = self.inflight.take() else {
+            return;
+        };
+        self.log.push(
+            now,
+            DebugEvent::CommandAborted {
+                cmd: fl.cmd.name().to_string(),
+                error: error.to_string(),
+            },
+        );
+        self.last_outcome = Some(match &error {
+            EdbError::AbortedByBrownout { .. } => SessionOutcome::AbortedByBrownout,
+            _ => SessionOutcome::Aborted {
+                error: error.clone(),
+            },
+        });
+        self.aborted = Some(error);
+    }
+
+    /// Drives the in-flight command's deadlines: parked commands give up
+    /// past their recovery window, backoffs fire their re-send, and live
+    /// attempts time out into [`Edb::retry_or_abort`].
+    fn service_inflight(&mut self, dev: &mut Device, now: SimTime) {
+        enum Due {
+            ParkExpired(&'static str),
+            Resend,
+            AttemptTimeout(&'static str, u32),
+        }
+        let due = {
+            let Some(fl) = &self.inflight else {
+                return;
+            };
+            if fl.await_service {
+                if now >= fl.park_deadline {
+                    Due::ParkExpired(fl.cmd.name())
+                } else {
+                    return;
+                }
+            } else if let Some(at) = fl.resend_at {
+                if now >= at {
+                    Due::Resend
+                } else {
+                    return;
+                }
+            } else if now >= fl.attempt_deadline {
+                Due::AttemptTimeout(fl.cmd.name(), fl.attempts)
+            } else {
+                return;
+            }
+        };
+        match due {
+            Due::ParkExpired(cmd) => {
+                self.abort_inflight(now, EdbError::AbortedByBrownout { cmd });
+            }
+            Due::Resend => self.send_attempt(dev, now),
+            Due::AttemptTimeout(cmd, attempts) => {
+                self.retry_or_abort(now, EdbError::CommandTimeout { cmd, attempts });
+            }
+        }
     }
 
     /// Resumes the target from an interactive session: restores the saved
@@ -470,13 +744,44 @@ impl Edb {
         }
     }
 
-    /// Logs a power edge.
-    pub fn observe_power_edge(&mut self, edge: PowerEdge, at: SimTime) {
+    /// Logs a power edge. On a brown-out, additionally tears down any
+    /// open session (the target fell out of its service loop; the link
+    /// queues died with the power) and parks the in-flight command so it
+    /// re-arms when the target next enters a service loop — or aborts
+    /// with a typed error if that never happens.
+    pub fn observe_power_edge(&mut self, dev: &mut Device, edge: PowerEdge, at: SimTime) {
         let ev = match edge {
             PowerEdge::TurnOn => DebugEvent::TurnOn,
             PowerEdge::BrownOut => DebugEvent::BrownOut,
         };
         self.log.push(at, ev);
+        if !matches!(edge, PowerEdge::BrownOut) {
+            return;
+        }
+        if self.session_active() {
+            self.log.push(
+                at,
+                DebugEvent::SessionAborted {
+                    reason: "target browned out mid-session".to_string(),
+                },
+            );
+            dev.peripherals.debug.set_session_active(false);
+            self.circuit.set_mode(ChargeMode::Idle);
+            self.controller = None;
+            self.mode = Mode::Passive;
+        }
+        if let Some(fl) = &mut self.inflight {
+            // Torn exchange: whatever reply bytes were in flight are
+            // gone. Discard the partial parse and wait for the target's
+            // next service-loop entry, bounded by a recovery window.
+            fl.decoder.reset();
+            fl.resend_at = None;
+            fl.await_service = true;
+            fl.park_deadline = at
+                + SimTime::from_ns(
+                    self.config.cmd_timeout.as_ns() * (u64::from(self.config.cmd_retries) + 2),
+                );
+        }
     }
 
     /// Logs an RFID message observed on the monitored RF lines, decoding
@@ -525,6 +830,7 @@ impl Edb {
 
         self.drain_signals(dev, now);
         self.drain_uart(dev, now);
+        self.service_inflight(dev, now);
         self.run_controller(dev, now);
     }
 
@@ -566,6 +872,14 @@ impl Edb {
                 reason: format!("{kind:?}"),
             },
         );
+        // A command parked by a brown-out re-arms now: the target is
+        // back in a service loop, so re-send on the next tick.
+        if let Some(fl) = &mut self.inflight {
+            if fl.await_service {
+                fl.await_service = false;
+                fl.resend_at = Some(now);
+            }
+        }
     }
 
     /// Opens a console-requested session by interrupting the target, as
@@ -599,10 +913,7 @@ impl Edb {
                         self.open_session(dev, now, SessionKind::Breakpoint { id }, v);
                     } else {
                         // Not interesting: release the service loop.
-                        dev.peripherals
-                            .debug
-                            .rx_from_debugger
-                            .push_back(protocol::CMD_CONTINUE);
+                        self.send_continue(dev);
                     }
                 }
                 protocol::SIG_GUARD_BEGIN => {
@@ -636,29 +947,87 @@ impl Edb {
     }
 
     fn drain_uart(&mut self, dev: &mut Device, now: SimTime) {
-        while let Some(byte) = dev.peripherals.debug.tx_to_debugger.pop_front() {
-            match &mut self.pending {
-                Some(Pending::Read { got }) => {
-                    got.push(byte);
-                    if got.len() == 2 {
-                        let word = got[0] as u16 | ((got[1] as u16) << 8);
-                        self.reply.push_back(word);
-                        self.pending = None;
-                    }
-                }
-                Some(Pending::Write) => {
-                    self.reply.push_back(byte as u16);
-                    self.pending = None;
-                }
-                None => {
-                    if byte == b'\n' {
-                        let line = String::from_utf8_lossy(&self.printf_buf).into_owned();
-                        self.printf_buf.clear();
-                        self.log.push(now, DebugEvent::Printf { line });
+        while let Some(raw) = dev.peripherals.debug.tx_to_debugger.pop_front() {
+            let (delivered, n) = match &mut self.channel_fault {
+                Some(fault) => fault.corrupt(raw),
+                None => ([raw, 0], 1),
+            };
+            for &byte in &delivered[..n] {
+                self.ingest_target_byte(byte, now);
+            }
+        }
+    }
+
+    /// Routes one target→host byte: into the in-flight reply decoder
+    /// when an exchange is live, discarded when the exchange is parked
+    /// or backing off (stale bytes of a torn attempt), otherwise into
+    /// the printf line buffer.
+    fn ingest_target_byte(&mut self, byte: u8, now: SimTime) {
+        enum Step {
+            Printf,
+            Swallowed,
+            Complete { word: u16, attempts: u32 },
+            BadAck { cmd: &'static str, word: u16 },
+            Corrupt { cmd: &'static str, detail: String },
+        }
+        let step = match &mut self.inflight {
+            None => Step::Printf,
+            Some(fl) if fl.await_service || fl.resend_at.is_some() => Step::Swallowed,
+            Some(fl) => match fl.decoder.push(byte) {
+                None => Step::Swallowed,
+                Some(Ok(word)) => {
+                    let write = matches!(fl.cmd, HostCommand::Write { .. });
+                    if write && word != u16::from(protocol::ACK) {
+                        Step::BadAck {
+                            cmd: fl.cmd.name(),
+                            word,
+                        }
                     } else {
-                        self.printf_buf.push(byte);
+                        Step::Complete {
+                            word,
+                            attempts: fl.attempts,
+                        }
                     }
                 }
+                Some(Err(e)) => Step::Corrupt {
+                    cmd: fl.cmd.name(),
+                    detail: e.to_string(),
+                },
+            },
+        };
+        match step {
+            Step::Swallowed => {}
+            Step::Printf => {
+                if byte == b'\n' {
+                    let line = String::from_utf8_lossy(&self.printf_buf).into_owned();
+                    self.printf_buf.clear();
+                    self.log.push(now, DebugEvent::Printf { line });
+                } else {
+                    self.printf_buf.push(byte);
+                }
+            }
+            Step::Complete { word, attempts } => {
+                self.inflight = None;
+                self.reply.push_back(word);
+                self.last_outcome = Some(if attempts <= 1 {
+                    SessionOutcome::Completed
+                } else {
+                    SessionOutcome::Retried {
+                        retries: attempts - 1,
+                    }
+                });
+            }
+            Step::BadAck { cmd, word } => {
+                self.retry_or_abort(
+                    now,
+                    EdbError::CorruptReply {
+                        cmd,
+                        detail: format!("acknowledge byte {word:#06x}"),
+                    },
+                );
+            }
+            Step::Corrupt { cmd, detail } => {
+                self.retry_or_abort(now, EdbError::CorruptReply { cmd, detail });
             }
         }
     }
@@ -692,10 +1061,7 @@ impl Edb {
                 }
                 Mode::SessionRestore { .. } => {
                     dev.peripherals.debug.set_session_active(false);
-                    dev.peripherals
-                        .debug
-                        .rx_from_debugger
-                        .push_back(protocol::CMD_CONTINUE);
+                    self.send_continue(dev);
                     self.mode = Mode::Passive;
                     self.log
                         .push(now, DebugEvent::SessionClosed { restored_v: v });

@@ -1,0 +1,145 @@
+//! The workspace-wide error taxonomy for debugger operations.
+//!
+//! Every fallible path between the console, the debugger state machine,
+//! and the target — attach state, session state, the framed wire
+//! protocol, and the energy manipulation loops — reports one of these
+//! variants instead of panicking. The taxonomy deliberately separates
+//! *why* an operation failed (no session vs. corrupt reply vs. the
+//! target browning out mid-command), because the recovery action differs
+//! for each: re-open the session, retry the command, or wait for the
+//! target's next service-loop entry.
+
+use std::fmt;
+
+/// A typed debugger failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EdbError {
+    /// The operation needs a debugger, but none is attached to the bench.
+    NotAttached {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The operation needs an open interactive session (the target parked
+    /// in its `libEDB` service loop), but none is open.
+    NoSession {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A framed command exhausted its retries without a complete,
+    /// checksum-valid reply arriving before the sim-time deadline.
+    CommandTimeout {
+        /// The command that timed out (`READ`, `WRITE`, `GET_PC`).
+        cmd: &'static str,
+        /// Send attempts made (first try plus retries).
+        attempts: u32,
+    },
+    /// A reply arrived but failed its checksum (or carried an impossible
+    /// value) on the final attempt.
+    CorruptReply {
+        /// The command whose reply was corrupt.
+        cmd: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The target browned out mid-command and never re-entered its
+    /// service loop within the command's deadline.
+    AbortedByBrownout {
+        /// The command that was torn.
+        cmd: &'static str,
+    },
+    /// A command is already in flight; the protocol layer runs one
+    /// exchange at a time.
+    Busy {
+        /// The in-flight command.
+        cmd: &'static str,
+    },
+    /// A charge/discharge operation did not converge to its target level.
+    LevelNotReached {
+        /// The requested level, volts.
+        target_v: f64,
+    },
+    /// No interactive session opened within the allotted sim time.
+    SessionDidNotOpen,
+    /// The session did not close after a resume (energy restore or the
+    /// release handshake never completed).
+    SessionDidNotClose,
+    /// A device-layer failure surfaced through the debugger.
+    Device {
+        /// Description.
+        detail: String,
+    },
+    /// An RFID-layer failure surfaced through the debugger.
+    Rfid {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdbError::NotAttached { op } => write!(f, "{op}: EDB not attached"),
+            EdbError::NoSession { op } => {
+                write!(f, "{op}: requires an active session")
+            }
+            EdbError::CommandTimeout { cmd, attempts } => {
+                write!(f, "{cmd}: no valid reply after {attempts} attempt(s)")
+            }
+            EdbError::CorruptReply { cmd, detail } => {
+                write!(f, "{cmd}: corrupt reply ({detail})")
+            }
+            EdbError::AbortedByBrownout { cmd } => {
+                write!(f, "{cmd}: aborted, target browned out mid-command")
+            }
+            EdbError::Busy { cmd } => {
+                write!(f, "command {cmd} already in flight")
+            }
+            EdbError::LevelNotReached { target_v } => {
+                write!(f, "level operation to {target_v:.3} V did not converge")
+            }
+            EdbError::SessionDidNotOpen => write!(f, "no session opened in time"),
+            EdbError::SessionDidNotClose => {
+                write!(f, "session did not close on resume")
+            }
+            EdbError::Device { detail } => write!(f, "device: {detail}"),
+            EdbError::Rfid { detail } => write!(f, "rfid: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EdbError {}
+
+impl From<edb_rfid::DecodeFailure> for EdbError {
+    fn from(e: edb_rfid::DecodeFailure) -> Self {
+        EdbError::Rfid {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_command_and_cause() {
+        let e = EdbError::CommandTimeout {
+            cmd: "READ",
+            attempts: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("READ") && s.contains("4"), "{s}");
+        let e = EdbError::AbortedByBrownout { cmd: "WRITE" };
+        assert!(e.to_string().contains("browned out"));
+    }
+
+    #[test]
+    fn rfid_decode_failures_convert_with_detail() {
+        let e: EdbError = edb_rfid::DecodeFailure::BadCrc.into();
+        match &e {
+            EdbError::Rfid { detail } => assert!(detail.contains("crc")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

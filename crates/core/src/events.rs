@@ -119,6 +119,26 @@ pub enum DebugEvent {
     BrownOut,
     /// The device turned on.
     TurnOn,
+    /// A framed debug command was re-sent (timeout or corrupt reply).
+    CommandRetry {
+        /// The command (`READ`, `WRITE`, `GET_PC`).
+        cmd: String,
+        /// Which send attempt this is (2 = first retry).
+        attempt: u32,
+    },
+    /// A framed debug command gave up and surfaced a typed error.
+    CommandAborted {
+        /// The command.
+        cmd: String,
+        /// The rendered [`crate::EdbError`].
+        error: String,
+    },
+    /// An interactive session was torn down without a clean resume (the
+    /// target browned out mid-session).
+    SessionAborted {
+        /// Why the session could not continue.
+        reason: String,
+    },
 }
 
 impl DebugEvent {
@@ -143,6 +163,9 @@ impl DebugEvent {
             DebugEvent::TargetFault { .. } => "fault",
             DebugEvent::BrownOut => "brown-out",
             DebugEvent::TurnOn => "turn-on",
+            DebugEvent::CommandRetry { .. } => "cmd-retry",
+            DebugEvent::CommandAborted { .. } => "cmd-abort",
+            DebugEvent::SessionAborted { .. } => "session-abort",
         }
     }
 }

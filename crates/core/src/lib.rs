@@ -64,6 +64,7 @@ pub mod baselines;
 pub mod charge;
 pub mod console;
 pub mod debugger;
+pub mod error;
 pub mod events;
 pub mod libedb;
 pub mod protocol;
@@ -73,7 +74,9 @@ pub mod wiring;
 pub use adc::Adc;
 pub use charge::{ChargeCircuit, ChargeMode, LevelController};
 pub use console::{Console, ConsoleError};
-pub use debugger::{Edb, EdbConfig, SessionKind};
+pub use debugger::{Edb, EdbConfig, ReplyStatus, SessionKind, SessionOutcome};
+pub use error::EdbError;
 pub use events::{DebugEvent, EventLog, LoggedEvent};
+pub use protocol::{FrameError, HostCommand};
 pub use system::{System, SystemBuilder};
-pub use wiring::{ConnectionKind, LineStates, Wiring};
+pub use wiring::{ChannelFault, ChannelFaultConfig, ConnectionKind, LineStates, Wiring};

@@ -79,64 +79,176 @@ __edb_rx_byte:
     in   r12, DBG_UART_RX
     ret
 
-; Receive a little-endian word into r13 (clobbers r12).
-__edb_rx_word:
+; Scratch word for the frame checksum accumulator. Only session traffic
+; (tethered power) touches it, so the FRAM writes cost nothing the
+; energy experiments can see.
+__edb_frame_sum: .word 0
+
+; Receive one byte into r12 and fold it into the frame checksum.
+; Preserves r13.
+__esl_rx_sum:
     call __edb_rx_byte
-    mov  r13, r12
-    call __edb_rx_byte
-    shl  r12, 8
-    or   r13, r12
+    push r13
+    movi r11, __edb_frame_sum
+    ld   r13, [r11]
+    add  r13, r12
+    st   [r11], r13
+    pop  r13
     ret
 
-; Transmit the word in r13 little-endian (clobbers r12).
-__edb_tx_word:
+; Receive the trailing checksum byte and leave the masked frame sum in
+; r12: zero means the whole frame summed to zero mod 256, i.e. valid.
+__esl_rx_fin:
+    call __esl_rx_sum
+    movi r11, __edb_frame_sum
+    ld   r12, [r11]
+    and  r12, 0xFF
+    ret
+
+; Fold r12 into the frame checksum accumulator. Preserves r13.
+__esl_sum_fold:
+    push r13
+    movi r11, __edb_frame_sum
+    ld   r13, [r11]
+    add  r13, r12
+    st   [r11], r13
+    pop  r13
+    ret
+
+; Transmit r12 and fold it into the reply checksum. Preserves r13.
+__esl_tx_sum:
+    call __esl_sum_fold
+    call __edb_tx_byte
+    ret
+
+; Reply with the word in r13 (lo, hi, checksum). The checksum is seeded
+; with the command byte in r12 (a stale reply to a different command
+; fails host verification) and weights the payload by position — lo
+; once, hi three times — so a rotated replay of this same reply (the
+; stale tail of a torn attempt landing ahead of the retry's fresh
+; bytes) fails too. Odd weights keep every single-bit flip detectable.
+__esl_tx_word_ck:
+    movi r11, __edb_frame_sum
+    st   [r11], r12
     mov  r12, r13
     and  r12, 0xFF
-    call __edb_tx_byte
+    call __esl_tx_sum
     mov  r12, r13
     shr  r12, 8
+    call __esl_tx_sum
+    mov  r12, r13
+    shr  r12, 8
+    shl  r12, 1
+    call __esl_sum_fold
+    movi r11, __edb_frame_sum
+    ld   r12, [r11]
+    neg  r12
+    and  r12, 0xFF
     call __edb_tx_byte
     ret
 
-; The debug service loop: executes read/write commands from the host
-; until CMD_CONTINUE arrives. This is where the target sits during an
-; interactive session.
+; The debug service loop: parses framed commands from the host
+; ([FRAME_HDR, CMD, LEN, payload..., CKSUM]) until a valid CMD_CONTINUE
+; frame arrives. This is where the target sits during an interactive
+; session. Every frame is buffered and checksum-verified BEFORE any side
+; effect (a torn CMD_WRITE never half-applies), and any validation
+; failure falls back to header hunting, so the loop resynchronizes
+; after dropped, duplicated, or corrupted bytes.
 __edb_service_loop:
-    call __edb_rx_byte
-    cmpi r12, CMD_CONTINUE
-    jz   __esl_done
-    cmpi r12, CMD_READ
-    jz   __esl_read
-    cmpi r12, CMD_WRITE
-    jz   __esl_write
-    cmpi r12, CMD_GET_PC
-    jz   __esl_get_pc
-    jmp  __edb_service_loop
-__esl_read:
-    call __edb_rx_word          ; address -> r13
-    ld   r13, [r13]
-    call __edb_tx_word
-    jmp  __edb_service_loop
-__esl_write:
-    call __edb_rx_word          ; address -> r13
+    call __edb_rx_byte          ; hunt for a frame header
+    cmpi r12, FRAME_HDR
+    jnz  __edb_service_loop     ; resync: discard until FRAME_HDR
+    movi r11, __edb_frame_sum   ; sum := FRAME_HDR
+    movi r13, FRAME_HDR
+    st   [r11], r13
+    call __esl_rx_sum           ; command byte
+    mov  r13, r12
     push r13
-    call __edb_rx_word          ; value -> r13
-    mov  r12, r13
+    call __esl_rx_sum           ; length byte -> r12 (preserves r13)
     pop  r13
-    st   [r13], r12
-    movi r12, DBG_ACK_BYTE
-    call __edb_tx_byte
-    jmp  __edb_service_loop
-__esl_get_pc:
+    cmpi r13, CMD_CONTINUE
+    jz   __esl_f_cont
+    cmpi r13, CMD_READ
+    jz   __esl_f_read
+    cmpi r13, CMD_WRITE
+    jz   __esl_f_write
+    cmpi r13, CMD_GET_PC
+    jz   __esl_f_getpc
+    jmp  __edb_service_loop     ; unknown command: resync
+
+__esl_f_cont:
+    cmpi r12, LEN_CONTINUE
+    jnz  __edb_service_loop
+    call __esl_rx_fin
+    cmpi r12, 0
+    jnz  __edb_service_loop     ; corrupt: stay parked, host retries
+    ret
+
+__esl_f_getpc:
+    cmpi r12, LEN_GET_PC
+    jnz  __edb_service_loop
+    call __esl_rx_fin
+    cmpi r12, 0
+    jnz  __edb_service_loop
     ; the word at [sp] is the service loop's return address: where
     ; execution will resume (the instruction after the assert /
     ; breakpoint / interrupt site).
     mov  r13, sp
     ld   r13, [r13]
-    call __edb_tx_word
+    movi r12, CMD_GET_PC
+    call __esl_tx_word_ck
     jmp  __edb_service_loop
-__esl_done:
-    ret
+
+__esl_f_read:
+    cmpi r12, LEN_READ
+    jnz  __edb_service_loop
+    call __esl_rx_sum           ; address lo
+    mov  r13, r12
+    call __esl_rx_sum           ; address hi
+    shl  r12, 8
+    or   r13, r12
+    push r13
+    call __esl_rx_fin
+    pop  r13
+    cmpi r12, 0
+    jnz  __edb_service_loop     ; corrupt: nothing read
+    ld   r13, [r13]
+    movi r12, CMD_READ
+    call __esl_tx_word_ck
+    jmp  __edb_service_loop
+
+__esl_f_write:
+    cmpi r12, LEN_WRITE
+    jnz  __edb_service_loop
+    call __esl_rx_sum           ; address lo
+    mov  r13, r12
+    call __esl_rx_sum           ; address hi
+    shl  r12, 8
+    or   r13, r12
+    push r13                    ; buffered address
+    call __esl_rx_sum           ; value lo
+    mov  r13, r12
+    call __esl_rx_sum           ; value hi
+    shl  r12, 8
+    or   r13, r12
+    push r13                    ; buffered value
+    call __esl_rx_fin
+    pop  r11                    ; value
+    pop  r13                    ; address
+    cmpi r12, 0
+    jnz  __edb_service_loop     ; corrupt: nothing written
+    st   [r13], r11
+    movi r11, __edb_frame_sum   ; reply [ACK, cksum], seeded with CMD
+    movi r12, CMD_WRITE
+    st   [r11], r12
+    movi r12, DBG_ACK_BYTE
+    call __esl_tx_sum
+    movi r11, __edb_frame_sum
+    ld   r12, [r11]
+    neg  r12
+    and  r12, 0xFF
+    call __edb_tx_byte
+    jmp  __edb_service_loop
 
 ; Assert failure: id in r0. EDB sees the signal and tethers the target
 ; (keep-alive) before it can brown out; we then serve the interactive
@@ -484,24 +596,29 @@ mod tests {
             }
         }
 
+        use crate::protocol::{encode_reply, HostCommand, ACK, CMD_READ, CMD_WRITE};
         let mut host = Host::default();
-        // READ 0x6000
         host.to_target
-            .extend([crate::protocol::CMD_READ, 0x00, 0x60]);
-        // WRITE 0x6002 = 0xBEEF
-        host.to_target
-            .extend([crate::protocol::CMD_WRITE, 0x02, 0x60, 0xEF, 0xBE]);
-        // CONTINUE
-        host.to_target.push_back(crate::protocol::CMD_CONTINUE);
+            .extend(HostCommand::Read { addr: 0x6000 }.encode());
+        host.to_target.extend(
+            HostCommand::Write {
+                addr: 0x6002,
+                value: 0xBEEF,
+            }
+            .encode(),
+        );
+        host.to_target.extend(HostCommand::Continue.encode());
 
-        for _ in 0..10_000 {
+        for _ in 0..20_000 {
             if !cpu.is_running() {
                 break;
             }
             cpu.step(&mut mem, &mut host);
         }
         assert!(!cpu.is_running(), "program must reach halt");
-        assert_eq!(host.from_target, vec![0x34, 0x12, crate::protocol::ACK]);
+        let mut expected = encode_reply(CMD_READ, &[0x34, 0x12]);
+        expected.extend(encode_reply(CMD_WRITE, &[ACK]));
+        assert_eq!(host.from_target, expected);
         assert_eq!(mem.peek_word(0x6002), 0xBEEF);
     }
 
@@ -558,7 +675,7 @@ mod tests {
             image.load_into(&mut mem);
             let mut cpu = Cpu::new();
             cpu.reset(&mem);
-            for _ in 0..10_000 {
+            for _ in 0..20_000 {
                 if !cpu.is_running() {
                     break;
                 }
@@ -567,6 +684,8 @@ mod tests {
             (cpu, mem)
         };
 
+        use crate::protocol::{encode_reply, HostCommand, ACK, CMD_READ, CMD_WRITE};
+
         // Empty payload: the target waits in the service loop forever,
         // sending nothing — no spurious ACKs, no garbage replies.
         let mut host = Host::default();
@@ -574,27 +693,61 @@ mod tests {
         assert!(cpu.is_running(), "no bytes -> still parked in the loop");
         assert!(host.from_target.is_empty(), "nothing to say unprompted");
 
-        // Corrupted command byte: junk that is no command (0x7F, 0xFF,
-        // 0x00) must be discarded, and the following valid frames still
-        // complete the session.
+        // Leading junk: bytes that are no frame header (0x7F, 0xFF,
+        // 0x00) must be discarded while header-hunting, and the
+        // following valid frames still complete the session.
         let mut host = Host::default();
         host.to_target.extend([0x7F, 0xFF, 0x00]);
         host.to_target
-            .extend([crate::protocol::CMD_READ, 0x00, 0x60]);
-        host.to_target.push_back(crate::protocol::CMD_CONTINUE);
+            .extend(HostCommand::Read { addr: 0x6000 }.encode());
+        host.to_target.extend(HostCommand::Continue.encode());
         let (cpu, _) = fresh(&mut host);
         assert!(!cpu.is_running(), "valid frame after junk must be served");
-        assert_eq!(host.from_target, vec![0x34, 0x12]);
+        assert_eq!(host.from_target, encode_reply(CMD_READ, &[0x34, 0x12]));
 
-        // Max-length frame: CMD_WRITE is the longest (five bytes); an
-        // all-ones address-adjacent payload survives byte-exact.
+        // Corrupted checksum on a CMD_WRITE: the frame is rejected
+        // BEFORE the store happens (no torn write, no ACK), and a
+        // retried clean frame is still served after resync.
         let mut host = Host::default();
-        host.to_target
-            .extend([crate::protocol::CMD_WRITE, 0x02, 0x60, 0xFF, 0xFF]);
-        host.to_target.push_back(crate::protocol::CMD_CONTINUE);
+        let mut torn = HostCommand::Write {
+            addr: 0x6002,
+            value: 0xBEEF,
+        }
+        .encode();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x40;
+        host.to_target.extend(torn);
+        host.to_target.extend(
+            HostCommand::Write {
+                addr: 0x6002,
+                value: 0xBEEF,
+            }
+            .encode(),
+        );
+        host.to_target.extend(HostCommand::Continue.encode());
         let (cpu, mem) = fresh(&mut host);
         assert!(!cpu.is_running());
-        assert_eq!(host.from_target, vec![crate::protocol::ACK]);
+        assert_eq!(
+            host.from_target,
+            encode_reply(CMD_WRITE, &[ACK]),
+            "exactly one ACK: the corrupt frame must not be applied"
+        );
+        assert_eq!(mem.peek_word(0x6002), 0xBEEF);
+
+        // Max-length frame: CMD_WRITE is the longest (nine bytes framed);
+        // an all-ones payload survives byte-exact.
+        let mut host = Host::default();
+        host.to_target.extend(
+            HostCommand::Write {
+                addr: 0x6002,
+                value: 0xFFFF,
+            }
+            .encode(),
+        );
+        host.to_target.extend(HostCommand::Continue.encode());
+        let (cpu, mem) = fresh(&mut host);
+        assert!(!cpu.is_running());
+        assert_eq!(host.from_target, encode_reply(CMD_WRITE, &[ACK]));
         assert_eq!(mem.peek_word(0x6002), 0xFFFF);
     }
 }

@@ -12,6 +12,42 @@
 //! Both halves of the protocol — the Rust side here and the assembly side
 //! in [`crate::libedb`] — are generated from these constants, so they
 //! cannot drift apart.
+//!
+//! # Framing
+//!
+//! The target can lose power at *any* byte of an exchange, so session
+//! commands are framed and checksummed. A host→target command frame is
+//!
+//! ```text
+//! [FRAME_HDR, CMD, LEN, payload..., CKSUM]
+//! ```
+//!
+//! where [`FRAME_HDR`] carries the protocol version, `LEN` is the
+//! payload length for `CMD`, and `CKSUM` is chosen so the mod-256 sum of
+//! the *whole frame* is zero — a verification the target's assembly can
+//! do with one running accumulator. The target buffers and verifies the
+//! entire frame **before** executing any side effect, so a torn or
+//! corrupted `CMD_WRITE` never half-applies. A target→host reply is
+//!
+//! ```text
+//! [payload..., CKSUM]
+//! ```
+//!
+//! with `CKSUM` the two's complement of `CMD + Σ (2i+1)·payload[i]`:
+//! folding the command byte into the reply checksum means a stale reply
+//! to a *different* command fails verification even when its payload
+//! bytes survive intact, and the **position weights** (1, 3, 5, …) mean
+//! a *rotation* of the same reply fails too. The weights matter: replies
+//! carry no header byte, so when an attempt tears mid-reply and the host
+//! retries, the stale tail of the old reply can land in front of the
+//! fresh (byte-identical) one — under a plain sum, `[ck, lo, hi]`
+//! validates exactly like `[lo, hi, ck]`. Odd weights break that
+//! invariance while still detecting every single-bit flip (an odd
+//! multiple of a power of two is never 0 mod 256).
+//!
+//! The `printf`, debug-signal, and energy-guard paths stay **unframed**:
+//! they are one-way, loss-tolerant streams whose timing the experiment
+//! manifests depend on.
 
 /// Signal code: an `ASSERT` failed; `id` names the assertion site.
 pub const SIG_ASSERT: u8 = 0x1;
@@ -33,23 +69,296 @@ pub fn decode_signal(word: u16) -> (u8, u8) {
 }
 
 /// Debug-UART command byte: read a word of target memory.
-/// Host sends `[CMD_READ, addr_lo, addr_hi]`; target replies
-/// `[val_lo, val_hi]`.
+/// Payload `[addr_lo, addr_hi]`; reply payload `[val_lo, val_hi]`.
 pub const CMD_READ: u8 = 0x01;
 /// Debug-UART command byte: write a word of target memory.
-/// Host sends `[CMD_WRITE, addr_lo, addr_hi, val_lo, val_hi]`; target
-/// replies `[ACK]`.
+/// Payload `[addr_lo, addr_hi, val_lo, val_hi]`; reply payload `[ACK]`.
 pub const CMD_WRITE: u8 = 0x02;
 /// Debug-UART command byte: leave the service loop and resume execution.
+/// Empty payload; no reply.
 pub const CMD_CONTINUE: u8 = 0x03;
 /// Debug-UART command byte: read the CPU's saved program counter
-/// (pushed by the service-loop entry); target replies `[pc_lo, pc_hi]`.
+/// (pushed by the service-loop entry); reply payload `[pc_lo, pc_hi]`.
 pub const CMD_GET_PC: u8 = 0x04;
 /// The target's acknowledge byte for `CMD_WRITE`.
 pub const ACK: u8 = 0xAA;
 
+/// Wire-protocol version, carried in the low nibble of [`FRAME_HDR`].
+pub const PROTO_VERSION: u8 = 1;
+/// Command-frame header byte: `0xE0 | PROTO_VERSION`. Chosen outside
+/// the command-byte and printable-ASCII ranges so a desynchronized
+/// target can resynchronize by discarding bytes until it sees one.
+pub const FRAME_HDR: u8 = 0xE0 | PROTO_VERSION;
+
+/// `CMD_READ` payload length (address word).
+pub const LEN_READ: u8 = 2;
+/// `CMD_WRITE` payload length (address + value words).
+pub const LEN_WRITE: u8 = 4;
+/// `CMD_CONTINUE` payload length (none).
+pub const LEN_CONTINUE: u8 = 0;
+/// `CMD_GET_PC` payload length (none).
+pub const LEN_GET_PC: u8 = 0;
+
+/// The expected payload length for a command byte, or `None` for an
+/// unknown command.
+pub fn payload_len(cmd: u8) -> Option<u8> {
+    match cmd {
+        CMD_READ => Some(LEN_READ),
+        CMD_WRITE => Some(LEN_WRITE),
+        CMD_CONTINUE => Some(LEN_CONTINUE),
+        CMD_GET_PC => Some(LEN_GET_PC),
+        _ => None,
+    }
+}
+
+/// The checksum byte that makes `bytes` sum to zero mod 256.
+pub fn checksum(bytes: &[u8]) -> u8 {
+    bytes
+        .iter()
+        .fold(0u8, |acc, &b| acc.wrapping_add(b))
+        .wrapping_neg()
+}
+
+/// Whether a complete frame (including its trailing checksum byte) sums
+/// to zero mod 256 — the validity test both sides apply.
+pub fn frame_sums_to_zero(frame: &[u8]) -> bool {
+    frame.iter().fold(0u8, |acc, &b| acc.wrapping_add(b)) == 0
+}
+
+/// One host→target session command, at the semantic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostCommand {
+    /// Read the word at `addr`.
+    Read {
+        /// Target address.
+        addr: u16,
+    },
+    /// Write `value` to `addr`.
+    Write {
+        /// Target address.
+        addr: u16,
+        /// Word to store.
+        value: u16,
+    },
+    /// Ask where execution will resume.
+    GetPc,
+    /// Release the service loop.
+    Continue,
+}
+
+impl HostCommand {
+    /// The wire command byte.
+    pub fn cmd_byte(self) -> u8 {
+        match self {
+            HostCommand::Read { .. } => CMD_READ,
+            HostCommand::Write { .. } => CMD_WRITE,
+            HostCommand::GetPc => CMD_GET_PC,
+            HostCommand::Continue => CMD_CONTINUE,
+        }
+    }
+
+    /// A short stable name for errors and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            HostCommand::Read { .. } => "READ",
+            HostCommand::Write { .. } => "WRITE",
+            HostCommand::GetPc => "GET_PC",
+            HostCommand::Continue => "CONTINUE",
+        }
+    }
+
+    /// The command's payload bytes (little-endian words).
+    pub fn payload(self) -> Vec<u8> {
+        match self {
+            HostCommand::Read { addr } => vec![(addr & 0xFF) as u8, (addr >> 8) as u8],
+            HostCommand::Write { addr, value } => vec![
+                (addr & 0xFF) as u8,
+                (addr >> 8) as u8,
+                (value & 0xFF) as u8,
+                (value >> 8) as u8,
+            ],
+            HostCommand::GetPc | HostCommand::Continue => Vec::new(),
+        }
+    }
+
+    /// Encodes the full command frame:
+    /// `[FRAME_HDR, CMD, LEN, payload..., CKSUM]`.
+    pub fn encode(self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut frame = Vec::with_capacity(payload.len() + 4);
+        frame.push(FRAME_HDR);
+        frame.push(self.cmd_byte());
+        frame.push(payload.len() as u8);
+        frame.extend_from_slice(&payload);
+        frame.push(checksum(&frame));
+        frame
+    }
+
+    /// Reply payload length in bytes (the reply also carries one
+    /// trailing checksum byte); `None` for commands with no reply.
+    pub fn reply_payload_len(self) -> Option<usize> {
+        match self {
+            HostCommand::Read { .. } | HostCommand::GetPc => Some(2),
+            HostCommand::Write { .. } => Some(1),
+            HostCommand::Continue => None,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first byte is not [`FRAME_HDR`].
+    BadHeader {
+        /// The byte that arrived instead.
+        got: u8,
+    },
+    /// The command byte names no known command.
+    UnknownCommand {
+        /// The offending byte.
+        cmd: u8,
+    },
+    /// The length byte disagrees with the command's payload length.
+    LengthMismatch {
+        /// The command byte.
+        cmd: u8,
+        /// The length byte that arrived.
+        got: u8,
+    },
+    /// The frame does not sum to zero mod 256.
+    BadChecksum,
+    /// The frame ended before its declared length.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadHeader { got } => write!(f, "bad frame header {got:#04x}"),
+            FrameError::UnknownCommand { cmd } => write!(f, "unknown command {cmd:#04x}"),
+            FrameError::LengthMismatch { cmd, got } => {
+                write!(f, "bad length {got} for command {cmd:#04x}")
+            }
+            FrameError::BadChecksum => write!(f, "checksum mismatch"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Decodes a complete command frame — the host-side mirror of the
+/// target's assembly parser, used by tests and the fuzz engine to check
+/// that the two cannot drift.
+pub fn decode_command(frame: &[u8]) -> Result<HostCommand, FrameError> {
+    let (&hdr, rest) = frame.split_first().ok_or(FrameError::Truncated)?;
+    if hdr != FRAME_HDR {
+        return Err(FrameError::BadHeader { got: hdr });
+    }
+    let (&cmd, rest) = rest.split_first().ok_or(FrameError::Truncated)?;
+    let expected = payload_len(cmd).ok_or(FrameError::UnknownCommand { cmd })?;
+    let (&len, rest) = rest.split_first().ok_or(FrameError::Truncated)?;
+    if len != expected {
+        return Err(FrameError::LengthMismatch { cmd, got: len });
+    }
+    if rest.len() < expected as usize + 1 {
+        return Err(FrameError::Truncated);
+    }
+    if !frame_sums_to_zero(&frame[..expected as usize + 4]) {
+        return Err(FrameError::BadChecksum);
+    }
+    let payload = &rest[..expected as usize];
+    let word = |i: usize| payload[i] as u16 | ((payload[i + 1] as u16) << 8);
+    Ok(match cmd {
+        CMD_READ => HostCommand::Read { addr: word(0) },
+        CMD_WRITE => HostCommand::Write {
+            addr: word(0),
+            value: word(2),
+        },
+        CMD_GET_PC => HostCommand::GetPc,
+        _ => HostCommand::Continue,
+    })
+}
+
+/// The position-weighted reply checksum: the two's complement of
+/// `cmd + Σ (2i+1)·payload[i]` mod 256. The command byte binds the
+/// reply to the command it answers; the odd position weights make a
+/// rotated replay of a byte-identical reply fail verification (see the
+/// module docs) while every single-bit flip stays detectable.
+pub fn reply_checksum(cmd: u8, payload: &[u8]) -> u8 {
+    payload
+        .iter()
+        .enumerate()
+        .fold(cmd, |acc, (i, &b)| {
+            acc.wrapping_add(b.wrapping_mul((2 * i + 1) as u8))
+        })
+        .wrapping_neg()
+}
+
+/// Encodes a target→host reply for `cmd`: `[payload..., CKSUM]` with the
+/// checksum from [`reply_checksum`]. Used by tests and the fuzz engine
+/// as the reference for what the target's assembly must emit.
+pub fn encode_reply(cmd: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    out.push(reply_checksum(cmd, payload));
+    out
+}
+
+/// Incremental decoder for one command's reply bytes.
+///
+/// Feed every debug-UART byte to [`ReplyDecoder::push`] while a command
+/// is in flight; it returns `Some` exactly once — the decoded word, or a
+/// [`FrameError::BadChecksum`] when the reply was corrupted in flight.
+#[derive(Debug, Clone)]
+pub struct ReplyDecoder {
+    cmd_byte: u8,
+    expected: usize,
+    buf: Vec<u8>,
+}
+
+impl ReplyDecoder {
+    /// A decoder for `cmd`'s reply, or `None` for commands with no reply
+    /// (`CMD_CONTINUE`).
+    pub fn new(cmd: HostCommand) -> Option<Self> {
+        cmd.reply_payload_len().map(|expected| ReplyDecoder {
+            cmd_byte: cmd.cmd_byte(),
+            expected,
+            buf: Vec::with_capacity(expected + 1),
+        })
+    }
+
+    /// Bytes buffered so far (partial-reply detection).
+    pub fn bytes_seen(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Discards buffered partial bytes (torn-reply recovery).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Ingests one byte; returns the decoded word once the reply (payload
+    /// plus checksum) is complete.
+    pub fn push(&mut self, byte: u8) -> Option<Result<u16, FrameError>> {
+        self.buf.push(byte);
+        if self.buf.len() < self.expected + 1 {
+            return None;
+        }
+        let expect = reply_checksum(self.cmd_byte, &self.buf[..self.expected]);
+        if self.buf[self.expected] != expect {
+            return Some(Err(FrameError::BadChecksum));
+        }
+        let word = match self.expected {
+            1 => self.buf[0] as u16,
+            _ => self.buf[0] as u16 | ((self.buf[1] as u16) << 8),
+        };
+        Some(Ok(word))
+    }
+}
+
 /// Renders the protocol constants as assembler `.equ` lines for
-/// inclusion in target programs.
+/// inclusion in target programs — the single source both the Rust codec
+/// and the `libEDB` assembly parser are generated from.
 ///
 /// # Example
 ///
@@ -57,6 +366,8 @@ pub const ACK: u8 = 0xAA;
 /// let eq = edb_core::protocol::asm_equates();
 /// assert!(eq.contains(".equ SIG_ASSERT, 0x01"));
 /// assert!(eq.contains(".equ CMD_CONTINUE, 0x03"));
+/// assert!(eq.contains(".equ FRAME_HDR, 0xe1"));
+/// assert!(eq.contains(".equ LEN_WRITE, 0x04"));
 /// ```
 pub fn asm_equates() -> String {
     let consts: &[(&str, u8)] = &[
@@ -69,6 +380,12 @@ pub fn asm_equates() -> String {
         ("CMD_CONTINUE", CMD_CONTINUE),
         ("CMD_GET_PC", CMD_GET_PC),
         ("DBG_ACK_BYTE", ACK),
+        ("PROTO_VERSION", PROTO_VERSION),
+        ("FRAME_HDR", FRAME_HDR),
+        ("LEN_READ", LEN_READ),
+        ("LEN_WRITE", LEN_WRITE),
+        ("LEN_CONTINUE", LEN_CONTINUE),
+        ("LEN_GET_PC", LEN_GET_PC),
     ];
     let mut out = String::new();
     for (name, value) in consts {
@@ -115,14 +432,181 @@ mod tests {
         let cmds = [CMD_READ, CMD_WRITE, CMD_CONTINUE, CMD_GET_PC];
         let set: std::collections::HashSet<u8> = cmds.into_iter().collect();
         assert_eq!(set.len(), cmds.len());
+        // The header can never be mistaken for a command byte or ACK.
+        assert!(!cmds.contains(&FRAME_HDR));
+        assert_ne!(FRAME_HDR, ACK);
     }
 
     #[test]
     fn equates_assemble() {
         let src = format!(
-            "{}\n.org 0x4400\n movi r0, SIG_GUARD_BEGIN\n",
+            "{}\n.org 0x4400\n movi r0, SIG_GUARD_BEGIN\n movi r1, FRAME_HDR\n",
             asm_equates()
         );
         edb_mcu::asm::assemble(&src).expect("equates are valid assembly");
+    }
+
+    #[test]
+    fn command_frames_round_trip() {
+        for cmd in [
+            HostCommand::Read { addr: 0x6000 },
+            HostCommand::Write {
+                addr: 0x6002,
+                value: 0xBEEF,
+            },
+            HostCommand::GetPc,
+            HostCommand::Continue,
+        ] {
+            let frame = cmd.encode();
+            assert_eq!(frame[0], FRAME_HDR);
+            assert!(frame_sums_to_zero(&frame), "{cmd:?}");
+            assert_eq!(decode_command(&frame), Ok(cmd));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // An additive mod-256 checksum detects *all* single-bit errors:
+        // flipping bit k of any byte changes the sum by ±2^k mod 256,
+        // never zero.
+        let frame = HostCommand::Write {
+            addr: 0x1234,
+            value: 0xABCD,
+        }
+        .encode();
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    decode_command(&bad).is_err(),
+                    "flip byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reply_decoder_accepts_the_reference_encoding() {
+        let cmd = HostCommand::Read { addr: 0x6000 };
+        let mut dec = ReplyDecoder::new(cmd).expect("reads have replies");
+        let reply = encode_reply(cmd.cmd_byte(), &[0x34, 0x12]);
+        let mut out = None;
+        for b in reply {
+            out = dec.push(b);
+        }
+        assert_eq!(out, Some(Ok(0x1234)));
+    }
+
+    #[test]
+    fn reply_checksum_binds_the_command_byte() {
+        // A byte-perfect READ reply must *fail* when the host is waiting
+        // on a GET_PC: the command byte seeds the checksum, so stale
+        // replies to a different command are rejected.
+        let reply = encode_reply(CMD_READ, &[0x34, 0x12]);
+        let mut dec = ReplyDecoder::new(HostCommand::GetPc).expect("has reply");
+        let mut out = None;
+        for b in reply {
+            out = dec.push(b);
+        }
+        assert_eq!(out, Some(Err(FrameError::BadChecksum)));
+    }
+
+    #[test]
+    fn rotated_reply_replay_is_rejected() {
+        // The regression the session fuzzer found: an attempt tears with
+        // its checksum byte still pacing out of the target; the host
+        // retries, and the stale checksum lands in front of the fresh,
+        // byte-identical reply. Under a plain additive checksum the
+        // rotation [ck, lo, hi] validates exactly like [lo, hi, ck]; the
+        // position weights must reject it (whenever lo != hi).
+        for payload in [[0x0D, 0x1D], [0x34, 0x12], [0x00, 0xFF], [0xFE, 0xCA]] {
+            let cmd = HostCommand::Read { addr: 0x6018 };
+            let reply = encode_reply(cmd.cmd_byte(), &payload);
+            let rotated = [reply[2], reply[0], reply[1]];
+            let mut dec = ReplyDecoder::new(cmd).expect("has reply");
+            let mut out = None;
+            for b in rotated {
+                out = dec.push(b);
+            }
+            assert_eq!(
+                out,
+                Some(Err(FrameError::BadChecksum)),
+                "rotation of {payload:02x?} validated"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_reply_is_detected() {
+        // Odd position weights keep the single-bit-flip guarantee: the
+        // sum changes by ±(2i+1)·2^k, and an odd multiple of a power of
+        // two is never 0 mod 256.
+        let cmd = HostCommand::Read { addr: 0x6000 };
+        let reply = encode_reply(cmd.cmd_byte(), &[0xA5, 0x5A]);
+        for i in 0..reply.len() {
+            for bit in 0..8 {
+                let mut bad = reply.clone();
+                bad[i] ^= 1 << bit;
+                let mut dec = ReplyDecoder::new(cmd).expect("has reply");
+                let mut out = None;
+                for &b in &bad {
+                    out = dec.push(b);
+                }
+                assert_eq!(
+                    out,
+                    Some(Err(FrameError::BadChecksum)),
+                    "flip byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continue_has_no_reply_decoder() {
+        assert!(ReplyDecoder::new(HostCommand::Continue).is_none());
+    }
+
+    #[test]
+    fn decoder_reset_discards_partial_bytes() {
+        let cmd = HostCommand::Read { addr: 0 };
+        let mut dec = ReplyDecoder::new(cmd).expect("has reply");
+        assert!(dec.push(0x99).is_none());
+        assert_eq!(dec.bytes_seen(), 1);
+        dec.reset();
+        assert_eq!(dec.bytes_seen(), 0);
+        // A fresh, valid reply still decodes after the reset.
+        let mut out = None;
+        for b in encode_reply(cmd.cmd_byte(), &[0xFE, 0xCA]) {
+            out = dec.push(b);
+        }
+        assert_eq!(out, Some(Ok(0xCAFE)));
+    }
+
+    #[test]
+    fn truncated_and_mislabeled_frames_are_rejected() {
+        let frame = HostCommand::Read { addr: 0x6000 }.encode();
+        assert_eq!(decode_command(&frame[..3]), Err(FrameError::Truncated));
+        let mut bad = frame.clone();
+        bad[0] = 0x55;
+        assert_eq!(
+            decode_command(&bad),
+            Err(FrameError::BadHeader { got: 0x55 })
+        );
+        let mut bad = frame.clone();
+        bad[1] = 0x7E;
+        assert_eq!(
+            decode_command(&bad),
+            Err(FrameError::UnknownCommand { cmd: 0x7E })
+        );
+        let mut bad = frame;
+        bad[2] = LEN_WRITE;
+        assert_eq!(
+            decode_command(&bad),
+            Err(FrameError::LengthMismatch {
+                cmd: CMD_READ,
+                got: LEN_WRITE
+            })
+        );
     }
 }

@@ -1,22 +1,25 @@
 //! Seed-driven fuzzing smoke run.
 //!
 //! ```text
-//! fuzz_smoke [--seed S] [--threads N] [--cases N] [--max-shrink-steps N]
-//!            [--replay-seed S]
+//! fuzz_smoke [--seed S] [--threads N] [--cases N] [--sessions N]
+//!            [--max-shrink-steps N] [--replay-seed S]
 //! ```
 //!
 //! Runs `--cases` generated programs (default 100) through every
 //! differential and fault-injection arm, plus a smaller batch of
-//! checkpoint round-trips, using `edb-bench`'s deterministic runner:
-//! the same `--seed` yields bit-identical verdicts at any `--threads`.
-//! On divergence the lowest-trial failure is shrunk and written to
-//! `target/fuzz-artifacts/`, and the process exits non-zero.
+//! checkpoint round-trips and `--sessions` debug-session fuzz trials
+//! (noisy channel, mid-exchange brown-outs; default 25), using
+//! `edb-bench`'s deterministic runner: the same `--seed` yields
+//! bit-identical verdicts — including the printed session digest — at
+//! any `--threads`. On divergence the lowest-trial failure is shrunk
+//! and written to `target/fuzz-artifacts/`, and the process exits
+//! non-zero.
 //!
 //! `--replay-seed` re-runs a single case seed (as printed in an
 //! artifact header) verbosely and skips the batch.
 
 use edb_bench::runner::Cli;
-use edb_fuzz::{artifact, check_program, fault, gen, run_case, shrink, FuzzConfig};
+use edb_fuzz::{artifact, check_program, fault, gen, run_case, session, shrink, FuzzConfig};
 
 /// Pulls `--name <value>` (decimal or `0x` hex) out of raw argv;
 /// `Cli::parse` tolerates the leftovers.
@@ -76,12 +79,43 @@ fn main() {
         .into_iter()
         .flatten()
         .collect();
+    let sessions = arg_u64("--sessions").unwrap_or(25) as usize;
+    let session_cfg = session::SessionConfig::default();
+    let session_results = runner.map_trials("fuzz/session", sessions, |ctx| {
+        (ctx.seed, session::run_session_case(ctx.seed, &session_cfg))
+    });
     let wall = t0.elapsed().as_secs_f64();
 
     println!(
         "fuzz_smoke: {cases} differential case(s) + {ckpt_cases} checkpoint round-trip(s) \
-         in {wall:.1}s"
+         + {sessions} session trial(s) in {wall:.1}s"
     );
+
+    let mut session_failures = 0usize;
+    let mut totals = session::SessionStats::default();
+    let digest = session::combine_digests(session_results.iter().enumerate().map(
+        |(trial, (seed, r))| match r {
+            Ok(stats) => {
+                totals.completed += stats.completed;
+                totals.retried += stats.retried;
+                totals.aborted += stats.aborted;
+                totals.injected_brownouts += stats.injected_brownouts;
+                stats.digest
+            }
+            Err(d) => {
+                session_failures += 1;
+                println!("  session trial {trial} (seed {seed:#x}): {d}");
+                0
+            }
+        },
+    ));
+    if sessions > 0 {
+        println!(
+            "  sessions: {} completed, {} retried, {} aborted (typed), \
+             {} injected brown-out(s); digest {digest:#018x}",
+            totals.completed, totals.retried, totals.aborted, totals.injected_brownouts
+        );
+    }
 
     for seed in &ckpt_failures {
         // Re-derive the divergence for the report (cheap relative to the run).
@@ -117,7 +151,7 @@ fn main() {
         }
     }
 
-    if diff_failures.is_empty() && ckpt_failures.is_empty() {
+    if diff_failures.is_empty() && ckpt_failures.is_empty() && session_failures == 0 {
         println!("  OK: zero divergences");
     } else {
         std::process::exit(1);

@@ -11,7 +11,7 @@
 //!    `System::run_for`) must be bit-identical to naive per-quantum
 //!    stepping.
 //!
-//! This crate adversarially checks both with three seed-driven engines:
+//! This crate adversarially checks both with seed-driven engines:
 //!
 //! * [`gen`] — a random MSP430-class program generator that emits valid
 //!   assembler source (weighted over addressing modes, self-modifying
@@ -25,7 +25,11 @@
 //! * [`fault`] — a power-cycle fault injector that reboots at seeded
 //!   instruction boundaries and checks the volatile/non-volatile
 //!   invariants (FRAM persists, SRAM/registers clear, cache
-//!   invalidation holds, checkpoint-restore round-trips).
+//!   invalidation holds, checkpoint-restore round-trips);
+//! * [`session`] — a debug-session fuzzer (PR 4) that drives random
+//!   framed command sequences through a noisy debug UART with
+//!   mid-exchange brown-outs, asserting every command either completes
+//!   with the true memory value or aborts with a typed `EdbError`.
 //!
 //! Divergences are minimized by greedy instruction deletion ([`mod@shrink`])
 //! and written as self-contained reproducers ([`artifact`]). The
@@ -40,6 +44,7 @@ pub mod artifact;
 pub mod diff;
 pub mod fault;
 pub mod gen;
+pub mod session;
 pub mod shrink;
 
 pub use diff::Divergence;

@@ -29,4 +29,4 @@ pub mod reader;
 
 pub use channel::Channel;
 pub use message::{Command, DecodeFailure, Frame, TagReply};
-pub use reader::{Reader, ReaderConfig, ReaderEvent};
+pub use reader::{Reader, ReaderConfig, ReaderEvent, ReplyError};

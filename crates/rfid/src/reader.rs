@@ -12,9 +12,10 @@
 //! replies-per-second that the paper reports (86 %, ~13 replies/s in
 //! their lab).
 
-use crate::message::{Command, Frame, TagReply};
+use crate::message::{Command, DecodeFailure, Frame, TagReply};
 use edb_energy::SimTime;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Timing and protocol parameters of the reader.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +54,23 @@ impl Default for ReaderConfig {
         ReaderConfig::paper_setup()
     }
 }
+
+/// A tag reply that failed to decode at the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyError {
+    /// Why the frame was rejected.
+    pub failure: DecodeFailure,
+    /// How many bytes arrived.
+    pub len: usize,
+}
+
+impl fmt::Display for ReplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reply of {} byte(s): {}", self.len, self.failure)
+    }
+}
+
+impl std::error::Error for ReplyError {}
 
 /// Something the reader put on the air.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -167,17 +185,31 @@ impl Reader {
     }
 
     /// Records a tag reply arriving at the reader (post-channel).
-    pub fn on_reply(&mut self, bytes: &[u8]) -> Option<TagReply> {
+    ///
+    /// # Errors
+    ///
+    /// [`ReplyError`] describing why the frame was rejected; the reply is
+    /// still counted in [`Reader::replies_corrupt`].
+    pub fn try_on_reply(&mut self, bytes: &[u8]) -> Result<TagReply, ReplyError> {
         match TagReply::decode(bytes) {
             Ok(reply) => {
                 self.replies_ok += 1;
-                Some(reply)
+                Ok(reply)
             }
-            Err(_) => {
+            Err(failure) => {
                 self.replies_corrupt += 1;
-                None
+                Err(ReplyError {
+                    failure,
+                    len: bytes.len(),
+                })
             }
         }
+    }
+
+    /// Records a tag reply, discarding the reason when it fails to decode.
+    /// Prefer [`Reader::try_on_reply`] where the cause matters.
+    pub fn on_reply(&mut self, bytes: &[u8]) -> Option<TagReply> {
+        self.try_on_reply(bytes).ok()
     }
 
     /// Total `Query` commands sent.
@@ -287,6 +319,20 @@ mod tests {
         assert!(r.on_reply(&bad).is_none());
         assert_eq!(r.replies_ok(), 1);
         assert_eq!(r.replies_corrupt(), 1);
+    }
+
+    #[test]
+    fn try_on_reply_reports_the_failure() {
+        let mut r = Reader::new(ReaderConfig::paper_setup());
+        let mut bad = TagReply::Epc { epc: [7; 12] }.encode();
+        bad[3] ^= 0xFF;
+        let err = r.try_on_reply(&bad).expect_err("corrupted frame");
+        assert_eq!(err.failure, DecodeFailure::BadCrc);
+        assert_eq!(err.len, bad.len());
+        assert_eq!(err.to_string(), "reply of 15 byte(s): crc mismatch");
+        let truncated = r.try_on_reply(&bad[..2]).expect_err("short frame");
+        assert_eq!(truncated.failure, DecodeFailure::BadLength);
+        assert_eq!(r.replies_corrupt(), 2);
     }
 
     #[test]

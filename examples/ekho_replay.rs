@@ -69,7 +69,7 @@ fn main() {
         "replay 3 (assert build + EDB): caught={caught} at {}",
         sys.now()
     );
-    let tail = sys.debug_read_word(ll::TAILP).expect("read");
+    let tail = sys.read_word(ll::TAILP).expect("read");
     println!("  (edb) read TAILP -> {tail:#06x}  — the same stale tail, now on a live device");
     println!("\nworkflow: field failure -> tape -> deterministic replays -> root cause.");
 }

@@ -54,16 +54,16 @@ fn main() {
     );
 
     println!("interactive session (reads go through the live debug protocol):");
-    let tail = sys.debug_read_word(ll::TAILP).expect("read");
+    let tail = sys.read_word(ll::TAILP).expect("read");
     println!("  (edb) read TAILP          -> {tail:#06x}");
-    let head_next = sys.debug_read_word(ll::HEAD + ll::NODE_NEXT).expect("read");
+    let head_next = sys.read_word(ll::HEAD + ll::NODE_NEXT).expect("read");
     println!("  (edb) read HEAD.next      -> {head_next:#06x}");
     let tail_next = sys
-        .debug_read_word(tail.wrapping_add(ll::NODE_NEXT))
+        .read_word(tail.wrapping_add(ll::NODE_NEXT))
         .expect("read");
     println!("  (edb) read tail->next     -> {tail_next:#06x}");
     let e_prev = sys
-        .debug_read_word(head_next.wrapping_add(ll::NODE_PREV))
+        .read_word(head_next.wrapping_add(ll::NODE_PREV))
         .expect("read");
     println!("  (edb) read e->prev        -> {e_prev:#06x}");
     println!();

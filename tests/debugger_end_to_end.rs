@@ -28,15 +28,16 @@ fn keep_alive_assert_preempts_the_crash_and_allows_diagnosis() {
     assert!(sys.device().v_cap() > 2.6);
     assert_eq!(sys.device().reboots(), reboots_at_assert);
     // Live diagnosis through the real debug protocol.
-    let tail = sys.debug_read_word(ll::TAILP).expect("read");
+    let tail = sys.read_word(ll::TAILP).expect("read");
     assert_eq!(tail, ll::HEAD, "tail points at the sentinel: the bug state");
     let tail_next = sys
-        .debug_read_word(tail.wrapping_add(ll::NODE_NEXT))
+        .read_word(tail.wrapping_add(ll::NODE_NEXT))
         .expect("read");
     assert_ne!(tail_next, 0, "the violated invariant is visible live");
     // And the device can even be repaired in place: restore the tail.
-    assert!(sys.debug_write_word(ll::TAILP, tail_next));
-    assert!(sys.debug_write_word(tail_next.wrapping_add(ll::NODE_NEXT), 0));
+    sys.write_word(ll::TAILP, tail_next).expect("write");
+    sys.write_word(tail_next.wrapping_add(ll::NODE_NEXT), 0)
+        .expect("write");
     sys.resume();
     let iters_now = sys.device().mem().peek_word(ll::ITER_COUNT);
     sys.run_for(SimTime::from_ms(100));
