@@ -70,6 +70,29 @@ fn bench_system_with_edb(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Same workload with a full-category recorder attached: the CI
+    // bench gate holds this within 5% of the bare variant, pinning the
+    // "observation is energy-interference-free *and* cheap" claim.
+    group.bench_function("step_10k_with_recorder", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::builder(DeviceConfig::wisp5())
+                    .harvester(TheveninSource::new(3.2, 1500.0))
+                    .with_recorder(edb_obs::RecorderConfig::default())
+                    .build();
+                sys.flash(&spin_image());
+                sys.device_mut().set_v_cap(2.45);
+                sys
+            },
+            |mut sys| {
+                for _ in 0..10_000 {
+                    sys.step();
+                }
+                sys.now()
+            },
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

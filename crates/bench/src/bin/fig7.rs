@@ -1,8 +1,29 @@
 //! Regenerates the paper's fig7 experiment. See `edb_bench::fig7`.
 //!
-//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed).
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed),
+//! `--obs CATS` (categories to record, default `all`), `--trace-out
+//! PATH` (write a Perfetto/Chrome trace of the assert-build run —
+//! open it at <https://ui.perfetto.dev>), `--profile-out PATH` (write
+//! the sampling energy profile as JSON).
+//!
+//! With `--trace-out`/`--profile-out` the bin runs the instrumented
+//! scenario once with a recorder attached and exports it; without
+//! them it reproduces the full figure through the experiment runner.
 fn main() {
     let cli = edb_bench::runner::Cli::from_env();
+    if cli.trace_out.is_some() || cli.profile_out.is_some() {
+        let mask = cli.obs.unwrap_or(edb_obs::CategoryMask::ALL);
+        let rec = edb_bench::fig7::traced(edb_obs::RecorderConfig::with_categories(mask));
+        if let Some(path) = &cli.trace_out {
+            std::fs::write(path, rec.perfetto_json()).expect("write trace");
+            println!("perfetto trace: {path}");
+        }
+        if let Some(path) = &cli.profile_out {
+            std::fs::write(path, rec.profile_json()).expect("write profile");
+            println!("energy profile: {path}");
+        }
+        return;
+    }
     for result in cli.runner().run_experiments(&[edb_bench::fig7::SPEC]) {
         println!("{}", result.report);
     }

@@ -5,7 +5,9 @@
 //!
 //! Flags: `--threads N` (parallelism budget; `--threads 1` is the
 //! sequential path), `--seed S` (root seed; defaults to 42, the
-//! suite's published numbers).
+//! suite's published numbers), `--obs CATS` (attach an ambient
+//! recorder to every simulated system; aggregated metrics land in the
+//! manifest's `obs` block without perturbing any experiment metric).
 fn main() {
     let cli = edb_bench::runner::Cli::from_env();
     let runner = cli.runner();

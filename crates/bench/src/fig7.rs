@@ -145,6 +145,35 @@ pub fn run() -> Report {
     report
 }
 
+/// Runs the assert-build half of the experiment with an explicit
+/// [`edb_obs::Recorder`] attached and returns it, full of events,
+/// for export (`--trace-out` / `--profile-out` on the `fig7` bin).
+///
+/// The scenario mirrors [`run`]'s bottom trace: harvested power, the
+/// intermittence-aware assert fires, EDB tethers the target, and a
+/// short interactive session reads the broken data structure.
+pub fn traced(config: edb_obs::RecorderConfig) -> edb_obs::Recorder {
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(harness::harvested(1))
+        .with_recorder(config)
+        .build();
+    sys.flash(&ll::image(ll::Variant::Assert));
+    let caught = sys.run_until(SimTime::from_secs(60), |s| {
+        s.edb().is_some_and(|e| e.session_active())
+    });
+    assert!(caught, "the assert must catch the inconsistency");
+    // Interactive reads, then let the tether visibly hold the supply.
+    let _ = sys.read_word(ll::TAILP).expect("read tail");
+    let _ = sys
+        .read_word(ll::HEAD + ll::NODE_NEXT)
+        .expect("read head->next");
+    let settle_end = sys.now() + SimTime::from_ms(30);
+    while sys.now() < settle_end {
+        sys.step();
+    }
+    *sys.take_recorder().expect("recorder was attached")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,7 +114,7 @@ pub struct ExperimentResult {
 
 /// The machine-readable record of one run, written to
 /// `target/experiments/manifest.json`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct Manifest {
     /// Root seed the run derived every trial seed from.
     pub root_seed: u64,
@@ -124,6 +124,42 @@ pub struct Manifest {
     pub total_wall_s: f64,
     /// Per-experiment entries, in execution (spec) order.
     pub experiments: Vec<ManifestEntry>,
+    /// Aggregated observability metrics, present only when the run had
+    /// ambient recording enabled (`--obs`). Deliberately *not* part of
+    /// `ManifestEntry::metrics`, which the golden-manifest gate compares
+    /// bit-exactly with no extra keys allowed.
+    pub obs: Option<edb_obs::MetricsSnapshot>,
+}
+
+// Serialization is hand-written (deserialization is derived: a missing
+// `obs` key reads as `None`) so that a run *without* recording produces
+// a manifest byte-identical to the pre-observability format — the
+// derive would emit `"obs": null`. The golden-manifest CI gate depends
+// on attached-vs-detached runs differing only by the presence of this
+// one key.
+impl Serialize for Manifest {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut fields = vec![
+            (
+                Value::Str("root_seed".to_string()),
+                self.root_seed.to_value(),
+            ),
+            (Value::Str("threads".to_string()), self.threads.to_value()),
+            (
+                Value::Str("total_wall_s".to_string()),
+                self.total_wall_s.to_value(),
+            ),
+            (
+                Value::Str("experiments".to_string()),
+                self.experiments.to_value(),
+            ),
+        ];
+        if let Some(obs) = &self.obs {
+            fields.push((Value::Str("obs".to_string()), obs.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 /// One experiment's row in the [`Manifest`].
@@ -356,6 +392,7 @@ impl Runner {
             root_seed: self.root_seed,
             threads: self.threads,
             total_wall_s,
+            obs: edb_obs::ambient::snapshot(),
             experiments: results
                 .iter()
                 .zip(specs)
@@ -372,8 +409,9 @@ impl Runner {
 }
 
 /// Shared command-line handling for the experiment bins: `--threads N`,
-/// `--seed S`, and `--max-trials N`, with the rest of the arguments
-/// left for the bin.
+/// `--seed S`, `--max-trials N`, plus the observability flags `--obs
+/// CATS`, `--trace-out PATH`, and `--profile-out PATH`, with the rest
+/// of the arguments left for the bin.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Thread budget (defaults to the machine's parallelism).
@@ -382,13 +420,25 @@ pub struct Cli {
     pub root_seed: u64,
     /// Per-call trial cap (defaults to none — the full budget).
     pub max_trials: Option<usize>,
+    /// Categories to record (`--obs all`, `--obs cpu,energy`, ...).
+    /// `None` when `--obs` was not passed; recording stays off.
+    pub obs: Option<edb_obs::CategoryMask>,
+    /// Where to write a Perfetto trace, for bins that export one.
+    pub trace_out: Option<String>,
+    /// Where to write the sampling energy profile, for bins that export
+    /// one.
+    pub profile_out: Option<String>,
     rest: Vec<String>,
 }
 
 impl Cli {
-    /// Parses the process arguments.
+    /// Parses the process arguments and applies `--obs` (every bench
+    /// bin honors the flag; [`parse`](Cli::parse) stays side-effect
+    /// free for tests).
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let cli = Self::parse(std::env::args().skip(1));
+        cli.enable_obs();
+        cli
     }
 
     /// Parses an explicit argument list (testable).
@@ -403,13 +453,30 @@ impl Cli {
         }
         fn usage(flag: &str) -> ! {
             eprintln!(
-                "error: {flag} takes a number (usage: [--threads N] [--seed S] [--max-trials N])"
+                "error: {flag} takes a number (usage: [--threads N] [--seed S] [--max-trials N] \
+                 [--obs CATS] [--trace-out PATH] [--profile-out PATH])"
             );
             std::process::exit(2);
+        }
+        fn mask(value: Option<String>) -> edb_obs::CategoryMask {
+            let raw = value.unwrap_or_default();
+            edb_obs::CategoryMask::parse(&raw).unwrap_or_else(|e| {
+                eprintln!("error: --obs: {e} (try `all` or a list like `cpu,energy`)");
+                std::process::exit(2);
+            })
+        }
+        fn path(flag: &str, value: Option<String>) -> String {
+            value.unwrap_or_else(|| {
+                eprintln!("error: {flag} takes a path");
+                std::process::exit(2);
+            })
         }
         let mut threads = default_threads();
         let mut root_seed = 42;
         let mut max_trials = None;
+        let mut obs = None;
+        let mut trace_out = None;
+        let mut profile_out = None;
         let mut rest = Vec::new();
         let mut it = args;
         while let Some(a) = it.next() {
@@ -425,6 +492,18 @@ impl Cli {
                 max_trials = Some(number("--max-trials", Some(v.to_string())));
             } else if a == "--max-trials" {
                 max_trials = Some(number("--max-trials", it.next()));
+            } else if let Some(v) = a.strip_prefix("--obs=") {
+                obs = Some(mask(Some(v.to_string())));
+            } else if a == "--obs" {
+                obs = Some(mask(it.next()));
+            } else if let Some(v) = a.strip_prefix("--trace-out=") {
+                trace_out = Some(v.to_string());
+            } else if a == "--trace-out" {
+                trace_out = Some(path("--trace-out", it.next()));
+            } else if let Some(v) = a.strip_prefix("--profile-out=") {
+                profile_out = Some(v.to_string());
+            } else if a == "--profile-out" {
+                profile_out = Some(path("--profile-out", it.next()));
             } else {
                 rest.push(a);
             }
@@ -433,6 +512,9 @@ impl Cli {
             threads,
             root_seed,
             max_trials,
+            obs,
+            trace_out,
+            profile_out,
             rest,
         }
     }
@@ -445,6 +527,16 @@ impl Cli {
     /// A [`Runner`] configured from the parsed arguments.
     pub fn runner(&self) -> Runner {
         Runner::new(self.threads, self.root_seed).with_max_trials(self.max_trials)
+    }
+
+    /// Turn ambient recording on when `--obs` was passed. Every
+    /// [`edb_core::SystemBuilder::build`] after this call attaches a
+    /// recorder with the requested categories, and the aggregated
+    /// metrics land in the manifest's `obs` block.
+    pub fn enable_obs(&self) {
+        if let Some(mask) = self.obs {
+            edb_obs::ambient::enable(edb_obs::RecorderConfig::with_categories(mask));
+        }
     }
 }
 

@@ -1,0 +1,109 @@
+//! Ambient recording must be energy-interference-free at the artifact
+//! level: the same suite run with and without a recorder attached
+//! produces bit-identical experiment metrics, at any thread count.
+//! This is the in-tree twin of the CI golden-manifest gate's
+//! attached-vs-detached step.
+//!
+//! This test owns the process-global ambient recorder switch, so it
+//! lives in its own integration-test binary — nothing else in this
+//! process builds a `System`.
+
+use edb_bench::runner::{ExperimentSpec, Runner};
+use edb_bench::Report;
+use edb_core::System;
+use edb_device::DeviceConfig;
+use edb_energy::{SimTime, TheveninSource};
+
+const TRIALS: usize = 4;
+
+/// A seeded intermittent trial: boot a tiny counter app from a
+/// seed-dependent capacitor voltage under harvested power and report
+/// where the electrical state lands. Runs through the full `System`
+/// path so an ambient recorder, when enabled, actually attaches.
+fn trial_metric(seed: u64) -> f64 {
+    let image = edb_mcu::asm::assemble(
+        ".org 0x4400\nstart: movi sp, 0x2400\nloop: add r1, 1\n jmp loop\n.org 0xFFFE\n.word start\n",
+    )
+    .expect("assembles");
+    let mut sys = System::builder(DeviceConfig::wisp5())
+        .harvester(TheveninSource::new(3.2, 1500.0))
+        .build();
+    sys.flash(&image);
+    sys.device_mut()
+        .set_v_cap(1.9 + (seed % 512) as f64 / 1024.0);
+    while sys.now() < SimTime::from_ms(5) {
+        sys.step();
+    }
+    sys.device().v_cap() + sys.device().total_instructions() as f64
+}
+
+fn exp_counter(runner: &Runner) -> Report {
+    let vals = runner.map_trials("obs_ambient_counter", TRIALS, |ctx| trial_metric(ctx.seed));
+    let mut report = Report::new("ambient determinism probe");
+    for (i, v) in vals.iter().enumerate() {
+        report.metric(format!("trial{i}"), *v);
+    }
+    report
+}
+
+const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "obs_ambient_counter",
+    title: "ambient determinism probe",
+    run: exp_counter,
+};
+
+fn run_suite(threads: usize) -> edb_bench::runner::Manifest {
+    let runner = Runner::quiet(threads, 42);
+    let results = runner.run_experiments(&[SPEC]);
+    runner.manifest(&[SPEC], &results, 0.0)
+}
+
+#[test]
+fn attached_recorder_leaves_experiment_metrics_bit_identical() {
+    // Detached baseline, sequential and parallel.
+    let detached_1 = run_suite(1);
+    let detached_4 = run_suite(4);
+    assert!(detached_1.obs.is_none(), "no recorder was enabled yet");
+
+    // Attached runs, sequential and parallel. `enable` clears the
+    // global aggregate, so each run's manifest holds only its own
+    // metrics.
+    edb_obs::ambient::enable(edb_obs::RecorderConfig::default());
+    let attached_1 = run_suite(1);
+    edb_obs::ambient::enable(edb_obs::RecorderConfig::default());
+    let attached_4 = run_suite(4);
+    edb_obs::ambient::disable();
+
+    let metrics = |m: &edb_bench::runner::Manifest| m.experiments[0].metrics.clone();
+    let detached = metrics(&detached_1);
+    assert_eq!(detached.len(), TRIALS);
+    for other in [&detached_4, &attached_1, &attached_4] {
+        let m = metrics(other);
+        assert_eq!(
+            detached.keys().collect::<Vec<_>>(),
+            m.keys().collect::<Vec<_>>()
+        );
+        for (k, v) in &detached {
+            assert_eq!(
+                v.to_bits(),
+                m[k].to_bits(),
+                "metric {k} drifted with a recorder attached"
+            );
+        }
+    }
+
+    // The attached manifests carry the aggregated obs block, and the
+    // ambient merge is itself thread-count-invariant: pure u64 counts.
+    for attached in [&attached_1, &attached_4] {
+        let obs = attached.obs.as_ref().expect("ambient metrics flushed");
+        assert!(obs.counters["instructions"] > 0);
+        assert_eq!(obs.counters["power_cycles"], {
+            let a1 = attached_1.obs.as_ref().unwrap();
+            a1.counters["power_cycles"]
+        });
+    }
+    let a1 = attached_1.obs.as_ref().unwrap();
+    let a4 = attached_4.obs.as_ref().unwrap();
+    assert_eq!(a1.counters, a4.counters, "counter aggregation commutes");
+    assert_eq!(a1.histograms, a4.histograms, "histogram merge commutes");
+}

@@ -1,0 +1,68 @@
+//! The Perfetto export of a short fig7 run must parse as valid JSON
+//! and keep timestamps monotone non-decreasing per track — the
+//! contract ui.perfetto.dev relies on to render the timeline without
+//! reordering.
+
+use edb_obs::RecorderConfig;
+use std::collections::BTreeMap;
+
+#[test]
+fn fig7_perfetto_export_is_valid_and_monotone_per_track() {
+    let rec = edb_bench::fig7::traced(RecorderConfig::default());
+    let json = rec.perfetto_json();
+    let v: serde::Value = serde_json::from_str(&json).expect("export must be valid JSON");
+    let events = v
+        .get_field("traceEvents")
+        .and_then(|e| e.as_seq())
+        .expect("traceEvents array");
+    assert!(
+        events.len() > 50,
+        "an intermittent fig7 run produces plenty of events, got {}",
+        events.len()
+    );
+
+    // Per-(pid, tid) timestamps must never go backwards. Metadata
+    // events ("M") carry no timestamp and are exempt.
+    let mut last: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut timestamped = 0;
+    for e in events {
+        let ph = e.get_field("ph").and_then(|p| p.as_str()).expect("ph");
+        if ph == "M" {
+            continue;
+        }
+        let num = |name: &str| -> f64 {
+            match e.get_field(name) {
+                Some(serde::Value::U64(n)) => *n as f64,
+                Some(serde::Value::I64(n)) => *n as f64,
+                Some(serde::Value::F64(n)) => *n,
+                other => panic!("field {name} must be a number, got {other:?}"),
+            }
+        };
+        let key = (num("pid") as i64, num("tid") as i64);
+        let ts = num("ts");
+        assert!(ts >= 0.0);
+        if let Some(&prev) = last.get(&key) {
+            assert!(
+                ts >= prev,
+                "track {key:?}: ts went backwards ({prev} -> {ts})"
+            );
+        }
+        last.insert(key, ts);
+        timestamped += 1;
+    }
+    assert!(timestamped > 0);
+    // The run is intermittent under harvested power, so the energy
+    // track and at least one event track must both be present.
+    assert!(last.len() >= 2, "expected multiple tracks, got {last:?}");
+
+    // The same recorder also yields a well-formed profile and VCD.
+    let profile: serde::Value =
+        serde_json::from_str(&rec.profile_json()).expect("profile must be valid JSON");
+    let buckets = profile
+        .get_field("buckets")
+        .and_then(|b| b.as_seq())
+        .expect("buckets array");
+    assert!(!buckets.is_empty(), "PC samples accumulated");
+    let vcd = rec.vcd();
+    assert!(vcd.contains("$var wire 1 ! powered $end"));
+}

@@ -168,6 +168,48 @@ impl DebugEvent {
             DebugEvent::SessionAborted { .. } => "session-abort",
         }
     }
+
+    /// A one-line human-readable label — what the observability
+    /// exporters show as the event name on a timeline track.
+    pub fn label(&self) -> String {
+        match self {
+            DebugEvent::EnergySample { v_cap, .. } => format!("energy {v_cap:.3} V"),
+            DebugEvent::Watchpoint { id, v_cap } => format!("watchpoint {id} @ {v_cap:.3} V"),
+            DebugEvent::AssertFailed { id } => format!("assert {id}"),
+            DebugEvent::BreakpointHit { id, v_cap } => format!("breakpoint {id} @ {v_cap:.3} V"),
+            DebugEvent::EnergyBreakpoint { threshold, v_cap } => {
+                format!("energy-breakpoint {threshold:.3} V (read {v_cap:.3} V)")
+            }
+            DebugEvent::GuardEnter { saved_v } => format!("guard-enter {saved_v:.3} V"),
+            DebugEvent::GuardExit { restored_v } => format!("guard-exit {restored_v:.3} V"),
+            DebugEvent::Printf { line } => format!("printf: {line}"),
+            DebugEvent::UartByte { byte } => format!("uart {byte:#04x}"),
+            DebugEvent::I2c { x, y, z } => format!("i2c ({x}, {y}, {z})"),
+            DebugEvent::Gpio { old, new } => format!("gpio {old:#06x} -> {new:#06x}"),
+            DebugEvent::Rfid {
+                label,
+                downlink,
+                valid,
+            } => format!(
+                "{} {label}{}",
+                if *downlink { "rfid-down" } else { "rfid-up" },
+                if *valid { "" } else { " (invalid)" }
+            ),
+            DebugEvent::SessionOpened { reason } => format!("session open: {reason}"),
+            DebugEvent::SessionClosed { restored_v } => {
+                format!("session close ({restored_v:.3} V)")
+            }
+            DebugEvent::LevelReached { target, v_cap } => {
+                format!("level {target:.3} V (read {v_cap:.3} V)")
+            }
+            DebugEvent::TargetFault { description } => format!("fault: {description}"),
+            DebugEvent::BrownOut => "brown-out".to_string(),
+            DebugEvent::TurnOn => "turn-on".to_string(),
+            DebugEvent::CommandRetry { cmd, attempt } => format!("{cmd} retry #{attempt}"),
+            DebugEvent::CommandAborted { cmd, error } => format!("{cmd} aborted: {error}"),
+            DebugEvent::SessionAborted { reason } => format!("session abort: {reason}"),
+        }
+    }
 }
 
 /// A timestamped event.
@@ -182,6 +224,25 @@ pub struct LoggedEvent {
 impl fmt::Display for LoggedEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{:>12}] {:?}", self.at.to_string(), self.event)
+    }
+}
+
+// A logged debugger event *is* a trace event mark; the conversions let
+// harnesses pin log entries directly onto energy traces (and the
+// observability exporters reuse the same type, re-exported as
+// `edb_obs::EventMark`).
+impl From<&LoggedEvent> for edb_obs::EventMark {
+    fn from(e: &LoggedEvent) -> Self {
+        edb_obs::EventMark {
+            at: e.at,
+            label: e.event.label(),
+        }
+    }
+}
+
+impl From<LoggedEvent> for edb_obs::EventMark {
+    fn from(e: LoggedEvent) -> Self {
+        (&e).into()
     }
 }
 

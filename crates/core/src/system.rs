@@ -8,11 +8,13 @@
 
 use crate::debugger::{Edb, EdbConfig, ReplyStatus};
 use crate::error::EdbError;
+use crate::events::{DebugEvent, LoggedEvent};
 use crate::protocol::HostCommand;
 use crate::wiring::{ChannelFaultConfig, LineStates};
 use edb_device::{Device, DeviceConfig, DeviceEvent, DeviceStep};
 use edb_energy::RfField;
-use edb_energy::{Harvester, SimTime};
+use edb_energy::{Harvester, PowerEdge, SimTime};
+use edb_obs::{Category, Recorder, RecorderConfig};
 use edb_rfid::{Channel, Reader, ReaderConfig};
 
 /// The energy-and-RF environment around the target.
@@ -86,6 +88,7 @@ pub struct SystemBuilder {
     seed: u64,
     edb: bool,
     channel_fault: Option<ChannelFaultConfig>,
+    recorder: Option<RecorderConfig>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -107,6 +110,7 @@ impl SystemBuilder {
             seed: 0,
             edb: true,
             channel_fault: None,
+            recorder: None,
         }
     }
 
@@ -153,6 +157,20 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches an [`edb_obs::Recorder`] to the bench: every layer
+    /// publishes structured observations into it as the system runs.
+    /// Recording is passive by construction — the recorder only reads
+    /// ground-truth simulation state, so outputs are bit-identical with
+    /// and without it. Retrieve it with [`System::take_recorder`].
+    ///
+    /// Without this call, `build` still consults
+    /// [`edb_obs::ambient::config`] so experiment binaries can attach
+    /// recorders fleet-wide via `--obs`.
+    pub fn with_recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = Some(config);
+        self
+    }
+
     /// Builds the [`System`].
     ///
     /// # Panics
@@ -176,6 +194,14 @@ impl SystemBuilder {
             None => panic!("SystemBuilder: choose an energy world (.harvester(..) or .rfid(..))"),
         };
         let channel_fault = self.channel_fault;
+        let recorder = match self.recorder {
+            Some(config) => Some(Box::new(Recorder::new(config))),
+            None => edb_obs::ambient::config().map(|config| {
+                let mut rec = Recorder::new(config);
+                rec.mark_ambient();
+                Box::new(rec)
+            }),
+        };
         System {
             device: Device::new(self.device_config),
             edb: self.edb.then(|| {
@@ -185,6 +211,8 @@ impl SystemBuilder {
             }),
             world,
             symbols: Default::default(),
+            recorder,
+            obs: ObsState::default(),
         }
     }
 }
@@ -196,7 +224,36 @@ pub struct System {
     edb: Option<Edb>,
     world: World,
     symbols: std::collections::BTreeMap<String, u16>,
+    recorder: Option<Box<Recorder>>,
+    obs: ObsState,
 }
+
+/// Bookkeeping the observability publisher keeps between steps.
+#[derive(Debug, Default)]
+struct ObsState {
+    /// How much of the debugger's event log has been harvested.
+    log_cursor: usize,
+    /// `Device::total_instructions` at the last turn-on, for the
+    /// instructions-per-power-cycle histogram.
+    cycle_base_instructions: u64,
+    /// Wire retries observed inside the currently open session.
+    session_retries: u64,
+    /// Level saved at the last guard entry, volts.
+    guard_saved_v: Option<f64>,
+    /// Power state at the last publish, for the quiet fast path and the
+    /// `powered` digital line.
+    last_powered: Option<bool>,
+    /// Session state at the last publish, likewise.
+    last_session: Option<bool>,
+}
+
+// Observation-only histogram bucket edges (documented in DESIGN.md §9).
+// Bounds live at the observation site: the registry creates a histogram
+// on first use, and merge asserts all shapes agree.
+const INSTR_PER_CYCLE_BOUNDS: &[f64] = &[100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+const RETRIES_PER_SESSION_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 5.0, 10.0];
+const GUARD_PCT_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0];
+const VCAP_BOUNDS: &[f64] = &[1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0];
 
 /// The `dt` hint passed to the debugger's electrical model each quantum
 /// (charge-delivered bookkeeping only; the capacitor uses exact per-
@@ -208,40 +265,6 @@ impl System {
     /// configuration.
     pub fn builder(device_config: DeviceConfig) -> SystemBuilder {
         SystemBuilder::new(device_config)
-    }
-
-    /// A target on a plain harvester with EDB attached.
-    #[deprecated(note = "use System::builder(config).harvester(..).build()")]
-    pub fn new(device_config: DeviceConfig, harvester: Box<dyn Harvester>) -> Self {
-        System::builder(device_config).harvester(harvester).build()
-    }
-
-    /// A target powered by an RFID reader at `distance_m`, with EDB
-    /// attached — the paper's experimental setup.
-    #[deprecated(note = "use System::builder(config).rfid(distance_m).seed(seed).build()")]
-    pub fn with_rfid(device_config: DeviceConfig, distance_m: f64, seed: u64) -> Self {
-        System::builder(device_config)
-            .rfid(distance_m)
-            .seed(seed)
-            .build()
-    }
-
-    /// Like `System::with_rfid` but with an explicit reader schedule
-    /// (experiments tune the inventory cadence).
-    #[deprecated(
-        note = "use System::builder(config).rfid(distance_m).reader_config(..).seed(seed).build()"
-    )]
-    pub fn with_rfid_reader(
-        device_config: DeviceConfig,
-        reader_config: ReaderConfig,
-        distance_m: f64,
-        seed: u64,
-    ) -> Self {
-        System::builder(device_config)
-            .rfid(distance_m)
-            .reader_config(reader_config)
-            .seed(seed)
-            .build()
     }
 
     /// Detaches the debugger entirely — the control condition for
@@ -410,6 +433,8 @@ impl System {
             edb.tick(&mut self.device, now);
         }
 
+        self.publish_obs(&step.events, step.power_edge);
+
         step
     }
 
@@ -437,6 +462,16 @@ impl System {
         }
         if let Some(t) = self.device.next_silent_deadline() {
             deadline = deadline.min(t);
+        }
+        // The recorder's profiler wants a boundary at its sampling
+        // cadence. `run_span` is bit-identical to stepping for *any*
+        // deadline, so this cap observes more often without changing the
+        // simulation. A deadline in the past falls through to the
+        // single-step path below, which publishes and moves it forward.
+        if let Some(rec) = &self.recorder {
+            if let Some(t) = rec.next_deadline() {
+                deadline = deadline.min(t);
+            }
         }
         if matches!(self.world, World::Rfid { .. }) || deadline <= now {
             // No batchable window (e.g. a debugger wakeup due right
@@ -476,6 +511,8 @@ impl System {
             }
             edb.tick(&mut self.device, now);
         }
+
+        self.publish_obs(&span.events, span.power_edge);
     }
 
     /// Runs the bench for `duration` of simulated time.
@@ -714,6 +751,275 @@ impl System {
             Err(e) => panic!("resume: {e}"),
         }
     }
+
+    // ---------------------------------------------------------------
+    // Observability
+    // ---------------------------------------------------------------
+
+    /// The attached observability recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Detaches the recorder with its whole-run counters finalized from
+    /// ground-truth device state — call this at the end of a run to
+    /// export traces and profiles.
+    pub fn take_recorder(&mut self) -> Option<Box<Recorder>> {
+        self.finalize_recorder();
+        self.recorder.take()
+    }
+
+    /// Writes run totals that are cheaper read off simulation state at
+    /// teardown than accumulated step by step.
+    fn finalize_recorder(&mut self) {
+        let Some(rec) = self.recorder.as_deref_mut() else {
+            return;
+        };
+        rec.metrics.set("power_cycles", self.device.reboots());
+        rec.metrics.set("turn_ons", self.device.turn_ons());
+        rec.metrics
+            .set("instructions", self.device.total_instructions());
+        let (hits, misses) = self.device.mem().decode_cache_stats();
+        rec.metrics.set("decode_cache_hits", hits);
+        rec.metrics.set("decode_cache_misses", misses);
+    }
+
+    /// Publishes one step's (or span's) worth of observations into the
+    /// attached recorder. Read-only with respect to the simulation:
+    /// everything here is ground truth the step already produced, so a
+    /// detached recorder and an attached one run bit-identical benches.
+    ///
+    /// Quiet fast path: nothing happened this step and no periodic
+    /// sampler is due — skip all observation work. This is what keeps an
+    /// attached recorder within a few percent of a detached one on the
+    /// hot loop: the common step publishes nothing. Ordered cheapest
+    /// check first so `&&` short-circuits before touching the debugger.
+    #[inline]
+    fn publish_obs(&mut self, events: &[DeviceEvent], power_edge: Option<PowerEdge>) {
+        let System {
+            device,
+            edb,
+            recorder,
+            obs,
+            ..
+        } = self;
+        let Some(rec) = recorder.as_deref_mut() else {
+            return;
+        };
+        let powered = device.powered();
+        if events.is_empty()
+            && power_edge.is_none()
+            && obs.last_powered == Some(powered)
+            && !rec.sample_due(device.now())
+            && edb.as_ref().map_or(0, |e| e.log().events().len()) == obs.log_cursor
+            && obs.last_session == Some(edb.as_ref().is_some_and(|e| e.session_active()))
+        {
+            return;
+        }
+        publish_obs_slow(device, edb.as_ref(), rec, obs, events, power_edge);
+    }
+}
+
+/// The non-quiet half of [`System::publish_obs`]: samples, lines, ring
+/// events, and debugger-log harvesting. Out of line so the quiet check
+/// inlines into the step loop without this body.
+fn publish_obs_slow(
+    device: &Device,
+    edb: Option<&Edb>,
+    rec: &mut Recorder,
+    obs: &mut ObsState,
+    events: &[DeviceEvent],
+    power_edge: Option<PowerEdge>,
+) {
+    {
+        let now = device.now();
+        let powered = device.powered();
+        let session = edb.is_some_and(|e| e.session_active());
+        obs.last_powered = Some(powered);
+        obs.last_session = Some(session);
+        let v_cap = device.v_cap();
+
+        // Energy: the ground-truth capacitor voltage — never EDB's ADC,
+        // which draws measurement noise from the RNG. Offered only on
+        // non-quiet steps; the trace decimates internally.
+        rec.energy_sample(now, v_cap);
+
+        // CPU: PC/energy correlation at the profiler's cadence. While
+        // unpowered there is no PC to sample; the deadline still
+        // advances so the fast path re-arms.
+        if powered {
+            if rec.pc_sample(now, device.cpu().pc, v_cap) {
+                rec.metrics.observe("vcap_volts", VCAP_BOUNDS, v_cap);
+            }
+        } else {
+            rec.profiler_catch_up(now);
+        }
+
+        // Device: peripheral activity, power cycles, digital lines.
+        if rec.enabled(Category::Device) {
+            rec.line_mut("powered", 1).record(now, u64::from(powered));
+            for event in events {
+                match event {
+                    DeviceEvent::GpioChange { old, new } => {
+                        rec.line_mut("gpio", 16).record(now, u64::from(*new));
+                        rec.instant(
+                            Category::Device,
+                            now,
+                            format!("gpio {old:#06x} -> {new:#06x}"),
+                        );
+                    }
+                    DeviceEvent::CodeMarker { id } => {
+                        rec.instant(Category::Device, now, format!("marker {id}"));
+                    }
+                    DeviceEvent::DebugSignal { value } => {
+                        rec.line_mut("debug_signal", 1)
+                            .record(now, u64::from(*value != 0));
+                    }
+                    DeviceEvent::UartByte { byte } => {
+                        rec.metrics.incr("uart_bytes", 1);
+                        rec.instant(Category::Device, now, format!("uart {byte:#04x}"));
+                    }
+                    DeviceEvent::I2c(_) => {
+                        rec.instant(Category::Device, now, "i2c");
+                    }
+                    DeviceEvent::CpuFault(fault) => {
+                        rec.instant(Category::Device, now, format!("fault: {fault}"));
+                    }
+                    // Debug-UART traffic surfaces as Core events via the
+                    // debugger's log; ADC self-samples are internal.
+                    DeviceEvent::DbgUartByte { .. } | DeviceEvent::AdcSelfSample { .. } => {}
+                    DeviceEvent::RfTx(_) => {} // Rfid category, below
+                }
+            }
+            match power_edge {
+                Some(PowerEdge::TurnOn) => {
+                    rec.instant(Category::Device, now, "turn-on");
+                    obs.cycle_base_instructions = device.total_instructions();
+                }
+                Some(PowerEdge::BrownOut) => {
+                    rec.instant(Category::Device, now, "brown-out");
+                    let ran = device
+                        .total_instructions()
+                        .saturating_sub(obs.cycle_base_instructions);
+                    rec.metrics.observe(
+                        "instructions_per_power_cycle",
+                        INSTR_PER_CYCLE_BOUNDS,
+                        ran as f64,
+                    );
+                }
+                None => {}
+            }
+        }
+
+        // RFID: the tag's own backscatter (reader-side frames arrive via
+        // the debugger's log below).
+        if rec.enabled(Category::Rfid) {
+            for event in events {
+                if let DeviceEvent::RfTx(frame) = event {
+                    rec.instant(
+                        Category::Rfid,
+                        frame.at,
+                        format!("backscatter {} B", frame.bytes.len()),
+                    );
+                }
+            }
+        }
+
+        // Core / RFID: harvest debugger log entries appended since the
+        // last publish.
+        if let Some(edb) = edb.as_ref() {
+            let log = edb.log().events();
+            if obs.log_cursor > log.len() {
+                obs.log_cursor = 0; // the log was cleared; start over
+            }
+            for entry in &log[obs.log_cursor..] {
+                obs_log_entry(rec, obs, entry);
+            }
+            obs.log_cursor = log.len();
+            if rec.enabled(Category::Core) {
+                rec.line_mut("session", 1).record(now, u64::from(session));
+            }
+        }
+    }
+}
+
+/// Publishes one debugger-log entry into the recorder (Core track, or
+/// Rfid for reader/tag frames) and folds it into the metrics registry.
+fn obs_log_entry(rec: &mut Recorder, obs: &mut ObsState, entry: &LoggedEvent) {
+    match &entry.event {
+        // The raw ADC stream is high-volume and the ground-truth voltage
+        // is already traced under Energy; skip it.
+        DebugEvent::EnergySample { .. } => {}
+        DebugEvent::Rfid { .. } => {
+            if rec.enabled(Category::Rfid) {
+                rec.metrics.incr("rfid_frames", 1);
+                rec.instant(Category::Rfid, entry.at, entry.event.label());
+            }
+        }
+        other => {
+            if !rec.enabled(Category::Core) {
+                return;
+            }
+            match other {
+                DebugEvent::SessionOpened { .. } => {
+                    rec.metrics.incr("sessions", 1);
+                    obs.session_retries = 0;
+                    rec.begin(Category::Core, entry.at, "session");
+                }
+                DebugEvent::SessionClosed { .. } | DebugEvent::SessionAborted { .. } => {
+                    rec.metrics.observe(
+                        "retries_per_session",
+                        RETRIES_PER_SESSION_BOUNDS,
+                        obs.session_retries as f64,
+                    );
+                    obs.session_retries = 0;
+                    rec.end(Category::Core, entry.at, "session");
+                }
+                DebugEvent::CommandRetry { .. } => {
+                    rec.metrics.incr("wire_retries", 1);
+                    obs.session_retries += 1;
+                    rec.instant(Category::Core, entry.at, other.label());
+                }
+                DebugEvent::GuardEnter { saved_v } => {
+                    obs.guard_saved_v = Some(*saved_v);
+                    rec.begin(Category::Core, entry.at, "guard");
+                }
+                DebugEvent::GuardExit { restored_v } => {
+                    if let Some(saved) = obs.guard_saved_v.take() {
+                        rec.metrics.observe(
+                            "energy_per_guard_pct",
+                            GUARD_PCT_BOUNDS,
+                            edb_energy::budget::delta_e_percent(saved, *restored_v).abs(),
+                        );
+                    }
+                    rec.end(Category::Core, entry.at, "guard");
+                }
+                DebugEvent::Printf { .. } => {
+                    rec.metrics.incr("printf_lines", 1);
+                    rec.instant(Category::Core, entry.at, other.label());
+                }
+                _ => {
+                    rec.instant(Category::Core, entry.at, other.label());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for System {
+    /// Ambient-attached recorders flush their metrics into the global
+    /// registry when the bench tears down, so `--obs` runs aggregate
+    /// every system any experiment built. (Explicit recorders are
+    /// retrieved with [`System::take_recorder`] instead.)
+    fn drop(&mut self) {
+        let is_ambient = self.recorder.as_deref().is_some_and(Recorder::is_ambient);
+        if is_ambient {
+            self.finalize_recorder();
+            if let Some(rec) = self.recorder.take() {
+                edb_obs::ambient::flush(&rec.metrics);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -943,10 +1249,77 @@ mod tests {
     }
 
     #[test]
+    fn recorder_does_not_perturb_the_simulation() {
+        // The whole contract of edb-obs in one assertion: an attached
+        // recorder observes everything and changes nothing.
+        let app = r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+            loop:
+                add  r0, 1
+                movi r1, 1
+                out  0x02, r1      ; code marker
+                jmp  loop
+            .org 0xFFFE
+            .word main
+        "#;
+        let end = SimTime::from_ms(250);
+
+        let mut plain = flashed_system(app);
+        plain.run_for(end);
+
+        let image = assemble(&libedb::wrap_program(app)).expect("assembles");
+        let mut traced = System::builder(DeviceConfig::wisp5())
+            .harvester(edb_energy::TheveninSource::new(3.2, 1500.0))
+            .with_recorder(edb_obs::RecorderConfig::default())
+            .build();
+        traced.flash(&image);
+        traced.run_for(end);
+
+        assert_eq!(
+            plain.device().v_cap().to_bits(),
+            traced.device().v_cap().to_bits(),
+            "recording must not move a single bit of simulation state"
+        );
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(
+            plain.device().total_instructions(),
+            traced.device().total_instructions()
+        );
+        assert_eq!(plain.device().reboots(), traced.device().reboots());
+        assert_eq!(
+            plain.edb().unwrap().log().len(),
+            traced.edb().unwrap().log().len()
+        );
+
+        let rec = traced.take_recorder().expect("recorder attached");
+        assert!(!rec.is_ambient(), "explicitly attached");
+        assert!(!rec.vcap().is_empty(), "energy trace recorded");
+        assert!(rec.profiler().samples() > 0, "PC profile sampled");
+        assert!(
+            rec.events(Category::Device).count() > 0,
+            "device activity recorded"
+        );
+        assert!(
+            rec.metrics.counter("instructions") > 0,
+            "finalized counters present"
+        );
+        assert_eq!(
+            rec.metrics.counter("power_cycles"),
+            plain.device().reboots(),
+            "metrics agree with ground truth"
+        );
+        assert!(
+            rec.lines().iter().any(|l| l.name() == "powered"),
+            "digital lines recorded"
+        );
+    }
+
+    #[test]
     fn builder_covers_every_bench_configuration() {
-        // The configurations the deprecated `System::new`/`with_rfid*`
-        // wrappers used to stand up, now spelled with the builder (the
-        // wrappers have no remaining callers).
+        // The configurations the removed `System::new`/`with_rfid*`
+        // wrappers used to stand up, spelled with the builder.
         let sys = System::builder(DeviceConfig::wisp5())
             .harvester(edb_energy::TheveninSource::new(3.0, 10.0))
             .build();

@@ -42,6 +42,9 @@ pub struct Trace {
     name: String,
     period: SimTime,
     samples: Vec<(SimTime, f64)>,
+    /// Per stored sample: `(min, max)` over every value offered since
+    /// the previously stored sample, the stored value included.
+    envelope: Vec<(f64, f64)>,
     marks: Vec<EventMark>,
     last_stored: Option<SimTime>,
     pending_min: f64,
@@ -57,6 +60,7 @@ impl Trace {
             name: name.into(),
             period,
             samples: Vec::new(),
+            envelope: Vec::new(),
             marks: Vec::new(),
             last_stored: None,
             pending_min: f64::INFINITY,
@@ -83,10 +87,22 @@ impl Trace {
         };
         if due {
             self.samples.push((at, value));
+            self.envelope.push((self.pending_min, self.pending_max));
             self.last_stored = Some(at);
             self.pending_min = f64::INFINITY;
             self.pending_max = f64::NEG_INFINITY;
             self.have_pending = false;
+        }
+    }
+
+    /// Whether an offer at `at` would store a sample, as opposed to only
+    /// updating the pending envelope. Lets decimation-aware callers skip
+    /// offers entirely when they do not need the envelope.
+    #[inline]
+    pub fn store_due(&self, at: SimTime) -> bool {
+        match self.last_stored {
+            None => true,
+            Some(prev) => at.since(prev) >= self.period,
         }
     }
 
@@ -111,6 +127,47 @@ impl Trace {
     /// Stored `(time, value)` samples in order.
     pub fn samples(&self) -> &[(SimTime, f64)] {
         &self.samples
+    }
+
+    /// Per stored sample, the `(min, max)` of every value offered since
+    /// the previously stored sample (the stored value included) —
+    /// decimation-safe extrema for brief excursions between samples.
+    /// Indices parallel [`Trace::samples`].
+    pub fn envelope(&self) -> &[(f64, f64)] {
+        &self.envelope
+    }
+
+    /// The smallest value *ever offered* (not just stored), including
+    /// any pending tail after the last stored sample. Unlike
+    /// [`Trace::min`], decimation cannot hide a brief dip from this.
+    pub fn envelope_min(&self) -> Option<f64> {
+        let stored = self
+            .envelope
+            .iter()
+            .map(|&(lo, _)| lo)
+            .fold(f64::INFINITY, f64::min);
+        let lo = if self.have_pending {
+            stored.min(self.pending_min)
+        } else {
+            stored
+        };
+        (lo < f64::INFINITY).then_some(lo)
+    }
+
+    /// The largest value *ever offered* (not just stored), including any
+    /// pending tail after the last stored sample.
+    pub fn envelope_max(&self) -> Option<f64> {
+        let stored = self
+            .envelope
+            .iter()
+            .map(|&(_, hi)| hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let hi = if self.have_pending {
+            stored.max(self.pending_max)
+        } else {
+            stored
+        };
+        (hi > f64::NEG_INFINITY).then_some(hi)
     }
 
     /// Event marks in insertion order.
@@ -265,6 +322,23 @@ mod tests {
             .map(|(_, v)| v)
             .collect();
         assert_eq!(vals, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn envelope_captures_excursions_decimation_drops() {
+        let mut tr = Trace::new("v", SimTime::from_us(10));
+        tr.record(SimTime::from_us(0), 2.0);
+        tr.record(SimTime::from_us(1), 5.0); // excursion, not stored
+        tr.record(SimTime::from_us(2), -1.0); // excursion, not stored
+        tr.record(SimTime::from_us(10), 2.1); // stored, carries envelope
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.max(), Some(2.1), "stored stats unchanged");
+        assert_eq!(tr.envelope_max(), Some(5.0));
+        assert_eq!(tr.envelope_min(), Some(-1.0));
+        assert_eq!(tr.envelope().len(), tr.samples().len());
+        assert_eq!(tr.envelope()[1], (-1.0, 5.0));
+        tr.record(SimTime::from_us(11), 9.0); // pending tail, not stored
+        assert_eq!(tr.envelope_max(), Some(9.0), "pending tail visible");
     }
 
     #[test]

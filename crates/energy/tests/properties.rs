@@ -110,6 +110,30 @@ proptest! {
         prop_assert!(tr.max().unwrap() <= raw_max + 1e-12);
     }
 
+    /// The envelope preserves the *exact* extrema of everything ever
+    /// offered — decimation period, offer cadence, and a pending tail
+    /// after the last stored sample notwithstanding.
+    #[test]
+    fn trace_envelope_preserves_exact_extrema(
+        values in prop::collection::vec(-10.0f64..10.0, 1..300),
+        period_us in 1u64..20,
+        stride_us in 1u64..7,
+    ) {
+        let mut tr = Trace::new("x", SimTime::from_us(period_us));
+        let raw_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let raw_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (k, v) in values.iter().enumerate() {
+            tr.record(SimTime::from_us(k as u64 * stride_us), *v);
+        }
+        prop_assert_eq!(tr.envelope_min().unwrap(), raw_min);
+        prop_assert_eq!(tr.envelope_max().unwrap(), raw_max);
+        prop_assert_eq!(tr.envelope().len(), tr.samples().len());
+        // Every stored sample lies within its own envelope row.
+        for (&(_, v), &(lo, hi)) in tr.samples().iter().zip(tr.envelope()) {
+            prop_assert!(lo <= v && v <= hi);
+        }
+    }
+
     /// CDF: probability_at is monotone and reaches 1 at the max sample.
     #[test]
     fn cdf_monotone_and_complete(samples in prop::collection::vec(-1e3f64..1e3, 1..200)) {

@@ -100,6 +100,8 @@ struct DecodeCache {
     // bounds check or a pointer chase.
     slots: [DecodeSlot; DECODE_SLOTS],
     enabled: bool,
+    hits: u64,
+    misses: u64,
 }
 
 impl Default for DecodeCache {
@@ -107,6 +109,8 @@ impl Default for DecodeCache {
         DecodeCache {
             slots: [EMPTY_SLOT; DECODE_SLOTS],
             enabled: true,
+            hits: 0,
+            misses: 0,
         }
     }
 }
@@ -210,10 +214,12 @@ impl Memory {
     /// never cached.
     #[inline]
     pub fn fetch_decoded(&mut self, pc: u16) -> Result<(Instr, u8, u8), u16> {
-        let slot = &self.decode_cache.slots[DecodeCache::index(pc)];
+        let slot = self.decode_cache.slots[DecodeCache::index(pc)];
         if slot.tag == pc && pc != DECODE_EMPTY {
+            self.decode_cache.hits += 1;
             return Ok((slot.instr, slot.size, slot.cycles));
         }
+        self.decode_cache.misses += 1;
         let w0 = self.read_word(pc);
         let w1 = self.peek_word(pc.wrapping_add(2));
         match Instr::decode(w0, Some(w1)) {
@@ -234,6 +240,13 @@ impl Memory {
             }
             Err(_) => Err(w0),
         }
+    }
+
+    /// Cumulative predecode-cache `(hits, misses)` over the memory's
+    /// lifetime. A miss is any fetch not served from the cache, including
+    /// fetches made while the cache is disabled.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (self.decode_cache.hits, self.decode_cache.misses)
     }
 
     /// Enables or disables the predecode cache (disabling also drops all

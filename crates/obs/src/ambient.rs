@@ -1,0 +1,92 @@
+//! Process-global recorder configuration and metrics aggregation.
+//!
+//! The experiment binaries take an `--obs <categories>` flag, but the
+//! `System`s they observe are built deep inside experiment modules that
+//! know nothing about observability. Rather than thread a recorder
+//! through every harness signature, the bins publish a process-global
+//! [`RecorderConfig`] here; `SystemBuilder::build` consults it and
+//! attaches a recorder to every bench it stands up. When such an
+//! ambient-attached bench is dropped, its recorder's metrics are merged
+//! into a global registry ([`flush`]) whose snapshot the run manifest
+//! embeds.
+//!
+//! Determinism: the merge is commutative (see [`super::metrics`]), so
+//! the aggregate is identical no matter which experiment thread flushes
+//! first — `--threads N` cannot change the manifest.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::RecorderConfig;
+use std::sync::Mutex;
+
+struct AmbientState {
+    config: Option<RecorderConfig>,
+    metrics: Metrics,
+}
+
+static STATE: Mutex<AmbientState> = Mutex::new(AmbientState {
+    config: None,
+    metrics: Metrics::empty(),
+});
+
+/// Enables ambient recording: every subsequently-built `System`
+/// attaches a recorder with this configuration. Also clears any
+/// previously aggregated metrics.
+pub fn enable(config: RecorderConfig) {
+    let mut state = STATE.lock().unwrap();
+    state.config = Some(config);
+    state.metrics = Metrics::new();
+}
+
+/// Disables ambient recording (explicitly-attached recorders are
+/// unaffected). Aggregated metrics are kept until the next [`enable`].
+pub fn disable() {
+    STATE.lock().unwrap().config = None;
+}
+
+/// The active ambient configuration, if recording is enabled.
+pub fn config() -> Option<RecorderConfig> {
+    STATE.lock().unwrap().config.clone()
+}
+
+/// Merges one recorder's metrics into the global aggregate. Called by
+/// the bench teardown for ambient-attached recorders.
+pub fn flush(metrics: &Metrics) {
+    STATE.lock().unwrap().metrics.merge(metrics);
+}
+
+/// A snapshot of the aggregated metrics, or `None` when ambient
+/// recording is disabled (so detached runs serialize no `obs` block).
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    let state = STATE.lock().unwrap();
+    if state.config.is_some() {
+        Some(state.metrics.snapshot())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CategoryMask;
+
+    #[test]
+    fn ambient_lifecycle() {
+        // One test owns the whole lifecycle (tests in this binary run
+        // in parallel and the state is process-global).
+        let was = config();
+        enable(RecorderConfig::with_categories(CategoryMask::ALL));
+        assert!(config().is_some());
+        let mut m = Metrics::new();
+        m.incr("x", 2);
+        flush(&m);
+        flush(&m);
+        let snap = snapshot().expect("enabled");
+        assert_eq!(snap.counters["x"], 4);
+        disable();
+        assert_eq!(snapshot(), None);
+        if let Some(c) = was {
+            enable(c);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Counters and fixed-bucket histograms with a commutative merge.
+//!
+//! Every value in this registry is an unsigned integer (counts), never
+//! a float accumulator: integer addition is associative and
+//! commutative, so metrics merged from many [`super::Recorder`]s in
+//! *any* order — e.g. as parallel experiment trials finish — produce
+//! bit-identical totals at any thread count. That property is what lets
+//! the bench manifest carry an observability block without giving up
+//! its determinism guarantee.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds` are the inclusive upper edges of
+/// the first `bounds.len()` buckets, and one overflow bucket catches
+/// everything above the last edge.
+///
+/// # Example
+///
+/// ```
+/// use edb_obs::Histogram;
+/// let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+/// h.observe(0.5);
+/// h.observe(42.0);
+/// h.observe(1e6);
+/// assert_eq!(h.counts(), &[1, 0, 1, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given inclusive upper bucket edges.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+        }
+    }
+
+    /// Counts one observation into its bucket.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// The bucket edges.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket edges differ — merging histograms of
+    /// different shapes is always a bug.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge with different bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+}
+
+/// The metrics registry a [`super::Recorder`] accumulates into.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// An empty registry, constructible in `static` initializers.
+    pub const fn empty() -> Self {
+        Metrics {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `by` to the counter `name` (created at zero on first use).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        if by != 0 {
+            *self.counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Sets the counter `name` to `value` (overwriting) — for totals
+    /// read off simulation state at teardown rather than accumulated.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Counts `value` into the histogram `name`, creating it with
+    /// `bounds` on first use.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// The current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds all of `other`'s counters and histograms into this
+    /// registry. Counter and bucket addition commute, so any merge
+    /// order yields the same totals.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// A serializable snapshot (what lands in the bench manifest's
+    /// `obs` block).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            total: h.total,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable form of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Serializable form of one [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_edges() {
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        for v in [0.0, 10.0, 10.1, 20.0, 99.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let build = |values: &[f64], retries: u64| {
+            let mut m = Metrics::new();
+            m.incr("retries", retries);
+            for &v in values {
+                m.observe("h", &[1.0, 2.0], v);
+            }
+            m
+        };
+        let a = build(&[0.5, 1.5], 3);
+        let b = build(&[2.5], 4);
+        let c = build(&[0.1, 0.2, 9.0], 5);
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba);
+        assert_eq!(abc.counter("retries"), 12);
+        assert_eq!(abc.histogram("h").unwrap().total(), 6);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut m = Metrics::new();
+        m.incr("power_cycles", 7);
+        m.observe("vcap", &[1.0, 2.0, 3.0], 2.4);
+        let snap = m.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,208 @@
+//! Chrome `trace_event` JSON export — open the file in ui.perfetto.dev.
+//!
+//! Layout: one process (`pid` 1) with one named thread track per
+//! [`Category`], in [`Category::ALL`] order, plus a dedicated track for
+//! the decimated capacitor-voltage counter. Timestamps are *simulated*
+//! microseconds, so the Perfetto timeline reads directly in sim time.
+//!
+//! Phases used: `M` (metadata, names the tracks), `i` (instants, with
+//! thread scope), `B`/`E` (duration slices such as debug sessions), and
+//! `C` (counter samples, rendered as a graph).
+
+use crate::{Category, ObsKind, Recorder};
+use std::fmt::Write as _;
+
+/// `tid` of a category's track (`pid` is always 1).
+fn tid(category: Category) -> usize {
+    category as usize + 1
+}
+
+/// `tid` of the capacitor-voltage counter track.
+const VCAP_TID: usize = crate::CATEGORY_COUNT + 1;
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends one trace event object; `extra` is spliced verbatim after the
+/// common fields (pass `""` for none).
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    ts_us: f64,
+    tid: usize,
+    extra: &str,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("    {\"name\": ");
+    push_json_str(out, name);
+    let _ = write!(
+        out,
+        ", \"ph\": \"{ph}\", \"ts\": {ts_us:.3}, \"pid\": 1, \"tid\": {tid}{extra}}}"
+    );
+}
+
+/// Renders the recorder's rings, energy trace, and marks as one
+/// `trace_event` JSON document.
+pub fn export(rec: &Recorder) -> String {
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+
+    // Track-naming metadata. Metadata events carry no timestamp of
+    // interest; ts 0 keeps every track's event sequence monotone.
+    for &cat in &Category::ALL {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"args\": {{\"name\": \"{}\"}}}}",
+            tid(cat),
+            cat.name()
+        );
+    }
+    if !rec.vcap().is_empty() {
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {VCAP_TID}, \"args\": {{\"name\": \"vcap\"}}}}"
+        );
+    }
+
+    // Ring events, one track per category. Rings are filled in
+    // simulation order, so each track's timestamps are non-decreasing.
+    for &cat in &Category::ALL {
+        for event in rec.events(cat) {
+            let ts_us = event.at.as_ns() as f64 / 1e3;
+            match &event.kind {
+                ObsKind::Instant { name } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        name,
+                        'i',
+                        ts_us,
+                        tid(cat),
+                        ", \"s\": \"t\"",
+                    );
+                }
+                ObsKind::Begin { name } => {
+                    push_event(&mut out, &mut first, name, 'B', ts_us, tid(cat), "");
+                }
+                ObsKind::End { name } => {
+                    push_event(&mut out, &mut first, name, 'E', ts_us, tid(cat), "");
+                }
+                ObsKind::Counter { name, value } => {
+                    let extra = format!(", \"args\": {{\"value\": {value}}}");
+                    push_event(&mut out, &mut first, name, 'C', ts_us, tid(cat), &extra);
+                }
+            }
+        }
+    }
+
+    // The decimated Vcap trace as a counter graph on its own track,
+    // with its event marks as instants, time-merged so the track's
+    // timestamps stay non-decreasing in emission order.
+    let samples = rec.vcap().samples();
+    let marks = rec.vcap().marks();
+    let (mut si, mut mi) = (0, 0);
+    while si < samples.len() || mi < marks.len() {
+        let sample_next =
+            mi >= marks.len() || (si < samples.len() && samples[si].0 <= marks[mi].at);
+        if sample_next {
+            let (at, v) = samples[si];
+            si += 1;
+            let extra = format!(", \"args\": {{\"value\": {v:.6}}}");
+            push_event(
+                &mut out,
+                &mut first,
+                "Vcap",
+                'C',
+                at.as_ns() as f64 / 1e3,
+                VCAP_TID,
+                &extra,
+            );
+        } else {
+            let mark = &marks[mi];
+            mi += 1;
+            push_event(
+                &mut out,
+                &mut first,
+                &mark.label,
+                'i',
+                mark.at.as_ns() as f64 / 1e3,
+                VCAP_TID,
+                ", \"s\": \"t\"",
+            );
+        }
+    }
+
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecorderConfig;
+    use edb_energy::SimTime;
+
+    #[test]
+    fn export_is_valid_json_with_named_tracks() {
+        let mut rec = Recorder::new(RecorderConfig::default());
+        rec.instant(Category::Device, SimTime::from_us(10), "turn-on");
+        rec.begin(Category::Core, SimTime::from_us(20), "session");
+        rec.end(Category::Core, SimTime::from_us(120), "session");
+        rec.counter(Category::Cpu, SimTime::from_us(30), "ipc", 0.8);
+        rec.energy_sample(SimTime::from_us(5), 2.41);
+        rec.energy_mark(SimTime::from_us(6), "assert \"x\"");
+        let json = export(&rec);
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .get_field("traceEvents")
+            .and_then(|e| e.as_seq())
+            .expect("traceEvents array");
+        assert!(events.len() >= 10, "metadata + payload events");
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get_field("ph").and_then(|p| p.as_str()))
+            .collect();
+        for ph in ["M", "i", "B", "E", "C"] {
+            assert!(phases.contains(&ph), "missing phase {ph}");
+        }
+    }
+
+    #[test]
+    fn string_escaping_survives_hostile_labels() {
+        let mut rec = Recorder::new(RecorderConfig::default());
+        rec.instant(
+            Category::Core,
+            SimTime::ZERO,
+            "quote \" slash \\ nl \n tab \t",
+        );
+        let json = export(&rec);
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v.get_field("traceEvents").is_some());
+    }
+}

@@ -1,0 +1,171 @@
+//! VCD (Value Change Dump) export of digital lines.
+//!
+//! The paper debugs with a logic analyzer on EDB's header: debug GPIO,
+//! UART activity, the latency-measurement pins. This module renders the
+//! recorder's digital lines in the same shape — an IEEE 1364 VCD file
+//! any waveform viewer (gtkwave, Surfer, PulseView) opens directly.
+//!
+//! The format subset emitted: a `$timescale 1 ns` header, one
+//! `$var wire` per line (scalar `0`/`1` dumps for 1-bit lines, `b...`
+//! vector dumps for wider ones), an `$dumpvars` block with every line's
+//! initial value, then time-ordered change records.
+
+use edb_energy::SimTime;
+use std::fmt::Write as _;
+
+/// A change-compressed digital line: records hold only the instants at
+/// which the value actually changed.
+///
+/// # Example
+///
+/// ```
+/// use edb_obs::LineTrace;
+/// use edb_energy::SimTime;
+/// let mut line = LineTrace::new("powered", 1);
+/// line.record(SimTime::ZERO, 0);
+/// line.record(SimTime::from_us(1), 0); // no change: not stored
+/// line.record(SimTime::from_us(2), 1);
+/// assert_eq!(line.changes().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineTrace {
+    name: String,
+    width: u16,
+    changes: Vec<(SimTime, u64)>,
+}
+
+impl LineTrace {
+    /// An empty line named `name`, `width` bits wide (0 is treated
+    /// as 1).
+    pub fn new(name: impl Into<String>, width: u16) -> Self {
+        LineTrace {
+            name: name.into(),
+            width: width.max(1),
+            changes: Vec::new(),
+        }
+    }
+
+    /// The line's name (the VCD identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The line's bit width.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Offers the line's current value; stored only if it differs from
+    /// the last stored value.
+    pub fn record(&mut self, at: SimTime, value: u64) {
+        if self.changes.last().map(|&(_, v)| v) != Some(value) {
+            self.changes.push((at, value));
+        }
+    }
+
+    /// The stored `(time, value)` change points, in order.
+    pub fn changes(&self) -> &[(SimTime, u64)] {
+        &self.changes
+    }
+}
+
+/// Short printable VCD identifier for line `i` (`!`, `"`, `#`, ...).
+fn ident(i: usize) -> char {
+    char::from(b'!' + (i as u8 % 94))
+}
+
+fn write_change(out: &mut String, line: &LineTrace, id: char, value: u64) {
+    if line.width == 1 {
+        let _ = writeln!(out, "{}{id}", value & 1);
+    } else {
+        let _ = write!(out, "b");
+        for bit in (0..line.width).rev() {
+            let _ = write!(out, "{}", (value >> bit) & 1);
+        }
+        let _ = writeln!(out, " {id}");
+    }
+}
+
+/// Renders the lines as one VCD document.
+pub fn export(lines: &[LineTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("$timescale 1 ns $end\n$scope module edb $end\n");
+    for (i, line) in lines.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "$var wire {} {} {} $end",
+            line.width,
+            ident(i),
+            line.name
+        );
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Initial values at the first change (or x if a line never fired).
+    out.push_str("$dumpvars\n");
+    for (i, line) in lines.iter().enumerate() {
+        match line.changes.first() {
+            Some(&(_, v)) => write_change(&mut out, line, ident(i), v),
+            None if line.width == 1 => {
+                let _ = writeln!(out, "x{}", ident(i));
+            }
+            None => {
+                let _ = writeln!(out, "bx {}", ident(i));
+            }
+        }
+    }
+    out.push_str("$end\n");
+
+    // Time-merged change records (skipping each line's first change,
+    // which the $dumpvars block already carries at its own timestamp —
+    // viewers treat $dumpvars as time zero).
+    let mut pending: Vec<(SimTime, usize, usize)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        for (k, &(at, _)) in line.changes.iter().enumerate().skip(1) {
+            pending.push((at, i, k));
+        }
+    }
+    pending.sort_by_key(|&(at, i, k)| (at, i, k));
+    let mut last_ts = None;
+    for (at, i, k) in pending {
+        if last_ts != Some(at) {
+            let _ = writeln!(out, "#{}", at.as_ns());
+            last_ts = Some(at);
+        }
+        let line = &lines[i];
+        write_change(&mut out, line, ident(i), line.changes[k].1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_compression_drops_repeats() {
+        let mut line = LineTrace::new("x", 1);
+        for (t, v) in [(0u64, 1), (1, 1), (2, 0), (3, 0), (4, 1)] {
+            line.record(SimTime::from_us(t), v);
+        }
+        let vals: Vec<u64> = line.changes().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, [1, 0, 1]);
+    }
+
+    #[test]
+    fn export_declares_vars_and_orders_timestamps() {
+        let mut a = LineTrace::new("powered", 1);
+        a.record(SimTime::ZERO, 0);
+        a.record(SimTime::from_us(3), 1);
+        let mut b = LineTrace::new("gpio", 4);
+        b.record(SimTime::ZERO, 0b1010);
+        b.record(SimTime::from_us(1), 0b0001);
+        let vcd = export(&[a, b]);
+        assert!(vcd.contains("$var wire 1 ! powered $end"));
+        assert!(vcd.contains("$var wire 4 \" gpio $end"));
+        assert!(vcd.contains("b1010 \""));
+        let t1 = vcd.find("#1000").expect("1 µs timestamp");
+        let t3 = vcd.find("#3000").expect("3 µs timestamp");
+        assert!(t1 < t3, "timestamps in order");
+    }
+}

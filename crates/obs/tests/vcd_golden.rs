@@ -1,0 +1,53 @@
+//! Golden-file test for the VCD exporter: a fixed set of digital
+//! lines must serialize byte-for-byte identically across releases,
+//! so downstream waveform tooling (GTKWave et al.) never sees the
+//! format drift silently.
+
+use edb_obs::vcd::{export, LineTrace};
+use edb_obs::SimTime;
+
+fn fixture() -> Vec<LineTrace> {
+    let mut powered = LineTrace::new("powered", 1);
+    let mut session = LineTrace::new("session", 1);
+    let mut gpio = LineTrace::new("gpio", 16);
+    powered.record(SimTime::ZERO, 0);
+    powered.record(SimTime::from_us(120), 1);
+    powered.record(SimTime::from_us(950), 0);
+    powered.record(SimTime::from_us(1400), 1);
+    session.record(SimTime::from_us(300), 0);
+    session.record(SimTime::from_us(600), 1);
+    session.record(SimTime::from_us(900), 0);
+    gpio.record(SimTime::from_us(120), 0x0000);
+    gpio.record(SimTime::from_us(450), 0x0041);
+    gpio.record(SimTime::from_us(450), 0x0041); // duplicate: compressed away
+    gpio.record(SimTime::from_us(950), 0x8000);
+    vec![powered, session, gpio]
+}
+
+#[test]
+fn vcd_export_matches_golden_file() {
+    let got = export(&fixture());
+    let want = include_str!("golden/fixture.vcd");
+    assert_eq!(
+        got, want,
+        "VCD output drifted from tests/golden/fixture.vcd; if the \
+         change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn golden_file_has_expected_structure() {
+    // Belt and braces: the golden file itself obeys VCD structure, so
+    // a bad regeneration can't lock in a broken format.
+    let want = include_str!("golden/fixture.vcd");
+    assert!(want.starts_with("$timescale 1 ns $end\n"));
+    assert_eq!(want.matches("$var wire ").count(), 3);
+    assert!(want.contains("$dumpvars"));
+    let times: Vec<u64> = want
+        .lines()
+        .filter_map(|l| l.strip_prefix('#'))
+        .map(|t| t.parse().unwrap())
+        .collect();
+    assert!(!times.is_empty());
+    assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps ascend");
+}

@@ -10,10 +10,12 @@ use edb_suite::apps::activity::{self, Variant};
 use edb_suite::core::{DebugEvent, System};
 use edb_suite::device::DeviceConfig;
 use edb_suite::energy::{Fading, SimTime, TheveninSource};
+use edb_suite::obs::RecorderConfig;
 
 fn main() {
     let mut sys = System::builder(DeviceConfig::wisp5())
         .harvester(Fading::new(TheveninSource::new(3.2, 1500.0), 0.05, 5))
+        .with_recorder(RecorderConfig::default())
         .build();
     sys.flash(&activity::image(Variant::EdbPrintf));
     sys.run_for(SimTime::from_secs(4));
@@ -65,4 +67,53 @@ fn main() {
     );
     println!("\n(the counts differ only by iterations cut short by power failures —");
     println!(" exactly the discrepancy §5.3.3 uses the watchpoints to quantify)");
+
+    // The observability bus recorded the whole run passively; export it
+    // for the standard viewers. Open the Perfetto trace at
+    // https://ui.perfetto.dev, the VCD in GTKWave.
+    let rec = sys.take_recorder().expect("recorder attached above");
+    let dir = std::path::Path::new("target").join("experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    for (name, content) in [
+        ("activity.perfetto.json", rec.perfetto_json()),
+        ("activity.vcd", rec.vcd()),
+        ("activity.profile.json", rec.profile_json()),
+    ] {
+        let path = dir.join(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => println!("could not write {}: {e}", path.display()),
+        }
+    }
+    let samples = rec.profiler().samples();
+    println!("\n-- sampling energy profiler --");
+    println!(
+        "  {} PC samples; hottest buckets (addr, samples, mean Vcap):",
+        samples
+    );
+    // A quick console rendering of the profile JSON's top rows.
+    let json = rec.profile_json();
+    let v: serde::Value = serde_json::from_str(&json).expect("own output parses");
+    let mut buckets: Vec<(String, u64, f64)> = v
+        .get_field("buckets")
+        .and_then(|b| b.as_seq())
+        .unwrap_or(&[])
+        .iter()
+        .map(|b| {
+            let addr = b.get_field("addr").and_then(|a| a.as_str()).unwrap_or("?");
+            let n = match b.get_field("samples") {
+                Some(serde::Value::U64(n)) => *n,
+                _ => 0,
+            };
+            let vm = match b.get_field("v_mean") {
+                Some(serde::Value::F64(x)) => *x,
+                _ => 0.0,
+            };
+            (addr.to_string(), n, vm)
+        })
+        .collect();
+    buckets.sort_by_key(|b| std::cmp::Reverse(b.1));
+    for (addr, n, vm) in buckets.iter().take(5) {
+        println!("  {addr}  {n:>6}  {vm:.3} V");
+    }
 }

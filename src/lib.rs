@@ -15,7 +15,9 @@
 //!   manipulation, keep-alive assertions, energy guards, breakpoints,
 //!   energy-interference-free printf, and the debug console;
 //! * [`runtime`] — a Mementos-style checkpointing runtime;
-//! * [`apps`] — the paper's workloads, written in the target's assembly.
+//! * [`apps`] — the paper's workloads, written in the target's assembly;
+//! * [`obs`] — the observability bus: recorder, metrics registry,
+//!   Perfetto/VCD exporters, and the sampling energy profiler.
 //!
 //! See `examples/` for runnable walkthroughs of the paper's §5 case
 //! studies and `crates/bench` for the table/figure reproductions.
@@ -25,5 +27,6 @@ pub use edb_core as core;
 pub use edb_device as device;
 pub use edb_energy as energy;
 pub use edb_mcu as mcu;
+pub use edb_obs as obs;
 pub use edb_rfid as rfid;
 pub use edb_runtime as runtime;

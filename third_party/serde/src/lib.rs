@@ -276,6 +276,22 @@ impl Deserialize for &'static str {
     }
 }
 
+// Identity impls: a `Value` serializes to itself, so types with
+// hand-written (de)serialization can embed pre-built trees, and
+// arbitrary JSON can be parsed structurally with
+// `serde_json::from_str::<Value>`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null
