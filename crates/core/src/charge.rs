@@ -116,6 +116,16 @@ pub enum Direction {
 /// guard band stops *early*: the restore path uses one so that a resumed
 /// target is left with slightly **more** energy than saved rather than
 /// less — the conservative choice behind Table 3's positive mean ΔV.
+///
+/// A lowering controller normally finishes its approach in the gentle
+/// fine-discharge mode, but the gentle bleed can be weaker than what the
+/// harvester is simultaneously delivering (e.g. a strongly-lit target
+/// whose session drifted the capacitor upward): the voltage then parks at
+/// an equilibrium *above* the stop level and never converges. The
+/// controller watches for that stall — several consecutive control
+/// periods without a new minimum reading — and escalates back to the
+/// coarse bleed for the rest of the operation, trading a little landing
+/// precision for guaranteed convergence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LevelController {
     /// Target voltage, volts.
@@ -129,8 +139,22 @@ pub struct LevelController {
     period: SimTime,
     next_check: SimTime,
     last_reading: Option<f64>,
+    best_reading: Option<f64>,
+    stalled_checks: u32,
+    boost: bool,
     done: bool,
 }
+
+/// A reading must undershoot the best seen so far by this much (volts) to
+/// count as downward progress — a bit over one ADC LSB, so conversion
+/// noise alone cannot sustain the appearance of progress.
+const STALL_EPSILON: f64 = 1e-3;
+
+/// Consecutive no-progress control periods before a lowering controller
+/// escalates from the fine bleed back to the coarse one. Genuine fine
+/// convergence moves several millivolts per period, so a real approach
+/// practically never strings this many flat checks together.
+const STALL_CHECKS: u32 = 4;
 
 impl LevelController {
     /// A controller that charges up to `target`, checking every `period`.
@@ -143,6 +167,9 @@ impl LevelController {
             period,
             next_check: now,
             last_reading: None,
+            best_reading: None,
+            stalled_checks: 0,
+            boost: false,
             done: false,
         }
     }
@@ -157,6 +184,9 @@ impl LevelController {
             period,
             next_check: now,
             last_reading: None,
+            best_reading: None,
+            stalled_checks: 0,
+            boost: false,
             done: false,
         }
     }
@@ -181,7 +211,9 @@ impl LevelController {
             Direction::Lower => {
                 let stop_at = self.target + self.guard_band;
                 match self.last_reading {
-                    Some(v) if v <= stop_at + self.fine_band => ChargeMode::DischargeFine,
+                    Some(v) if v <= stop_at + self.fine_band && !self.boost => {
+                        ChargeMode::DischargeFine
+                    }
                     _ => ChargeMode::Discharge,
                 }
             }
@@ -204,8 +236,24 @@ impl LevelController {
         };
         if reached {
             self.done = true;
+            return true;
         }
-        reached
+        if self.direction == Direction::Lower && !self.boost {
+            match self.best_reading {
+                Some(best) if v < best - STALL_EPSILON => {
+                    self.best_reading = Some(v);
+                    self.stalled_checks = 0;
+                }
+                Some(_) => {
+                    self.stalled_checks += 1;
+                    if self.stalled_checks >= STALL_CHECKS {
+                        self.boost = true;
+                    }
+                }
+                None => self.best_reading = Some(v),
+            }
+        }
+        false
     }
 }
 
@@ -273,6 +321,37 @@ mod tests {
             (2.3 - v).abs()
         };
         assert!(overshoot(400) > overshoot(20));
+    }
+
+    #[test]
+    fn stalled_fine_discharge_escalates_to_coarse() {
+        // A harvester-like source feeds the cap harder than the fine
+        // bleed can sink near the stop level; without escalation the
+        // voltage parks above target forever (the resume-after-session
+        // hang this guards against).
+        let mut adc = Adc::new(5);
+        let mut ctl = LevelController::lower(2.4, SimTime::from_us(150), 0.055, SimTime::ZERO);
+        let mut cap = Capacitor::new(47e-6);
+        cap.set_voltage(2.48);
+        let mut circuit = ChargeCircuit::new();
+        let mut now = SimTime::ZERO;
+        let dt = 2e-6;
+        while !ctl.done() {
+            circuit.set_mode(ctl.desired_mode());
+            let v = cap.voltage();
+            // Thevenin source: 3.2 V behind 220 Ω, stronger than the
+            // ~1.1 mA fine bleed everywhere in the fine band.
+            let source = (3.2 - v) / 220.0;
+            cap.apply_current(circuit.current_into(v) + source, dt);
+            now = now.advance_secs(dt);
+            let v = cap.voltage();
+            ctl.update(now, &mut || adc.read_volts(v));
+            assert!(
+                now < SimTime::from_ms(100),
+                "stalled at {v} without escalating"
+            );
+        }
+        assert!(cap.voltage() <= 2.46, "stopped at {}", cap.voltage());
     }
 
     #[test]

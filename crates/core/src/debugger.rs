@@ -19,7 +19,8 @@ use edb_device::{Device, DeviceEvent};
 use edb_energy::{PowerEdge, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet, VecDeque};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
 /// Debugger firmware parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +123,8 @@ enum Mode {
 /// An in-flight framed debug-UART exchange with the target.
 #[derive(Debug, Clone)]
 struct InFlight {
+    /// The submitted request this exchange resolves.
+    id: RequestId,
     /// The command being exchanged.
     cmd: HostCommand,
     /// Incremental reply parser (reset on every retry and torn attempt).
@@ -177,6 +180,129 @@ pub enum ReplyStatus {
     Aborted(EdbError),
 }
 
+/// Handle for a submitted [`DebugRequest`], returned by [`Edb::submit`]
+/// and redeemed with [`Edb::poll`]. IDs are monotonically increasing per
+/// debugger instance; a later `submit` supersedes an earlier one (the
+/// wire protocol runs one exchange at a time).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+/// A typed debugger operation over the framed debug-UART protocol — the
+/// request half of the engine API. Each variant maps 1:1 onto a wire
+/// [`HostCommand`] that expects a reply (`CMD_CONTINUE` is fire-and-
+/// forget and is driven by [`Edb::resume`], not a request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DebugRequest {
+    /// Read one word of target memory.
+    ReadWord {
+        /// Target address (even).
+        addr: u16,
+    },
+    /// Write one word of target memory and await the acknowledge.
+    WriteWord {
+        /// Target address (even).
+        addr: u16,
+        /// Word to store.
+        value: u16,
+    },
+    /// Ask the target where execution will resume (the service loop's
+    /// return address).
+    GetPc,
+}
+
+impl DebugRequest {
+    /// The wire command this request is carried by.
+    pub fn host_command(&self) -> HostCommand {
+        match *self {
+            DebugRequest::ReadWord { addr } => HostCommand::Read { addr },
+            DebugRequest::WriteWord { addr, value } => HostCommand::Write { addr, value },
+            DebugRequest::GetPc => HostCommand::GetPc,
+        }
+    }
+
+    /// The typed request carried by `cmd`, or `None` for `CMD_CONTINUE`
+    /// (which expects no reply and is not a tracked exchange).
+    pub fn from_host_command(cmd: HostCommand) -> Option<Self> {
+        match cmd {
+            HostCommand::Read { addr } => Some(DebugRequest::ReadWord { addr }),
+            HostCommand::Write { addr, value } => Some(DebugRequest::WriteWord { addr, value }),
+            HostCommand::GetPc => Some(DebugRequest::GetPc),
+            HostCommand::Continue => None,
+        }
+    }
+
+    /// The wire-protocol name of the command (`READ`, `WRITE`, `GET_PC`).
+    pub fn name(&self) -> &'static str {
+        self.host_command().name()
+    }
+}
+
+/// The typed completion of a [`DebugRequest`] — the response half of the
+/// engine API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DebugResponse {
+    /// A read's value.
+    Word {
+        /// The word read from target memory.
+        value: u16,
+    },
+    /// A write's checksum-valid acknowledge.
+    WriteAck,
+    /// The target's resume address.
+    Pc {
+        /// Where execution will resume after the session closes.
+        pc: u16,
+    },
+}
+
+impl DebugResponse {
+    /// Builds the typed response for `cmd` from the raw reply word.
+    fn from_wire(cmd: HostCommand, word: u16) -> Self {
+        match cmd {
+            HostCommand::Read { .. } => DebugResponse::Word { value: word },
+            HostCommand::Write { .. } => DebugResponse::WriteAck,
+            HostCommand::GetPc | HostCommand::Continue => DebugResponse::Pc { pc: word },
+        }
+    }
+
+    /// The raw reply word this response was decoded from (a write's
+    /// acknowledge renders as the protocol `ACK` byte) — the bridge for
+    /// callers that fold wire words into digests.
+    pub fn word(&self) -> u16 {
+        match *self {
+            DebugResponse::Word { value } => value,
+            DebugResponse::WriteAck => u16::from(protocol::ACK),
+            DebugResponse::Pc { pc } => pc,
+        }
+    }
+}
+
+/// What [`Edb::poll`] found for a given [`RequestId`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionPoll<T> {
+    /// The exchange is still on the wire (or parked across a brown-out).
+    Pending {
+        /// Send attempts so far.
+        attempts: u32,
+    },
+    /// The exchange finished: a typed response, or a typed error.
+    /// Consumed by the poll that observes it.
+    Ready(Result<T, EdbError>),
+    /// The ID does not name the live exchange: its result was already
+    /// consumed, or a later [`Edb::submit`] preempted it.
+    Superseded,
+}
+
+/// A finished exchange waiting for its [`Edb::poll`].
+#[derive(Debug, Clone)]
+struct Finished {
+    id: RequestId,
+    cmd: HostCommand,
+    result: Result<u16, EdbError>,
+}
+
 /// A pending energy breakpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct EnergyBreakpoint {
@@ -212,9 +338,10 @@ pub struct Edb {
     watch_all: bool,
     printf_buf: Vec<u8>,
     inflight: Option<InFlight>,
-    reply: VecDeque<u16>,
-    /// The typed abort waiting for the next [`Edb::poll_reply`].
-    aborted: Option<EdbError>,
+    /// Monotonic source for [`RequestId`]s.
+    next_request: u64,
+    /// The finished exchange waiting to be consumed by [`Edb::poll`].
+    finished: Option<Finished>,
     last_outcome: Option<SessionOutcome>,
     /// Injectable noise on both directions of the debug UART.
     channel_fault: Option<ChannelFault>,
@@ -252,8 +379,8 @@ impl Edb {
             watch_all: true,
             printf_buf: Vec::new(),
             inflight: None,
-            reply: VecDeque::new(),
-            aborted: None,
+            next_request: 0,
+            finished: None,
             last_outcome: None,
             channel_fault: None,
             retry_rng: StdRng::seed_from_u64(config.seed.wrapping_add(0x5EED)),
@@ -407,30 +534,20 @@ impl Edb {
         self.channel_fault.as_ref().map(ChannelFault::config)
     }
 
-    /// Starts a framed command exchange. The target must be parked in
-    /// its service loop (session active). Poll [`Edb::poll_reply`]; the
-    /// state machine re-sends on timeout or corruption with bounded,
+    /// Submits a typed request, starting its framed exchange on the
+    /// wire. The target must be parked in its service loop (session
+    /// active). Redeem the returned [`RequestId`] with [`Edb::poll`];
+    /// the state machine re-sends on timeout or corruption with bounded,
     /// deterministic backoff, and surfaces a typed [`EdbError`] when the
-    /// retry budget runs out. A prior in-flight command is preempted
-    /// (logged, discarded).
-    pub fn start_command(&mut self, dev: &mut Device, cmd: HostCommand, now: SimTime) {
-        if let Some(stale) = self.inflight.take() {
-            self.log.push(
-                now,
-                DebugEvent::CommandAborted {
-                    cmd: stale.cmd.name().to_string(),
-                    error: "preempted by a new command".to_string(),
-                },
-            );
-        }
-        self.aborted = None;
-        self.last_outcome = None;
-        let Some(decoder) = ReplyDecoder::new(cmd) else {
-            // CONTINUE expects no reply; it is not a tracked exchange.
-            self.push_host_bytes(dev, &cmd.encode());
-            return;
-        };
+    /// retry budget runs out. A prior in-flight request is preempted
+    /// (logged, discarded — its ID polls as `Superseded`).
+    pub fn submit(&mut self, dev: &mut Device, request: DebugRequest, now: SimTime) -> RequestId {
+        self.preempt_stale(now);
+        let id = self.next_request_id();
+        let cmd = request.host_command();
+        let decoder = ReplyDecoder::new(cmd).expect("every DebugRequest expects a reply");
         self.inflight = Some(InFlight {
+            id,
             cmd,
             decoder,
             attempts: 0,
@@ -440,33 +557,98 @@ impl Edb {
             park_deadline: now,
         });
         self.send_attempt(dev, now);
+        id
+    }
+
+    /// Polls the outcome of the exchange named by `id`: still pending,
+    /// finished with a typed response or error (consumed by this call),
+    /// or superseded — the result was already consumed, or a later
+    /// [`Edb::submit`] preempted the request.
+    pub fn poll(&mut self, id: RequestId) -> SessionPoll<DebugResponse> {
+        if self.finished.as_ref().is_some_and(|fin| fin.id == id) {
+            let fin = self.finished.take().expect("checked above");
+            return SessionPoll::Ready(
+                fin.result
+                    .map(|word| DebugResponse::from_wire(fin.cmd, word)),
+            );
+        }
+        match &self.inflight {
+            Some(fl) if fl.id == id => SessionPoll::Pending {
+                attempts: fl.attempts,
+            },
+            _ => SessionPoll::Superseded,
+        }
+    }
+
+    /// Logs and discards a stale in-flight exchange, and clears the
+    /// finished slot and outcome, making way for a new submission.
+    fn preempt_stale(&mut self, now: SimTime) {
+        if let Some(stale) = self.inflight.take() {
+            self.log.push(
+                now,
+                DebugEvent::CommandAborted {
+                    cmd: stale.cmd.name().to_string(),
+                    error: "preempted by a new command".to_string(),
+                },
+            );
+        }
+        self.finished = None;
+        self.last_outcome = None;
+    }
+
+    /// Draws the next monotonic request ID.
+    fn next_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    /// Starts a framed command exchange from a raw wire command.
+    #[deprecated(note = "use Edb::submit with a typed DebugRequest")]
+    pub fn start_command(&mut self, dev: &mut Device, cmd: HostCommand, now: SimTime) {
+        match DebugRequest::from_host_command(cmd) {
+            Some(request) => {
+                self.submit(dev, request, now);
+            }
+            None => {
+                // CONTINUE expects no reply; it is not a tracked
+                // exchange, but it still preempts a stale one (matching
+                // the historical behaviour of this entry point).
+                self.preempt_stale(now);
+                self.push_host_bytes(dev, &cmd.encode());
+            }
+        }
     }
 
     /// Starts a memory read over the debug protocol.
+    #[deprecated(note = "use Edb::submit with DebugRequest::ReadWord")]
     pub fn start_read(&mut self, dev: &mut Device, addr: u16, now: SimTime) {
-        self.start_command(dev, HostCommand::Read { addr }, now);
+        self.submit(dev, DebugRequest::ReadWord { addr }, now);
     }
 
     /// Asks the target where execution will resume (the service loop's
     /// return address).
+    #[deprecated(note = "use Edb::submit with DebugRequest::GetPc")]
     pub fn start_get_pc(&mut self, dev: &mut Device, now: SimTime) {
-        self.start_command(dev, HostCommand::GetPc, now);
+        self.submit(dev, DebugRequest::GetPc, now);
     }
 
     /// Starts a memory write over the debug protocol.
+    #[deprecated(note = "use Edb::submit with DebugRequest::WriteWord")]
     pub fn start_write(&mut self, dev: &mut Device, addr: u16, value: u16, now: SimTime) {
-        self.start_command(dev, HostCommand::Write { addr, value }, now);
+        self.submit(dev, DebugRequest::WriteWord { addr, value }, now);
     }
 
     /// Polls the outcome of the current exchange: a completed reply
     /// word, a still-pending command, a typed abort (consumed by this
     /// call), or nothing at all.
+    #[deprecated(note = "use Edb::poll with the RequestId from Edb::submit")]
     pub fn poll_reply(&mut self) -> ReplyStatus {
-        if let Some(word) = self.reply.pop_front() {
-            return ReplyStatus::Ready(word);
-        }
-        if let Some(error) = self.aborted.take() {
-            return ReplyStatus::Aborted(error);
+        if let Some(fin) = self.finished.take() {
+            return match fin.result {
+                Ok(word) => ReplyStatus::Ready(word),
+                Err(error) => ReplyStatus::Aborted(error),
+            };
         }
         match &self.inflight {
             Some(fl) => ReplyStatus::Pending {
@@ -478,15 +660,20 @@ impl Edb {
 
     /// Takes a completed protocol reply (a read's word, or a write's
     /// acknowledge rendered as `0xAA`).
-    #[deprecated(note = "use poll_reply, which distinguishes pending from aborted")]
+    #[deprecated(note = "use Edb::poll, which distinguishes pending from aborted")]
     pub fn take_reply(&mut self) -> Option<u16> {
-        self.reply.pop_front()
+        if self.finished.as_ref().is_some_and(|fin| fin.result.is_ok()) {
+            let fin = self.finished.take().expect("checked above");
+            return fin.result.ok();
+        }
+        None
     }
 
-    /// Abandons the in-flight command, if any, and clears any buffered
-    /// abort. Returns how many send attempts had been made.
+    /// Abandons the in-flight command, if any, and discards an
+    /// unconsumed finished result. Returns how many send attempts had
+    /// been made.
     pub fn cancel_command(&mut self) -> u32 {
-        self.aborted = None;
+        self.finished = None;
         self.inflight.take().map_or(0, |fl| fl.attempts)
     }
 
@@ -582,7 +769,11 @@ impl Edb {
                 error: error.clone(),
             },
         });
-        self.aborted = Some(error);
+        self.finished = Some(Finished {
+            id: fl.id,
+            cmd: fl.cmd,
+            result: Err(error),
+        });
     }
 
     /// Drives the in-flight command's deadlines: parked commands give up
@@ -1007,8 +1198,15 @@ impl Edb {
                 }
             }
             Step::Complete { word, attempts } => {
-                self.inflight = None;
-                self.reply.push_back(word);
+                let fl = self
+                    .inflight
+                    .take()
+                    .expect("a Complete step has an exchange");
+                self.finished = Some(Finished {
+                    id: fl.id,
+                    cmd: fl.cmd,
+                    result: Ok(word),
+                });
                 self.last_outcome = Some(if attempts <= 1 {
                     SessionOutcome::Completed
                 } else {

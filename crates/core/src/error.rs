@@ -9,10 +9,15 @@
 //! for each: re-open the session, retry the command, or wait for the
 //! target's next service-loop entry.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A typed debugger failure.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The taxonomy serializes (externally tagged) so transports — the
+/// `edb-serve` JSON-RPC server in particular — can carry the exact
+/// variant across the wire instead of flattening it to a string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum EdbError {
     /// The operation needs a debugger, but none is attached to the bench.

@@ -68,15 +68,20 @@ pub mod error;
 pub mod events;
 pub mod libedb;
 pub mod protocol;
+pub mod session;
 pub mod system;
 pub mod wiring;
 
 pub use adc::Adc;
 pub use charge::{ChargeCircuit, ChargeMode, LevelController};
 pub use console::{Console, ConsoleError};
-pub use debugger::{Edb, EdbConfig, ReplyStatus, SessionKind, SessionOutcome};
+pub use debugger::{
+    DebugRequest, DebugResponse, Edb, EdbConfig, ReplyStatus, RequestId, SessionKind,
+    SessionOutcome, SessionPoll,
+};
 pub use error::EdbError;
 pub use events::{DebugEvent, EventLog, LoggedEvent};
 pub use protocol::{FrameError, HostCommand};
+pub use session::{DebugSession, SessionBuilder, SessionStatus};
 pub use system::{System, SystemBuilder};
 pub use wiring::{ChannelFault, ChannelFaultConfig, ConnectionKind, LineStates, Wiring};

@@ -6,10 +6,9 @@
 //! whose carrier powers the tag. All experiment harnesses and examples
 //! drive a `System`.
 
-use crate::debugger::{Edb, EdbConfig, ReplyStatus};
+use crate::debugger::{DebugRequest, DebugResponse, Edb, EdbConfig, SessionPoll};
 use crate::error::EdbError;
 use crate::events::{DebugEvent, LoggedEvent};
-use crate::protocol::HostCommand;
 use crate::wiring::{ChannelFaultConfig, LineStates};
 use edb_device::{Device, DeviceConfig, DeviceEvent, DeviceStep};
 use edb_energy::RfField;
@@ -87,6 +86,7 @@ pub struct SystemBuilder {
     reader_config: ReaderConfig,
     seed: u64,
     edb: bool,
+    edb_config: EdbConfig,
     channel_fault: Option<ChannelFaultConfig>,
     recorder: Option<RecorderConfig>,
 }
@@ -109,9 +109,19 @@ impl SystemBuilder {
             reader_config: ReaderConfig::paper_setup(),
             seed: 0,
             edb: true,
+            edb_config: EdbConfig::prototype(),
             channel_fault: None,
             recorder: None,
         }
+    }
+
+    /// Overrides the debugger firmware parameters — command deadlines,
+    /// retry budget, trace switches. Defaults to
+    /// [`EdbConfig::prototype`], the configuration every golden
+    /// manifest was recorded against.
+    pub fn edb_config(mut self, config: EdbConfig) -> Self {
+        self.edb_config = config;
+        self
     }
 
     /// Powers the target from a plain harvester.
@@ -194,6 +204,7 @@ impl SystemBuilder {
             None => panic!("SystemBuilder: choose an energy world (.harvester(..) or .rfid(..))"),
         };
         let channel_fault = self.channel_fault;
+        let edb_config = self.edb_config;
         let recorder = match self.recorder {
             Some(config) => Some(Box::new(Recorder::new(config))),
             None => edb_obs::ambient::config().map(|config| {
@@ -205,7 +216,7 @@ impl SystemBuilder {
         System {
             device: Device::new(self.device_config),
             edb: self.edb.then(|| {
-                let mut edb = Edb::new(EdbConfig::prototype());
+                let mut edb = Edb::new(edb_config);
                 edb.set_channel_fault(channel_fault);
                 edb
             }),
@@ -629,13 +640,18 @@ impl System {
         self.run_until_edb(timeout, |s| s.edb().is_some_and(|e| e.session_active()))
     }
 
-    /// One complete framed command exchange: start it, then drive the
-    /// bench until the debugger's state machine reports a reply or a
-    /// typed abort. The harness deadline generously covers the state
-    /// machine's own retry budget plus a brown-out recovery window, so
-    /// in practice the typed outcome always arrives first.
-    fn command_round(&mut self, cmd: HostCommand) -> Result<u16, EdbError> {
-        let op = cmd.name();
+    /// One complete typed exchange: submit the request, then drive the
+    /// bench until the debugger's state machine reports a typed response
+    /// or a typed abort. The harness deadline generously covers the
+    /// state machine's own retry budget plus a brown-out recovery
+    /// window, so in practice the typed outcome always arrives first.
+    ///
+    /// This is the blocking convenience over [`Edb::submit`] /
+    /// [`Edb::poll`]; callers that interleave their own stepping (the
+    /// fuzz session engine, the serve scheduler) drive the non-blocking
+    /// pair directly.
+    pub fn perform(&mut self, request: DebugRequest) -> Result<DebugResponse, EdbError> {
+        let op = request.name();
         let Some(edb) = self.edb.as_ref() else {
             return Err(EdbError::NotAttached { op });
         };
@@ -644,26 +660,26 @@ impl System {
         }
         let config = edb.config();
         let now = self.now();
-        {
+        let id = {
             let System { edb, device, .. } = self;
-            edb.as_mut()
-                .expect("attached")
-                .start_command(device, cmd, now);
-        }
+            edb.as_mut().expect("attached").submit(device, request, now)
+        };
         let budget = config.cmd_timeout.as_ns() * (u64::from(config.cmd_retries) + 2);
         let deadline = now + SimTime::from_ns(budget) + SimTime::from_ms(50);
         while self.now() < deadline {
-            match self.edb_mut().poll_reply() {
-                ReplyStatus::Ready(word) => return Ok(word),
-                ReplyStatus::Aborted(error) => return Err(error),
-                ReplyStatus::Pending { .. } | ReplyStatus::Idle => {}
+            match self.edb_mut().poll(id) {
+                SessionPoll::Ready(outcome) => return outcome,
+                SessionPoll::Superseded => {
+                    return Err(EdbError::Busy { cmd: op });
+                }
+                SessionPoll::Pending { .. } => {}
             }
             self.advance_span(deadline);
         }
-        match self.edb_mut().poll_reply() {
-            ReplyStatus::Ready(word) => Ok(word),
-            ReplyStatus::Aborted(error) => Err(error),
-            _ => {
+        match self.edb_mut().poll(id) {
+            SessionPoll::Ready(outcome) => outcome,
+            SessionPoll::Superseded => Err(EdbError::Busy { cmd: op }),
+            SessionPoll::Pending { .. } => {
                 let attempts = self.edb_mut().cancel_command();
                 Err(EdbError::CommandTimeout { cmd: op, attempts })
             }
@@ -674,27 +690,37 @@ impl System {
     /// Requires an active session (the target must be in its service
     /// loop).
     pub fn read_word(&mut self, addr: u16) -> Result<u16, EdbError> {
-        self.command_round(HostCommand::Read { addr })
+        match self.perform(DebugRequest::ReadWord { addr })? {
+            DebugResponse::Word { value } => Ok(value),
+            other => Err(EdbError::CorruptReply {
+                cmd: "READ",
+                detail: format!("mismatched response {other:?}"),
+            }),
+        }
     }
 
     /// Writes a word of target memory through the live debug protocol
     /// and waits for the target's acknowledge.
     pub fn write_word(&mut self, addr: u16, value: u16) -> Result<(), EdbError> {
-        let ack = self.command_round(HostCommand::Write { addr, value })?;
-        if ack == u16::from(crate::protocol::ACK) {
-            Ok(())
-        } else {
-            Err(EdbError::CorruptReply {
+        match self.perform(DebugRequest::WriteWord { addr, value })? {
+            DebugResponse::WriteAck => Ok(()),
+            other => Err(EdbError::CorruptReply {
                 cmd: "WRITE",
-                detail: format!("acknowledge byte {ack:#06x}"),
-            })
+                detail: format!("mismatched response {other:?}"),
+            }),
         }
     }
 
     /// Asks the target where execution will resume, through the live
     /// debug protocol. Requires an active session.
     pub fn resume_pc(&mut self) -> Result<u16, EdbError> {
-        self.command_round(HostCommand::GetPc)
+        match self.perform(DebugRequest::GetPc)? {
+            DebugResponse::Pc { pc } => Ok(pc),
+            other => Err(EdbError::CorruptReply {
+                cmd: "GET_PC",
+                detail: format!("mismatched response {other:?}"),
+            }),
+        }
     }
 
     /// Reads a word of target memory. Returns `None` on any failure.
@@ -1139,6 +1165,73 @@ mod tests {
             assert_eq!(sys.debug_read_word(0x6002), Some(0xD00D));
             assert!(sys.debug_write_word(0x6004, 0xBEEF));
             assert!(sys.debug_resume_pc().is_some());
+        }
+    }
+
+    /// The deprecated `start_command`/`poll_reply`/`take_reply` trio
+    /// still drives a full exchange through the typed state machine
+    /// underneath.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_command_trio_still_works() {
+        use crate::debugger::ReplyStatus;
+        use crate::protocol::HostCommand;
+        let mut sys = flashed_system(
+            r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r1, 0x6000
+                movi r0, 0x5AFE
+                st   [r1], r0
+                movi r0, 7
+                call __edb_assert_fail
+                halt
+            .org 0xFFFE
+            .word main
+            "#,
+        );
+        sys.charge_to(2.45);
+        assert!(sys.wait_for_session(SimTime::from_ms(100)));
+        let now = sys.now();
+        {
+            let System { edb, device, .. } = &mut sys;
+            edb.as_mut()
+                .expect("attached")
+                .start_read(device, 0x6000, now);
+        }
+        let deadline = sys.now() + SimTime::from_ms(200);
+        loop {
+            match sys.edb_mut().poll_reply() {
+                ReplyStatus::Ready(word) => {
+                    assert_eq!(word, 0x5AFE);
+                    break;
+                }
+                ReplyStatus::Aborted(e) => panic!("clean channel aborted: {e}"),
+                ReplyStatus::Pending { .. } | ReplyStatus::Idle => {}
+            }
+            assert!(sys.now() < deadline, "exchange stuck");
+            sys.step();
+        }
+        // start_command + take_reply: the Ok result is consumable the
+        // legacy way too.
+        let now = sys.now();
+        {
+            let System { edb, device, .. } = &mut sys;
+            edb.as_mut().expect("attached").start_command(
+                device,
+                HostCommand::Read { addr: 0x6000 },
+                now,
+            );
+        }
+        let deadline = sys.now() + SimTime::from_ms(200);
+        loop {
+            if let Some(word) = sys.edb_mut().take_reply() {
+                assert_eq!(word, 0x5AFE);
+                break;
+            }
+            assert!(sys.now() < deadline, "exchange stuck");
+            sys.step();
         }
     }
 

@@ -7,7 +7,9 @@
 //! session opens — and re-opens after every injected power failure.
 
 use edb_core::debugger::SessionOutcome;
-use edb_core::{libedb, protocol, EdbError, HostCommand, ReplyStatus, System};
+use edb_core::{
+    libedb, protocol, DebugRequest, EdbError, HostCommand, RequestId, SessionPoll, System,
+};
 use edb_device::DeviceConfig;
 use edb_energy::{SimTime, TheveninSource};
 use edb_mcu::asm::assemble;
@@ -60,15 +62,15 @@ fn assert_system() -> System {
     sys
 }
 
-/// Drives the in-flight exchange to its outcome (completed or aborted),
+/// Drives the submitted exchange to its outcome (completed or aborted),
 /// panicking if it gets stuck — the state machine must always resolve.
-fn drive_to_outcome(sys: &mut System) -> Result<u16, EdbError> {
+fn drive_to_outcome(sys: &mut System, id: RequestId) -> Result<u16, EdbError> {
     let deadline = sys.now() + SimTime::from_ms(200);
     loop {
-        match sys.edb_mut().poll_reply() {
-            ReplyStatus::Ready(word) => return Ok(word),
-            ReplyStatus::Aborted(e) => return Err(e),
-            ReplyStatus::Pending { .. } | ReplyStatus::Idle => {}
+        match sys.edb_mut().poll(id) {
+            SessionPoll::Ready(outcome) => return outcome.map(|r| r.word()),
+            SessionPoll::Superseded => panic!("request superseded with one submitter"),
+            SessionPoll::Pending { .. } => {}
         }
         assert!(
             sys.now() < deadline,
@@ -98,21 +100,21 @@ fn assert_recovered(sys: &mut System) {
 /// returning the outcome. The caller then checks recovery.
 fn exchange_with_cut(
     sys: &mut System,
-    cmd: HostCommand,
+    request: DebugRequest,
     mut trigger: impl FnMut(&System) -> bool,
 ) -> Result<u16, EdbError> {
     let now = sys.now();
-    {
+    let id = {
         let (edb, dev) = sys.edb_and_device().expect("attached");
-        edb.start_command(dev, cmd, now);
-    }
+        edb.submit(dev, request, now)
+    };
     let mut injected = false;
     let deadline = sys.now() + SimTime::from_ms(200);
     loop {
-        match sys.edb_mut().poll_reply() {
-            ReplyStatus::Ready(word) => return Ok(word),
-            ReplyStatus::Aborted(e) => return Err(e),
-            ReplyStatus::Pending { .. } | ReplyStatus::Idle => {}
+        match sys.edb_mut().poll(id) {
+            SessionPoll::Ready(outcome) => return outcome.map(|r| r.word()),
+            SessionPoll::Superseded => panic!("request superseded with one submitter"),
+            SessionPoll::Pending { .. } => {}
         }
         assert!(
             sys.now() < deadline,
@@ -137,7 +139,7 @@ fn brownout_at_every_command_frame_byte_recovers_or_aborts_cleanly() {
         let mut sys = assert_system();
         let outcome = exchange_with_cut(
             &mut sys,
-            HostCommand::Read { addr: read_addr },
+            DebugRequest::ReadWord { addr: read_addr },
             |s: &System| s.device().peripherals.debug.rx_from_debugger.len() <= frame_len - j,
         );
         match outcome {
@@ -166,7 +168,7 @@ fn brownout_at_every_reply_byte_recovers_or_aborts_cleanly() {
         let mut armed_at = None;
         let outcome = exchange_with_cut(
             &mut sys,
-            HostCommand::Read { addr: read_addr },
+            DebugRequest::ReadWord { addr: read_addr },
             |s: &System| {
                 if s.device().peripherals.debug.rx_from_debugger.is_empty() {
                     let at = *armed_at.get_or_insert(s.now());
@@ -203,10 +205,10 @@ fn brownout_never_tears_a_write() {
         let mut sys = assert_system();
         assert_eq!(sys.device().mem().peek_word(write_addr), old);
         let now = sys.now();
-        {
+        let id = {
             let (edb, dev) = sys.edb_and_device().expect("attached");
-            edb.start_command(dev, cmd, now);
-        }
+            edb.submit(dev, DebugRequest::from_host_command(cmd).unwrap(), now)
+        };
         // Step until the target has consumed j frame bytes, then cut.
         let mut guard = 0u32;
         while sys.device().peripherals.debug.rx_from_debugger.len() > frame_len - j {
@@ -231,7 +233,7 @@ fn brownout_never_tears_a_write() {
         );
         // The command resolves one way or the other, and the session
         // comes back.
-        let _ = drive_to_outcome(&mut sys);
+        let _ = drive_to_outcome(&mut sys, id);
         assert_recovered(&mut sys);
     }
 }
@@ -241,15 +243,15 @@ fn lost_command_frame_is_retried_and_reported() {
     let mut sys = assert_system();
     let addr = WINDOW_BASE + 2;
     let now = sys.now();
-    {
+    let id = {
         let (edb, dev) = sys.edb_and_device().expect("attached");
-        edb.start_read(dev, addr, now);
-    }
+        edb.submit(dev, DebugRequest::ReadWord { addr }, now)
+    };
     // Drop the whole command frame before the target consumes a byte:
     // attempt 1 can never be answered, so the sim-time deadline must
     // fire and the re-send must complete the exchange.
     sys.device_mut().peripherals.debug.rx_from_debugger.clear();
-    let word = drive_to_outcome(&mut sys).expect("retry completes the exchange");
+    let word = drive_to_outcome(&mut sys, id).expect("retry completes the exchange");
     assert_eq!(word, fill_value(addr));
     assert_eq!(
         sys.edb().unwrap().last_outcome(),

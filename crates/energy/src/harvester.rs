@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 /// Implementations receive the present capacitor voltage (real harvesting
 /// front-ends deliver less current into a higher-voltage store), the
 /// simulation time, and the integration step.
-pub trait Harvester {
+///
+/// `Send` is a supertrait so a bench (and the session hosting it) can
+/// move between threads — the `edb-serve` session server hosts many
+/// benches behind one worker pool.
+pub trait Harvester: Send {
     /// Current (amps, ≥ 0) delivered into the storage capacitor during the
     /// next `dt` seconds, given the capacitor sits at `v_cap` volts.
     fn current_into(&mut self, v_cap: f64, now: SimTime, dt: f64) -> f64;

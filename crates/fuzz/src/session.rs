@@ -21,7 +21,7 @@
 
 use crate::diff::Divergence;
 use edb_core::debugger::SessionOutcome;
-use edb_core::{ChannelFaultConfig, EdbError, ReplyStatus, System};
+use edb_core::{ChannelFaultConfig, DebugRequest, EdbError, SessionPoll, System};
 use edb_device::DeviceConfig;
 use edb_energy::{SimTime, TheveninSource};
 use rand::rngs::SmallRng;
@@ -194,23 +194,29 @@ pub fn run_session_case(seed: u64, cfg: &SessionConfig) -> Result<SessionStats, 
         let inject_at = rng
             .gen_bool(cfg.brownout_rate)
             .then(|| rng.gen_range(1u32..40));
+        let request = match op {
+            Op::Read { addr } => DebugRequest::ReadWord { addr },
+            Op::Write { addr, value } => DebugRequest::WriteWord { addr, value },
+            Op::GetPc => DebugRequest::GetPc,
+        };
         let now = sys.now();
-        {
+        let id = {
             let (edb, dev) = sys.edb_and_device().expect("EDB attached");
-            match op {
-                Op::Read { addr } => edb.start_read(dev, addr, now),
-                Op::Write { addr, value } => edb.start_write(dev, addr, value, now),
-                Op::GetPc => edb.start_get_pc(dev, now),
-            }
-        }
+            edb.submit(dev, request, now)
+        };
 
         let deadline = sys.now() + SimTime::from_ms(500);
         let mut steps = 0u32;
         let outcome = loop {
-            match sys.edb_mut().poll_reply() {
-                ReplyStatus::Ready(word) => break Ok(word),
-                ReplyStatus::Aborted(e) => break Err(e),
-                ReplyStatus::Pending { .. } | ReplyStatus::Idle => {}
+            match sys.edb_mut().poll(id) {
+                SessionPoll::Ready(outcome) => break outcome,
+                SessionPoll::Superseded => {
+                    return Err(Divergence::new(
+                        "session",
+                        format!("cmd {cmd_ix} ({op:?}): request superseded with one submitter"),
+                    ));
+                }
+                SessionPoll::Pending { .. } => {}
             }
             if sys.now() >= deadline {
                 let attempts = sys.edb_mut().cancel_command();
@@ -228,7 +234,8 @@ pub fn run_session_case(seed: u64, cfg: &SessionConfig) -> Result<SessionStats, 
         };
 
         match outcome {
-            Ok(word) => {
+            Ok(response) => {
+                let word = response.word();
                 match op {
                     Op::Read { addr } => {
                         let truth = sys.device().mem().peek_word(addr);

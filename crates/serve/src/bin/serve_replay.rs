@@ -1,0 +1,156 @@
+//! `serve-replay`: replay a scripted JSON-RPC transcript against the
+//! session server and verify byte-identical replies.
+//!
+//! ```text
+//! serve-replay --transcript FILE [--addr ADDR | --spawn] [--threads N]
+//!              [--out FILE] [--record]
+//! ```
+//!
+//! With `--spawn` (the default when no `--addr` is given) the server is
+//! hosted in-process on an ephemeral port. Exit status: 0 when every
+//! reply matched, 1 on any byte mismatch (the diff goes to stderr and,
+//! with `--out`, the actual transcript to a file), 2 on usage or I/O
+//! errors. `--record` rewrites the transcript file with the server's
+//! actual replies — how the golden transcript is (re)generated.
+
+use edb_serve::{Client, ReplayReport, Server, ServerConfig, Transcript};
+
+struct Options {
+    transcript: String,
+    addr: Option<String>,
+    threads: usize,
+    out: Option<String>,
+    record: bool,
+}
+
+fn main() {
+    let mut opts = Options {
+        transcript: String::new(),
+        addr: None,
+        threads: 4,
+        out: None,
+        record: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--transcript" => {
+                opts.transcript = args
+                    .next()
+                    .unwrap_or_else(|| usage("--transcript needs a file"))
+            }
+            "--addr" => {
+                opts.addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--addr needs an address")),
+                )
+            }
+            "--spawn" => opts.addr = None,
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--out" => opts.out = Some(args.next().unwrap_or_else(|| usage("--out needs a file"))),
+            "--record" => opts.record = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve-replay --transcript FILE [--addr ADDR | --spawn] [--threads N] [--out FILE] [--record]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.transcript.is_empty() {
+        usage("--transcript is required");
+    }
+
+    let text = std::fs::read_to_string(&opts.transcript)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", opts.transcript)));
+    let transcript =
+        Transcript::parse(&text).unwrap_or_else(|e| fail(&format!("{}: {e}", opts.transcript)));
+
+    let mut hosted = None;
+    let addr = match &opts.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = Server::start(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads: opts.threads,
+            })
+            .unwrap_or_else(|e| fail(&format!("cannot spawn server: {e}")));
+            let addr = server.addr().to_string();
+            hosted = Some(server);
+            addr
+        }
+    };
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+
+    let status = if opts.record {
+        let recorded = transcript
+            .record(&mut client)
+            .unwrap_or_else(|e| fail(&format!("record failed: {e}")));
+        std::fs::write(&opts.transcript, recorded.render())
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.transcript)));
+        println!(
+            "serve-replay: recorded {} step(s) into {}",
+            recorded.steps.len(),
+            opts.transcript
+        );
+        0
+    } else {
+        let report: ReplayReport = transcript
+            .replay(&mut client)
+            .unwrap_or_else(|e| fail(&format!("replay failed: {e}")));
+        if let Some(out) = &opts.out {
+            let actual = apply_report(&transcript, &report);
+            std::fs::write(out, actual.render())
+                .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        }
+        if report.ok() {
+            println!(
+                "serve-replay: OK — {} step(s) byte-identical ({} threads)",
+                report.steps, opts.threads
+            );
+            0
+        } else {
+            eprintln!(
+                "serve-replay: {} of {} step(s) diverged:\n{}",
+                report.mismatches.len(),
+                report.steps,
+                report.diff()
+            );
+            1
+        }
+    };
+    drop(client);
+    if let Some(mut server) = hosted {
+        server.stop();
+    }
+    std::process::exit(status);
+}
+
+/// The transcript as the server actually replied: expected lines with
+/// every mismatching step's lines replaced by the actual ones.
+fn apply_report(transcript: &Transcript, report: &ReplayReport) -> Transcript {
+    let mut actual = transcript.clone();
+    for m in &report.mismatches {
+        actual.steps[m.step].expect = m.actual.clone();
+    }
+    actual
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!(
+        "serve-replay: {message}\nusage: serve-replay --transcript FILE [--addr ADDR | --spawn] [--threads N] [--out FILE] [--record]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve-replay: {message}");
+    std::process::exit(2);
+}

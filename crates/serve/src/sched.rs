@@ -1,0 +1,147 @@
+//! A fixed-width worker pool for request execution.
+//!
+//! The server parks every request's execution on this pool, so
+//! `--threads N` bounds how many sessions make progress simultaneously.
+//! Determinism does not depend on the width: a connection blocks until
+//! its request's job completes (one outstanding request per connection)
+//! and each session is locked while it steps, so the pool only changes
+//! *wall-clock* overlap between sessions — never the byte stream any
+//! one connection observes. The golden-transcript test replays the same
+//! script at width 1 and width 4 and requires identical bytes.
+//!
+//! Offline stand-in note: with registry access this would be a tokio
+//! runtime; the workspace vendors no async executor, so the pool is
+//! plain `std::thread` + channels, which the deterministic design never
+//! needed to be more than.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads draining a shared job queue.
+pub struct WorkerPool {
+    sender: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    width: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `width` workers (clamped to at least 1).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..width)
+            .map(|k| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("edb-serve-worker-{k}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().expect("queue lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                // A panicking job must not take the worker
+                                // down with it; the submitter sees the
+                                // panic through its dropped result channel.
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(_) => return, // pool dropped
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(workers),
+            width,
+        }
+    }
+
+    /// The number of workers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `job` on a worker and blocks until it finishes, returning
+    /// its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job panicked on the worker or the pool is shut
+    /// down.
+    pub fn run<R: Send + 'static>(&self, job: impl FnOnce() -> R + Send + 'static) -> R {
+        let (tx, rx) = mpsc::channel();
+        {
+            let guard = self.sender.lock().expect("sender lock");
+            let sender = guard.as_ref().expect("pool is shut down");
+            sender
+                .send(Box::new(move || {
+                    let _ = tx.send(job());
+                }))
+                .expect("workers alive");
+        }
+        rx.recv()
+            .expect("job completed without a result (panicked?)")
+    }
+
+    /// Stops accepting jobs and joins every worker.
+    pub fn shutdown(&self) {
+        self.sender.lock().expect("sender lock").take();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_jobs_and_returns_results() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.run(|| 6 * 7), 42);
+        let results: Vec<u32> = (0..16u32).map(|k| pool.run(move || k * k)).collect();
+        assert_eq!(results[15], 225);
+    }
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.width(), 1);
+        assert_eq!(pool.run(|| "ok"), "ok");
+    }
+
+    #[test]
+    fn survives_a_panicking_job() {
+        let pool = WorkerPool::new(1);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|| panic!("job exploded"));
+        }));
+        assert!(caught.is_err());
+        // The single worker is still alive and serving.
+        assert_eq!(pool.run(|| 5), 5);
+    }
+}

@@ -1,0 +1,243 @@
+//! The TCP front of the service: accept loop, per-connection line
+//! protocol, shutdown.
+//!
+//! One thread per connection reads newline-delimited JSON-RPC requests;
+//! each request executes on the shared [`WorkerPool`], so `--threads`
+//! bounds simultaneous engine work across connections. A connection
+//! issues requests strictly in order and blocks for each response,
+//! which is what makes transcripts deterministic — the server never
+//! reorders one client's requests.
+
+use crate::hub::{ConnState, SessionHub};
+use crate::sched::WorkerPool;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool width — how many sessions make progress at once.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+        }
+    }
+}
+
+/// A running session server. Dropping it (or calling
+/// [`stop`](Server::stop)) shuts it down and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    hub: Arc<SessionHub>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let hub = Arc::new(SessionHub::new());
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let hub = Arc::clone(&hub);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("edb-serve-accept".to_string())
+                .spawn(move || {
+                    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let hub = Arc::clone(&hub);
+                                let pool = Arc::clone(&pool);
+                                let stop = Arc::clone(&stop);
+                                let handle = std::thread::Builder::new()
+                                    .name("edb-serve-conn".to_string())
+                                    .spawn(move || {
+                                        let _ = serve_connection(stream, &hub, &pool, &stop);
+                                    })
+                                    .expect("spawn connection thread");
+                                conns.push(handle);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                    for handle in conns {
+                        let _ = handle.join();
+                    }
+                })?
+        };
+
+        Ok(Server {
+            addr,
+            hub,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub, for in-process inspection.
+    pub fn hub(&self) -> &SessionHub {
+        &self.hub
+    }
+
+    /// Signals shutdown and joins the accept loop and every connection.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server stops (a client called `shutdown`, or
+    /// [`stop`](Server::stop) from another thread).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection until EOF, error, or server shutdown. Reads
+/// use a short timeout so a parked connection notices a server-wide
+/// shutdown promptly.
+fn serve_connection(
+    stream: TcpStream,
+    hub: &Arc<SessionHub>,
+    pool: &WorkerPool,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // The connection's view of the hub; shared with the worker closure
+    // executing the current request (one request in flight at a time).
+    let conn = Arc::new(Mutex::new(ConnState::new()));
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // A final unterminated line: serve it and then EOF.
+                    line.push('\n');
+                }
+                let text = std::mem::take(&mut line);
+                let text = text.trim().to_string();
+                if text.is_empty() {
+                    continue;
+                }
+                let out = {
+                    let hub = Arc::clone(hub);
+                    let conn = Arc::clone(&conn);
+                    pool.run(move || {
+                        let mut conn = conn.lock().expect("conn lock");
+                        hub.dispatch(&mut conn, &text)
+                    })
+                };
+                for reply in &out.lines {
+                    writer.write_all(reply.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                }
+                writer.flush()?;
+                if out.shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Timeout with a possibly partial line buffered in
+                // `line`; keep accumulating on the next pass.
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        // Skip notifications; the response is the first line with "id".
+        loop {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            if reply.contains(r#""id":"#) {
+                return reply.trim().to_string();
+            }
+        }
+    }
+
+    #[test]
+    fn serves_a_round_trip_and_shuts_down() {
+        let mut server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+        })
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let info = request(
+            &mut stream,
+            &mut reader,
+            r#"{"jsonrpc":"2.0","id":1,"method":"server_info","params":{}}"#,
+        );
+        assert!(info.contains(r#""name":"edb-serve""#), "{info}");
+        let bye = request(
+            &mut stream,
+            &mut reader,
+            r#"{"jsonrpc":"2.0","id":2,"method":"shutdown","params":{}}"#,
+        );
+        assert!(bye.contains(r#""ok":true"#), "{bye}");
+        server.wait();
+    }
+}
