@@ -1,0 +1,67 @@
+//! Exports a benchmark-trend snapshot from a run manifest.
+//!
+//! Reads `target/experiments/manifest.json` (or `--manifest PATH`) and
+//! writes a single-snapshot [`TrendFile`] — the unit the `bench-trend`
+//! CI step appends to the downloaded history and gates against.
+//!
+//! ```text
+//! bench_export [--manifest PATH] [--out PATH] [--commit SHA]
+//!              [--host NAME] [--date-unix SECS]
+//! ```
+//!
+//! Defaults: manifest from the standard artifact path, output to
+//! `target/experiments/BENCH_7.json`, commit from `$GITHUB_SHA` (or
+//! `unknown`), host from `$EDB_BENCH_HOST` (or `local-dev`), date from
+//! the system clock.
+
+use edb_bench::runner::Manifest;
+use edb_bench::trend::{civil_date, snapshot_from_manifest, TrendFile};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let manifest_path = flag_value(&args, "--manifest")
+        .unwrap_or_else(|| "target/experiments/manifest.json".to_string());
+    let out_path =
+        flag_value(&args, "--out").unwrap_or_else(|| "target/experiments/BENCH_7.json".to_string());
+    let commit = flag_value(&args, "--commit")
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let host = flag_value(&args, "--host")
+        .or_else(|| std::env::var("EDB_BENCH_HOST").ok())
+        .unwrap_or_else(|| "local-dev".to_string());
+    let unix = flag_value(&args, "--date-unix")
+        .map(|s| s.parse::<u64>().expect("--date-unix takes seconds"))
+        .unwrap_or_else(|| {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .expect("clock after 1970")
+                .as_secs()
+        });
+
+    let json = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("cannot read {manifest_path}: {e}"));
+    let manifest: Manifest =
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("malformed manifest: {e}"));
+
+    let snapshot = snapshot_from_manifest(&manifest, &commit, &civil_date(unix), &host);
+    println!(
+        "[bench_export] commit {} host {} total {:.2}s fleet {:.3e} tag·cycles/sec",
+        snapshot.commit, snapshot.host, snapshot.total_wall_s, snapshot.tag_cycles_per_sec
+    );
+
+    let mut file = TrendFile::new();
+    file.snapshots.push(snapshot);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, file.render()).expect("write snapshot");
+    println!("[bench_export] wrote {out_path}");
+}

@@ -1,0 +1,114 @@
+//! The benchmark-trend regression gate.
+//!
+//! Merges the history trend file(s) with a fresh snapshot and fails
+//! (exit 1) when fleet throughput dropped more than the threshold
+//! below the best same-host run on record:
+//!
+//! ```text
+//! bench_trend --new PATH [--history PATH]... [--out PATH]
+//!             [--threshold FRACTION]
+//! ```
+//!
+//! Missing history files are skipped with a note (first run of a
+//! repository has none); an empty usable history passes trivially and
+//! seeds the trend. The merged file (history + new snapshot, oldest
+//! first) is written to `--out` for upload as the next run's history.
+
+use edb_bench::trend::{gate, GateOutcome, TrendFile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut new_path: Option<String> = None;
+    let mut history_paths: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut threshold = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--new" => {
+                new_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--history" => {
+                history_paths.push(args[i + 1].clone());
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--threshold" => {
+                threshold = args[i + 1].parse().expect("--threshold takes a fraction");
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let new_path = new_path.expect("--new PATH is required");
+
+    let new_file = TrendFile::parse(
+        &std::fs::read_to_string(&new_path)
+            .unwrap_or_else(|e| panic!("cannot read {new_path}: {e}")),
+    )
+    .expect("new snapshot parses");
+    let new = new_file
+        .snapshots
+        .last()
+        .expect("new snapshot file holds at least one snapshot")
+        .clone();
+
+    let mut history = Vec::new();
+    for path in &history_paths {
+        match std::fs::read_to_string(path) {
+            Ok(json) => match TrendFile::parse(&json) {
+                Ok(file) => {
+                    println!(
+                        "[bench_trend] history {path}: {} snapshot(s)",
+                        file.snapshots.len()
+                    );
+                    history.extend(file.snapshots);
+                }
+                Err(e) => println!("[bench_trend] skipping {path}: {e}"),
+            },
+            Err(_) => println!("[bench_trend] no history at {path} (first run?)"),
+        }
+    }
+
+    let outcome = gate(&history, &new, threshold);
+    match &outcome {
+        GateOutcome::NoBaseline => println!(
+            "[bench_trend] no {} baseline — {:.3e} tag·cycles/sec seeds the trend",
+            new.host, new.tag_cycles_per_sec
+        ),
+        GateOutcome::Compared {
+            best,
+            best_commit,
+            ratio,
+            pass,
+        } => println!(
+            "[bench_trend] {:.3e} vs best {best:.3e} (commit {best_commit}): {:.1}% of best — {}",
+            new.tag_cycles_per_sec,
+            ratio * 100.0,
+            if *pass { "PASS" } else { "REGRESSION" }
+        ),
+    }
+
+    if let Some(out) = out_path {
+        let mut merged = TrendFile::new();
+        merged.snapshots = history;
+        merged.snapshots.push(new);
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&out, merged.render()).expect("write merged trend");
+        println!("[bench_trend] wrote {out}");
+    }
+
+    if !outcome.pass() {
+        eprintln!(
+            "[bench_trend] FAIL: throughput regressed more than {:.0}% below the best recorded run",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

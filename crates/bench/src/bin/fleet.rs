@@ -1,0 +1,10 @@
+//! Runs the fleet-scale Gen2 inventory sweep. See `edb_bench::fleet`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed),
+//! `--max-trials M` (cap cells per fleet — smoke runs).
+fn main() {
+    let cli = edb_bench::runner::Cli::from_env();
+    for result in cli.runner().run_experiments(&[edb_bench::fleet::SPEC]) {
+        println!("{}", result.report);
+    }
+}

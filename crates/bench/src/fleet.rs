@@ -1,0 +1,152 @@
+//! **Fleet** — Gen2 inventory at population scale, 10² → 10⁴ tags.
+//!
+//! The paper debugs one tag; a deployment has thousands sharing one
+//! carrier. This experiment sweeps fleet sizes through the reduced-order
+//! [`FleetSim`] path: per-tag distance-scaled harvest, Q-slot collision
+//! arbitration, struct-of-arrays span stepping — sharded over the
+//! work-stealing trial pool in fixed *cells* of [`CELL_SIZE`] tags.
+//!
+//! Determinism contract: the cell count is a pure function of the fleet
+//! size (`ceil(n / CELL_SIZE)`), each cell's seed derives from
+//! `seed_for(root, "fleet/<n>", cell_index)`, and cell results merge in
+//! cell order — so the manifest is bit-identical at any `--threads`
+//! value and any scheduling of cells across the pool. Wall-clock
+//! throughput (tag·cycles/sec) is inherently machine-dependent and is
+//! therefore reported in the *lines* and the benchmark snapshot only,
+//! never as a manifest metric.
+
+use crate::runner::{ExperimentSpec, Runner};
+use crate::{write_artifact, Report};
+use edb_core::fleet::{FleetCellStats, FleetConfig, FleetSim};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Tags per reader cell. Fixed: changing it changes cell boundaries and
+/// therefore every per-cell seed — i.e. it is part of the experiment's
+/// identity, not a tuning knob.
+pub const CELL_SIZE: usize = 625;
+
+/// Fleet sizes swept, 10² → 10⁴.
+pub const SWEEP: [usize; 3] = [100, 1_000, 10_000];
+
+/// The suite entry for this experiment.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fleet",
+    title: "Fleet: Gen2 inventory at 100..10k tags",
+    run: run_spec,
+};
+
+/// Number of cells a fleet of `n` tags shards into.
+pub fn cells_for(n: usize) -> usize {
+    n.div_ceil(CELL_SIZE)
+}
+
+/// Runs every cell of an `n`-tag fleet through the runner's pool and
+/// merges the results in cell order.
+pub fn run_fleet(runner: &Runner, n: usize) -> FleetCellStats {
+    let config = FleetConfig::standard(n);
+    let experiment = format!("fleet/{n}");
+    let cells = runner.map_trials(&experiment, cells_for(n), |ctx| {
+        let base = ctx.trial * CELL_SIZE;
+        let n_local = CELL_SIZE.min(n - base);
+        let mut sim = FleetSim::new_cell(config, base, n_local, ctx.seed);
+        sim.run();
+        sim.stats()
+    });
+    let mut total = FleetCellStats::default();
+    for cell in &cells {
+        total.merge(cell);
+    }
+    total
+}
+
+fn run_spec(runner: &Runner) -> Report {
+    let mut report = Report::new(SPEC.title);
+    report.line(format!(
+        "{} tags per cell; cells derive only from fleet size, so any",
+        CELL_SIZE
+    ));
+    report.line("thread count or cell grouping merges to identical totals.");
+    report.line(String::new());
+
+    let mut summary = String::from("{\n  \"cell_size\": 625,\n  \"fleets\": [\n");
+    for (idx, &n) in SWEEP.iter().enumerate() {
+        let t0 = Instant::now();
+        let stats = run_fleet(runner, n);
+        let wall = t0.elapsed().as_secs_f64();
+
+        let slots = stats.gen2.slots();
+        let unique_pct = 100.0 * stats.unique_tags_read as f64 / stats.tags.max(1) as f64;
+        let collision_pct = 100.0 * stats.gen2.collision_slots as f64 / slots.max(1) as f64;
+        let rate = stats.tag_cycles / wall.max(1e-9);
+        report.line(format!(
+            "n={n:>6}: {cells} cells, {rounds} rounds, {slots} slots, \
+             {epcs} EPCs ({unique_pct:.1}% unique), {collision_pct:.1}% collided, q {qlo}..{qhi}",
+            cells = cells_for(n),
+            rounds = stats.gen2.rounds,
+            epcs = stats.gen2.epcs_read,
+            qlo = stats.q_lo,
+            qhi = stats.q_hi,
+        ));
+        report.line(format!(
+            "          {:.3e} tag·cycles in {wall:.2} s wall = {rate:.3e} tag·cycles/sec",
+            stats.tag_cycles
+        ));
+
+        // Deterministic metrics only — the golden manifest compares
+        // these bit-exactly across machines and thread counts.
+        report.metric(format!("tags_{n}"), stats.tags as f64);
+        report.metric(format!("rounds_{n}"), stats.gen2.rounds as f64);
+        report.metric(format!("slots_{n}"), slots as f64);
+        report.metric(format!("epcs_{n}"), stats.gen2.epcs_read as f64);
+        report.metric(format!("collisions_{n}"), stats.gen2.collision_slots as f64);
+        report.metric(format!("unique_read_pct_{n}"), unique_pct);
+        report.metric(format!("tag_cycles_{n}"), stats.tag_cycles);
+        report.metric(format!("power_cycles_{n}"), stats.power_cycles as f64);
+
+        // The JSON artifact is also deterministic (no wall time): the
+        // fleet-smoke CI job byte-compares it across thread counts.
+        let _ = write!(
+            summary,
+            "    {{\"n\": {n}, \"cells\": {}, \"rounds\": {}, \"slots\": {slots}, \
+             \"epcs\": {}, \"collisions\": {}, \"corrupt\": {}, \"empty\": {}, \
+             \"unique_tags_read\": {}, \"tag_cycles\": {:.6e}, \"power_cycles\": {}}}{}",
+            cells_for(n),
+            stats.gen2.rounds,
+            stats.gen2.epcs_read,
+            stats.gen2.collision_slots,
+            stats.gen2.corrupt_slots,
+            stats.gen2.empty_slots,
+            stats.unique_tags_read,
+            stats.tag_cycles,
+            stats.power_cycles,
+            if idx + 1 == SWEEP.len() { "\n" } else { ",\n" },
+        );
+    }
+    summary.push_str("  ]\n}\n");
+    let path = write_artifact("fleet_summary.json", &summary);
+    report.line(String::new());
+    report.line(format!("fleet summary -> {path}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_count_is_a_pure_function_of_n() {
+        assert_eq!(cells_for(1), 1);
+        assert_eq!(cells_for(100), 1);
+        assert_eq!(cells_for(625), 1);
+        assert_eq!(cells_for(626), 2);
+        assert_eq!(cells_for(1_000), 2);
+        assert_eq!(cells_for(10_000), 16);
+    }
+
+    #[test]
+    fn sweep_covers_two_decades() {
+        assert_eq!(SWEEP[0], 100);
+        assert_eq!(*SWEEP.last().unwrap(), 10_000);
+    }
+}

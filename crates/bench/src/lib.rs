@@ -34,11 +34,13 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig7;
 pub mod fig9;
+pub mod fleet;
 pub mod harness;
 pub mod runner;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod trend;
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -127,6 +129,7 @@ pub fn all_specs() -> Vec<runner::ExperimentSpec> {
         fig9::SPEC,
         fig11::SPEC,
         fig12::SPEC,
+        fleet::SPEC,
         claims::SPEC,
         ablations::SPEC,
     ]

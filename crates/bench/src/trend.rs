@@ -1,0 +1,308 @@
+//! Performance-trend snapshots and the CI regression gate.
+//!
+//! Every benchmark run can be exported as a [`BenchSnapshot`]: the
+//! per-experiment wall times from the run manifest, the fleet's
+//! tag·cycles/sec throughput, and enough provenance (commit, date,
+//! host) to make the number meaningful later. Snapshots accumulate in
+//! a [`TrendFile`] (`BENCH_7.json`); the CI `bench-trend` step
+//! downloads the previous run's file, appends the fresh snapshot, and
+//! **fails the build** when throughput regressed more than the
+//! threshold against the best recorded run.
+//!
+//! Wall-clock numbers only compare within one machine class, so the
+//! gate matches snapshots by `host`: a laptop snapshot committed to
+//! the repo (host `local-dev`) can never fail a CI runner (host
+//! `github-ci`), and vice versa. A run with no same-host baseline
+//! passes trivially — it *becomes* the baseline.
+
+use crate::runner::Manifest;
+use serde::{Deserialize, Serialize};
+
+/// Current schema tag; bump on breaking layout changes.
+pub const TREND_SCHEMA: &str = "edb-bench-trend/1";
+
+/// Wall time of one experiment in one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentWall {
+    /// Experiment name (`fleet`, `fig12`, ...).
+    pub name: String,
+    /// Wall-clock seconds the experiment took.
+    pub wall_s: f64,
+}
+
+/// One benchmark run, pinned to a commit, date, and machine class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Commit hash the run was built from.
+    pub commit: String,
+    /// ISO-8601 date (UTC) of the run.
+    pub date: String,
+    /// Machine class (`github-ci`, `local-dev`, ...): the gate only
+    /// compares snapshots sharing a host.
+    pub host: String,
+    /// End-to-end wall seconds of the whole suite run.
+    pub total_wall_s: f64,
+    /// Fleet throughput: simulated tag·cycles per wall second.
+    pub tag_cycles_per_sec: f64,
+    /// Per-experiment wall times, in manifest order.
+    pub experiments: Vec<ExperimentWall>,
+}
+
+/// The accumulating trend artifact (`BENCH_7.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendFile {
+    /// Schema tag — [`TREND_SCHEMA`].
+    pub schema: String,
+    /// Snapshots in append order (oldest first).
+    pub snapshots: Vec<BenchSnapshot>,
+}
+
+impl TrendFile {
+    /// An empty trend file at the current schema.
+    pub fn new() -> Self {
+        TrendFile {
+            schema: TREND_SCHEMA.to_string(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Parses a trend file, rejecting unknown schemas.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let file: TrendFile =
+            serde_json::from_str(json).map_err(|e| format!("malformed trend file: {e}"))?;
+        if file.schema != TREND_SCHEMA {
+            return Err(format!(
+                "unsupported trend schema {:?} (expected {TREND_SCHEMA:?})",
+                file.schema
+            ));
+        }
+        Ok(file)
+    }
+
+    /// Serializes with stable, human-diffable formatting.
+    pub fn render(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("trend file serializes");
+        s.push('\n');
+        s
+    }
+}
+
+impl Default for TrendFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds a snapshot from a run [`Manifest`].
+///
+/// Throughput is `Σ tag_cycles_* metrics of the fleet experiment ÷ the
+/// fleet experiment's wall time` — simulated work over real time. Runs
+/// without a fleet experiment get zero throughput (and will pass the
+/// gate trivially, since zero can't be a best run while any real one
+/// exists... the gate also skips zero-throughput snapshots as
+/// baselines).
+pub fn snapshot_from_manifest(
+    manifest: &Manifest,
+    commit: &str,
+    date: &str,
+    host: &str,
+) -> BenchSnapshot {
+    let mut tag_cycles = 0.0;
+    let mut fleet_wall = 0.0;
+    let mut experiments = Vec::new();
+    for entry in &manifest.experiments {
+        experiments.push(ExperimentWall {
+            name: entry.name.clone(),
+            wall_s: entry.wall_s,
+        });
+        if entry.name == "fleet" {
+            fleet_wall = entry.wall_s;
+            tag_cycles = entry
+                .metrics
+                .iter()
+                .filter(|(k, _)| k.starts_with("tag_cycles_"))
+                .map(|(_, v)| *v)
+                .sum();
+        }
+    }
+    BenchSnapshot {
+        commit: commit.to_string(),
+        date: date.to_string(),
+        host: host.to_string(),
+        total_wall_s: manifest.total_wall_s,
+        tag_cycles_per_sec: if fleet_wall > 0.0 {
+            tag_cycles / fleet_wall
+        } else {
+            0.0
+        },
+        experiments,
+    }
+}
+
+/// Outcome of the regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// No usable same-host baseline: the new snapshot seeds the trend.
+    NoBaseline,
+    /// Compared against the best same-host run.
+    Compared {
+        /// Best prior tag·cycles/sec on this host.
+        best: f64,
+        /// Commit of that best run.
+        best_commit: String,
+        /// `new / best` — above `1 − threshold` passes.
+        ratio: f64,
+        /// Whether the gate passes.
+        pass: bool,
+    },
+}
+
+impl GateOutcome {
+    /// Whether the build should go green.
+    pub fn pass(&self) -> bool {
+        match self {
+            GateOutcome::NoBaseline => true,
+            GateOutcome::Compared { pass, .. } => *pass,
+        }
+    }
+}
+
+/// Gates `new` against the best same-host snapshot in `history`.
+///
+/// `threshold` is the tolerated fractional drop (0.10 = fail when more
+/// than 10 % below the best recorded throughput). Zero-throughput
+/// snapshots (runs without the fleet experiment) never form a
+/// baseline.
+pub fn gate(history: &[BenchSnapshot], new: &BenchSnapshot, threshold: f64) -> GateOutcome {
+    let best = history
+        .iter()
+        .filter(|s| s.host == new.host && s.tag_cycles_per_sec > 0.0)
+        .max_by(|a, b| {
+            a.tag_cycles_per_sec
+                .partial_cmp(&b.tag_cycles_per_sec)
+                .expect("throughputs are finite")
+        });
+    match best {
+        None => GateOutcome::NoBaseline,
+        Some(b) => {
+            let ratio = new.tag_cycles_per_sec / b.tag_cycles_per_sec;
+            GateOutcome::Compared {
+                best: b.tag_cycles_per_sec,
+                best_commit: b.commit.clone(),
+                ratio,
+                pass: ratio >= 1.0 - threshold,
+            }
+        }
+    }
+}
+
+/// Unix seconds → ISO-8601 UTC date (`YYYY-MM-DD`), no libc `gmtime`.
+///
+/// Uses Howard Hinnant's `civil_from_days` algorithm; exact over the
+/// whole u64 range of realistic timestamps.
+pub fn civil_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(host: &str, rate: f64, commit: &str) -> BenchSnapshot {
+        BenchSnapshot {
+            commit: commit.to_string(),
+            date: "2026-08-09".to_string(),
+            host: host.to_string(),
+            total_wall_s: 10.0,
+            tag_cycles_per_sec: rate,
+            experiments: vec![ExperimentWall {
+                name: "fleet".to_string(),
+                wall_s: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn empty_history_passes_trivially() {
+        let new = snap("github-ci", 1e10, "abc");
+        assert_eq!(gate(&[], &new, 0.10), GateOutcome::NoBaseline);
+        assert!(gate(&[], &new, 0.10).pass());
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let history = vec![
+            snap("github-ci", 1e10, "aaa"),
+            snap("github-ci", 8e9, "bbb"),
+        ];
+        // 9.1e9 vs best 1e10: 9% drop — passes at 10%.
+        assert!(gate(&history, &snap("github-ci", 9.1e9, "ccc"), 0.10).pass());
+        // 8.9e9: 11% drop — fails.
+        let out = gate(&history, &snap("github-ci", 8.9e9, "ddd"), 0.10);
+        assert!(!out.pass());
+        match out {
+            GateOutcome::Compared {
+                best, best_commit, ..
+            } => {
+                assert_eq!(best, 1e10);
+                assert_eq!(best_commit, "aaa");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_hosts_never_form_the_baseline() {
+        // A fast laptop snapshot must not gate a CI runner.
+        let history = vec![snap("local-dev", 1e12, "aaa")];
+        let out = gate(&history, &snap("github-ci", 1e9, "bbb"), 0.10);
+        assert_eq!(out, GateOutcome::NoBaseline);
+    }
+
+    #[test]
+    fn zero_throughput_runs_are_not_baselines() {
+        let history = vec![snap("github-ci", 0.0, "aaa")];
+        assert_eq!(
+            gate(&history, &snap("github-ci", 1e9, "bbb"), 0.10),
+            GateOutcome::NoBaseline
+        );
+    }
+
+    #[test]
+    fn trend_file_round_trips() {
+        let mut f = TrendFile::new();
+        f.snapshots.push(snap("github-ci", 1e10, "abc"));
+        let parsed = TrendFile::parse(&f.render()).expect("parses");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let json = r#"{"schema": "edb-bench-trend/99", "snapshots": []}"#;
+        assert!(TrendFile::parse(json).is_err());
+    }
+
+    #[test]
+    fn civil_date_matches_known_values() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_399), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // 2026-08-09 00:00:00 UTC.
+        assert_eq!(civil_date(1_786_233_600), "2026-08-09");
+        // Leap day 2024-02-29.
+        assert_eq!(civil_date(1_709_164_800), "2024-02-29");
+        // Century non-leap boundary.
+        assert_eq!(civil_date(951_782_400), "2000-02-29");
+    }
+}

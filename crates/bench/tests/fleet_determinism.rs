@@ -1,0 +1,123 @@
+//! The fleet experiment's determinism contract, held at test level:
+//!
+//! * identical metrics (bit-for-bit, `f64::to_bits`) at `--threads`
+//!   1, 4 and 8 — the work-stealing pool must not leak scheduling into
+//!   results;
+//! * cell-grouping invariance — merging per-cell stats in cell order
+//!   gives the same totals no matter how cells were batched;
+//! * seed sensitivity — different root seeds give different fleets
+//!   (the metrics aren't constants that would vacuously pass).
+
+use edb_bench::fleet::{cells_for, run_fleet, CELL_SIZE};
+use edb_bench::runner::Runner;
+use edb_core::fleet::{FleetCellStats, FleetConfig, FleetSim};
+
+/// Metrics that must survive thread-count changes bit-for-bit.
+fn fingerprint(runner: &Runner, n: usize) -> Vec<u64> {
+    let s = run_fleet(runner, n);
+    vec![
+        s.gen2.rounds,
+        s.gen2.slots(),
+        s.gen2.epcs_read,
+        s.gen2.collision_slots,
+        s.gen2.query_adjusts,
+        s.unique_tags_read,
+        s.power_cycles,
+        s.tag_cycles.to_bits(),
+        s.sim_seconds.to_bits(),
+    ]
+}
+
+#[test]
+fn metrics_are_bit_identical_across_thread_counts() {
+    for n in [100usize, 1_000, 2_000] {
+        let baseline = fingerprint(&Runner::new(1, 42), n);
+        for threads in [4usize, 8] {
+            let got = fingerprint(&Runner::new(threads, 42), n);
+            assert_eq!(baseline, got, "n={n} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_the_fleet() {
+    let a = fingerprint(&Runner::new(2, 42), 1_000);
+    let b = fingerprint(&Runner::new(2, 43), 1_000);
+    assert_ne!(a, b, "seed must reach the simulation");
+}
+
+#[test]
+fn cell_grouping_cannot_change_the_merge() {
+    // Simulate the cells of a 2000-tag fleet by hand with the same
+    // per-cell seeds the runner derives, then merge them serially,
+    // pairwise, and in reverse-computation order: all equal the
+    // runner's own result.
+    let n = 2_000usize;
+    let runner = Runner::new(3, 42);
+    let via_runner = run_fleet(&runner, n);
+
+    let config = FleetConfig::standard(n);
+    let experiment = format!("fleet/{n}");
+    let cell_stats: Vec<FleetCellStats> = (0..cells_for(n))
+        .map(|cell| {
+            let seed = edb_bench::runner::seed_for(42, &experiment, cell as u64);
+            let base = cell * CELL_SIZE;
+            let n_local = CELL_SIZE.min(n - base);
+            let mut sim = FleetSim::new_cell(config, base, n_local, seed);
+            sim.run();
+            sim.stats()
+        })
+        .collect();
+
+    // Serial merge in cell order.
+    let mut serial = FleetCellStats::default();
+    for s in &cell_stats {
+        serial.merge(s);
+    }
+    assert_eq!(via_runner, serial);
+    assert_eq!(via_runner.tag_cycles.to_bits(), serial.tag_cycles.to_bits());
+
+    // Computing cells in reverse order, merging in cell order, is
+    // identical: a cell's result depends only on (config, base, seed).
+    let mut reversed: Vec<(usize, FleetCellStats)> = (0..cells_for(n))
+        .rev()
+        .map(|cell| {
+            let seed = edb_bench::runner::seed_for(42, &experiment, cell as u64);
+            let base = cell * CELL_SIZE;
+            let n_local = CELL_SIZE.min(n - base);
+            let mut sim = FleetSim::new_cell(config, base, n_local, seed);
+            sim.run();
+            (cell, sim.stats())
+        })
+        .collect();
+    reversed.sort_by_key(|(cell, _)| *cell);
+    let mut out_of_order = FleetCellStats::default();
+    for (_, s) in &reversed {
+        out_of_order.merge(s);
+    }
+    assert_eq!(serial, out_of_order);
+}
+
+#[test]
+fn max_trials_caps_cells_as_a_prefix() {
+    // A capped run must simulate exactly the first cells of the full
+    // run — same seeds, same per-cell results.
+    let n = 2_000usize;
+    let full = Runner::new(2, 42);
+    let capped = Runner::new(2, 42).with_max_trials(Some(2));
+    let full_stats = run_fleet(&full, n);
+    let capped_stats = run_fleet(&capped, n);
+    assert_eq!(capped_stats.tags, 2 * CELL_SIZE as u64);
+    assert!(capped_stats.gen2.rounds < full_stats.gen2.rounds);
+
+    // The capped total equals a hand-merge of the first two cells.
+    let config = FleetConfig::standard(n);
+    let mut expect = FleetCellStats::default();
+    for cell in 0..2 {
+        let seed = edb_bench::runner::seed_for(42, &format!("fleet/{n}"), cell as u64);
+        let mut sim = FleetSim::new_cell(config, cell * CELL_SIZE, CELL_SIZE, seed);
+        sim.run();
+        expect.merge(&sim.stats());
+    }
+    assert_eq!(capped_stats, expect);
+}

@@ -66,6 +66,7 @@ pub mod console;
 pub mod debugger;
 pub mod error;
 pub mod events;
+pub mod fleet;
 pub mod libedb;
 pub mod protocol;
 pub mod session;
@@ -81,6 +82,7 @@ pub use debugger::{
 };
 pub use error::EdbError;
 pub use events::{DebugEvent, EventLog, LoggedEvent};
+pub use fleet::{FleetCellStats, FleetConfig, FleetEvent, FleetSim, TagStatus};
 pub use protocol::{FrameError, HostCommand};
 pub use session::{DebugSession, SessionBuilder, SessionStatus};
 pub use system::{System, SystemBuilder};

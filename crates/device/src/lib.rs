@@ -18,11 +18,13 @@
 
 pub mod accel;
 pub mod device;
+pub mod fleet;
 pub mod peripherals;
 pub mod ports;
 pub mod rf_frontend;
 
 pub use accel::{AccelSample, Accelerometer, Regime, SyntheticMotion};
 pub use device::{Device, DeviceConfig, DeviceEvent, DeviceStep, Peripherals};
+pub use fleet::{splitmix64, Fleet, TagMode, TagParams};
 pub use peripherals::{DebugLink, Gpio, SelfAdc, Timer, Uart};
 pub use rf_frontend::{Backscatter, RfFrontend};

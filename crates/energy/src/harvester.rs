@@ -215,6 +215,27 @@ impl RfField {
             v
         }
     }
+
+    /// Open-circuit voltage the field would deliver to a tag at
+    /// `meters`, independent of the field's own tag position — how a
+    /// fleet evaluates one shared carrier at N distances without
+    /// cloning the field per tag (modulation derate not applied; fleet
+    /// slot timing absorbs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meters` is not strictly positive.
+    pub fn v_oc_at(&self, meters: f64) -> f64 {
+        assert!(meters > 0.0, "distance must be positive");
+        self.v_oc_ref * self.d_ref / meters
+    }
+
+    /// Source resistance of the rectifier + matching network, ohms —
+    /// with the capacitance this sets the charging time constant the
+    /// analytic fleet path uses.
+    pub fn r_src(&self) -> f64 {
+        self.r_src
+    }
 }
 
 impl Harvester for RfField {

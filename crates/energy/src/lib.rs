@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analytic;
 pub mod budget;
 pub mod capacitor;
 pub mod ekho;
@@ -50,6 +51,7 @@ pub mod supervisor;
 pub mod time;
 pub mod trace;
 
+pub use analytic::{exp_det, ln_det, rc_advance, rc_time_to};
 pub use budget::{WISP5_CAPACITANCE, WISP5_V_OFF, WISP5_V_ON};
 pub use capacitor::Capacitor;
 pub use integrate::integrate_quantum;

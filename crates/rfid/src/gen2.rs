@@ -1,0 +1,535 @@
+//! Gen2 slotted-ALOHA inventory with Q-slot collision arbitration.
+//!
+//! The single-tag [`Reader`](crate::Reader) broadcasts `Query{q: 0}` on
+//! a fixed cadence — with one tag there is nothing to arbitrate. A
+//! *fleet* sharing one carrier needs the real Gen2 mechanism: the
+//! reader opens a round of `2^q` slots, every tag draws a random slot
+//! counter, and each `QueryRep` advances the round by one slot. A slot
+//! with exactly one replier completes the RN16 → `Ack` → EPC handshake;
+//! a slot where several tags backscatter at once is a *collision* — the
+//! reader hears garble and no EPC is read; an unclaimed slot is *empty*.
+//!
+//! The reader adapts `q` with the classic floating-point Q algorithm
+//! (Schoute-style): collisions push `q_fp` up by `c`, empties pull it
+//! down by `c`, singles leave it alone. When `round(q_fp)` drifts off
+//! the round's `q`, the reader cuts the round short with a
+//! [`QueryAdjust`](crate::Command::QueryAdjust) so the fleet redraws
+//! under the new slot count. At steady state `q` hovers near
+//! `log2(population)`, where the single-slot rate peaks — the
+//! convergence the `q_converges_under_collision_storm` test pins.
+//!
+//! This module is pure protocol: slot outcomes come *in* from the
+//! energy/tag layer (`edb-core::fleet` binds the two), command frames
+//! and timing come *out*. Everything is deterministic — the reader
+//! holds no RNG at all; randomness lives in the per-tag streams.
+
+use crate::message::Command;
+use edb_energy::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the reader heard in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// Nobody backscattered; the slot timed out.
+    Empty,
+    /// Exactly one tag replied and the full EPC handshake succeeded.
+    Single,
+    /// Exactly one tag replied but the reply arrived corrupt — the
+    /// reader hears garble it cannot ACK, indistinguishable from a
+    /// collision at the Q algorithm.
+    Corrupt,
+    /// Two or more tags backscattered on top of each other: no EPC.
+    Collision,
+}
+
+/// Parameters of the floating-point Q algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QParams {
+    /// Initial slot-count exponent.
+    pub q0: u8,
+    /// Step applied to `q_fp` per collision (up) or empty slot (down).
+    /// The standard recommends `0.1 ≤ c ≤ 0.5`.
+    pub c: f64,
+    /// Lower clamp on `q`.
+    pub q_min: u8,
+    /// Upper clamp on `q` (15 is the Gen2 field width).
+    pub q_max: u8,
+}
+
+impl QParams {
+    /// A mid-range starting point (`q0 = 4`, `c = 0.35`) that reaches
+    /// both a lone tag and a dense fleet within a few rounds.
+    pub fn adaptive() -> Self {
+        QParams {
+            q0: 4,
+            c: 0.35,
+            q_min: 0,
+            q_max: 15,
+        }
+    }
+
+    /// `q` frozen at a fixed exponent — `frozen(0)` reproduces the
+    /// legacy single-tag reader's `Query{q: 0}` behavior.
+    pub fn frozen(q: u8) -> Self {
+        QParams {
+            q0: q,
+            c: 0.0,
+            q_min: q,
+            q_max: q,
+        }
+    }
+}
+
+/// The floating-point Q adaptation state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QAlgorithm {
+    params: QParams,
+    q_fp: f64,
+}
+
+impl QAlgorithm {
+    /// Starts at `params.q0`.
+    pub fn new(params: QParams) -> Self {
+        QAlgorithm {
+            params,
+            q_fp: f64::from(params.q0),
+        }
+    }
+
+    /// The integer exponent the next round should use.
+    pub fn q(&self) -> u8 {
+        let q = self.q_fp.round();
+        (q.max(f64::from(self.params.q_min)) as u8).min(self.params.q_max)
+    }
+
+    /// The raw floating-point state (for drift hysteresis).
+    pub fn q_fp(&self) -> f64 {
+        self.q_fp
+    }
+
+    /// Folds one slot outcome into `q_fp`. Corrupt slots count as
+    /// collisions: the reader cannot tell garbled-by-noise from
+    /// garbled-by-overlap.
+    pub fn observe(&mut self, outcome: SlotOutcome) {
+        let (lo, hi) = (f64::from(self.params.q_min), f64::from(self.params.q_max));
+        match outcome {
+            SlotOutcome::Collision | SlotOutcome::Corrupt => {
+                self.q_fp = (self.q_fp + self.params.c).min(hi);
+            }
+            SlotOutcome::Empty => {
+                self.q_fp = (self.q_fp - self.params.c).max(lo);
+            }
+            SlotOutcome::Single => {}
+        }
+    }
+}
+
+/// Air-interface timing of the fleet reader.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gen2Timing {
+    /// Air time per frame byte (commands and backscatter alike).
+    pub byte_time: SimTime,
+    /// How long the reader waits on an unclaimed slot before moving on
+    /// (the `T1 + T3` no-reply window).
+    pub empty_slot_timeout: SimTime,
+}
+
+impl Gen2Timing {
+    /// A dense-reader link budget: 100 µs/byte (a faster Gen2 profile
+    /// than the paper's conservative single-tag cadence) and a 300 µs
+    /// no-reply window.
+    pub fn dense_reader() -> Self {
+        Gen2Timing {
+            byte_time: SimTime::from_us(100),
+            empty_slot_timeout: SimTime::from_us(300),
+        }
+    }
+
+    /// Air time of an `n`-byte frame.
+    pub fn air_time(&self, n_bytes: usize) -> SimTime {
+        SimTime::from_ns(n_bytes as u64 * self.byte_time.as_ns())
+    }
+}
+
+/// Cumulative inventory statistics, mergeable across fleet shards.
+///
+/// Every field is an exact integer count, so a sharded run merged in
+/// shard order is bit-identical to a serial run — the property the
+/// fleet determinism tests hold the bench harness to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gen2Stats {
+    /// Inventory rounds opened (Query + QueryAdjust).
+    pub rounds: u64,
+    /// `Query` commands sent.
+    pub queries: u64,
+    /// `QueryRep` commands sent.
+    pub query_reps: u64,
+    /// `QueryAdjust` commands sent (mid-round Q corrections).
+    pub query_adjusts: u64,
+    /// Slots that timed out with no reply.
+    pub empty_slots: u64,
+    /// Slots with exactly one clean reply (EPC read).
+    pub single_slots: u64,
+    /// Slots with one reply that arrived corrupt.
+    pub corrupt_slots: u64,
+    /// Slots where two or more tags collided.
+    pub collision_slots: u64,
+    /// EPCs successfully read.
+    pub epcs_read: u64,
+}
+
+impl Gen2Stats {
+    /// Total slots arbitrated.
+    pub fn slots(&self) -> u64 {
+        self.empty_slots + self.single_slots + self.corrupt_slots + self.collision_slots
+    }
+
+    /// Adds another shard's counts into this one.
+    pub fn merge(&mut self, other: &Gen2Stats) {
+        self.rounds += other.rounds;
+        self.queries += other.queries;
+        self.query_reps += other.query_reps;
+        self.query_adjusts += other.query_adjusts;
+        self.empty_slots += other.empty_slots;
+        self.single_slots += other.single_slots;
+        self.corrupt_slots += other.corrupt_slots;
+        self.collision_slots += other.collision_slots;
+        self.epcs_read += other.epcs_read;
+    }
+}
+
+/// The fleet reader's inventory state machine.
+///
+/// Drive it slot by slot: [`open_round`](Gen2Reader::open_round) yields
+/// the round-opening command and slot budget, then alternate
+/// [`next_slot`](Gen2Reader::next_slot) /
+/// [`report_slot`](Gen2Reader::report_slot) until the budget is spent
+/// or `report_slot` demands a restart (Q drifted — the next
+/// `open_round` emits `QueryAdjust` instead of `Query`).
+#[derive(Debug, Clone)]
+pub struct Gen2Reader {
+    timing: Gen2Timing,
+    session: u8,
+    q_alg: QAlgorithm,
+    round_q: u8,
+    adjust_pending: bool,
+    q_min_seen: u8,
+    q_max_seen: u8,
+    stats: Gen2Stats,
+}
+
+impl Gen2Reader {
+    /// A reader before its first round.
+    pub fn new(timing: Gen2Timing, session: u8, q: QParams) -> Self {
+        let q_alg = QAlgorithm::new(q);
+        let q0 = q_alg.q();
+        Gen2Reader {
+            timing,
+            session,
+            q_alg,
+            round_q: q0,
+            adjust_pending: false,
+            q_min_seen: q0,
+            q_max_seen: q0,
+            stats: Gen2Stats::default(),
+        }
+    }
+
+    /// The air timing in force.
+    pub fn timing(&self) -> Gen2Timing {
+        self.timing
+    }
+
+    /// The exponent of the round in progress.
+    pub fn q(&self) -> u8 {
+        self.round_q
+    }
+
+    /// Lowest and highest `q` any round has used — the adaptation range.
+    pub fn q_range_seen(&self) -> (u8, u8) {
+        (self.q_min_seen, self.q_max_seen)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> Gen2Stats {
+        self.stats
+    }
+
+    /// Opens a round: returns the command to put on the air and the
+    /// number of slots the round runs (`2^q`). The first slot of the
+    /// round is implicit in the opening command itself — tags holding
+    /// counter 0 reply right after it, without a `QueryRep`.
+    pub fn open_round(&mut self) -> (Command, u32) {
+        let q = self.q_alg.q();
+        let command = if self.adjust_pending {
+            self.adjust_pending = false;
+            self.stats.query_adjusts += 1;
+            let updn = match q.cmp(&self.round_q) {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+            Command::QueryAdjust {
+                session: self.session,
+                updn,
+            }
+        } else {
+            self.stats.queries += 1;
+            Command::Query {
+                q,
+                session: self.session,
+            }
+        };
+        self.round_q = q;
+        self.q_min_seen = self.q_min_seen.min(q);
+        self.q_max_seen = self.q_max_seen.max(q);
+        self.stats.rounds += 1;
+        (command, 1u32 << q)
+    }
+
+    /// Advances the round to its next slot (`QueryRep`).
+    pub fn next_slot(&mut self) -> Command {
+        self.stats.query_reps += 1;
+        Command::QueryRep {
+            session: self.session,
+        }
+    }
+
+    /// Reports what the slot produced. Returns `true` when the Q
+    /// algorithm wants the round restarted: the caller should stop
+    /// issuing `QueryRep`s and call
+    /// [`open_round`](Gen2Reader::open_round), which will emit the
+    /// `QueryAdjust`.
+    ///
+    /// Restarts use a full-step hysteresis — `q_fp` must have drifted a
+    /// whole exponent from the round's `q`, not merely crossed a
+    /// rounding boundary. Without it, `q_fp` sitting near `x.5` at
+    /// steady state aborts rounds every couple of slots and inventory
+    /// throughput collapses; with it, mid-round corrections still land
+    /// within ~⌈1/c⌉ slots of a genuine population shift. (A finished
+    /// round always reopens at the freshly rounded `q` regardless.)
+    pub fn report_slot(&mut self, outcome: SlotOutcome) -> bool {
+        match outcome {
+            SlotOutcome::Empty => self.stats.empty_slots += 1,
+            SlotOutcome::Single => {
+                self.stats.single_slots += 1;
+                self.stats.epcs_read += 1;
+            }
+            SlotOutcome::Corrupt => self.stats.corrupt_slots += 1,
+            SlotOutcome::Collision => self.stats.collision_slots += 1,
+        }
+        self.q_alg.observe(outcome);
+        if (self.q_alg.q_fp() - f64::from(self.round_q)).abs() >= 1.0 {
+            self.adjust_pending = true;
+        }
+        self.adjust_pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — the same per-tag stream generator the fleet uses.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Runs `rounds` inventory rounds over `n` ideal always-powered
+    /// tags (pure protocol, no energy), returning the reader.
+    fn inventory_ideal_tags(n: usize, seed: u64, rounds: usize, q: QParams) -> Gen2Reader {
+        let mut reader = Gen2Reader::new(Gen2Timing::dense_reader(), 0, q);
+        let mut rng: Vec<u64> = (0..n as u64).map(|i| seed ^ (i << 1) | 1).collect();
+        let mut inventoried = vec![false; n];
+        for _ in 0..rounds {
+            let (_cmd, slots) = reader.open_round();
+            let mask = u64::from(slots - 1);
+            let mut counter: Vec<u64> =
+                rng.iter_mut().map(|state| splitmix(state) & mask).collect();
+            let mut restart = false;
+            for slot in 0..slots {
+                if slot > 0 {
+                    let _ = reader.next_slot();
+                }
+                let responders: Vec<usize> = (0..n)
+                    .filter(|&i| !inventoried[i] && counter[i] == 0)
+                    .collect();
+                let outcome = match responders.len() {
+                    0 => SlotOutcome::Empty,
+                    1 => {
+                        inventoried[responders[0]] = true;
+                        SlotOutcome::Single
+                    }
+                    _ => {
+                        for &i in &responders {
+                            counter[i] = splitmix(&mut rng[i]) & mask;
+                            // A redraw of 0 contends again next slot.
+                            counter[i] = counter[i].wrapping_add(1);
+                        }
+                        SlotOutcome::Collision
+                    }
+                };
+                for c in counter.iter_mut() {
+                    *c = c.saturating_sub(1);
+                }
+                if reader.report_slot(outcome) {
+                    restart = true;
+                    break;
+                }
+            }
+            if !restart {
+                // Natural round end: the next open_round sends Query.
+            }
+        }
+        reader
+    }
+
+    #[test]
+    fn q_converges_under_collision_storm() {
+        // 500 always-powered tags against q0 = 0: every early slot is a
+        // collision storm. The Q algorithm must climb to the population
+        // optimum (log2 500 ≈ 9) and hold in its neighborhood.
+        for seed in [7u64, 1234, 0xDEAD_BEEF] {
+            let reader = inventory_ideal_tags(500, seed, 400, QParams::adaptive());
+            // The final q reflects whatever tail population is left, so
+            // pin the *range* instead: the climb must have reached the
+            // 500-tag optimum neighborhood without wild overshoot.
+            let (_, q_max) = reader.q_range_seen();
+            assert!(
+                (8..=12).contains(&q_max),
+                "seed {seed}: peak q = {q_max}, expected near log2(500) ≈ 9"
+            );
+            let stats = reader.stats();
+            assert!(
+                stats.collision_slots > 0 && stats.query_adjusts > 0,
+                "the storm must actually have triggered adaptation: {stats:?}"
+            );
+            // Once adapted, singles dominate collisions overall — the
+            // whole point of climbing q.
+            assert!(
+                stats.single_slots > stats.collision_slots / 4,
+                "inventory must make progress: {stats:?}"
+            );
+            assert!(stats.epcs_read >= 450, "most tags read: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn frozen_q_never_adjusts() {
+        let reader = inventory_ideal_tags(5, 99, 50, QParams::frozen(0));
+        assert_eq!(reader.q(), 0);
+        let stats = reader.stats();
+        assert_eq!(stats.query_adjusts, 0);
+        assert_eq!(stats.queries, stats.rounds);
+        // q = 0 means one slot per round, carried by the Query itself.
+        assert_eq!(stats.query_reps, 0);
+    }
+
+    #[test]
+    fn q_algorithm_steps_and_clamps() {
+        let mut alg = QAlgorithm::new(QParams {
+            q0: 1,
+            c: 0.5,
+            q_min: 0,
+            q_max: 2,
+        });
+        assert_eq!(alg.q(), 1);
+        alg.observe(SlotOutcome::Collision);
+        alg.observe(SlotOutcome::Collision);
+        assert_eq!(alg.q(), 2);
+        for _ in 0..10 {
+            alg.observe(SlotOutcome::Collision);
+        }
+        assert_eq!(alg.q(), 2, "clamped at q_max");
+        for _ in 0..10 {
+            alg.observe(SlotOutcome::Empty);
+        }
+        assert_eq!(alg.q(), 0, "clamped at q_min");
+        let before = alg;
+        alg.observe(SlotOutcome::Single);
+        assert_eq!(alg, before, "singles leave q_fp untouched");
+    }
+
+    #[test]
+    fn corrupt_counts_as_collision_for_adaptation() {
+        let mut a = QAlgorithm::new(QParams::adaptive());
+        let mut b = QAlgorithm::new(QParams::adaptive());
+        a.observe(SlotOutcome::Collision);
+        b.observe(SlotOutcome::Corrupt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_round_emits_adjust_after_drift() {
+        let mut reader = Gen2Reader::new(
+            Gen2Timing::dense_reader(),
+            3,
+            QParams {
+                q0: 0,
+                c: 1.0,
+                q_min: 0,
+                q_max: 15,
+            },
+        );
+        let (cmd, slots) = reader.open_round();
+        assert!(matches!(cmd, Command::Query { q: 0, session: 3 }));
+        assert_eq!(slots, 1);
+        // One collision at c = 1.0 moves q 0 → 1: restart demanded.
+        assert!(reader.report_slot(SlotOutcome::Collision));
+        let (cmd, slots) = reader.open_round();
+        assert!(
+            matches!(
+                cmd,
+                Command::QueryAdjust {
+                    session: 3,
+                    updn: 1
+                }
+            ),
+            "{cmd:?}"
+        );
+        assert_eq!(slots, 2);
+        assert_eq!(reader.q_range_seen(), (0, 1));
+        assert_eq!(reader.stats().query_adjusts, 1);
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise_addition() {
+        let mut a = Gen2Stats {
+            rounds: 1,
+            queries: 1,
+            query_reps: 4,
+            query_adjusts: 0,
+            empty_slots: 2,
+            single_slots: 2,
+            corrupt_slots: 1,
+            collision_slots: 0,
+            epcs_read: 2,
+        };
+        let b = Gen2Stats {
+            rounds: 2,
+            queries: 1,
+            query_reps: 9,
+            query_adjusts: 1,
+            empty_slots: 5,
+            single_slots: 3,
+            corrupt_slots: 0,
+            collision_slots: 2,
+            epcs_read: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.slots(), 15);
+        assert_eq!(a.epcs_read, 5);
+    }
+
+    #[test]
+    fn air_time_scales_with_frame_length() {
+        let t = Gen2Timing::dense_reader();
+        assert_eq!(t.air_time(3), SimTime::from_us(300));
+        assert_eq!(t.air_time(15), SimTime::from_us(1500));
+    }
+}

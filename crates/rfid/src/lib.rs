@@ -17,16 +17,21 @@
 //! * [`channel`] — corruption-in-flight with a distance-scaled bit-flip
 //!   model;
 //! * [`reader`] — an Impinj-like inventory state machine that drives the
-//!   harvester's carrier and schedules commands.
+//!   harvester's carrier and schedules commands;
+//! * [`gen2`] — Q-slot collision arbitration for *fleets* of tags
+//!   sharing one carrier: slotted-ALOHA rounds, the floating-point Q
+//!   algorithm, and a slot-driven reader state machine.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod channel;
 pub mod crc;
+pub mod gen2;
 pub mod message;
 pub mod reader;
 
 pub use channel::Channel;
+pub use gen2::{Gen2Reader, Gen2Stats, Gen2Timing, QAlgorithm, QParams, SlotOutcome};
 pub use message::{Command, DecodeFailure, Frame, TagReply};
 pub use reader::{Reader, ReaderConfig, ReaderEvent, ReplyError};

@@ -11,6 +11,7 @@
 //! |-------------|--------------------------------------------------|
 //! | `Query`     | `0x51, (q<<4)\|session, crc5`                    |
 //! | `QueryRep`  | `0x52, session, crc5`                            |
+//! | `QueryAdjust` | `0x53, (updn<<4)\|session, crc5`               |
 //! | `Ack`       | `0x41, rn_lo, rn_hi, crc5`                       |
 //! | `Rn16`      | `0xA1, rn_lo, rn_hi, crc16_lo, crc16_hi`         |
 //! | `Epc`       | `0xA2, epc[12], crc16_lo, crc16_hi`              |
@@ -23,6 +24,8 @@ use std::fmt;
 pub const TYPE_QUERY: u8 = 0x51;
 /// Leading byte of a `QueryRep` command.
 pub const TYPE_QUERY_REP: u8 = 0x52;
+/// Leading byte of a `QueryAdjust` command.
+pub const TYPE_QUERY_ADJUST: u8 = 0x53;
 /// Leading byte of an `Ack` command.
 pub const TYPE_ACK: u8 = 0x41;
 /// Leading byte of an `Rn16` reply.
@@ -46,6 +49,16 @@ pub enum Command {
         /// Session number, 0–15.
         session: u8,
     },
+    /// Restarts the round with the slot-count exponent nudged up or
+    /// down — how the reader's Q algorithm reacts mid-round to
+    /// collision storms or runs of empty slots. Tags redraw their slot
+    /// counters on receipt.
+    QueryAdjust {
+        /// Session number, 0–15.
+        session: u8,
+        /// `+1` (more slots), `0`, or `−1` (fewer slots).
+        updn: i8,
+    },
     /// Acknowledges a tag's RN16.
     Ack {
         /// The random number being acknowledged.
@@ -65,6 +78,18 @@ impl Command {
             }
             Command::QueryRep { session } => {
                 let body = [TYPE_QUERY_REP, session & 0xF];
+                let mut v = body.to_vec();
+                v.push(crc5(&body));
+                v
+            }
+            Command::QueryAdjust { session, updn } => {
+                // Up/down field: 0 = unchanged, 1 = up, 2 = down.
+                let code: u8 = match updn {
+                    1.. => 1,
+                    0 => 0,
+                    _ => 2,
+                };
+                let body = [TYPE_QUERY_ADJUST, (code << 4) | (session & 0xF)];
                 let mut v = body.to_vec();
                 v.push(crc5(&body));
                 v
@@ -109,13 +134,29 @@ impl Command {
                     session: bytes[1] & 0xF,
                 },
             ),
+            (Some(&TYPE_QUERY_ADJUST), 3) => {
+                let updn = match bytes[1] >> 4 {
+                    1 => 1,
+                    2 => -1,
+                    _ => 0,
+                };
+                check(
+                    crc5(body) == last,
+                    Command::QueryAdjust {
+                        session: bytes[1] & 0xF,
+                        updn,
+                    },
+                )
+            }
             (Some(&TYPE_ACK), 4) => check(
                 crc5(body) == last,
                 Command::Ack {
                     rn: bytes[1] as u16 | ((bytes[2] as u16) << 8),
                 },
             ),
-            (Some(&TYPE_QUERY | &TYPE_QUERY_REP | &TYPE_ACK), _) => Err(DecodeFailure::BadLength),
+            (Some(&TYPE_QUERY | &TYPE_QUERY_REP | &TYPE_QUERY_ADJUST | &TYPE_ACK), _) => {
+                Err(DecodeFailure::BadLength)
+            }
             (Some(_), _) => Err(DecodeFailure::UnknownType),
             (None, _) => Err(DecodeFailure::BadLength),
         }
@@ -126,6 +167,7 @@ impl Command {
         match self {
             Command::Query { .. } => "CMD_QUERY",
             Command::QueryRep { .. } => "CMD_QUERYREP",
+            Command::QueryAdjust { .. } => "CMD_QUERYADJ",
             Command::Ack { .. } => "CMD_ACK",
         }
     }
@@ -298,6 +340,18 @@ mod tests {
         for cmd in [
             Command::Query { q: 3, session: 1 },
             Command::QueryRep { session: 2 },
+            Command::QueryAdjust {
+                session: 1,
+                updn: 1,
+            },
+            Command::QueryAdjust {
+                session: 3,
+                updn: -1,
+            },
+            Command::QueryAdjust {
+                session: 0,
+                updn: 0,
+            },
             Command::Ack { rn: 0xBEEF },
         ] {
             let bytes = cmd.encode();
@@ -429,6 +483,14 @@ mod tests {
     fn labels_match_the_paper() {
         assert_eq!(Command::Query { q: 0, session: 0 }.label(), "CMD_QUERY");
         assert_eq!(Command::QueryRep { session: 0 }.label(), "CMD_QUERYREP");
+        assert_eq!(
+            Command::QueryAdjust {
+                session: 0,
+                updn: 1
+            }
+            .label(),
+            "CMD_QUERYADJ"
+        );
         assert_eq!(TagReply::Epc { epc: [0; 12] }.label(), "RSP_GENERIC");
     }
 

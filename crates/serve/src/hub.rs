@@ -20,6 +20,7 @@ use crate::rpc::{
     self, notification_line, obj, param_bool, param_f64, param_str, param_u16, param_u64,
     parse_request, RpcError, RpcRequest,
 };
+use edb_core::fleet::{FleetConfig, FleetSim};
 use edb_core::{ChannelFaultConfig, DebugRequest, DebugResponse, DebugSession, SessionBuilder};
 use edb_energy::{SimTime, TheveninSource};
 use serde::{Serialize, Value};
@@ -168,6 +169,8 @@ pub struct Dispatch {
 struct HubInner {
     next_id: u64,
     sessions: BTreeMap<u64, Arc<Mutex<DebugSession>>>,
+    next_fleet_id: u64,
+    fleets: BTreeMap<u64, Arc<Mutex<FleetSim>>>,
 }
 
 /// The shared registry of hosted sessions and the JSON-RPC method table
@@ -200,6 +203,8 @@ impl SessionHub {
             inner: Mutex::new(HubInner {
                 next_id: 1,
                 sessions: BTreeMap::new(),
+                next_fleet_id: 1,
+                fleets: BTreeMap::new(),
             }),
         }
     }
@@ -216,6 +221,16 @@ impl SessionHub {
             .sessions
             .get(&id)
             .cloned()
+    }
+
+    fn fleet(&self, id: u64) -> Result<Arc<Mutex<FleetSim>>, RpcError> {
+        self.inner
+            .lock()
+            .expect("hub lock")
+            .fleets
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RpcError::protocol(rpc::INVALID_REQUEST, format!("fleet {id} is gone")))
     }
 
     /// Parses and executes one request line for one connection,
@@ -562,6 +577,143 @@ impl SessionHub {
                     ),
                 ]))
             }
+            "fleet_create" => {
+                let tags = param_u64(p, "tags")
+                    .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `tags`"))?
+                    as usize;
+                if tags == 0 || tags > 100_000 {
+                    return Err(RpcError::protocol(
+                        rpc::INVALID_PARAMS,
+                        "`tags` must be in 1..=100000",
+                    ));
+                }
+                let seed = param_u64(p, "seed").unwrap_or(1);
+                let mut config = FleetConfig::standard(tags);
+                if let Some(ms) = param_u64(p, "duration_ms") {
+                    config.duration = SimTime::from_ms(ms);
+                }
+                if let Some(d) = param_f64(p, "d_min") {
+                    config.d_min = d;
+                }
+                if let Some(d) = param_f64(p, "d_max") {
+                    config.d_max = d;
+                }
+                if let Some(b) = param_f64(p, "ber") {
+                    config.ber_ref = b;
+                }
+                if config.d_min <= 0.0 || config.d_max < config.d_min {
+                    return Err(RpcError::protocol(
+                        rpc::INVALID_PARAMS,
+                        "need 0 < d_min <= d_max",
+                    ));
+                }
+                let sim = FleetSim::new(config, seed);
+                let fid = {
+                    let mut inner = self.inner.lock().expect("hub lock");
+                    let fid = inner.next_fleet_id;
+                    inner.next_fleet_id += 1;
+                    inner.fleets.insert(fid, Arc::new(Mutex::new(sim)));
+                    fid
+                };
+                Ok(obj(vec![
+                    ("fleet", Value::U64(fid)),
+                    ("tags", Value::U64(tags as u64)),
+                    ("seed", Value::U64(seed)),
+                ]))
+            }
+            "fleet_run" => {
+                let fid = param_u64(p, "fleet")
+                    .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `fleet`"))?;
+                let sim = self.fleet(fid)?;
+                let mut sim = sim.lock().expect("fleet lock");
+                match (param_u64(p, "ms"), param_u64(p, "slots")) {
+                    (Some(ms), _) => {
+                        let until = SimTime::from_ns(sim.now().as_ns() + ms * 1_000_000);
+                        while sim.now() < until {
+                            sim.step_slot();
+                        }
+                    }
+                    (None, Some(slots)) => {
+                        for _ in 0..slots {
+                            sim.step_slot();
+                        }
+                    }
+                    (None, None) => {
+                        return Err(RpcError::protocol(
+                            rpc::INVALID_PARAMS,
+                            "need `ms` (carrier time) or `slots` (slot count)",
+                        ))
+                    }
+                }
+                let stats = sim.stats();
+                Ok(obj(vec![
+                    ("fleet", Value::U64(fid)),
+                    ("sim_ms", Value::F64(sim.now().as_millis_f64())),
+                    ("rounds", Value::U64(stats.gen2.rounds)),
+                    ("epcs", Value::U64(stats.gen2.epcs_read)),
+                ]))
+            }
+            "fleet_status" => {
+                let fid = param_u64(p, "fleet")
+                    .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `fleet`"))?;
+                let sim = self.fleet(fid)?;
+                let sim = sim.lock().expect("fleet lock");
+                let stats = sim.stats();
+                let mut status = obj(vec![
+                    ("fleet", Value::U64(fid)),
+                    ("tags", Value::U64(stats.tags)),
+                    ("sim_ms", Value::F64(sim.now().as_millis_f64())),
+                    ("q", Value::U64(u64::from(sim.reader().q()))),
+                    ("rounds", Value::U64(stats.gen2.rounds)),
+                    ("slots", Value::U64(stats.gen2.slots())),
+                    ("epcs", Value::U64(stats.gen2.epcs_read)),
+                    ("collisions", Value::U64(stats.gen2.collision_slots)),
+                    ("unique_tags_read", Value::U64(stats.unique_tags_read)),
+                    ("powered", Value::U64(stats.powered_at_end)),
+                    ("power_cycles", Value::U64(stats.power_cycles)),
+                ]);
+                if let Some(tag) = param_u64(p, "tag") {
+                    let detail = sim.tag_status(tag as usize).ok_or_else(|| {
+                        RpcError::protocol(
+                            rpc::INVALID_PARAMS,
+                            format!("tag {tag} is outside the fleet"),
+                        )
+                    })?;
+                    push_field(
+                        &mut status,
+                        "tag",
+                        obj(vec![
+                            ("index", Value::U64(detail.index as u64)),
+                            ("distance_m", Value::F64(detail.distance_m)),
+                            ("v_cap", Value::F64(detail.v_cap)),
+                            ("powered", Value::Bool(detail.powered)),
+                            ("inventoried", Value::Bool(detail.inventoried)),
+                            ("ever_read", Value::Bool(detail.ever_read)),
+                            ("power_cycles", Value::U64(u64::from(detail.power_cycles))),
+                            ("active_secs", Value::F64(detail.active_secs)),
+                        ]),
+                    );
+                }
+                Ok(status)
+            }
+            "fleet_destroy" => {
+                let fid = param_u64(p, "fleet")
+                    .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `fleet`"))?;
+                let removed = self
+                    .inner
+                    .lock()
+                    .expect("hub lock")
+                    .fleets
+                    .remove(&fid)
+                    .is_some();
+                if !removed {
+                    return Err(RpcError::protocol(
+                        rpc::INVALID_REQUEST,
+                        format!("fleet {fid} is gone"),
+                    ));
+                }
+                Ok(obj(vec![("destroyed", Value::U64(fid))]))
+            }
             "shutdown" => {
                 *shutdown = true;
                 Ok(obj(vec![("ok", Value::Bool(true))]))
@@ -791,5 +943,101 @@ mod tests {
             r#"{"jsonrpc":"2.0","id":9,"method":"shutdown","params":{}}"#,
         );
         assert!(out.shutdown);
+    }
+
+    #[test]
+    fn fleet_lifecycle_over_rpc() {
+        let hub = SessionHub::new();
+        let mut conn = ConnState::new();
+        let created = call(
+            &hub,
+            &mut conn,
+            1,
+            "fleet_create",
+            r#"{"tags":40,"seed":42,"d_min":0.4,"d_max":1.0}"#,
+        );
+        assert!(created.contains(r#""fleet":1"#), "{created}");
+        assert!(created.contains(r#""tags":40"#), "{created}");
+
+        let ran = call(&hub, &mut conn, 2, "fleet_run", r#"{"fleet":1,"ms":1500}"#);
+        assert!(ran.contains(r#""rounds":"#), "{ran}");
+
+        let status = call(&hub, &mut conn, 3, "fleet_status", r#"{"fleet":1,"tag":7}"#);
+        assert!(status.contains(r#""tags":40"#), "{status}");
+        assert!(status.contains(r#""unique_tags_read":"#), "{status}");
+        assert!(status.contains(r#""distance_m":"#), "{status}");
+        assert!(status.contains(r#""v_cap":"#), "{status}");
+
+        // After 1.5 s of carrier at close range, most of a 40-tag
+        // fleet has been read at least once.
+        let unique: u64 = status
+            .split(r#""unique_tags_read":"#)
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("parsable unique count");
+        assert!(unique >= 20, "{status}");
+
+        // Out-of-range tag detail is a parameter error, not a panic.
+        let err = call(
+            &hub,
+            &mut conn,
+            4,
+            "fleet_status",
+            r#"{"fleet":1,"tag":99}"#,
+        );
+        assert!(err.contains("outside the fleet"), "{err}");
+
+        let gone = call(&hub, &mut conn, 5, "fleet_destroy", r#"{"fleet":1}"#);
+        assert!(gone.contains(r#""destroyed":1"#), "{gone}");
+        let err = call(&hub, &mut conn, 6, "fleet_status", r#"{"fleet":1}"#);
+        assert!(err.contains("fleet 1 is gone"), "{err}");
+
+        // Fleet IDs and session IDs are separate namespaces.
+        let err = call(&hub, &mut conn, 7, "fleet_run", r#"{"fleet":1,"slots":1}"#);
+        assert!(err.contains("error"), "{err}");
+    }
+
+    #[test]
+    fn fleet_determinism_over_rpc() {
+        // Two fleets with the same seed must report identical status
+        // after identical runs — the RPC surface keeps the engine's
+        // reproducibility.
+        let hub = SessionHub::new();
+        let mut conn = ConnState::new();
+        call(
+            &hub,
+            &mut conn,
+            1,
+            "fleet_create",
+            r#"{"tags":25,"seed":9}"#,
+        );
+        call(
+            &hub,
+            &mut conn,
+            2,
+            "fleet_create",
+            r#"{"tags":25,"seed":9}"#,
+        );
+        call(
+            &hub,
+            &mut conn,
+            3,
+            "fleet_run",
+            r#"{"fleet":1,"slots":400}"#,
+        );
+        call(
+            &hub,
+            &mut conn,
+            4,
+            "fleet_run",
+            r#"{"fleet":2,"slots":400}"#,
+        );
+        let a = call(&hub, &mut conn, 5, "fleet_status", r#"{"fleet":1,"tag":3}"#);
+        let b = call(&hub, &mut conn, 6, "fleet_status", r#"{"fleet":2,"tag":3}"#);
+        assert_eq!(
+            a.replace(r#""fleet":1"#, "").replace(r#""id":5"#, ""),
+            b.replace(r#""fleet":2"#, "").replace(r#""id":6"#, "")
+        );
     }
 }

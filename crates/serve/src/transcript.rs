@@ -73,6 +73,44 @@ impl ReplayReport {
             for line in &m.actual {
                 out.push_str(&format!("  actual:   {line}\n"));
             }
+            // Pinpoint the first divergence so a CI log is enough to
+            // debug: which reply line differs, and at which byte the
+            // texts split (long JSON lines look identical at a glance).
+            let first = m
+                .expected
+                .iter()
+                .zip(&m.actual)
+                .position(|(e, a)| e != a)
+                .or_else(|| {
+                    (m.expected.len() != m.actual.len())
+                        .then_some(m.expected.len().min(m.actual.len()))
+                });
+            if let Some(i) = first {
+                let expected = m.expected.get(i).map(String::as_str).unwrap_or("<missing>");
+                let actual = m.actual.get(i).map(String::as_str).unwrap_or("<missing>");
+                let byte = expected
+                    .bytes()
+                    .zip(actual.bytes())
+                    .position(|(e, a)| e != a)
+                    .unwrap_or_else(|| expected.len().min(actual.len()));
+                out.push_str(&format!(
+                    "  first difference: reply line {} (byte {byte})\n",
+                    i + 1
+                ));
+                out.push_str(&format!("    expected: {expected}\n"));
+                out.push_str(&format!("    actual:   {actual}\n"));
+                let context_start = byte.saturating_sub(20);
+                let excerpt = |s: &str| {
+                    s.get(context_start..(byte + 20).min(s.len()))
+                        .unwrap_or("")
+                        .to_string()
+                };
+                out.push_str(&format!(
+                    "    near byte {byte}: expected ...{}... vs actual ...{}...\n",
+                    excerpt(expected),
+                    excerpt(actual)
+                ));
+            }
         }
         out
     }
@@ -203,5 +241,29 @@ mod tests {
         assert!(diff.contains("step 2"), "{diff}");
         assert!(diff.contains("expected: {\"y\":1}"), "{diff}");
         assert!(diff.contains("actual:   {\"y\":2}"), "{diff}");
+        // The diff pinpoints the diverging line and byte: the texts
+        // split at the value of "y", byte 5 of {"y":1} vs {"y":2}.
+        assert!(
+            diff.contains("first difference: reply line 1 (byte 5)"),
+            "{diff}"
+        );
+    }
+
+    #[test]
+    fn report_diff_pinpoints_missing_lines() {
+        // Matching prefix but a missing reply line: the first
+        // difference is the line the actual output never produced.
+        let report = ReplayReport {
+            steps: 1,
+            mismatches: vec![Mismatch {
+                step: 0,
+                sent: "{\"x\":1}".to_string(),
+                expected: vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()],
+                actual: vec!["{\"a\":1}".to_string()],
+            }],
+        };
+        let diff = report.diff();
+        assert!(diff.contains("first difference: reply line 2"), "{diff}");
+        assert!(diff.contains("actual:   <missing>"), "{diff}");
     }
 }
