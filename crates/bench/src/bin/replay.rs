@@ -1,0 +1,62 @@
+//! Records the fig7 debugging session and a 100-tag fleet run, then
+//! replays both with divergence assertions. See `edb_bench::replay`.
+//!
+//! ```text
+//! replay [--threads N] [--tags T] [--slots S] [--out DIR]
+//! ```
+//!
+//! Verification runs on `N` threads at once to show thread count cannot
+//! perturb replay; the raw `.edbr` recordings land in `DIR` (default
+//! `target/replay-artifacts`) so CI can attach them to a failure. Exits
+//! nonzero on any divergence or byte-instability.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut threads = 1usize;
+    let mut tags = 100usize;
+    let mut slots = 400u64;
+    let mut out = PathBuf::from("target/replay-artifacts");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| {
+            args.next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| usage(&format!("{what} needs a number")))
+        };
+        match arg.as_str() {
+            "--threads" => threads = num("--threads") as usize,
+            "--tags" => tags = num("--tags") as usize,
+            "--slots" => slots = num("--slots"),
+            "--out" => {
+                out = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a directory"))
+            }
+            "--help" | "-h" => {
+                println!("usage: replay [--threads N] [--tags T] [--slots S] [--out DIR]");
+                return;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = edb_bench::replay::run(tags, slots, threads, Some(&out));
+    println!("{report}");
+    let clean = report.get("divergences") == 0.0
+        && report.get("fig7_byte_stable") == 1.0
+        && report.get("fleet_byte_stable") == 1.0;
+    if !clean {
+        eprintln!(
+            "replay: FAILED (divergence or byte-instability; recordings in {})",
+            out.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("replay: {message}\nusage: replay [--threads N] [--tags T] [--slots S] [--out DIR]");
+    std::process::exit(2);
+}

@@ -21,6 +21,7 @@
 //! | [`fig9`]   | Figure 9 — consistency check ± energy guards |
 //! | [`fig11`]  | Figure 11 — per-iteration energy CDF |
 //! | [`fig12`]  | Figure 12 — RFID messages vs energy |
+//! | [`replay`] | time travel — record fig7 + the fleet, replay divergence-free |
 //! | [`claims`] | §2.2/§5.2 scattered claims (LED 5×, JTAG masking, ...) |
 //! | [`ablations`] | DESIGN.md §5: parameter sensitivity of the guarantees |
 
@@ -36,6 +37,7 @@ pub mod fig7;
 pub mod fig9;
 pub mod fleet;
 pub mod harness;
+pub mod replay;
 pub mod runner;
 pub mod table2;
 pub mod table3;
@@ -130,6 +132,7 @@ pub fn all_specs() -> Vec<runner::ExperimentSpec> {
         fig11::SPEC,
         fig12::SPEC,
         fleet::SPEC,
+        replay::SPEC,
         claims::SPEC,
         ablations::SPEC,
     ]

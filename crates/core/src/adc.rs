@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// A 12-bit sampling ADC with gaussian conversion noise.
 ///
@@ -24,7 +25,7 @@ use rand::{Rng, SeedableRng};
 /// let v = adc.to_volts(code);
 /// assert!((v - 2.4).abs() < 0.005, "reading {v} too far from 2.4");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adc {
     v_ref: f64,
     noise_sigma_lsb: f64,

@@ -20,10 +20,10 @@ use edb_energy::{PowerEdge, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Debugger firmware parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EdbConfig {
     /// Passive energy-trace sampling period.
     pub adc_sample_period: SimTime,
@@ -87,7 +87,7 @@ impl Default for EdbConfig {
 }
 
 /// Why an interactive session is open.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SessionKind {
     /// A `libEDB` assertion failed (keep-alive engaged).
     Assert {
@@ -105,7 +105,7 @@ pub enum SessionKind {
     Console,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Mode {
     /// Watching only.
     Passive,
@@ -121,7 +121,7 @@ enum Mode {
 }
 
 /// An in-flight framed debug-UART exchange with the target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct InFlight {
     /// The submitted request this exchange resolves.
     id: RequestId,
@@ -143,7 +143,7 @@ struct InFlight {
 }
 
 /// How the last framed command exchange ended.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SessionOutcome {
     /// The first attempt completed with a checksum-valid reply.
     Completed,
@@ -161,23 +161,6 @@ pub enum SessionOutcome {
         /// The surfaced error.
         error: EdbError,
     },
-}
-
-/// What [`Edb::poll_reply`] found — the typed replacement for the old
-/// bare `Option<u16>`, distinguishing *pending* from *aborted*.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ReplyStatus {
-    /// No command in flight and nothing buffered.
-    Idle,
-    /// A command is still being exchanged.
-    Pending {
-        /// Send attempts so far.
-        attempts: u32,
-    },
-    /// A completed reply word (a read's value, a write's acknowledge).
-    Ready(u16),
-    /// The command aborted with a typed error (consumed by this poll).
-    Aborted(EdbError),
 }
 
 /// Handle for a submitted [`DebugRequest`], returned by [`Edb::submit`]
@@ -296,7 +279,7 @@ pub enum SessionPoll<T> {
 }
 
 /// A finished exchange waiting for its [`Edb::poll`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Finished {
     id: RequestId,
     cmd: HostCommand,
@@ -304,7 +287,7 @@ struct Finished {
 }
 
 /// A pending energy breakpoint.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct EnergyBreakpoint {
     threshold: f64,
     armed: bool,
@@ -318,7 +301,7 @@ struct EnergyBreakpoint {
 /// [`Edb::tick`] every device step. Higher-level operations (charge,
 /// breakpoints, memory reads) are exposed for the console and the
 /// experiment harnesses.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Edb {
     config: EdbConfig,
     adc: Adc,
@@ -332,9 +315,12 @@ pub struct Edb {
     next_tick: SimTime,
     next_adc: SimTime,
     last_reading: f64,
-    code_breakpoints: HashMap<u8, Option<f64>>,
+    /// Breakpoint ID → optional energy condition. Ordered so that a
+    /// serialized snapshot of the debugger is canonical (iteration order
+    /// is part of the recording's byte identity).
+    code_breakpoints: BTreeMap<u8, Option<f64>>,
     energy_breakpoints: Vec<EnergyBreakpoint>,
-    watch_enabled: HashSet<u8>,
+    watch_enabled: BTreeSet<u8>,
     watch_all: bool,
     printf_buf: Vec<u8>,
     inflight: Option<InFlight>,
@@ -373,9 +359,9 @@ impl Edb {
             next_tick: SimTime::ZERO,
             next_adc: SimTime::ZERO,
             last_reading: 0.0,
-            code_breakpoints: HashMap::new(),
+            code_breakpoints: BTreeMap::new(),
             energy_breakpoints: Vec::new(),
-            watch_enabled: HashSet::new(),
+            watch_enabled: BTreeSet::new(),
             watch_all: true,
             printf_buf: Vec::new(),
             inflight: None,
@@ -601,72 +587,6 @@ impl Edb {
         let id = RequestId(self.next_request);
         self.next_request += 1;
         id
-    }
-
-    /// Starts a framed command exchange from a raw wire command.
-    #[deprecated(note = "use Edb::submit with a typed DebugRequest")]
-    pub fn start_command(&mut self, dev: &mut Device, cmd: HostCommand, now: SimTime) {
-        match DebugRequest::from_host_command(cmd) {
-            Some(request) => {
-                self.submit(dev, request, now);
-            }
-            None => {
-                // CONTINUE expects no reply; it is not a tracked
-                // exchange, but it still preempts a stale one (matching
-                // the historical behaviour of this entry point).
-                self.preempt_stale(now);
-                self.push_host_bytes(dev, &cmd.encode());
-            }
-        }
-    }
-
-    /// Starts a memory read over the debug protocol.
-    #[deprecated(note = "use Edb::submit with DebugRequest::ReadWord")]
-    pub fn start_read(&mut self, dev: &mut Device, addr: u16, now: SimTime) {
-        self.submit(dev, DebugRequest::ReadWord { addr }, now);
-    }
-
-    /// Asks the target where execution will resume (the service loop's
-    /// return address).
-    #[deprecated(note = "use Edb::submit with DebugRequest::GetPc")]
-    pub fn start_get_pc(&mut self, dev: &mut Device, now: SimTime) {
-        self.submit(dev, DebugRequest::GetPc, now);
-    }
-
-    /// Starts a memory write over the debug protocol.
-    #[deprecated(note = "use Edb::submit with DebugRequest::WriteWord")]
-    pub fn start_write(&mut self, dev: &mut Device, addr: u16, value: u16, now: SimTime) {
-        self.submit(dev, DebugRequest::WriteWord { addr, value }, now);
-    }
-
-    /// Polls the outcome of the current exchange: a completed reply
-    /// word, a still-pending command, a typed abort (consumed by this
-    /// call), or nothing at all.
-    #[deprecated(note = "use Edb::poll with the RequestId from Edb::submit")]
-    pub fn poll_reply(&mut self) -> ReplyStatus {
-        if let Some(fin) = self.finished.take() {
-            return match fin.result {
-                Ok(word) => ReplyStatus::Ready(word),
-                Err(error) => ReplyStatus::Aborted(error),
-            };
-        }
-        match &self.inflight {
-            Some(fl) => ReplyStatus::Pending {
-                attempts: fl.attempts,
-            },
-            None => ReplyStatus::Idle,
-        }
-    }
-
-    /// Takes a completed protocol reply (a read's word, or a write's
-    /// acknowledge rendered as `0xAA`).
-    #[deprecated(note = "use Edb::poll, which distinguishes pending from aborted")]
-    pub fn take_reply(&mut self) -> Option<u16> {
-        if self.finished.as_ref().is_some_and(|fin| fin.result.is_ok()) {
-            let fin = self.finished.take().expect("checked above");
-            return fin.result.ok();
-        }
-        None
     }
 
     /// Abandons the in-flight command, if any, and discards an

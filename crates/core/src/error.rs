@@ -79,6 +79,13 @@ pub enum EdbError {
         /// Description.
         detail: String,
     },
+    /// A record/replay operation failed: recording not active, a
+    /// snapshot could not restore, or a replayed run diverged from its
+    /// recording.
+    Replay {
+        /// Description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EdbError {
@@ -109,6 +116,7 @@ impl fmt::Display for EdbError {
             }
             EdbError::Device { detail } => write!(f, "device: {detail}"),
             EdbError::Rfid { detail } => write!(f, "rfid: {detail}"),
+            EdbError::Replay { detail } => write!(f, "replay: {detail}"),
         }
     }
 }

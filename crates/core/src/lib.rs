@@ -69,6 +69,7 @@ pub mod events;
 pub mod fleet;
 pub mod libedb;
 pub mod protocol;
+pub mod replay;
 pub mod session;
 pub mod system;
 pub mod wiring;
@@ -77,13 +78,16 @@ pub use adc::Adc;
 pub use charge::{ChargeCircuit, ChargeMode, LevelController};
 pub use console::{Console, ConsoleError};
 pub use debugger::{
-    DebugRequest, DebugResponse, Edb, EdbConfig, ReplyStatus, RequestId, SessionKind,
-    SessionOutcome, SessionPoll,
+    DebugRequest, DebugResponse, Edb, EdbConfig, RequestId, SessionKind, SessionOutcome,
+    SessionPoll,
 };
 pub use error::EdbError;
 pub use events::{DebugEvent, EventLog, LoggedEvent};
 pub use fleet::{FleetCellStats, FleetConfig, FleetEvent, FleetSim, TagStatus};
 pub use protocol::{FrameError, HostCommand};
+pub use replay::{
+    Divergence, Firmware, HarvesterSpec, SessionOp, SessionSpec, VerifyReport, WorldSpec,
+};
 pub use session::{DebugSession, SessionBuilder, SessionStatus};
 pub use system::{System, SystemBuilder};
 pub use wiring::{ChannelFault, ChannelFaultConfig, ConnectionKind, LineStates, Wiring};

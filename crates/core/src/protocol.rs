@@ -126,7 +126,7 @@ pub fn frame_sums_to_zero(frame: &[u8]) -> bool {
 }
 
 /// One host→target session command, at the semantic level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum HostCommand {
     /// Read the word at `addr`.
     Read {
@@ -309,7 +309,7 @@ pub fn encode_reply(cmd: u8, payload: &[u8]) -> Vec<u8> {
 /// Feed every debug-UART byte to [`ReplyDecoder::push`] while a command
 /// is in flight; it returns `Some` exactly once — the decoded word, or a
 /// [`FrameError::BadChecksum`] when the reply was corrupted in flight.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ReplyDecoder {
     cmd_byte: u8,
     expected: usize,

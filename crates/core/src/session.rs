@@ -247,6 +247,7 @@ impl SessionBuilder {
             sys,
             breakpoints: BTreeMap::new(),
             energy_guards: Vec::new(),
+            tape: None,
         })
     }
 }
@@ -267,6 +268,8 @@ pub struct DebugSession {
     breakpoints: BTreeMap<u8, Option<f64>>,
     /// Energy-guard thresholds armed through this session, volts.
     energy_guards: Vec<f64>,
+    /// The active recording, when one is (see [`crate::replay`]).
+    pub(crate) tape: Option<crate::replay::Tape>,
 }
 
 impl DebugSession {
@@ -296,87 +299,137 @@ impl DebugSession {
     /// [`advance`](DebugSession::advance)) with
     /// [`poll`](DebugSession::poll) until the request resolves.
     pub fn submit(&mut self, request: DebugRequest) -> Result<RequestId, EdbError> {
-        let op = request.name();
-        let Some(edb) = self.sys.edb() else {
-            return Err(EdbError::NotAttached { op });
-        };
-        if !edb.session_active() {
-            return Err(EdbError::NoSession { op });
-        }
-        let now = self.sys.now();
-        let (edb, dev) = self.sys.edb_and_device().expect("attached");
-        Ok(edb.submit(dev, request, now))
+        crate::replay::tape_op(self, &crate::replay::SessionOp::Submit { request });
+        let result = (|| {
+            let op = request.name();
+            let Some(edb) = self.sys.edb() else {
+                return Err(EdbError::NotAttached { op });
+            };
+            if !edb.session_active() {
+                return Err(EdbError::NoSession { op });
+            }
+            let now = self.sys.now();
+            let (edb, dev) = self.sys.edb_and_device().expect("attached");
+            Ok(edb.submit(dev, request, now))
+        })();
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Polls a submitted request. Does not advance time.
     pub fn poll(&mut self, id: RequestId) -> SessionPoll<DebugResponse> {
-        match self.sys.edb() {
+        crate::replay::tape_op(self, &crate::replay::SessionOp::Poll { id });
+        let result = match self.sys.edb() {
             Some(_) => self.sys.edb_mut().poll(id),
             None => SessionPoll::Superseded,
-        }
+        };
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// One complete typed exchange: submit, then drive the bench until
     /// the state machine reports a typed response or a typed abort.
     pub fn perform(&mut self, request: DebugRequest) -> Result<DebugResponse, EdbError> {
-        self.sys.perform(request)
+        crate::replay::tape_op(self, &crate::replay::SessionOp::Perform { request });
+        let result = self.sys.perform(request);
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Advances the simulation by one device step.
     pub fn step(&mut self) {
+        crate::replay::tape_op(self, &crate::replay::SessionOp::Step { n: 1 });
         self.sys.step();
+        crate::replay::tape_boundary(self);
     }
 
     /// Advances the simulation by `duration`.
     pub fn advance(&mut self, duration: SimTime) {
+        crate::replay::tape_op(
+            self,
+            &crate::replay::SessionOp::Advance {
+                ns: duration.as_ns(),
+            },
+        );
         self.sys.run_for(duration);
+        crate::replay::tape_boundary(self);
     }
 
     /// Runs until an interactive session opens, up to `timeout`.
     /// Returns whether one is open.
     pub fn run_until_session(&mut self, timeout: SimTime) -> bool {
-        self.sys.wait_for_session(timeout)
+        crate::replay::tape_op(
+            self,
+            &crate::replay::SessionOp::RunUntilSession {
+                timeout_ns: timeout.as_ns(),
+            },
+        );
+        let result = self.sys.wait_for_session(timeout);
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Resumes the target from an open session (restore energy, release
     /// the service loop) and waits for the session to close.
     pub fn resume(&mut self) -> Result<(), EdbError> {
-        self.sys.try_resume()
+        crate::replay::tape_op(self, &crate::replay::SessionOp::Resume);
+        let result = self.sys.try_resume();
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Charges the target to `volts` and waits for convergence.
     pub fn charge_to(&mut self, volts: f64) -> Result<f64, EdbError> {
-        self.sys.try_charge_to(volts)
+        crate::replay::tape_op(self, &crate::replay::SessionOp::ChargeTo { volts });
+        let result = self.sys.try_charge_to(volts);
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Discharges the target to `volts` and waits for convergence.
     pub fn discharge_to(&mut self, volts: f64) -> Result<f64, EdbError> {
-        self.sys.try_discharge_to(volts)
+        crate::replay::tape_op(self, &crate::replay::SessionOp::DischargeTo { volts });
+        let result = self.sys.try_discharge_to(volts);
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Enables a code breakpoint, optionally conditioned on the energy
     /// level (a combined breakpoint).
     pub fn set_breakpoint(&mut self, id: u8, energy: Option<f64>) -> Result<(), EdbError> {
-        let Some((edb, dev)) = self.sys.edb_and_device() else {
-            return Err(EdbError::NotAttached {
-                op: "set_breakpoint",
-            });
-        };
-        edb.enable_breakpoint(dev, id, energy);
-        self.breakpoints.insert(id, energy);
-        Ok(())
+        crate::replay::tape_op(
+            self,
+            &crate::replay::SessionOp::SetBreakpoint { id, energy },
+        );
+        let result = (|| {
+            let Some((edb, dev)) = self.sys.edb_and_device() else {
+                return Err(EdbError::NotAttached {
+                    op: "set_breakpoint",
+                });
+            };
+            edb.enable_breakpoint(dev, id, energy);
+            self.breakpoints.insert(id, energy);
+            Ok(())
+        })();
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// Disables a code breakpoint.
     pub fn clear_breakpoint(&mut self, id: u8) -> Result<(), EdbError> {
-        let Some((edb, dev)) = self.sys.edb_and_device() else {
-            return Err(EdbError::NotAttached {
-                op: "clear_breakpoint",
-            });
-        };
-        edb.disable_breakpoint(dev, id);
-        self.breakpoints.remove(&id);
-        Ok(())
+        crate::replay::tape_op(self, &crate::replay::SessionOp::ClearBreakpoint { id });
+        let result = (|| {
+            let Some((edb, dev)) = self.sys.edb_and_device() else {
+                return Err(EdbError::NotAttached {
+                    op: "clear_breakpoint",
+                });
+            };
+            edb.disable_breakpoint(dev, id);
+            self.breakpoints.remove(&id);
+            Ok(())
+        })();
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// The code breakpoints this session enabled: `(id, energy)` pairs
@@ -388,14 +441,22 @@ impl DebugSession {
     /// Arms an energy breakpoint at `threshold` volts (the energy
     /// guard of the console's `break energy` command).
     pub fn arm_energy_guard(&mut self, threshold: f64) -> Result<(), EdbError> {
-        if self.sys.edb().is_none() {
-            return Err(EdbError::NotAttached {
-                op: "arm_energy_guard",
-            });
-        }
-        self.sys.edb_mut().arm_energy_breakpoint(threshold);
-        self.energy_guards.push(threshold);
-        Ok(())
+        crate::replay::tape_op(
+            self,
+            &crate::replay::SessionOp::ArmEnergyGuard { volts: threshold },
+        );
+        let result = (|| {
+            if self.sys.edb().is_none() {
+                return Err(EdbError::NotAttached {
+                    op: "arm_energy_guard",
+                });
+            }
+            self.sys.edb_mut().arm_energy_breakpoint(threshold);
+            self.energy_guards.push(threshold);
+            Ok(())
+        })();
+        crate::replay::tape_boundary(self);
+        result
     }
 
     /// The energy-guard thresholds armed through this session, volts,
@@ -429,6 +490,18 @@ impl DebugSession {
             in_guard: edb.is_some_and(|e| e.in_guard()),
             pc: dev.cpu().pc,
         }
+    }
+
+    /// Overwrites the session-level bookkeeping (breakpoint list, guard
+    /// thresholds) when a snapshot restore rewinds the bench underneath
+    /// it (see [`crate::replay`]).
+    pub(crate) fn restore_bookkeeping(
+        &mut self,
+        breakpoints: BTreeMap<u8, Option<f64>>,
+        energy_guards: Vec<f64>,
+    ) {
+        self.breakpoints = breakpoints;
+        self.energy_guards = energy_guards;
     }
 
     /// Resolves a symbol from the flashed image.

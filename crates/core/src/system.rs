@@ -15,6 +15,7 @@ use edb_energy::RfField;
 use edb_energy::{Harvester, PowerEdge, SimTime};
 use edb_obs::{Category, Recorder, RecorderConfig};
 use edb_rfid::{Channel, Reader, ReaderConfig};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// The energy-and-RF environment around the target.
 #[allow(clippy::large_enum_variant)] // one World per System; size is irrelevant
@@ -240,7 +241,7 @@ pub struct System {
 }
 
 /// Bookkeeping the observability publisher keeps between steps.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 struct ObsState {
     /// How much of the debugger's event log has been harvested.
     log_cursor: usize,
@@ -723,26 +724,6 @@ impl System {
         }
     }
 
-    /// Reads a word of target memory. Returns `None` on any failure.
-    #[deprecated(note = "use read_word, which reports why a read failed")]
-    pub fn debug_read_word(&mut self, addr: u16) -> Option<u16> {
-        self.read_word(addr).ok()
-    }
-
-    /// Asks the target where execution will resume. Returns `None` on
-    /// any failure.
-    #[deprecated(note = "use resume_pc, which reports why the query failed")]
-    pub fn debug_resume_pc(&mut self) -> Option<u16> {
-        self.resume_pc().ok()
-    }
-
-    /// Writes a word of target memory. Returns whether the target
-    /// acknowledged.
-    #[deprecated(note = "use write_word, which reports why a write failed")]
-    pub fn debug_write_word(&mut self, addr: u16, value: u16) -> bool {
-        self.write_word(addr, value).is_ok()
-    }
-
     /// Resumes the target from a session: restore energy, release the
     /// service loop, wait for the session to close.
     pub fn try_resume(&mut self) -> Result<(), EdbError> {
@@ -776,6 +757,80 @@ impl System {
             Ok(()) | Err(EdbError::NotAttached { .. } | EdbError::NoSession { .. }) => {}
             Err(e) => panic!("resume: {e}"),
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Snapshots (the record/replay layer's substrate)
+    // ---------------------------------------------------------------
+
+    /// Whether this bench supports full-state snapshots.
+    ///
+    /// Harvester worlds do: the device, debugger, and harvester all
+    /// serialize completely. RFID worlds don't — the reader/channel
+    /// stack keeps state the snapshot layer does not capture — so
+    /// recordings of RFID benches carry state *digests* only and replay
+    /// by re-execution from the start.
+    pub fn supports_snapshots(&self) -> bool {
+        matches!(self.world, World::Harvester(_))
+    }
+
+    /// Serializes the complete simulation state: device (CPU, memory,
+    /// capacitor, peripherals), debugger, harvester, symbols, and the
+    /// observability cursor. Restoring the result with
+    /// [`System::restore_state`] and stepping forward is bit-identical
+    /// to never having snapshotted (proven by test).
+    ///
+    /// Returns `None` for benches where
+    /// [`System::supports_snapshots`] is false. The recorder is *not*
+    /// part of the snapshot: recording is passive by construction, so
+    /// replay re-observes rather than restoring observations.
+    pub fn save_state(&self) -> Option<Value> {
+        let World::Harvester(h) = &self.world else {
+            return None;
+        };
+        Some(Value::Map(vec![
+            (Value::Str("device".into()), self.device.to_value()),
+            (Value::Str("edb".into()), self.edb.to_value()),
+            (Value::Str("symbols".into()), self.symbols.to_value()),
+            (Value::Str("obs".into()), self.obs.to_value()),
+            (Value::Str("world".into()), h.save_state()),
+        ]))
+    }
+
+    /// Restores state captured by [`System::save_state`] onto this bench.
+    /// The bench must have been built with the same world shape (a
+    /// harvester world); the harvester's own parameters are rebuilt by
+    /// the caller (see the replay layer's session spec) and only its
+    /// mutable run state is loaded here.
+    pub fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let World::Harvester(h) = &mut self.world else {
+            return Err(DeError::new(
+                "RFID benches do not support snapshot restore (digest-only replay)",
+            ));
+        };
+        let field = |name: &str| {
+            state
+                .get_field(name)
+                .ok_or_else(|| DeError::new(format!("System state missing `{name}`")))
+        };
+        self.device = Device::from_value(field("device")?)?;
+        self.edb = <Option<Edb>>::from_value(field("edb")?)?;
+        self.symbols = <std::collections::BTreeMap<String, u16>>::from_value(field("symbols")?)?;
+        self.obs = ObsState::from_value(field("obs")?)?;
+        h.load_state(field("world")?)?;
+        Ok(())
+    }
+
+    /// A deterministic 64-bit digest of the architectural state: the
+    /// device (CPU registers, memory image, capacitor bits, clock) and
+    /// the debugger. Computable for *every* world — RFID benches, whose
+    /// recordings are digest-only, verify replay equivalence through
+    /// this value.
+    pub fn state_digest(&self) -> u64 {
+        edb_replay::value_digest(&Value::Map(vec![
+            (Value::Str("device".into()), self.device.to_value()),
+            (Value::Str("edb".into()), self.edb.to_value()),
+        ]))
     }
 
     // ---------------------------------------------------------------
@@ -1159,80 +1214,6 @@ mod tests {
         assert_eq!(sys.read_word(0x6002), Ok(0xD00D));
         // Ground truth agrees.
         assert_eq!(sys.device().mem().peek_word(0x6002), 0xD00D);
-        // The deprecated shims still answer.
-        #[allow(deprecated)]
-        {
-            assert_eq!(sys.debug_read_word(0x6002), Some(0xD00D));
-            assert!(sys.debug_write_word(0x6004, 0xBEEF));
-            assert!(sys.debug_resume_pc().is_some());
-        }
-    }
-
-    /// The deprecated `start_command`/`poll_reply`/`take_reply` trio
-    /// still drives a full exchange through the typed state machine
-    /// underneath.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_command_trio_still_works() {
-        use crate::debugger::ReplyStatus;
-        use crate::protocol::HostCommand;
-        let mut sys = flashed_system(
-            r#"
-            .org 0x4400
-            main:
-                movi sp, 0x2400
-                movi r1, 0x6000
-                movi r0, 0x5AFE
-                st   [r1], r0
-                movi r0, 7
-                call __edb_assert_fail
-                halt
-            .org 0xFFFE
-            .word main
-            "#,
-        );
-        sys.charge_to(2.45);
-        assert!(sys.wait_for_session(SimTime::from_ms(100)));
-        let now = sys.now();
-        {
-            let System { edb, device, .. } = &mut sys;
-            edb.as_mut()
-                .expect("attached")
-                .start_read(device, 0x6000, now);
-        }
-        let deadline = sys.now() + SimTime::from_ms(200);
-        loop {
-            match sys.edb_mut().poll_reply() {
-                ReplyStatus::Ready(word) => {
-                    assert_eq!(word, 0x5AFE);
-                    break;
-                }
-                ReplyStatus::Aborted(e) => panic!("clean channel aborted: {e}"),
-                ReplyStatus::Pending { .. } | ReplyStatus::Idle => {}
-            }
-            assert!(sys.now() < deadline, "exchange stuck");
-            sys.step();
-        }
-        // start_command + take_reply: the Ok result is consumable the
-        // legacy way too.
-        let now = sys.now();
-        {
-            let System { edb, device, .. } = &mut sys;
-            edb.as_mut().expect("attached").start_command(
-                device,
-                HostCommand::Read { addr: 0x6000 },
-                now,
-            );
-        }
-        let deadline = sys.now() + SimTime::from_ms(200);
-        loop {
-            if let Some(word) = sys.edb_mut().take_reply() {
-                assert_eq!(word, 0x5AFE);
-                break;
-            }
-            assert!(sys.now() < deadline, "exchange stuck");
-            sys.step();
-        }
     }
 
     #[test]
@@ -1407,6 +1388,60 @@ mod tests {
             rec.lines().iter().any(|l| l.name() == "powered"),
             "digital lines recorded"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // The substrate of time travel: save mid-run, restore onto a
+        // fresh bench, and the two futures must agree to the last bit.
+        let app = r#"
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+            loop:
+                add  r0, 1
+                movi r1, 1
+                out  0x02, r1      ; code marker
+                jmp  loop
+            .org 0xFFFE
+            .word main
+        "#;
+        let mut live = flashed_system(app);
+        live.run_for(SimTime::from_ms(120));
+        assert!(live.device().turn_ons() >= 1, "workload must run");
+        let snap = live.save_state().expect("harvester world snapshots");
+        let digest_at_snap = live.state_digest();
+
+        let mut restored = flashed_system(app);
+        restored.restore_state(&snap).expect("state round-trips");
+        assert_eq!(
+            restored.state_digest(),
+            digest_at_snap,
+            "restore reproduces the digest at the snapshot point"
+        );
+
+        live.run_for(SimTime::from_ms(120));
+        restored.run_for(SimTime::from_ms(120));
+        assert_eq!(live.now(), restored.now());
+        assert_eq!(
+            live.device().v_cap().to_bits(),
+            restored.device().v_cap().to_bits(),
+            "restored future must match the original to the last bit"
+        );
+        assert_eq!(
+            live.device().total_instructions(),
+            restored.device().total_instructions()
+        );
+        assert_eq!(live.device().reboots(), restored.device().reboots());
+        assert_eq!(live.state_digest(), restored.state_digest());
+    }
+
+    #[test]
+    fn rfid_world_is_digest_only() {
+        let sys = System::builder(DeviceConfig::wisp5()).rfid(1.0).build();
+        assert!(!sys.supports_snapshots());
+        assert!(sys.save_state().is_none());
+        let _ = sys.state_digest(); // digests still work for RFID benches
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub struct Connection {
 }
 
 /// The full header between EDB and the target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Wiring {
     connections: Vec<Connection>,
     rng: StdRng,
@@ -71,7 +71,7 @@ pub struct Wiring {
 
 /// Logic levels of the digital connections at an instant, assembled by
 /// the debugger from observable device state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LineStates {
     /// Target→debugger comm line level.
     pub target_comm_high: bool,
@@ -224,7 +224,7 @@ impl ChannelFaultConfig {
 ///
 /// Deterministic: the delivered bytes are a pure function of the config
 /// seed and the byte sequence pushed through [`ChannelFault::corrupt`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChannelFault {
     config: ChannelFaultConfig,
     rng: StdRng,

@@ -8,25 +8,17 @@
 
 use edb_core::debugger::SessionOutcome;
 use edb_core::{
-    libedb, protocol, DebugRequest, EdbError, HostCommand, RequestId, SessionPoll, System,
+    libedb, protocol, DebugRequest, EdbError, HarvesterSpec, HostCommand, RequestId, SessionPoll,
+    SessionSpec, System, WorldSpec,
 };
 use edb_device::DeviceConfig;
 use edb_energy::{SimTime, TheveninSource};
 use edb_mcu::asm::assemble;
 use proptest::prelude::*;
 
-/// First word of the FRAM window the firmware fills at every boot.
-const WINDOW_BASE: u16 = 0x6000;
-
-/// Fill value of the window word at `addr`: the firmware seeds 0x1101
-/// at the base and adds 0x0101 per word.
-fn fill_value(addr: u16) -> u16 {
-    0x1101 + 0x0101 * ((addr - WINDOW_BASE) / 2)
-}
-
-fn assert_system() -> System {
-    let image = assemble(&libedb::wrap_program(
-        r#"
+/// The assert-session firmware body shared by [`assert_system`] (raw
+/// `System`) and [`recorded_assert_session`] (time-travel recorder).
+const ASSERT_FIRMWARE: &str = r#"
         .org 0x4400
     main:
         movi sp, 0x2400
@@ -46,9 +38,19 @@ fn assert_system() -> System {
         jmp  again
         .org 0xFFFE
         .word main
-        "#,
-    ))
-    .expect("assembles");
+        "#;
+
+/// First word of the FRAM window the firmware fills at every boot.
+const WINDOW_BASE: u16 = 0x6000;
+
+/// Fill value of the window word at `addr`: the firmware seeds 0x1101
+/// at the base and adds 0x0101 per word.
+fn fill_value(addr: u16) -> u16 {
+    0x1101 + 0x0101 * ((addr - WINDOW_BASE) / 2)
+}
+
+fn assert_system() -> System {
+    let image = assemble(&libedb::wrap_program(ASSERT_FIRMWARE)).expect("assembles");
     // A stiff source so the target reboots and re-asserts quickly after
     // an injected brown-out.
     let mut sys = System::builder(DeviceConfig::wisp5())
@@ -235,6 +237,79 @@ fn brownout_never_tears_a_write() {
         // comes back.
         let _ = drive_to_outcome(&mut sys, id);
         assert_recovered(&mut sys);
+    }
+}
+
+/// The same bench as [`assert_system`], but expressed as a
+/// [`SessionSpec`] and recorded by the time-travel layer.
+fn recorded_assert_session() -> edb_core::DebugSession {
+    let spec = SessionSpec {
+        world: WorldSpec::Harvester {
+            spec: HarvesterSpec::Thevenin {
+                v_oc: 3.2,
+                r_src: 220.0,
+            },
+        },
+        ..SessionSpec::bench(ASSERT_FIRMWARE)
+    };
+    spec.record(64).expect("spec builds")
+}
+
+/// Records a session whose exchange is torn down by a brown-out at
+/// every command-frame byte position, and asserts every one of those
+/// recordings replays divergence-free: the capacitor collapse, the
+/// reboot, and the typed abort or retried completion are all inside
+/// the deterministic tape.
+#[test]
+fn brownout_recordings_at_every_frame_byte_replay_divergence_free() {
+    let read_addr = WINDOW_BASE + 0x18;
+    let frame_len = HostCommand::Read { addr: read_addr }.encode().len();
+    for j in 0..=frame_len {
+        let mut s = recorded_assert_session();
+        assert!(
+            s.run_until_session(SimTime::from_secs(2)),
+            "offset {j}: assert session must open"
+        );
+        let id = s
+            .submit(DebugRequest::ReadWord { addr: read_addr })
+            .expect("submit");
+        // Advance in 10 µs slices (well inside the ~174 µs/byte UART
+        // pacing) until the target has consumed exactly j frame bytes,
+        // then collapse the capacitor — all through recorded ops.
+        let deadline = s.now() + SimTime::from_ms(300);
+        let mut injected = false;
+        let outcome = loop {
+            match s.poll(id) {
+                SessionPoll::Ready(outcome) => break outcome.map(|r| r.word()),
+                SessionPoll::Superseded => panic!("offset {j}: superseded"),
+                SessionPoll::Pending { .. } => {}
+            }
+            assert!(s.now() < deadline, "offset {j}: exchange never resolved");
+            if !injected
+                && s.system().device().peripherals.debug.rx_from_debugger.len() <= frame_len - j
+            {
+                let _ = s.discharge_to(1.0);
+                injected = true;
+            }
+            s.advance(SimTime::from_us(10));
+        };
+        match outcome {
+            Ok(word) => assert_eq!(word, fill_value(read_addr), "offset {j}"),
+            Err(
+                EdbError::AbortedByBrownout { .. }
+                | EdbError::CommandTimeout { .. }
+                | EdbError::CorruptReply { .. },
+            ) => {}
+            Err(e) => panic!("offset {j}: untyped outcome {e}"),
+        }
+        let recording = s.stop_recording().expect("was recording");
+        assert!(
+            recording.op_count() > 2,
+            "offset {j}: tape captured the drive"
+        );
+        let report = edb_core::replay::verify(&recording)
+            .unwrap_or_else(|d| panic!("offset {j}: replay diverged: {d}"));
+        assert_eq!(report.ops, recording.op_count(), "offset {j}");
     }
 }
 

@@ -12,9 +12,10 @@
 use edb_energy::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// One 3-axis sample in milli-g.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccelSample {
     /// X axis, milli-g.
     pub x: i16,
@@ -25,7 +26,7 @@ pub struct AccelSample {
 }
 
 /// The ground-truth activity regime of the synthetic wearer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Regime {
     /// Low-variance signal around gravity.
     Stationary,
@@ -39,7 +40,7 @@ pub enum Regime {
 /// Z; moving regimes use a much larger σ. Regimes hold for a random
 /// 0.5–2 s. Ground truth is queryable so experiments can score the
 /// target's classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SyntheticMotion {
     rng: StdRng,
     regime: Regime,
@@ -111,7 +112,7 @@ pub struct I2cTransaction {
 
 /// The accelerometer peripheral: a command/status/data port interface in
 /// front of a [`SyntheticMotion`] source, with I²C transaction timing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Accelerometer {
     motion: SyntheticMotion,
     busy_until: Option<SimTime>,

@@ -14,9 +14,10 @@ use crate::ports;
 use crate::rf_frontend::RfFrontend;
 use edb_energy::{Capacitor, Harvester, Ldo, PowerEdge, SimTime, Supervisor};
 use edb_mcu::{Cpu, CpuState, Fault, Image, Memory, PortBus};
+use serde::{Deserialize, Serialize};
 
 /// Electrical and timing parameters of the target.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeviceConfig {
     /// CPU clock, hertz.
     pub clock_hz: f64,
@@ -68,7 +69,7 @@ impl Default for DeviceConfig {
 }
 
 /// The full peripheral complement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Peripherals {
     /// GPIO latch (LED + progress pins).
     pub gpio: Gpio,
@@ -199,7 +200,7 @@ pub struct DeviceStep {
 ///
 /// `Device` is `Clone`: exhaustive analyses snapshot a device and replay
 /// it from every possible power-failure point (see `edb-apps`'s oracle).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Device {
     config: DeviceConfig,
     cpu: Cpu,
@@ -1017,6 +1018,36 @@ main:
         );
         assert!(a.reboots() >= 1, "workload must actually be intermittent");
         assert!(events_a > 100, "workload must actually emit events");
+    }
+
+    #[test]
+    fn serde_snapshot_resumes_bit_identically() {
+        // Snapshot a device mid-run (having already crossed power edges),
+        // restore it into a fresh instance, and run both forward: every
+        // observable must stay bit-identical. This is the foundation the
+        // record/replay layer's full-state snapshots stand on.
+        let mut live = Device::new(DeviceConfig::wisp5());
+        live.flash(&counter_image());
+        let mut src = TheveninSource::new(3.2, 1500.0);
+        while live.now() < SimTime::from_ms(150) {
+            live.step(&mut src, 0.0);
+        }
+        assert!(live.reboots() >= 1, "snapshot must straddle power cycles");
+        let snap = live.to_value();
+        let mut restored = Device::from_value(&snap).expect("round-trips");
+        let mut src_r = src;
+        while live.now() < SimTime::from_ms(300) {
+            live.step(&mut src, 0.0);
+            restored.step(&mut src_r, 0.0);
+        }
+        assert_eq!(live.now(), restored.now());
+        assert_eq!(live.v_cap().to_bits(), restored.v_cap().to_bits());
+        assert_eq!(live.total_instructions(), restored.total_instructions());
+        assert_eq!(live.reboots(), restored.reboots());
+        assert_eq!(
+            live.mem().peek_word(0x6000),
+            restored.mem().peek_word(0x6000)
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! EDB, the self-measurement ADC, and the cycle timer.
 
 use edb_energy::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The GPIO output latch and its electrical loads.
@@ -11,7 +12,7 @@ use std::collections::VecDeque;
 /// WISP "from around 1 mA to over 5 mA", so the LED load defaults to
 /// 4.5 mA. The other pins are high-impedance signal pins (progress
 /// markers) with negligible load.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Gpio {
     latch: u16,
     /// Extra supply current while the LED pin is high, amps.
@@ -65,7 +66,7 @@ impl Default for Gpio {
 /// Models the *target-powered* console UART of §5.3.3: every byte costs
 /// `byte_time` of air time and `tx_current` of supply current — the cost
 /// that makes `printf` over UART perturb an intermittent execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Uart {
     busy_until: Option<SimTime>,
     /// Seconds per byte expressed as simulation time (default: 86.8 µs,
@@ -157,7 +158,7 @@ impl Default for Uart {
 /// runs at a conservative baud), but — unlike the target-powered user
 /// UART — driving it costs the target essentially nothing: the buffers
 /// are on EDB's power. That asymmetry is the entire point of EDB printf.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DebugLink {
     /// Bytes the target wrote for EDB (drained by the debugger).
     pub tx_to_debugger: VecDeque<u8>,
@@ -255,7 +256,7 @@ impl DebugLink {
 /// their stored energy levels, doing so uses energy, perturbing the
 /// energy state being measured." Reading `ADC_SELF` therefore draws
 /// `conversion_current` for `conversion_time`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SelfAdc {
     busy_until: Option<SimTime>,
     /// Conversion time (default 50 µs).
@@ -313,7 +314,7 @@ impl Default for SelfAdc {
 
 /// The free-running cycle counter with a latched high word, so firmware
 /// can read a consistent 32-bit value with two port reads.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Timer {
     latched_hi: u16,
 }

@@ -8,6 +8,7 @@
 //! the target browns out mid-decode.
 
 use edb_energy::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A reply frame the tag put on the air.
@@ -20,7 +21,7 @@ pub struct Backscatter {
 }
 
 /// The RF front-end peripheral.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RfFrontend {
     rx_fifo: VecDeque<u8>,
     tx_buffer: Vec<u8>,

@@ -23,11 +23,36 @@ pub trait Harvester: Send {
     /// Current (amps, ≥ 0) delivered into the storage capacitor during the
     /// next `dt` seconds, given the capacitor sits at `v_cap` volts.
     fn current_into(&mut self, v_cap: f64, now: SimTime, dt: f64) -> f64;
+
+    /// Snapshot of the harvester's evolving state (RNG streams, fading
+    /// factors, trace cursors) for the record/replay layer. Sources whose
+    /// output is a pure function of `(v_cap, now)` have nothing to save
+    /// and keep the default [`serde::Value::Null`].
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores a snapshot produced by [`Harvester::save_state`] on a
+    /// harvester constructed with the same parameters. After a
+    /// round-trip the current stream must continue bit-identically —
+    /// replay correctness rests on this.
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 impl<H: Harvester + ?Sized> Harvester for Box<H> {
     fn current_into(&mut self, v_cap: f64, now: SimTime, dt: f64) -> f64 {
         (**self).current_into(v_cap, now, dt)
+    }
+
+    fn save_state(&self) -> serde::Value {
+        (**self).save_state()
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        (**self).load_state(state)
     }
 }
 
@@ -245,6 +270,35 @@ impl Harvester for RfField {
         }
         ((self.v_oc() - v_cap) / self.r_src).max(0.0)
     }
+
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("distance".into()),
+                serde::Value::F64(self.distance),
+            ),
+            (
+                serde::Value::Str("carrier_on".into()),
+                serde::Value::Bool(self.carrier_on),
+            ),
+            (
+                serde::Value::Str("modulating".into()),
+                serde::Value::Bool(self.modulating),
+            ),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        let field = |name| {
+            state
+                .get_field(name)
+                .ok_or_else(|| serde::DeError::new(format!("RfField state missing `{name}`")))
+        };
+        self.distance = serde::Deserialize::from_value(field("distance")?)?;
+        self.carrier_on = serde::Deserialize::from_value(field("carrier_on")?)?;
+        self.modulating = serde::Deserialize::from_value(field("modulating")?)?;
+        Ok(())
+    }
 }
 
 /// A slowly varying solar/indoor-light source with stochastic cloud or
@@ -296,6 +350,36 @@ impl Harvester for SolarHarvester {
         let brightness = 0.5 * (1.0 + phase.sin());
         let v_oc = self.v_oc_peak * brightness * self.occlusion;
         ((v_oc - v_cap) / self.r_src).max(0.0)
+    }
+
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("occlusion".into()),
+                serde::Value::F64(self.occlusion),
+            ),
+            (
+                serde::Value::Str("next_occlusion_change".into()),
+                serde::Serialize::to_value(&self.next_occlusion_change),
+            ),
+            (
+                serde::Value::Str("rng".into()),
+                serde::Serialize::to_value(&self.rng),
+            ),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        let field = |name| {
+            state.get_field(name).ok_or_else(|| {
+                serde::DeError::new(format!("SolarHarvester state missing `{name}`"))
+            })
+        };
+        self.occlusion = serde::Deserialize::from_value(field("occlusion")?)?;
+        self.next_occlusion_change =
+            serde::Deserialize::from_value(field("next_occlusion_change")?)?;
+        self.rng = serde::Deserialize::from_value(field("rng")?)?;
+        Ok(())
     }
 }
 
@@ -356,6 +440,36 @@ impl<H: Harvester> Harvester for Fading<H> {
         }
         self.inner.current_into(v_cap, now, dt) * self.factor
     }
+
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("factor".into()),
+                serde::Value::F64(self.factor),
+            ),
+            (
+                serde::Value::Str("next_update".into()),
+                serde::Serialize::to_value(&self.next_update),
+            ),
+            (
+                serde::Value::Str("rng".into()),
+                serde::Serialize::to_value(&self.rng),
+            ),
+            (serde::Value::Str("inner".into()), self.inner.save_state()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        let field = |name| {
+            state
+                .get_field(name)
+                .ok_or_else(|| serde::DeError::new(format!("Fading state missing `{name}`")))
+        };
+        self.factor = serde::Deserialize::from_value(field("factor")?)?;
+        self.next_update = serde::Deserialize::from_value(field("next_update")?)?;
+        self.rng = serde::Deserialize::from_value(field("rng")?)?;
+        self.inner.load_state(field("inner")?)
+    }
 }
 
 /// Deterministic on/off gating around an inner harvester: the source
@@ -411,6 +525,14 @@ impl<H: Harvester> Harvester for PulsedSource<H> {
         } else {
             0.0
         }
+    }
+
+    fn save_state(&self) -> serde::Value {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        self.inner.load_state(state)
     }
 }
 
@@ -491,6 +613,22 @@ impl Harvester for TraceHarvester {
     fn current_into(&mut self, v_cap: f64, now: SimTime, _dt: f64) -> f64 {
         let v_oc = self.v_oc_at(now);
         ((v_oc - v_cap) / self.r_src).max(0.0)
+    }
+
+    // The cursor is a pure cache over `now` (v_oc_at rescans when time
+    // runs backwards), but saving it keeps the replayed scan cost — and
+    // hence nothing observable — identical to the recorded run.
+    fn save_state(&self) -> serde::Value {
+        serde::Value::U64(self.cursor as u64)
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::DeError> {
+        let cursor: u64 = serde::Deserialize::from_value(state)?;
+        if cursor as usize >= self.samples.len() {
+            return Err(serde::DeError::new("TraceHarvester cursor out of range"));
+        }
+        self.cursor = cursor as usize;
+        Ok(())
     }
 }
 
@@ -602,6 +740,46 @@ mod tests {
             let t = SimTime::from_us(k * 37);
             assert_eq!(a.current_into(1.5, t, 1e-6), b.current_into(1.5, t, 1e-6));
         }
+    }
+
+    #[test]
+    fn save_load_resumes_bit_identically() {
+        // Run a stateful stack (fading over solar: two RNGs, a fading
+        // factor, an occlusion schedule) halfway, snapshot, keep running;
+        // then restore the snapshot onto a fresh same-parameter instance
+        // and check the tails are bit-equal.
+        let build = || Fading::new(SolarHarvester::new(3.0, 2000.0, 1.0, 9), 0.05, 4);
+        let mut live = build();
+        for k in 0..500u64 {
+            live.current_into(1.5, SimTime::from_us(k * 37), 1e-6);
+        }
+        let snap = live.save_state();
+        let mut restored = build();
+        restored.load_state(&snap).unwrap();
+        for k in 500..1500u64 {
+            let t = SimTime::from_us(k * 37);
+            assert_eq!(
+                live.current_into(1.5, t, 1e-6).to_bits(),
+                restored.current_into(1.5, t, 1e-6).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn stateless_sources_save_null() {
+        assert_eq!(ConstantCurrent::new(1e-3).save_state(), serde::Value::Null);
+        assert_eq!(
+            TheveninSource::new(3.0, 1000.0).save_state(),
+            serde::Value::Null
+        );
+        // Trace cursors and RF field knobs round-trip.
+        let mut f = RfField::paper_setup();
+        f.set_distance(2.5);
+        f.set_carrier(false);
+        let snap = f.save_state();
+        let mut g = RfField::paper_setup();
+        g.load_state(&snap).unwrap();
+        assert_eq!(f, g);
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! the *shrunk* program as assembler source (`case-<seed>.s`, with the
 //! seed, engine configuration, and divergence recorded in a header
 //! comment so the file alone is a complete bug report) and the original
-//! un-shrunk program (`case-<seed>.orig.s`).
+//! un-shrunk program (`case-<seed>.orig.s`). With `--record-reproducers`
+//! the failing program is additionally run through the time-travel
+//! recorder ([`record_reproducer`]) and saved as `case-<seed>.edbr`, a
+//! deterministic recording the debugger can `step_back`/`goto_time`
+//! through.
 //!
 //! Reproduce a case from its seed with:
 //! `cargo run --release -p edb-fuzz --bin fuzz_smoke -- --replay-seed <seed>`
@@ -12,6 +16,8 @@
 use crate::diff::Divergence;
 use crate::gen::Program;
 use crate::FuzzConfig;
+use edb_core::SessionSpec;
+use edb_energy::SimTime;
 use std::path::PathBuf;
 
 /// Directory the reproducers land in (workspace-relative, like the
@@ -74,9 +80,65 @@ pub fn write_reproducer(
     written
 }
 
+/// Runs `prog` through the time-travel recorder for `window_ms` of
+/// simulated time on the harvested supply, self-verifies the recording
+/// replays divergence-free, and writes it as `case-<seed>.edbr`. The
+/// recording embeds its spec, so `edb_core::replay::replay` (or the
+/// session server) can step back through the failure in a fresh
+/// process. Returns `None` (with a note on stderr) if anything along
+/// the way fails — recording is a courtesy on top of the `.s` artifact,
+/// never the verdict.
+pub fn record_reproducer(prog: &Program, window_ms: u64) -> Option<PathBuf> {
+    // The generated source is self-contained (own `.org` + reset
+    // vector): flash the raw image rather than wrapping it in libEDB.
+    let mut spec = SessionSpec::harvested(&prog.render(), prog.case_seed);
+    if let Some(fw) = &mut spec.firmware {
+        fw.wrap = false;
+    }
+    let mut session = match spec.record(64) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fuzz: cannot record case {:#x}: {e}", prog.case_seed);
+            return None;
+        }
+    };
+    session.advance(SimTime::from_ms(window_ms));
+    let recording = session.stop_recording()?;
+    if let Err(d) = edb_core::replay::verify(&recording) {
+        eprintln!(
+            "fuzz: recording of case {:#x} does not replay cleanly: {d}",
+            prog.case_seed
+        );
+        return None;
+    }
+    let dir = PathBuf::from(ARTIFACT_DIR);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("fuzz: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("case-{:016x}.edbr", prog.case_seed));
+    match recording.save(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("fuzz: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recorded_reproducer_replays_divergence_free() {
+        let prog = crate::gen::generate(0x51AB);
+        let path = record_reproducer(&prog, 3).expect("recording written");
+        let recording = edb_replay::Recording::load(&path).expect("recording loads");
+        let report = edb_core::replay::verify(&recording).expect("replays cleanly");
+        assert!(report.snapshots >= 1);
+        std::fs::remove_file(&path).ok();
+    }
 
     #[test]
     fn header_carries_seed_arm_and_repro_command() {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzz_smoke [--seed S] [--threads N] [--cases N] [--sessions N]
-//!            [--max-shrink-steps N] [--replay-seed S]
+//!            [--max-shrink-steps N] [--replay-seed S] [--record-reproducers]
 //! ```
 //!
 //! Runs `--cases` generated programs (default 100) through every
@@ -17,6 +17,11 @@
 //!
 //! `--replay-seed` re-runs a single case seed (as printed in an
 //! artifact header) verbosely and skips the batch.
+//!
+//! `--record-reproducers` additionally runs any failing program through
+//! the time-travel recorder and writes a `case-<seed>.edbr` recording
+//! next to the `.s` artifacts, ready for `step_back`/`goto_time` in the
+//! debugger.
 
 use edb_bench::runner::Cli;
 use edb_fuzz::{artifact, check_program, fault, gen, run_case, session, shrink, FuzzConfig};
@@ -48,6 +53,11 @@ fn arg_u64(name: &str) -> Option<u64> {
         }
     }
     None
+}
+
+/// True when the bare flag `--name` appears in argv.
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn main() {
@@ -148,6 +158,11 @@ fn main() {
             artifact::write_reproducer(&shrunk.program, &first.program, &shrunk.divergence, &cfg)
         {
             println!("  wrote {}", path.display());
+        }
+        if arg_flag("--record-reproducers") {
+            if let Some(path) = artifact::record_reproducer(&first.program, cfg.system_sim_ms) {
+                println!("  recorded {}", path.display());
+            }
         }
     }
 

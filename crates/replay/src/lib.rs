@@ -1,0 +1,751 @@
+//! The recording container for deterministic record/replay.
+//!
+//! A recording captures one simulated debugging run as a byte-stable
+//! artifact: the session's rebuildable *spec*, the sequence of typed
+//! session operations (the run's only inputs — everything below the
+//! session API is a pure function of the seed), periodic full-state
+//! *snapshots*, and per-boundary state *digests*. Replay reconstructs
+//! any instant by restoring the nearest snapshot and re-executing
+//! forward; divergence checking re-executes the whole tape and asserts
+//! bit-identity against every recorded snapshot and digest.
+//!
+//! This crate owns only the format: a canonical binary encoding of the
+//! workspace's [`serde::Value`] tree (floats encoded as their IEEE-754
+//! bit patterns, so identity means *bit* identity, not `==`), and a
+//! chunked container with an FNV-1a digest per chunk. The semantic
+//! layers — what a snapshot contains, how an operation re-executes —
+//! live in `edb-core`'s `replay` module and in `edb-bench`.
+//!
+//! # Container layout
+//!
+//! ```text
+//! "EDBR" | version u16 LE | flags u16 LE | chunk*
+//! chunk := tag u8 | payload_len u32 LE | payload | fnv u64 LE
+//! ```
+//!
+//! The trailing FNV-1a digest covers the tag, the length bytes, and the
+//! payload, so a flipped bit anywhere in a chunk is caught before its
+//! payload is interpreted. Unknown chunk tags are an error: a recording
+//! is a precision artifact, not a best-effort log.
+
+use serde::Value;
+use std::fmt;
+use std::path::Path;
+
+/// Container magic: the first four bytes of every recording.
+pub const MAGIC: [u8; 4] = *b"EDBR";
+
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+const TAG_SPEC: u8 = 1;
+const TAG_META: u8 = 2;
+const TAG_OP: u8 = 3;
+const TAG_SNAPSHOT: u8 = 4;
+const TAG_DIGEST: u8 = 5;
+const TAG_END: u8 = 6;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a, the digest used for chunks and state encodings.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Starts a digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// FNV-1a of `bytes` in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A malformed or corrupt recording, with the byte offset of the fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// Byte offset at which the fault was detected.
+    pub offset: usize,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl FormatError {
+    fn new(offset: usize, detail: impl Into<String>) -> Self {
+        FormatError {
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recording byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+// ---------------------------------------------------------------------
+// Canonical Value encoding
+// ---------------------------------------------------------------------
+
+const VAL_NULL: u8 = 0x00;
+const VAL_FALSE: u8 = 0x01;
+const VAL_TRUE: u8 = 0x02;
+const VAL_U64: u8 = 0x03;
+const VAL_I64: u8 = 0x04;
+const VAL_F64: u8 = 0x05;
+const VAL_STR: u8 = 0x06;
+const VAL_SEQ: u8 = 0x07;
+const VAL_MAP: u8 = 0x08;
+
+/// Appends the canonical binary encoding of `v` to `out`.
+///
+/// The encoding is injective over `Value` trees and encodes floats as
+/// their `to_bits` pattern, so two states encode identically iff they
+/// are bit-identical — `-0.0` vs `0.0` and differing NaN payloads are
+/// divergences here even though `==` would blur them.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(VAL_NULL),
+        Value::Bool(false) => out.push(VAL_FALSE),
+        Value::Bool(true) => out.push(VAL_TRUE),
+        Value::U64(x) => {
+            out.push(VAL_U64);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::I64(x) => {
+            out.push(VAL_I64);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(VAL_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(VAL_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(VAL_SEQ);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(pairs) => {
+            out.push(VAL_MAP);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (k, val) in pairs {
+                encode_value(k, out);
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+/// The canonical encoding of `v` as an owned buffer.
+pub fn value_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(v, &mut out);
+    out
+}
+
+/// FNV-1a digest of the canonical encoding of `v` — the "state digest"
+/// used at snapshot boundaries.
+pub fn value_digest(v: &Value) -> u64 {
+    fnv1a(&value_bytes(v))
+}
+
+/// Decodes one canonical `Value` starting at `*pos`, advancing `*pos`.
+pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, FormatError> {
+    let at = *pos;
+    let tag = *bytes
+        .get(at)
+        .ok_or_else(|| FormatError::new(at, "truncated value"))?;
+    *pos += 1;
+    match tag {
+        VAL_NULL => Ok(Value::Null),
+        VAL_FALSE => Ok(Value::Bool(false)),
+        VAL_TRUE => Ok(Value::Bool(true)),
+        VAL_U64 => Ok(Value::U64(take_u64(bytes, pos)?)),
+        VAL_I64 => Ok(Value::I64(take_u64(bytes, pos)? as i64)),
+        VAL_F64 => Ok(Value::F64(f64::from_bits(take_u64(bytes, pos)?))),
+        VAL_STR => {
+            let len = take_u32(bytes, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| FormatError::new(*pos, "truncated string"))?;
+            let s = std::str::from_utf8(&bytes[*pos..end])
+                .map_err(|_| FormatError::new(*pos, "invalid UTF-8 in string"))?
+                .to_string();
+            *pos = end;
+            Ok(Value::Str(s))
+        }
+        VAL_SEQ => {
+            let n = take_u32(bytes, pos)? as usize;
+            let mut items = Vec::new();
+            for _ in 0..n {
+                items.push(decode_value(bytes, pos)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        VAL_MAP => {
+            let n = take_u32(bytes, pos)? as usize;
+            let mut pairs = Vec::new();
+            for _ in 0..n {
+                let k = decode_value(bytes, pos)?;
+                let v = decode_value(bytes, pos)?;
+                pairs.push((k, v));
+            }
+            Ok(Value::Map(pairs))
+        }
+        other => Err(FormatError::new(
+            at,
+            format!("unknown value tag {other:#x}"),
+        )),
+    }
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, FormatError> {
+    let end = *pos + 4;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| FormatError::new(*pos, "truncated u32"))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, FormatError> {
+    let end = *pos + 8;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| FormatError::new(*pos, "truncated u64"))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+}
+
+// ---------------------------------------------------------------------
+// Chunked container
+// ---------------------------------------------------------------------
+
+/// One chunk of a recording.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Chunk {
+    /// The rebuildable session spec (present when the recorder knew how
+    /// the session was constructed, so a fresh process can replay).
+    Spec {
+        /// The spec as a serialized tree; its meaning belongs to the
+        /// layer that recorded it.
+        value: Value,
+    },
+    /// Recording parameters.
+    Meta {
+        /// Snapshot stride: the recorder's boundary cadence. The unit is
+        /// the recorder's to choose; `edb-core`'s replay layer strides by
+        /// recorded *operations* between full snapshots.
+        stride: u64,
+        /// Sim time at which recording started.
+        start_ns: u64,
+    },
+    /// One recorded session operation.
+    Op {
+        /// Sim time immediately before the operation ran.
+        now_ns: u64,
+        /// The serialized operation.
+        value: Value,
+    },
+    /// A full-state snapshot at an operation boundary.
+    Snapshot {
+        /// Sim time of the snapshot.
+        now_ns: u64,
+        /// The serialized full state.
+        state: Value,
+    },
+    /// A state digest at an operation boundary (worlds that cannot
+    /// serialize in full still digest).
+    Digest {
+        /// Sim time of the digest.
+        now_ns: u64,
+        /// FNV-1a over the canonical state encoding.
+        digest: u64,
+    },
+    /// End of recording, with the final state digest.
+    End {
+        /// Sim time when recording stopped.
+        now_ns: u64,
+        /// Final state digest.
+        digest: u64,
+    },
+}
+
+impl Chunk {
+    fn tag(&self) -> u8 {
+        match self {
+            Chunk::Spec { .. } => TAG_SPEC,
+            Chunk::Meta { .. } => TAG_META,
+            Chunk::Op { .. } => TAG_OP,
+            Chunk::Snapshot { .. } => TAG_SNAPSHOT,
+            Chunk::Digest { .. } => TAG_DIGEST,
+            Chunk::End { .. } => TAG_END,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Chunk::Spec { value } => encode_value(value, &mut out),
+            Chunk::Meta { stride, start_ns } => {
+                out.extend_from_slice(&stride.to_le_bytes());
+                out.extend_from_slice(&start_ns.to_le_bytes());
+            }
+            Chunk::Op { now_ns, value } => {
+                out.extend_from_slice(&now_ns.to_le_bytes());
+                encode_value(value, &mut out);
+            }
+            Chunk::Snapshot { now_ns, state } => {
+                out.extend_from_slice(&now_ns.to_le_bytes());
+                encode_value(state, &mut out);
+            }
+            Chunk::Digest { now_ns, digest } | Chunk::End { now_ns, digest } => {
+                out.extend_from_slice(&now_ns.to_le_bytes());
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(tag: u8, payload: &[u8], base: usize) -> Result<Chunk, FormatError> {
+        let mut pos = 0usize;
+        let chunk = match tag {
+            TAG_SPEC => Chunk::Spec {
+                value: decode_value(payload, &mut pos)?,
+            },
+            TAG_META => Chunk::Meta {
+                stride: take_u64(payload, &mut pos)?,
+                start_ns: take_u64(payload, &mut pos)?,
+            },
+            TAG_OP => Chunk::Op {
+                now_ns: take_u64(payload, &mut pos)?,
+                value: decode_value(payload, &mut pos)?,
+            },
+            TAG_SNAPSHOT => Chunk::Snapshot {
+                now_ns: take_u64(payload, &mut pos)?,
+                state: decode_value(payload, &mut pos)?,
+            },
+            TAG_DIGEST => Chunk::Digest {
+                now_ns: take_u64(payload, &mut pos)?,
+                digest: take_u64(payload, &mut pos)?,
+            },
+            TAG_END => Chunk::End {
+                now_ns: take_u64(payload, &mut pos)?,
+                digest: take_u64(payload, &mut pos)?,
+            },
+            other => {
+                return Err(FormatError::new(base, format!("unknown chunk tag {other}")));
+            }
+        };
+        if pos != payload.len() {
+            return Err(FormatError::new(
+                base + pos,
+                format!(
+                    "chunk tag {tag}: {} trailing payload bytes",
+                    payload.len() - pos
+                ),
+            ));
+        }
+        Ok(chunk)
+    }
+}
+
+/// Serializes `chunks` into a complete recording byte stream.
+pub fn write_chunks(chunks: &[Chunk]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags
+    for chunk in chunks {
+        let payload = chunk.payload();
+        let tag = chunk.tag();
+        let len = (payload.len() as u32).to_le_bytes();
+        let mut h = Fnv::new();
+        h.write(&[tag]);
+        h.write(&len);
+        h.write(&payload);
+        out.push(tag);
+        out.extend_from_slice(&len);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&h.finish().to_le_bytes());
+    }
+    out
+}
+
+/// Parses a recording byte stream, verifying every chunk digest.
+pub fn read_chunks(bytes: &[u8]) -> Result<Vec<Chunk>, FormatError> {
+    if bytes.get(..4) != Some(&MAGIC[..]) {
+        return Err(FormatError::new(0, "bad magic (not an EDBR recording)"));
+    }
+    let mut pos = 4usize;
+    let version = u16::from_le_bytes(
+        bytes
+            .get(pos..pos + 2)
+            .ok_or_else(|| FormatError::new(pos, "truncated header"))?
+            .try_into()
+            .expect("2 bytes"),
+    );
+    if version != VERSION {
+        return Err(FormatError::new(
+            pos,
+            format!("unsupported version {version} (expected {VERSION})"),
+        ));
+    }
+    pos += 2;
+    let flags = u16::from_le_bytes(
+        bytes
+            .get(pos..pos + 2)
+            .ok_or_else(|| FormatError::new(pos, "truncated header"))?
+            .try_into()
+            .expect("2 bytes"),
+    );
+    if flags != 0 {
+        return Err(FormatError::new(
+            pos,
+            format!("unsupported flags {flags:#06x}"),
+        ));
+    }
+    pos += 2;
+    let mut chunks = Vec::new();
+    while pos < bytes.len() {
+        let base = pos;
+        let tag = bytes[pos];
+        pos += 1;
+        let len = take_u32(bytes, &mut pos)? as usize;
+        let payload = bytes
+            .get(pos..pos + len)
+            .ok_or_else(|| FormatError::new(pos, "truncated chunk payload"))?;
+        pos += len;
+        let stored = take_u64(bytes, &mut pos)?;
+        let mut h = Fnv::new();
+        h.write(&[tag]);
+        h.write(&(len as u32).to_le_bytes());
+        h.write(payload);
+        if h.finish() != stored {
+            return Err(FormatError::new(
+                base,
+                format!("chunk tag {tag}: digest mismatch (corrupt chunk)"),
+            ));
+        }
+        chunks.push(Chunk::decode(tag, payload, base)?);
+    }
+    Ok(chunks)
+}
+
+// ---------------------------------------------------------------------
+// Recording: the convenience view over the chunk stream
+// ---------------------------------------------------------------------
+
+/// A recording's body entry: the chunk kinds that appear in tape order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Entry {
+    /// A recorded operation.
+    Op {
+        /// Sim time immediately before the operation.
+        now_ns: u64,
+        /// The serialized operation.
+        value: Value,
+    },
+    /// A full-state snapshot.
+    Snapshot {
+        /// Sim time of the snapshot.
+        now_ns: u64,
+        /// The serialized state.
+        state: Value,
+    },
+    /// A digest-only boundary.
+    Digest {
+        /// Sim time of the digest.
+        now_ns: u64,
+        /// The state digest.
+        digest: u64,
+    },
+}
+
+/// A parsed recording: header fields plus the ordered tape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Recording {
+    /// The rebuildable session spec, when recorded.
+    pub spec: Option<Value>,
+    /// Snapshot stride: recorded operations between full snapshots (see
+    /// [`Chunk::Meta`]).
+    pub stride: u64,
+    /// Sim time at which recording started.
+    pub start_ns: u64,
+    /// Ops, snapshots, and digests in tape order.
+    pub entries: Vec<Entry>,
+    /// Final `(now_ns, digest)` pair, once the recording is finished.
+    pub end: Option<(u64, u64)>,
+}
+
+impl Recording {
+    /// Serializes to the container byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut chunks = Vec::new();
+        if let Some(spec) = &self.spec {
+            chunks.push(Chunk::Spec {
+                value: spec.clone(),
+            });
+        }
+        chunks.push(Chunk::Meta {
+            stride: self.stride,
+            start_ns: self.start_ns,
+        });
+        for entry in &self.entries {
+            chunks.push(match entry {
+                Entry::Op { now_ns, value } => Chunk::Op {
+                    now_ns: *now_ns,
+                    value: value.clone(),
+                },
+                Entry::Snapshot { now_ns, state } => Chunk::Snapshot {
+                    now_ns: *now_ns,
+                    state: state.clone(),
+                },
+                Entry::Digest { now_ns, digest } => Chunk::Digest {
+                    now_ns: *now_ns,
+                    digest: *digest,
+                },
+            });
+        }
+        if let Some((now_ns, digest)) = self.end {
+            chunks.push(Chunk::End { now_ns, digest });
+        }
+        write_chunks(&chunks)
+    }
+
+    /// Parses a recording from the container byte stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Recording, FormatError> {
+        let mut rec = Recording::default();
+        let mut saw_meta = false;
+        for chunk in read_chunks(bytes)? {
+            if rec.end.is_some() {
+                return Err(FormatError::new(bytes.len(), "chunk after End chunk"));
+            }
+            match chunk {
+                Chunk::Spec { value } => rec.spec = Some(value),
+                Chunk::Meta { stride, start_ns } => {
+                    rec.stride = stride;
+                    rec.start_ns = start_ns;
+                    saw_meta = true;
+                }
+                Chunk::Op { now_ns, value } => rec.entries.push(Entry::Op { now_ns, value }),
+                Chunk::Snapshot { now_ns, state } => {
+                    rec.entries.push(Entry::Snapshot { now_ns, state });
+                }
+                Chunk::Digest { now_ns, digest } => {
+                    rec.entries.push(Entry::Digest { now_ns, digest });
+                }
+                Chunk::End { now_ns, digest } => rec.end = Some((now_ns, digest)),
+            }
+        }
+        if !saw_meta {
+            return Err(FormatError::new(8, "recording has no Meta chunk"));
+        }
+        // The End chunk doubles as the terminator: a stream truncated at
+        // a clean chunk boundary would otherwise parse as a silently
+        // shorter recording.
+        if rec.end.is_none() {
+            return Err(FormatError::new(bytes.len(), "recording has no End chunk"));
+        }
+        Ok(rec)
+    }
+
+    /// Writes the recording to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a recording from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Recording> {
+        let bytes = std::fs::read(path)?;
+        Recording::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The number of recorded operations.
+    pub fn op_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Entry::Op { .. }))
+            .count()
+    }
+
+    /// The number of snapshot entries.
+    pub fn snapshot_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Entry::Snapshot { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recording() -> Recording {
+        Recording {
+            spec: Some(Value::Map(vec![(
+                Value::Str("kind".into()),
+                Value::Str("demo".into()),
+            )])),
+            stride: 50_000_000,
+            start_ns: 0,
+            entries: vec![
+                Entry::Snapshot {
+                    now_ns: 0,
+                    state: Value::Seq(vec![Value::U64(1), Value::F64(2.5)]),
+                },
+                Entry::Op {
+                    now_ns: 0,
+                    value: Value::Map(vec![(
+                        Value::Str("Advance".into()),
+                        Value::Map(vec![(Value::Str("ns".into()), Value::U64(1000))]),
+                    )]),
+                },
+                Entry::Digest {
+                    now_ns: 1000,
+                    digest: 0xDEAD_BEEF,
+                },
+            ],
+            end: Some((1000, 0xDEAD_BEEF)),
+        }
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let rec = sample_recording();
+        let bytes = rec.to_bytes();
+        assert_eq!(&bytes[..4], b"EDBR");
+        let back = Recording::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, rec);
+        assert_eq!(back.op_count(), 1);
+        assert_eq!(back.snapshot_count(), 1);
+    }
+
+    #[test]
+    fn encoding_is_byte_stable() {
+        let rec = sample_recording();
+        assert_eq!(rec.to_bytes(), rec.to_bytes());
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        // Flip one bit at a time across the whole stream: every
+        // corruption must surface as an error, never as a silently
+        // different recording.
+        let rec = sample_recording();
+        let bytes = rec.to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            match Recording::from_bytes(&bad) {
+                Err(_) => {}
+                Ok(parsed) => {
+                    panic!("flip at byte {i} parsed silently: {parsed:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_recording().to_bytes();
+        for cut in 1..bytes.len() {
+            assert!(
+                Recording::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn float_encoding_is_bitwise() {
+        // -0.0 vs 0.0 compare equal as floats but are different states.
+        let a = value_bytes(&Value::F64(0.0));
+        let b = value_bytes(&Value::F64(-0.0));
+        assert_ne!(a, b);
+        // NaN payloads round-trip exactly.
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let enc = value_bytes(&Value::F64(nan));
+        let mut pos = 0;
+        match decode_value(&enc, &mut pos).expect("decodes") {
+            Value::F64(x) => assert_eq!(x.to_bits(), nan.to_bits()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_codec_round_trips_nested_trees() {
+        let v = Value::Map(vec![
+            (Value::Str("null".into()), Value::Null),
+            (
+                Value::Str("bools".into()),
+                Value::Seq(vec![Value::Bool(true), Value::Bool(false)]),
+            ),
+            (Value::U64(7), Value::I64(-12)),
+            (
+                Value::Str("nested".into()),
+                Value::Map(vec![(Value::Str("s".into()), Value::Str("héllo".into()))]),
+            ),
+        ]);
+        let enc = value_bytes(&v);
+        let mut pos = 0;
+        let back = decode_value(&enc, &mut pos).expect("decodes");
+        assert_eq!(pos, enc.len());
+        assert_eq!(back, v);
+        assert_eq!(value_digest(&back), value_digest(&v));
+    }
+
+    #[test]
+    fn unknown_chunk_tags_are_rejected() {
+        let mut bytes = write_chunks(&[]);
+        // Append a chunk with tag 99 and a valid digest.
+        let payload: &[u8] = &[];
+        let mut h = Fnv::new();
+        h.write(&[99]);
+        h.write(&0u32.to_le_bytes());
+        h.write(payload);
+        bytes.push(99);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&h.finish().to_le_bytes());
+        let err = read_chunks(&bytes).unwrap_err();
+        assert!(err.detail.contains("unknown chunk tag"), "{err}");
+    }
+}

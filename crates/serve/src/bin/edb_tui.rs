@@ -336,6 +336,26 @@ fn run_command(client: &mut Client, state: &mut TuiState, command: &str) -> bool
                 state.apply_status(&result);
             }
         }
+        "back" => {
+            let n = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+            if let Some(result) = call(client, state, "step_back", vec![("n", Value::U64(n))]) {
+                state.apply_status(&result);
+            }
+        }
+        "goto" => match args.first().and_then(|s| s.parse::<u64>().ok()) {
+            Some(ms) => {
+                if let Some(result) = call(client, state, "goto_time", vec![("ms", Value::U64(ms))])
+                {
+                    state.apply_status(&result);
+                }
+            }
+            None => state.note("usage: goto <ms> (absolute sim time)"),
+        },
+        "rc" => {
+            if let Some(result) = call(client, state, "reverse_continue", vec![]) {
+                state.apply_status(&result);
+            }
+        }
         "status" => {
             if let Some(result) = call(client, state, "status", vec![]) {
                 state.apply_status(&result);

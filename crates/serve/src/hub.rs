@@ -21,8 +21,11 @@ use crate::rpc::{
     parse_request, RpcError, RpcRequest,
 };
 use edb_core::fleet::{FleetConfig, FleetSim};
-use edb_core::{ChannelFaultConfig, DebugRequest, DebugResponse, DebugSession, SessionBuilder};
-use edb_energy::{SimTime, TheveninSource};
+use edb_core::{
+    ChannelFaultConfig, DebugRequest, DebugResponse, DebugSession, HarvesterSpec, SessionSpec,
+    WorldSpec,
+};
+use edb_energy::SimTime;
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -534,6 +537,66 @@ impl SessionHub {
                 session.resume()?;
                 Ok(session.status().to_value())
             }
+            "step_back" => {
+                let n = param_u64(p, "n").unwrap_or(1);
+                let session = self.attached_session(conn)?;
+                let mut session = session.lock().expect("session lock");
+                let landed = session.step_back(n)?;
+                let mut status = session.status().to_value();
+                push_field(&mut status, "landed_ns", Value::U64(landed.as_ns()));
+                Ok(status)
+            }
+            "goto_time" => {
+                let target = match (param_u64(p, "ns"), param_u64(p, "ms")) {
+                    (Some(ns), _) => SimTime::from_ns(ns),
+                    (None, Some(ms)) => SimTime::from_ms(ms),
+                    (None, None) => {
+                        return Err(RpcError::protocol(
+                            rpc::INVALID_PARAMS,
+                            "need `ns` or `ms` (absolute sim time)",
+                        ))
+                    }
+                };
+                let session = self.attached_session(conn)?;
+                let mut session = session.lock().expect("session lock");
+                let landed = session.goto_time(target)?;
+                let mut status = session.status().to_value();
+                push_field(&mut status, "landed_ns", Value::U64(landed.as_ns()));
+                Ok(status)
+            }
+            "reverse_continue" => {
+                let session = self.attached_session(conn)?;
+                let mut session = session.lock().expect("session lock");
+                let stopped = session.reverse_continue()?;
+                let mut status = session.status().to_value();
+                push_field(
+                    &mut status,
+                    "stopped_at_ns",
+                    stopped.map_or(Value::Null, |t| Value::U64(t.as_ns())),
+                );
+                Ok(status)
+            }
+            "record_export" => {
+                let session = self.attached_session(conn)?;
+                let session = session.lock().expect("session lock");
+                let recording = session.export_recording().ok_or_else(|| {
+                    RpcError::protocol(rpc::INVALID_REQUEST, "session is not recording")
+                })?;
+                let bytes = recording.to_bytes();
+                if let Some(path) = param_str(p, "path") {
+                    std::fs::write(path, &bytes).map_err(|e| {
+                        RpcError::protocol(
+                            rpc::INVALID_REQUEST,
+                            format!("cannot write `{path}`: {e}"),
+                        )
+                    })?;
+                }
+                Ok(obj(vec![
+                    ("ops", Value::U64(recording.op_count() as u64)),
+                    ("snapshots", Value::U64(recording.snapshot_count() as u64)),
+                    ("bytes", Value::U64(bytes.len() as u64)),
+                ]))
+            }
             "status" => {
                 let session = self.attached_session(conn)?;
                 let session = session.lock().expect("session lock");
@@ -726,59 +789,71 @@ impl SessionHub {
     }
 
     fn create(&self, conn: &mut ConnState, p: &Value) -> MethodResult {
-        let mut builder = SessionBuilder::new();
-        match (param_str(p, "firmware"), param_str(p, "source")) {
-            (Some(preset), _) => {
-                let source = preset_source(preset).ok_or_else(|| {
-                    RpcError::protocol(
-                        rpc::INVALID_PARAMS,
-                        format!(
-                            "unknown firmware preset `{preset}` (have: {})",
-                            FIRMWARE_PRESETS.join(", ")
-                        ),
-                    )
-                })?;
-                builder = builder.firmware(source);
-            }
-            (None, Some(source)) => builder = builder.firmware(source),
+        // Sessions are described by a rebuildable `SessionSpec` (not a
+        // bare builder) so the hub can record them: the spec is embedded
+        // in the tape and the recording replays in a fresh process.
+        let source = match (param_str(p, "firmware"), param_str(p, "source")) {
+            (Some(preset), _) => preset_source(preset).ok_or_else(|| {
+                RpcError::protocol(
+                    rpc::INVALID_PARAMS,
+                    format!(
+                        "unknown firmware preset `{preset}` (have: {})",
+                        FIRMWARE_PRESETS.join(", ")
+                    ),
+                )
+            })?,
+            (None, Some(source)) => source,
             (None, None) => {
                 return Err(RpcError::protocol(
                     rpc::INVALID_PARAMS,
                     "need `firmware` (a preset name) or `source` (assembly text)",
                 ))
             }
-        }
+        };
+        let mut spec = SessionSpec::bench(source);
         if let Some(seed) = param_u64(p, "seed") {
-            builder = builder.seed(seed);
+            spec.seed = seed;
         }
         if let Some(h) = p.get_field("harvester") {
-            let voc = param_f64(h, "voc").unwrap_or(3.2);
-            let r = param_f64(h, "r").unwrap_or(1500.0);
-            builder = builder.harvester(TheveninSource::new(voc, r));
+            spec.world = WorldSpec::Harvester {
+                spec: HarvesterSpec::Thevenin {
+                    v_oc: param_f64(h, "voc").unwrap_or(3.2),
+                    r_src: param_f64(h, "r").unwrap_or(1500.0),
+                },
+            };
         } else if let Some(rfid) = p.get_field("rfid") {
             let distance = param_f64(rfid, "distance").ok_or_else(|| {
                 RpcError::protocol(rpc::INVALID_PARAMS, "rfid needs `distance` (metres)")
             })?;
-            builder = builder.rfid(distance);
+            spec.world = WorldSpec::Rfid {
+                distance_m: distance,
+            };
         }
         if let Some(us) = param_u64(p, "deadline_us") {
-            builder = builder.deadline(SimTime::from_us(us));
+            spec.edb.cmd_timeout = SimTime::from_us(us);
         }
         if let Some(retries) = param_u64(p, "retries") {
-            builder = builder.retries(retries as u32);
+            spec.edb.cmd_retries = retries as u32;
         }
         if let Some(us) = param_u64(p, "retry_flush_us") {
-            builder = builder.retry_flush(SimTime::from_us(us));
+            spec.edb.retry_flush = SimTime::from_us(us);
         }
         if let Some(fault) = p.get_field("fault") {
-            builder = builder.channel_fault(ChannelFaultConfig {
+            spec.channel_fault = Some(ChannelFaultConfig {
                 bit_flip: param_f64(fault, "bit_flip").unwrap_or(0.0),
                 drop: param_f64(fault, "drop").unwrap_or(0.0),
                 duplicate: param_f64(fault, "duplicate").unwrap_or(0.0),
                 seed: param_u64(fault, "seed").unwrap_or(0),
             });
         }
-        let mut session = builder.build().map_err(|e| RpcError::engine(&e))?;
+        let record = param_bool(p, "record").unwrap_or(true);
+        let stride = param_u64(p, "record_stride").unwrap_or(32);
+        let mut session = if record {
+            spec.record(stride)
+        } else {
+            spec.build()
+        }
+        .map_err(|e| RpcError::engine(&e))?;
         let opened = match param_u64(p, "wait_session_ms") {
             Some(ms) => session.run_until_session(SimTime::from_ms(ms)),
             None => false,
@@ -794,6 +869,7 @@ impl SessionHub {
         Ok(obj(vec![
             ("session", Value::U64(sid)),
             ("session_active", Value::Bool(opened)),
+            ("recording", Value::Bool(record)),
         ]))
     }
 }

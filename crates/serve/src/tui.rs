@@ -276,7 +276,7 @@ impl TuiState {
         f.put(
             1,
             23,
-            "run <ms> | step [n] | read/write <hex> | pc | break <id> | resume | quit",
+            "run <ms> | step [n] | back [n] | goto <ms> | rc | read/write | break | resume",
         );
         f.render()
     }

@@ -44,6 +44,36 @@ pub mod rngs {
         state: u64,
     }
 
+    // Generators are pure functions of their 64-bit state, so a
+    // recorded simulation can checkpoint and restore them exactly.
+    // (Upstream `rand` leaves serialization to a serde feature; the
+    // stand-in wires it to the vendored `serde` directly.)
+    impl serde::Serialize for StdRng {
+        fn to_value(&self) -> serde::Value {
+            serde::Value::U64(self.state)
+        }
+    }
+
+    impl serde::Deserialize for StdRng {
+        fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+            Ok(StdRng {
+                state: <u64 as serde::Deserialize>::from_value(v)?,
+            })
+        }
+    }
+
+    impl serde::Serialize for SmallRng {
+        fn to_value(&self) -> serde::Value {
+            serde::Serialize::to_value(&self.0)
+        }
+    }
+
+    impl serde::Deserialize for SmallRng {
+        fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+            Ok(SmallRng(StdRng::from_value(v)?))
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             splitmix64(&mut self.state)

@@ -10,7 +10,7 @@
 //! `serde_json` renders/parses that tree. Round-trips through this pair
 //! are lossless for every type the workspace derives.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -404,6 +404,60 @@ impl_tuple! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("array", "VecDeque"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("array", "BTreeSet"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Map(vec![(Value::Str("Ok".to_string()), v.to_value())]),
+            Err(e) => Value::Map(vec![(Value::Str("Err".to_string()), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "Result"))?;
+        match map.first() {
+            Some((Value::Str(tag), inner)) if tag == "Ok" => Ok(Ok(T::from_value(inner)?)),
+            Some((Value::Str(tag), inner)) if tag == "Err" => Ok(Err(E::from_value(inner)?)),
+            _ => Err(DeError::expected("{\"Ok\": ..} or {\"Err\": ..}", "Result")),
+        }
+    }
+}
+
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Map(
@@ -474,6 +528,18 @@ mod tests {
         assert_eq!(BTreeMap::from_value(&m.to_value()), Ok(m));
         let v = vec![(1u16, "x".to_string()), (2, "y".to_string())];
         assert_eq!(Vec::from_value(&v.to_value()), Ok(v));
+    }
+
+    #[test]
+    fn deque_set_and_result_round_trip() {
+        let d: VecDeque<u16> = [3u16, 1, 2].into_iter().collect();
+        assert_eq!(VecDeque::from_value(&d.to_value()), Ok(d));
+        let s: BTreeSet<u8> = [9u8, 4].into_iter().collect();
+        assert_eq!(BTreeSet::from_value(&s.to_value()), Ok(s));
+        let ok: Result<u16, String> = Ok(7);
+        assert_eq!(Result::from_value(&ok.to_value()), Ok(ok));
+        let err: Result<u16, String> = Err("boom".to_string());
+        assert_eq!(Result::from_value(&err.to_value()), Ok(err));
     }
 
     #[test]
