@@ -53,7 +53,7 @@ fn main() {
 
     let snapshot = snapshot_from_manifest(&manifest, &commit, &civil_date(unix), &host);
     println!(
-        "[bench_export] commit {} host {} total {:.2}s fleet {:.3e} tag·cycles/sec",
+        "[bench_export] commit {} host {} total {:.2}s throughput {:.3e} tag·cycles/sec",
         snapshot.commit, snapshot.host, snapshot.total_wall_s, snapshot.tag_cycles_per_sec
     );
 

@@ -1,0 +1,11 @@
+//! Runs the checkpoint-strategy sweep. See `edb_bench::ckpt`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed).
+//! Writes `target/experiments/manifest.json` for `bench_export`
+//! (`BENCH_9.json`).
+fn main() {
+    let cli = edb_bench::runner::Cli::from_env();
+    for result in cli.runner().run_experiments(&[edb_bench::ckpt::SPEC]) {
+        println!("{}", result.report);
+    }
+}

@@ -1,0 +1,313 @@
+//! **Ckpt** — the checkpoint-strategy zoo under harvested power.
+//!
+//! Sweeps every [`StrategyKind`] across a small app suite and two
+//! fading harvest traces, reporting the three numbers that rank a
+//! checkpointing scheme on an intermittent target:
+//!
+//! * **checkpoint bytes written** — total FRAM commit traffic
+//!   (`CkptStats::bytes_written`); the differential strategy's whole
+//!   reason to exist;
+//! * **restore latency** — mean bytes a reboot has to stream back from
+//!   FRAM per restore, modeled at [`RESTORE_BYTES_PER_US`];
+//! * **forward progress per joule** — app progress units per millijoule
+//!   actually drawn from the storage capacitor (discharge-only
+//!   integral of `½·C·V²` across the run).
+//!
+//! The sweep grid is deterministic: cells are a fixed function of the
+//! strategy × app × trace axes, each cell simulates a fixed window
+//! under a named harvest trace, and results merge in grid order — the
+//! manifest is identical at any `--threads`.
+//!
+//! Deliberately **not** part of `all_specs()`: the golden-manifest gate
+//! pins the default suite byte-for-byte, and this experiment rides the
+//! separate `ckpt-smoke` CI job (which also exports `BENCH_9.json`).
+//!
+//! [`StrategyKind`]: edb_runtime::ckpt::StrategyKind
+//! [`CkptStats::bytes_written`]: edb_runtime::ckpt::CkptStats
+
+use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
+use crate::Report;
+use edb_device::{Device, DeviceConfig};
+use edb_energy::budget::{delta_energy, WISP5_CAPACITANCE};
+use edb_energy::SimTime;
+use edb_runtime::ckpt::{CkptConfig, CkptEngine, StrategyKind};
+
+/// The suite entry for this experiment (run it via the `ckpt` bin; it
+/// is intentionally absent from `all_specs()`).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "ckpt",
+    title: "Ckpt: strategy zoo — bytes, restore latency, progress/J",
+    run: run_spec,
+};
+
+/// SRAM word every app publishes its progress counter to.
+pub const PROGRESS: u16 = 0x1C10;
+
+/// Simulated window per sweep cell, ms. Long enough for the fading
+/// harvest traces to force several natural power cycles.
+pub const SIM_MS: u64 = 400;
+
+/// Checkpoint trigger interval (instructions) used across the sweep.
+pub const INTERVAL: u64 = 200;
+
+/// Modeled FRAM restore streaming rate, bytes per microsecond (word
+/// reads back-to-back on an MSP430FR-class bus). Turns the measured
+/// bytes-per-restore into the latency column.
+pub const RESTORE_BYTES_PER_US: f64 = 4.0;
+
+/// Named harvest traces: seeds for [`harness::harvested`]'s slow
+/// fading. Fixed — the trace axis is part of the experiment's identity.
+pub const TRACES: [(&str, u64); 2] = [("fade_a", 0xA11CE), ("fade_b", 0x0B0B)];
+
+/// One app in the sweep: restart-resilient (all progress is
+/// checkpointed state), publishing a monotone counter to [`PROGRESS`].
+#[derive(Debug, Clone)]
+pub struct CkptApp {
+    /// Short name for the report grid.
+    pub name: &'static str,
+    /// Assembly source.
+    pub source: String,
+}
+
+/// The app suite: three working-set sizes, from the differential
+/// strategy's best case (one dirty word) to its stress case (a 32-word
+/// SRAM matrix rewritten every pass).
+pub fn apps() -> Vec<CkptApp> {
+    let mut out = Vec::new();
+
+    // Tight counter: one dirty SRAM word per iteration.
+    out.push(CkptApp {
+        name: "counter",
+        source: "    .org 0x4400\ninit:\n    movi sp, 0x2400\n    movi r1, 0x1C10\n    \
+                 ld   r0, [r1]\nloop:\n    add  r0, 1\n    st   [r1], r0\n    jmp  loop\n    \
+                 .org 0xFFFE\n    .word init\n"
+            .to_string(),
+    });
+
+    // Rotate-xor filter over a 32-word FRAM table, accumulator plus
+    // progress in SRAM: a couple of dirty words per pass.
+    let table: String = (0..32u32)
+        .map(|i| format!("    .word {:#06x}\n", (i * 0x6C07 + 0x35) & 0xFFFF))
+        .collect();
+    out.push(CkptApp {
+        name: "filter",
+        source: format!(
+            "    .org 0x4400\ninit:\n    movi sp, 0x2400\n    movi r7, 0x1C10\n    \
+             movi r6, 0x1C20\npass:\n    movi r1, 0x7000\n    movi r2, 0\nloop:\n    \
+             ld   r3, [r1]\n    ld   r4, [r6]\n    shl  r4, 1\n    xor  r4, r3\n    \
+             st   [r6], r4\n    add  r1, 2\n    add  r2, 1\n    cmpi r2, 32\n    jne  loop\n    \
+             ld   r0, [r7]\n    add  r0, 1\n    st   [r7], r0\n    jmp  pass\n    \
+             .org 0x7000\n{table}    .org 0xFFFE\n    .word init\n"
+        ),
+    });
+
+    // LCG matrix update: rewrites 32 SRAM words every pass — the
+    // dirty-word tracker's worst case.
+    out.push(CkptApp {
+        name: "matrix",
+        source: "    .org 0x4400\ninit:\n    movi sp, 0x2400\n    movi r7, 0x1C10\npass:\n    \
+                 movi r1, 0x1C40\n    movi r2, 0\nloop:\n    ld   r3, [r1]\n    mul  r3, 31\n    \
+                 add  r3, 7\n    st   [r1], r3\n    add  r1, 2\n    add  r2, 1\n    \
+                 cmpi r2, 32\n    jne  loop\n    ld   r0, [r7]\n    add  r0, 1\n    \
+                 st   [r7], r0\n    jmp  pass\n    .org 0xFFFE\n    .word init\n"
+            .to_string(),
+    });
+
+    out
+}
+
+/// One sweep cell's measurements.
+#[derive(Debug, Clone, Default)]
+pub struct CellOut {
+    /// High-water progress counter observed while powered.
+    pub progress: u64,
+    /// Instructions retired across the window.
+    pub instructions: u64,
+    /// Joules drawn from the capacitor (discharge-only integral).
+    pub joules: f64,
+    /// Natural power cycles the trace forced.
+    pub reboots: u64,
+    /// Checkpoint commits.
+    pub commits: u64,
+    /// FRAM bytes written by commits.
+    pub bytes_written: u64,
+    /// Restores performed at turn-on.
+    pub restores: u64,
+    /// FRAM bytes read back across all restores.
+    pub restore_bytes: u64,
+}
+
+/// Runs one (strategy, app, trace) cell for [`SIM_MS`] under harvested
+/// power with the engine observing every step.
+pub fn run_cell(app: &CkptApp, kind: StrategyKind, trace_seed: u64, sim_ms: u64) -> CellOut {
+    let image = edb_mcu::asm::assemble(&app.source)
+        .unwrap_or_else(|e| panic!("app `{}` does not assemble: {e}", app.name));
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    let mut engine = CkptEngine::new(CkptConfig::new(kind).interval(INTERVAL));
+    engine.attach(dev.mem_mut());
+    let mut h = harness::harvested(trace_seed);
+    dev.set_v_cap(3.0);
+
+    let end = SimTime::from_ms(sim_ms);
+    let mut out = CellOut::default();
+    let mut v_prev = dev.v_cap();
+    while dev.now() < end {
+        let step = dev.step(&mut h, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        let v = dev.v_cap();
+        if v < v_prev {
+            out.joules += delta_energy(WISP5_CAPACITANCE, v_prev, v);
+        }
+        v_prev = v;
+        if dev.powered() {
+            out.progress = out.progress.max(u64::from(dev.mem().peek_word(PROGRESS)));
+        }
+    }
+    let stats = engine.stats();
+    out.instructions = dev.total_instructions();
+    out.reboots = dev.reboots();
+    out.commits = stats.commits;
+    out.bytes_written = stats.bytes_written;
+    out.restores = stats.restores;
+    out.restore_bytes = stats.restore_bytes;
+    out
+}
+
+fn run_spec(runner: &Runner) -> Report {
+    run(runner)
+}
+
+/// Runs the full sweep and builds the report.
+pub fn run(runner: &Runner) -> Report {
+    run_with(runner, SIM_MS)
+}
+
+/// The sweep at an explicit per-cell window (tests use a short one;
+/// the suite identity is [`SIM_MS`]).
+pub fn run_with(runner: &Runner, sim_ms: u64) -> Report {
+    let apps = apps();
+    let mut grid = Vec::new();
+    for kind in StrategyKind::ALL {
+        for (app_idx, _) in apps.iter().enumerate() {
+            for &(trace, seed) in &TRACES {
+                grid.push((kind, app_idx, trace, seed));
+            }
+        }
+    }
+    let cells = runner.map_trials("ckpt", grid.len(), |ctx| {
+        let (kind, app_idx, _, seed) = grid[ctx.trial];
+        run_cell(&apps[app_idx], kind, seed, sim_ms)
+    });
+
+    let mut report = Report::new(SPEC.title);
+    report.line(format!(
+        "{} strategies x {} apps x {} traces, {sim_ms} ms harvested power each, \
+         commit interval {INTERVAL} instructions",
+        StrategyKind::ALL.len(),
+        apps.len(),
+        TRACES.len()
+    ));
+    report.line(String::new());
+    report.line(
+        "strategy      app      trace   progress  commits  restores   ckpt_bytes  reboots"
+            .to_string(),
+    );
+
+    let mut instructions_total = 0u64;
+    for kind in StrategyKind::ALL {
+        let mut bytes = 0u64;
+        let mut restores = 0u64;
+        let mut restore_bytes = 0u64;
+        let mut progress = 0u64;
+        let mut joules = 0.0f64;
+        for ((k, app_idx, trace, _), cell) in grid.iter().zip(&cells) {
+            if *k != kind {
+                continue;
+            }
+            report.line(format!(
+                "{:<13} {:<8} {:<7} {:>8} {:>8} {:>9} {:>12} {:>8}",
+                kind.name(),
+                apps[*app_idx].name,
+                trace,
+                cell.progress,
+                cell.commits,
+                cell.restores,
+                cell.bytes_written,
+                cell.reboots
+            ));
+            bytes += cell.bytes_written;
+            restores += cell.restores;
+            restore_bytes += cell.restore_bytes;
+            progress += cell.progress;
+            joules += cell.joules;
+            instructions_total += cell.instructions;
+        }
+        let restore_us = if restores > 0 {
+            restore_bytes as f64 / restores as f64 / RESTORE_BYTES_PER_US
+        } else {
+            0.0
+        };
+        let per_mj = if joules > 0.0 {
+            progress as f64 / (joules * 1e3)
+        } else {
+            0.0
+        };
+        report.metric(format!("ckpt_bytes_{}", kind.name()), bytes as f64);
+        report.metric(format!("restore_us_{}", kind.name()), restore_us);
+        report.metric(format!("progress_per_mj_{}", kind.name()), per_mj);
+    }
+    // Simulated work for the BENCH_9 throughput snapshot (the trend
+    // export divides by this experiment's wall time when no fleet
+    // experiment is in the manifest).
+    report.metric("tag_cycles_total", instructions_total as f64);
+    report.line(String::new());
+    report.line(format!(
+        "restore latency modeled at {RESTORE_BYTES_PER_US} FRAM bytes/us; \
+         progress/mJ integrates capacitor discharge only"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    /// Debug-build smoke over a shortened window: every strategy makes
+    /// progress under harvested power, and the differential strategy
+    /// writes fewer commit bytes than a full dump at the same triggers.
+    #[test]
+    fn differential_writes_fewer_bytes_than_full_dump() {
+        let app = &apps()[0];
+        let full = run_cell(app, StrategyKind::FullDump, TRACES[0].1, 80);
+        let diff = run_cell(app, StrategyKind::Differential, TRACES[0].1, 80);
+        let spec = run_cell(app, StrategyKind::Speculative, TRACES[0].1, 80);
+        for (name, cell) in [("full", &full), ("diff", &diff), ("spec", &spec)] {
+            assert!(cell.progress > 0, "{name}: no forward progress");
+            assert!(cell.joules > 0.0, "{name}: no energy drawn");
+        }
+        assert!(full.commits > 0, "full dump never committed");
+        assert!(diff.commits > 0, "differential never committed");
+        assert!(
+            diff.bytes_written < full.bytes_written,
+            "differential ({} B) must beat full dump ({} B)",
+            diff.bytes_written,
+            full.bytes_written
+        );
+    }
+
+    /// The sweep's aggregate metrics exist for every strategy and the
+    /// report is deterministic at different thread counts.
+    #[test]
+    fn report_carries_per_strategy_metrics() {
+        let report = run_with(&Runner::new(2, 7), 60);
+        for kind in StrategyKind::ALL {
+            let bytes = report.get(&format!("ckpt_bytes_{}", kind.name()));
+            assert!(bytes > 0.0, "{}: no checkpoint traffic", kind.name());
+            assert!(report.get(&format!("progress_per_mj_{}", kind.name())) > 0.0);
+        }
+        assert!(report.get("tag_cycles_total") > 0.0);
+    }
+}

@@ -95,43 +95,51 @@ impl Default for TrendFile {
 
 /// Builds a snapshot from a run [`Manifest`].
 ///
-/// Throughput is `Σ tag_cycles_* metrics of the fleet experiment ÷ the
-/// fleet experiment's wall time` — simulated work over real time. Runs
-/// without a fleet experiment get zero throughput (and will pass the
-/// gate trivially, since zero can't be a best run while any real one
-/// exists... the gate also skips zero-throughput snapshots as
-/// baselines).
+/// Throughput is `Σ tag_cycles_* metrics of the throughput experiment
+/// ÷ that experiment's wall time` — simulated work over real time. The
+/// throughput experiment is `fleet` when the manifest has one, falling
+/// back to `ckpt` (the checkpoint-strategy sweep exports `BENCH_9.json`
+/// from a manifest with no fleet run). Runs with neither get zero
+/// throughput (and will pass the gate trivially, since zero can't be a
+/// best run while any real one exists... the gate also skips
+/// zero-throughput snapshots as baselines).
 pub fn snapshot_from_manifest(
     manifest: &Manifest,
     commit: &str,
     date: &str,
     host: &str,
 ) -> BenchSnapshot {
-    let mut tag_cycles = 0.0;
-    let mut fleet_wall = 0.0;
-    let mut experiments = Vec::new();
-    for entry in &manifest.experiments {
-        experiments.push(ExperimentWall {
+    let experiments: Vec<ExperimentWall> = manifest
+        .experiments
+        .iter()
+        .map(|entry| ExperimentWall {
             name: entry.name.clone(),
             wall_s: entry.wall_s,
-        });
-        if entry.name == "fleet" {
-            fleet_wall = entry.wall_s;
-            tag_cycles = entry
+        })
+        .collect();
+    let source = manifest
+        .experiments
+        .iter()
+        .find(|e| e.name == "fleet")
+        .or_else(|| manifest.experiments.iter().find(|e| e.name == "ckpt"));
+    let (tag_cycles, source_wall) = source
+        .map(|entry| {
+            let cycles: f64 = entry
                 .metrics
                 .iter()
                 .filter(|(k, _)| k.starts_with("tag_cycles_"))
                 .map(|(_, v)| *v)
                 .sum();
-        }
-    }
+            (cycles, entry.wall_s)
+        })
+        .unwrap_or((0.0, 0.0));
     BenchSnapshot {
         commit: commit.to_string(),
         date: date.to_string(),
         host: host.to_string(),
         total_wall_s: manifest.total_wall_s,
-        tag_cycles_per_sec: if fleet_wall > 0.0 {
-            tag_cycles / fleet_wall
+        tag_cycles_per_sec: if source_wall > 0.0 {
+            tag_cycles / source_wall
         } else {
             0.0
         },
@@ -277,6 +285,38 @@ mod tests {
             gate(&history, &snap("github-ci", 1e9, "bbb"), 0.10),
             GateOutcome::NoBaseline
         );
+    }
+
+    #[test]
+    fn ckpt_manifests_fall_back_for_throughput() {
+        use crate::runner::{Manifest, ManifestEntry};
+        let entry = |name: &str, wall_s: f64, cycles: f64| ManifestEntry {
+            name: name.to_string(),
+            title: name.to_string(),
+            wall_s,
+            trials: 1,
+            metrics: [("tag_cycles_total".to_string(), cycles)].into(),
+        };
+        let manifest = |experiments: Vec<ManifestEntry>| Manifest {
+            root_seed: 42,
+            threads: 1,
+            total_wall_s: 5.0,
+            experiments,
+            obs: None,
+        };
+        // No fleet run: the ckpt experiment's cycles form the snapshot.
+        let m = manifest(vec![entry("ckpt", 2.0, 1e6)]);
+        let s = snapshot_from_manifest(&m, "abc", "2026-08-09", "ci");
+        assert!((s.tag_cycles_per_sec - 5e5).abs() < 1e-6);
+        // Fleet present: it wins even with a ckpt entry alongside.
+        let m = manifest(vec![entry("ckpt", 2.0, 1e6), entry("fleet", 1.0, 1e7)]);
+        let s = snapshot_from_manifest(&m, "abc", "2026-08-09", "ci");
+        assert!((s.tag_cycles_per_sec - 1e7).abs() < 1e-3);
+        assert_eq!(s.experiments.len(), 2);
+        // Neither: zero throughput (never a baseline).
+        let m = manifest(vec![]);
+        let s = snapshot_from_manifest(&m, "abc", "2026-08-09", "ci");
+        assert_eq!(s.tag_cycles_per_sec, 0.0);
     }
 
     #[test]

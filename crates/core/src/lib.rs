@@ -86,7 +86,8 @@ pub use events::{DebugEvent, EventLog, LoggedEvent};
 pub use fleet::{FleetCellStats, FleetConfig, FleetEvent, FleetSim, TagStatus};
 pub use protocol::{FrameError, HostCommand};
 pub use replay::{
-    Divergence, Firmware, HarvesterSpec, SessionOp, SessionSpec, VerifyReport, WorldSpec,
+    Divergence, Firmware, FleetOp, FleetSpec, FleetTape, HarvesterSpec, SessionOp, SessionSpec,
+    VerifyReport, WorldSpec,
 };
 pub use session::{DebugSession, SessionBuilder, SessionStatus};
 pub use system::{System, SystemBuilder};

@@ -26,13 +26,16 @@
 
 use crate::debugger::{DebugRequest, EdbConfig, RequestId};
 use crate::error::EdbError;
+use crate::fleet::{FleetConfig, FleetSim};
 use crate::session::{DebugSession, SessionBuilder};
 use crate::wiring::ChannelFaultConfig;
 use edb_device::DeviceConfig;
 use edb_energy::{
     ConstantCurrent, Fading, SimTime, SolarHarvester, TheveninSource, TraceHarvester,
 };
-use edb_replay::{value_digest, Entry, Recording};
+pub use edb_replay::Recording;
+use edb_replay::{value_digest, Entry};
+use edb_runtime::ckpt::CkptConfig;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 // ---------------------------------------------------------------------
@@ -163,7 +166,7 @@ pub struct Firmware {
 /// Everything needed to rebuild a [`DebugSession`] bit-identically:
 /// the initial image plus every seed. This is the `Spec` chunk of a
 /// recording.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct SessionSpec {
     /// Target device configuration.
     pub device: DeviceConfig,
@@ -177,6 +180,32 @@ pub struct SessionSpec {
     pub channel_fault: Option<ChannelFaultConfig>,
     /// Firmware to flash, if any.
     pub firmware: Option<Firmware>,
+    /// Host-side checkpoint strategy, if one is attached — recorded so
+    /// reproducers replay under the same zoo member.
+    pub ckpt: Option<CkptConfig>,
+}
+
+// Hand-written so specs without a checkpoint engine keep the historical
+// byte layout (the `ckpt` key appears only when set; the derived
+// Deserialize reads a missing key as `None`).
+impl Serialize for SessionSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            (Value::Str("device".into()), self.device.to_value()),
+            (Value::Str("world".into()), self.world.to_value()),
+            (Value::Str("seed".into()), self.seed.to_value()),
+            (Value::Str("edb".into()), self.edb.to_value()),
+            (
+                Value::Str("channel_fault".into()),
+                self.channel_fault.to_value(),
+            ),
+            (Value::Str("firmware".into()), self.firmware.to_value()),
+        ];
+        if self.ckpt.is_some() {
+            fields.push((Value::Str("ckpt".into()), self.ckpt.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 impl SessionSpec {
@@ -199,7 +228,15 @@ impl SessionSpec {
                 source: source.to_string(),
                 wrap: true,
             }),
+            ckpt: None,
         }
+    }
+
+    /// Runs the session under a checkpoint-strategy-zoo engine
+    /// ([`edb_runtime::ckpt`]); the strategy rides in the recording.
+    pub fn with_checkpoint_strategy(mut self, ckpt: CkptConfig) -> Self {
+        self.ckpt = Some(ckpt);
+        self
     }
 
     /// Like [`SessionSpec::bench`] but on the harvested (fading)
@@ -226,6 +263,9 @@ impl SessionSpec {
         };
         if let Some(fault) = self.channel_fault {
             builder = builder.channel_fault(fault);
+        }
+        if let Some(ckpt) = self.ckpt {
+            builder = builder.with_checkpoint_strategy(ckpt);
         }
         if let Some(fw) = &self.firmware {
             builder = if fw.wrap {
@@ -917,10 +957,231 @@ fn snapshot_mismatch_detail(recorded: &Value, live: &Value) -> String {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fleet recordings: the `fleet_*` RPC surface on the replay tape
+// ---------------------------------------------------------------------
+
+/// One recorded fleet operation — the only inputs a fleet session has
+/// (everything inside [`FleetSim`] is a pure function of the spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetOp {
+    /// Advance by carrier milliseconds (`fleet_run {ms}`).
+    RunMs(u64),
+    /// Advance by inventory slots (`fleet_run {slots}`).
+    RunSlots(u64),
+}
+
+/// The rebuildable spec embedded in a fleet recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// The fleet configuration.
+    pub config: FleetConfig,
+    /// The trial seed.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// Builds the simulation this spec describes.
+    pub fn build(&self) -> FleetSim {
+        FleetSim::new(self.config, self.seed)
+    }
+}
+
+/// Digest of a fleet simulation's observable state: the aggregate
+/// stats plus every tag's electrical state (capacitor bits, mode,
+/// inventory flag, power cycles), folded through the canonical value
+/// encoding. Two sims digest equal iff a replay is bit-faithful at the
+/// level the RPC surface can observe.
+pub fn fleet_digest(sim: &FleetSim) -> u64 {
+    let stats = sim.stats();
+    let mut tags = Vec::with_capacity(stats.tags as usize);
+    for g in 0..stats.tags as usize {
+        if let Some(t) = sim.tag_status(g) {
+            tags.push(Value::Seq(vec![
+                Value::F64(t.v_cap),
+                Value::Bool(t.powered),
+                Value::Bool(t.inventoried),
+                Value::Bool(t.ever_read),
+                Value::U64(u64::from(t.power_cycles)),
+                Value::F64(t.active_secs),
+            ]));
+        }
+    }
+    let state = Value::Map(vec![
+        (Value::Str("now_ns".into()), Value::U64(sim.now().as_ns())),
+        (
+            Value::Str("q".into()),
+            Value::U64(u64::from(sim.reader().q())),
+        ),
+        (Value::Str("rounds".into()), Value::U64(stats.gen2.rounds)),
+        (Value::Str("slots".into()), Value::U64(stats.gen2.slots())),
+        (Value::Str("epcs".into()), Value::U64(stats.gen2.epcs_read)),
+        (
+            Value::Str("collisions".into()),
+            Value::U64(stats.gen2.collision_slots),
+        ),
+        (
+            Value::Str("unique".into()),
+            Value::U64(stats.unique_tags_read),
+        ),
+        (
+            Value::Str("tag_cycles".into()),
+            Value::F64(stats.tag_cycles),
+        ),
+        (Value::Str("tags".into()), Value::Seq(tags)),
+    ]);
+    value_digest(&state)
+}
+
+/// Applies one recorded op to a live simulation — the single advance
+/// path shared by the RPC handler and replay, so both execute
+/// identically.
+pub fn apply_fleet_op(sim: &mut FleetSim, op: FleetOp) {
+    match op {
+        FleetOp::RunMs(ms) => {
+            let until = SimTime::from_ns(sim.now().as_ns() + ms * 1_000_000);
+            while sim.now() < until {
+                sim.step_slot();
+            }
+        }
+        FleetOp::RunSlots(slots) => {
+            for _ in 0..slots {
+                sim.step_slot();
+            }
+        }
+    }
+}
+
+/// The live tape of one fleet session: spec, recorded ops, and a state
+/// digest at every op boundary. Sealed into a [`Recording`] by
+/// [`export`](FleetTape::export) at any time.
+#[derive(Debug, Clone)]
+pub struct FleetTape {
+    spec: FleetSpec,
+    start_ns: u64,
+    entries: Vec<Entry>,
+}
+
+impl FleetTape {
+    /// Starts a tape for a freshly built sim, stamping the initial
+    /// boundary digest.
+    pub fn new(spec: FleetSpec, sim: &FleetSim) -> Self {
+        FleetTape {
+            spec,
+            start_ns: sim.now().as_ns(),
+            entries: vec![Entry::Digest {
+                now_ns: sim.now().as_ns(),
+                digest: fleet_digest(sim),
+            }],
+        }
+    }
+
+    /// Records one op and applies it to the sim, sealing the boundary
+    /// with a post-op digest.
+    pub fn run(&mut self, sim: &mut FleetSim, op: FleetOp) {
+        self.entries.push(Entry::Op {
+            now_ns: sim.now().as_ns(),
+            value: op.to_value(),
+        });
+        apply_fleet_op(sim, op);
+        self.entries.push(Entry::Digest {
+            now_ns: sim.now().as_ns(),
+            digest: fleet_digest(sim),
+        });
+    }
+
+    /// Ops recorded so far.
+    pub fn op_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Entry::Op { .. }))
+            .count()
+    }
+
+    /// Seals a copy of the tape into a verifiable recording (digest
+    /// boundaries at every op; no full snapshots — fleets rebuild from
+    /// the embedded spec).
+    pub fn export(&self, sim: &FleetSim) -> Recording {
+        Recording {
+            spec: Some(self.spec.to_value()),
+            stride: 1,
+            start_ns: self.start_ns,
+            entries: self.entries.clone(),
+            end: Some((sim.now().as_ns(), fleet_digest(sim))),
+        }
+    }
+}
+
+/// Replays a fleet recording from its embedded spec and checks every
+/// boundary digest and the end-of-tape digest. Returns the number of
+/// ops verified.
+pub fn verify_fleet(recording: &Recording) -> Result<usize, String> {
+    let spec_value = recording
+        .spec
+        .as_ref()
+        .ok_or("recording has no embedded fleet spec")?;
+    let spec = FleetSpec::from_value(spec_value).map_err(|e| format!("bad fleet spec: {e}"))?;
+    let mut sim = spec.build();
+    let mut ops = 0usize;
+    for (k, entry) in recording.entries.iter().enumerate() {
+        match entry {
+            Entry::Op { value, .. } => {
+                let op =
+                    FleetOp::from_value(value).map_err(|e| format!("entry {k}: bad op: {e}"))?;
+                apply_fleet_op(&mut sim, op);
+                ops += 1;
+            }
+            Entry::Digest { now_ns, digest } => {
+                if sim.now().as_ns() != *now_ns || fleet_digest(&sim) != *digest {
+                    return Err(format!(
+                        "entry {k}: replay diverged after {ops} op(s) \
+                         (at {} ns, recorded {} ns)",
+                        sim.now().as_ns(),
+                        now_ns
+                    ));
+                }
+            }
+            Entry::Snapshot { .. } => {
+                return Err(format!("entry {k}: fleet recordings are digest-only"));
+            }
+        }
+    }
+    if let Some((end_ns, end_digest)) = recording.end {
+        if sim.now().as_ns() != end_ns || fleet_digest(&sim) != end_digest {
+            return Err(format!("end-of-tape digest mismatch after {ops} op(s)"));
+        }
+    }
+    Ok(ops)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::debugger::DebugRequest;
+
+    #[test]
+    fn fleet_recordings_replay_and_verify() {
+        let spec = FleetSpec {
+            config: FleetConfig::standard(40),
+            seed: 9,
+        };
+        let mut sim = spec.build();
+        let mut tape = FleetTape::new(spec, &sim);
+        tape.run(&mut sim, FleetOp::RunMs(300));
+        tape.run(&mut sim, FleetOp::RunSlots(50));
+        tape.run(&mut sim, FleetOp::RunMs(200));
+        assert_eq!(tape.op_count(), 3);
+        let rec = tape.export(&sim);
+
+        // The container round-trips and replays divergence-free.
+        let back = Recording::from_bytes(&rec.to_bytes()).expect("parses");
+        assert_eq!(verify_fleet(&back), Ok(3));
+
+        // Tampering is caught: drop the tail, keep the end digest.
+        let mut broken = back.clone();
+        broken.entries.truncate(broken.entries.len() - 2);
+        assert!(verify_fleet(&broken).is_err());
+    }
 
     const ASSERT_APP: &str = r#"
         .org 0x4400

@@ -98,6 +98,7 @@ pub struct SessionBuilder {
     channel_fault: Option<ChannelFaultConfig>,
     source: Option<String>,
     image: Option<edb_mcu::Image>,
+    ckpt: Option<edb_runtime::ckpt::CkptConfig>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -132,7 +133,17 @@ impl SessionBuilder {
             channel_fault: None,
             source: None,
             image: None,
+            ckpt: None,
         }
+    }
+
+    /// Attaches a host-side checkpoint engine from the strategy zoo
+    /// (see [`SystemBuilder::with_checkpoint_strategy`]). Recorded
+    /// sessions carry this in their spec so replays race the same
+    /// strategy.
+    pub fn with_checkpoint_strategy(mut self, config: edb_runtime::ckpt::CkptConfig) -> Self {
+        self.ckpt = Some(config);
+        self
     }
 
     /// Overrides the target device configuration.
@@ -238,6 +249,9 @@ impl SessionBuilder {
         };
         if let Some(fault) = self.channel_fault {
             builder = builder.channel_fault(fault);
+        }
+        if let Some(ckpt) = self.ckpt {
+            builder = builder.with_checkpoint_strategy(ckpt);
         }
         let mut sys = builder.build();
         if let Some(image) = &image {

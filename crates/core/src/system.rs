@@ -15,6 +15,7 @@ use edb_energy::RfField;
 use edb_energy::{Harvester, PowerEdge, SimTime};
 use edb_obs::{Category, Recorder, RecorderConfig};
 use edb_rfid::{Channel, Reader, ReaderConfig};
+use edb_runtime::ckpt::{CkptConfig, CkptEngine};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// The energy-and-RF environment around the target.
@@ -90,6 +91,7 @@ pub struct SystemBuilder {
     edb_config: EdbConfig,
     channel_fault: Option<ChannelFaultConfig>,
     recorder: Option<RecorderConfig>,
+    ckpt: Option<CkptConfig>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -113,7 +115,18 @@ impl SystemBuilder {
             edb_config: EdbConfig::prototype(),
             channel_fault: None,
             recorder: None,
+            ckpt: None,
         }
+    }
+
+    /// Attaches a host-side checkpoint engine from the strategy zoo
+    /// ([`edb_runtime::ckpt`]): the debugger snapshots volatile state
+    /// over its side channel and restores it on every turn-on, at zero
+    /// energy cost to the target. Leave unset for the bare bench every
+    /// experiment manifest is golden against.
+    pub fn with_checkpoint_strategy(mut self, config: CkptConfig) -> Self {
+        self.ckpt = Some(config);
+        self
     }
 
     /// Overrides the debugger firmware parameters — command deadlines,
@@ -214,8 +227,14 @@ impl SystemBuilder {
                 Box::new(rec)
             }),
         };
+        let mut device = Device::new(self.device_config);
+        let ckpt = self.ckpt.map(|config| {
+            let mut engine = CkptEngine::new(config);
+            engine.attach(device.mem_mut());
+            engine
+        });
         System {
-            device: Device::new(self.device_config),
+            device,
             edb: self.edb.then(|| {
                 let mut edb = Edb::new(edb_config);
                 edb.set_channel_fault(channel_fault);
@@ -225,6 +244,7 @@ impl SystemBuilder {
             symbols: Default::default(),
             recorder,
             obs: ObsState::default(),
+            ckpt,
         }
     }
 }
@@ -238,6 +258,7 @@ pub struct System {
     symbols: std::collections::BTreeMap<String, u16>,
     recorder: Option<Box<Recorder>>,
     obs: ObsState,
+    ckpt: Option<CkptEngine>,
 }
 
 /// Bookkeeping the observability publisher keeps between steps.
@@ -322,6 +343,12 @@ impl System {
     /// The debugger, if attached.
     pub fn edb(&self) -> Option<&Edb> {
         self.edb.as_ref()
+    }
+
+    /// The host-side checkpoint engine, if one was attached with
+    /// [`SystemBuilder::with_checkpoint_strategy`].
+    pub fn ckpt(&self) -> Option<&CkptEngine> {
+        self.ckpt.as_ref()
     }
 
     /// Mutable debugger access.
@@ -445,6 +472,10 @@ impl System {
             edb.tick(&mut self.device, now);
         }
 
+        if let Some(engine) = &mut self.ckpt {
+            engine.observe(&mut self.device, step.power_edge);
+        }
+
         self.publish_obs(&step.events, step.power_edge);
 
         step
@@ -485,7 +516,10 @@ impl System {
                 deadline = deadline.min(t);
             }
         }
-        if matches!(self.world, World::Rfid { .. }) || deadline <= now {
+        // The checkpoint engine wants its per-step hook (instruction
+        // triggers, voltage samples, edges), so an attached engine
+        // forces the stepped path.
+        if matches!(self.world, World::Rfid { .. }) || self.ckpt.is_some() || deadline <= now {
             // No batchable window (e.g. a debugger wakeup due right
             // now): take a single plain step, which handles it.
             self.step();
@@ -788,13 +822,18 @@ impl System {
         let World::Harvester(h) = &self.world else {
             return None;
         };
-        Some(Value::Map(vec![
+        let mut fields = vec![
             (Value::Str("device".into()), self.device.to_value()),
             (Value::Str("edb".into()), self.edb.to_value()),
             (Value::Str("symbols".into()), self.symbols.to_value()),
             (Value::Str("obs".into()), self.obs.to_value()),
             (Value::Str("world".into()), h.save_state()),
-        ]))
+        ];
+        // Benches without an engine keep the historical byte layout.
+        if let Some(engine) = &self.ckpt {
+            fields.push((Value::Str("ckpt".into()), engine.to_value()));
+        }
+        Some(Value::Map(fields))
     }
 
     /// Restores state captured by [`System::save_state`] onto this bench.
@@ -818,6 +857,10 @@ impl System {
         self.symbols = <std::collections::BTreeMap<String, u16>>::from_value(field("symbols")?)?;
         self.obs = ObsState::from_value(field("obs")?)?;
         h.load_state(field("world")?)?;
+        self.ckpt = match state.get_field("ckpt") {
+            Some(v) => Some(CkptEngine::from_value(v)?),
+            None => None,
+        };
         Ok(())
     }
 
@@ -1434,6 +1477,63 @@ mod tests {
         );
         assert_eq!(live.device().reboots(), restored.device().reboots());
         assert_eq!(live.state_digest(), restored.state_digest());
+    }
+
+    #[test]
+    fn checkpointed_system_restores_and_snapshots_round_trip() {
+        // A System with a zoo engine attached: the engine must commit
+        // and restore across real brown-outs, and its state must ride
+        // System::save_state so a restored bench continues bit-identically.
+        let app = r#"
+            .equ PROGRESS, 0x6000
+            .org 0x4400
+            main:
+                movi sp, 0x2400
+                movi r1, PROGRESS
+                ld   r0, [r1]
+            loop:
+                add  r0, 1
+                st   [r1], r0
+                jmp  loop
+            .org 0xFFFE
+            .word main
+        "#;
+        let build = || {
+            let image = assemble(&libedb::wrap_program(app)).expect("assembles");
+            let mut sys = System::builder(DeviceConfig::wisp5())
+                .harvester(edb_energy::TheveninSource::new(3.2, 1500.0))
+                .with_checkpoint_strategy(
+                    CkptConfig::new(edb_runtime::ckpt::StrategyKind::Differential).interval(200),
+                )
+                .build();
+            sys.flash(&image);
+            sys
+        };
+        let mut live = build();
+        let restored_once = live.run_until(SimTime::from_ms(2000), |s| {
+            s.ckpt().expect("engine attached").stats().restores > 0
+        });
+        let stats = live.ckpt().unwrap().stats();
+        assert!(stats.commits > 0, "engine must commit: {stats:?}");
+        assert!(
+            restored_once,
+            "a brown-out must restore from the record: {stats:?}"
+        );
+
+        let snap = live.save_state().expect("snapshots with engine attached");
+        let mut restored = build();
+        restored
+            .restore_state(&snap)
+            .expect("ckpt state round-trips");
+        assert_eq!(restored.state_digest(), live.state_digest());
+        live.run_for(SimTime::from_ms(150));
+        restored.run_for(SimTime::from_ms(150));
+        assert_eq!(live.state_digest(), restored.state_digest());
+        assert_eq!(
+            live.ckpt().unwrap().stats(),
+            restored.ckpt().unwrap().stats(),
+            "engine statistics are part of the restored trajectory"
+        );
     }
 
     #[test]

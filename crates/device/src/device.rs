@@ -301,6 +301,14 @@ impl Device {
         &self.cpu
     }
 
+    /// Mutable CPU access — the host-side checkpoint engine restores
+    /// architectural state through here (the paper's EDB writes a target's
+    /// context back over the debug link; we reach into the simulated core
+    /// directly, with the same zero energy cost to the target).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
     /// Read-only memory view (ground truth / debugger back-channel).
     pub fn mem(&self) -> &Memory {
         &self.mem

@@ -62,6 +62,6 @@ pub use harvester::{
 };
 pub use regulator::Ldo;
 pub use stats::{Cdf, Summary};
-pub use supervisor::{PowerEdge, Supervisor};
+pub use supervisor::{KneeDetector, PowerEdge, Supervisor};
 pub use time::SimTime;
 pub use trace::{EventMark, Trace};

@@ -113,6 +113,84 @@ impl Default for Supervisor {
     }
 }
 
+/// Falling-edge detector for the Vcap "knee": the last moment a
+/// speculative checkpoint strategy can still commit before the brown-out
+/// comparator fires.
+///
+/// A speculative strategy defers committing its pending snapshot until
+/// the capacitor sags through `v_knee = v_off + margin`. The detector is
+/// direction-sensitive — it arms while the voltage sits *above* the knee
+/// and fires exactly once per sag through it, so a capacitor hovering in
+/// the band does not re-trigger. An abrupt discharge that jumps from
+/// above the knee straight past `v_off` (a yanked supply, an injected
+/// fault) crosses both thresholds in one sample; the consumer must rank
+/// the supervisor's brown-out edge above the knee, because there is no
+/// commit headroom left to spend.
+///
+/// # Example
+///
+/// ```
+/// use edb_energy::KneeDetector;
+/// let mut knee = KneeDetector::wisp5();
+/// assert!(!knee.update(2.4)); // above: arms
+/// assert!(knee.update(1.95)); // sagged through v_off + margin
+/// assert!(!knee.update(1.90)); // once per sag
+/// assert!(!knee.update(2.4)); // recharge re-arms...
+/// assert!(knee.update(1.85)); // ...and the next sag fires again
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KneeDetector {
+    v_knee: f64,
+    armed: bool,
+}
+
+impl KneeDetector {
+    /// Creates a detector firing at `v_off + margin`, initially disarmed
+    /// (the first sample above the knee arms it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `margin > 0`.
+    pub fn new(v_off: f64, margin: f64) -> Self {
+        assert!(margin > 0.0, "knee margin must leave commit headroom");
+        KneeDetector {
+            v_knee: v_off + margin,
+            armed: false,
+        }
+    }
+
+    /// The WISP5 knee: 200 mV of commit headroom above the 1.8 V
+    /// brown-out floor.
+    pub fn wisp5() -> Self {
+        KneeDetector::new(crate::budget::WISP5_V_OFF, 0.2)
+    }
+
+    /// The knee voltage, volts.
+    pub fn v_knee(&self) -> f64 {
+        self.v_knee
+    }
+
+    /// Feeds the present capacitor voltage; `true` exactly when this
+    /// sample crosses the knee downward from an armed state.
+    pub fn update(&mut self, v_cap: f64) -> bool {
+        if v_cap >= self.v_knee {
+            self.armed = true;
+            false
+        } else if self.armed {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for KneeDetector {
+    fn default() -> Self {
+        KneeDetector::wisp5()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +232,42 @@ mod tests {
     #[should_panic(expected = "hysteresis")]
     fn rejects_inverted_thresholds() {
         let _ = Supervisor::new(1.8, 2.4);
+    }
+
+    #[test]
+    fn knee_fires_once_per_sag() {
+        let mut knee = KneeDetector::wisp5();
+        assert!((knee.v_knee() - 2.0).abs() < 1e-12);
+        // Starts disarmed: a voltage already below the knee never fires.
+        assert!(!knee.update(1.9));
+        assert!(!knee.update(1.85));
+        // Charge above, sag through: exactly one firing.
+        assert!(!knee.update(2.4));
+        assert!(!knee.update(2.1));
+        assert!(knee.update(1.99));
+        assert!(!knee.update(1.9));
+        assert!(!knee.update(1.85));
+        // Hovering right at the knee re-arms (>= is "above").
+        assert!(!knee.update(2.0));
+        assert!(knee.update(1.999));
+    }
+
+    #[test]
+    fn knee_fires_even_on_an_abrupt_collapse() {
+        // One sample jumping from full charge to a dead rail still
+        // reports the (missed) knee; the engine must rank the brown-out
+        // edge first because both fire on the same sample.
+        let mut knee = KneeDetector::wisp5();
+        let mut sup = Supervisor::wisp5();
+        sup.update(2.4);
+        knee.update(2.4);
+        assert_eq!(sup.update(1.0), Some(PowerEdge::BrownOut));
+        assert!(knee.update(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn knee_rejects_zero_margin() {
+        let _ = KneeDetector::new(1.8, 0.0);
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fuzz_smoke [--seed S] [--threads N] [--cases N] [--sessions N]
-//!            [--max-shrink-steps N] [--replay-seed S] [--record-reproducers]
+//!            [--strategies [N]] [--max-shrink-steps N] [--replay-seed S]
+//!            [--record-reproducers]
 //! ```
 //!
 //! Runs `--cases` generated programs (default 100) through every
@@ -15,6 +16,15 @@
 //! and written to `target/fuzz-artifacts/`, and the process exits
 //! non-zero.
 //!
+//! `--strategies` additionally races the checkpoint-strategy zoo
+//! (`edb_runtime::ckpt`) under adversarial power-failure injection:
+//! each trial seeds an injection schedule over a restart-idempotent
+//! kernel, runs `Differential` in bit-for-bit lockstep against
+//! `FullDump`, and checks every strategy's published result against the
+//! uninterrupted-run oracle. Divergent schedules are ddmin-minimized
+//! and written to `target/fuzz-artifacts/strategy-<seed>.txt`. An
+//! optional value sets the trial count (default 40).
+//!
 //! `--replay-seed` re-runs a single case seed (as printed in an
 //! artifact header) verbosely and skips the batch.
 //!
@@ -24,7 +34,7 @@
 //! debugger.
 
 use edb_bench::runner::Cli;
-use edb_fuzz::{artifact, check_program, fault, gen, run_case, session, shrink, FuzzConfig};
+use edb_fuzz::{artifact, check_program, fault, gen, race, run_case, session, shrink, FuzzConfig};
 
 /// Pulls `--name <value>` (decimal or `0x` hex) out of raw argv;
 /// `Cli::parse` tolerates the leftovers.
@@ -58,6 +68,20 @@ fn arg_u64(name: &str) -> Option<u64> {
 /// True when the bare flag `--name` appears in argv.
 fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// `--strategies` with an optional trial-count value (default 40).
+fn strategies_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--strategies=") {
+            return Some(v.parse().unwrap_or(40));
+        }
+        if a == "--strategies" {
+            return Some(args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(40));
+        }
+    }
+    None
 }
 
 fn main() {
@@ -94,11 +118,19 @@ fn main() {
     let session_results = runner.map_trials("fuzz/session", sessions, |ctx| {
         (ctx.seed, session::run_session_case(ctx.seed, &session_cfg))
     });
+    let strategy_trials = strategies_arg().unwrap_or(0);
+    let strategy_failures: Vec<(u64, edb_fuzz::Divergence)> = runner
+        .map_trials("fuzz/strategy", strategy_trials, |ctx| {
+            race::check_race(ctx.seed).map(|d| (ctx.seed, d))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let wall = t0.elapsed().as_secs_f64();
 
     println!(
         "fuzz_smoke: {cases} differential case(s) + {ckpt_cases} checkpoint round-trip(s) \
-         + {sessions} session trial(s) in {wall:.1}s"
+         + {sessions} session trial(s) + {strategy_trials} strategy race(s) in {wall:.1}s"
     );
 
     let mut session_failures = 0usize;
@@ -125,6 +157,40 @@ fn main() {
              {} injected brown-out(s); digest {digest:#018x}",
             totals.completed, totals.retried, totals.aborted, totals.injected_brownouts
         );
+    }
+
+    if strategy_trials > 0 && strategy_failures.is_empty() {
+        println!("  strategies: 0 divergences vs full_dump across the kernel suite");
+    }
+    if let Some((seed, div)) = strategy_failures.first() {
+        println!(
+            "  FAIL: {} strategy divergence(s); ddmin-shrinking seed {seed:#x}: {div}",
+            strategy_failures.len()
+        );
+        let suite = race::kernels();
+        let kernel = &suite[(*seed as usize) % suite.len()];
+        let schedule = race::generate_schedule(*seed);
+        let (min, best) =
+            race::shrink_schedule(&schedule, div.clone(), |s| race::check_race_on(kernel, s));
+        println!(
+            "  shrunk {} -> {} cut(s): {best}",
+            schedule.len(),
+            min.len()
+        );
+        let dir = std::path::PathBuf::from(artifact::ARTIFACT_DIR);
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("strategy-{seed:#x}.txt"));
+        let mut report = String::new();
+        report.push_str("edb-fuzz strategy-race reproducer\n");
+        report.push_str(&format!("case seed : {seed:#018x}\n"));
+        report.push_str(&format!("kernel    : {}\n", kernel.name));
+        report.push_str(&format!("divergence: {best}\n"));
+        report.push_str(&format!("schedule  : {min:?}\n\n"));
+        report.push_str(&kernel.source);
+        match std::fs::write(&path, report) {
+            Ok(()) => println!("  wrote {}", path.display()),
+            Err(e) => eprintln!("fuzz: cannot write {}: {e}", path.display()),
+        }
     }
 
     for seed in &ckpt_failures {
@@ -166,7 +232,11 @@ fn main() {
         }
     }
 
-    if diff_failures.is_empty() && ckpt_failures.is_empty() && session_failures == 0 {
+    if diff_failures.is_empty()
+        && ckpt_failures.is_empty()
+        && session_failures == 0
+        && strategy_failures.is_empty()
+    {
         println!("  OK: zero divergences");
     } else {
         std::process::exit(1);

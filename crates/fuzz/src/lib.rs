@@ -44,6 +44,7 @@ pub mod artifact;
 pub mod diff;
 pub mod fault;
 pub mod gen;
+pub mod race;
 pub mod session;
 pub mod shrink;
 

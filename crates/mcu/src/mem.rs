@@ -36,6 +36,12 @@ pub const IRQ_VECTOR: u16 = 0xFFFC;
 const SRAM_SIZE: usize = (SRAM_END - SRAM_START) as usize;
 const FRAM_SIZE: usize = (FRAM_END - FRAM_START as u32) as usize;
 
+/// SRAM word count (dirty tracking is word-granular, like DiCA's
+/// write-probe hardware).
+const SRAM_WORDS: usize = SRAM_SIZE / 2;
+/// `u64` limbs in the dirty-word bitset.
+const DIRTY_LIMBS: usize = SRAM_WORDS / 64;
+
 /// The longest instruction encoding is two 16-bit words, so a cached
 /// decode at address `pc` depends on the bytes `pc ..= pc + 3` only.
 const MAX_INSTR_BYTES: u16 = 4;
@@ -149,13 +155,46 @@ impl Deserialize for DecodeCache {
 /// assert_eq!(mem.read_word(0x1C00), 0);       // volatile: gone
 /// assert_eq!(mem.read_word(0x4400), 0x5678);  // non-volatile: kept
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, Deserialize)]
 pub struct Memory {
     sram: Vec<u8>,
     fram: Vec<u8>,
     bus_faults: u64,
     last_fault_addr: Option<u16>,
     decode_cache: DecodeCache,
+    // Dirty-word bitset over SRAM, `Some` only while a differential
+    // checkpoint strategy has tracking armed. `None` costs one branch on
+    // the store path and keeps snapshot bytes identical to builds that
+    // predate the field (the serializer below omits the key, and a
+    // missing key deserializes as `None`).
+    dirty_sram: Option<Vec<u64>>,
+}
+
+// Hand-written so the `dirty_sram` key is absent (not `null`) when
+// tracking is off: recordings and state digests taken without a
+// differential strategy must stay byte-identical to the derived layout
+// this replaces. Field order matches the struct declaration.
+impl Serialize for Memory {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut fields = vec![
+            (Value::Str("sram".into()), self.sram.to_value()),
+            (Value::Str("fram".into()), self.fram.to_value()),
+            (Value::Str("bus_faults".into()), self.bus_faults.to_value()),
+            (
+                Value::Str("last_fault_addr".into()),
+                self.last_fault_addr.to_value(),
+            ),
+            (
+                Value::Str("decode_cache".into()),
+                self.decode_cache.to_value(),
+            ),
+        ];
+        if self.dirty_sram.is_some() {
+            fields.push((Value::Str("dirty_sram".into()), self.dirty_sram.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 impl std::fmt::Debug for Memory {
@@ -178,6 +217,7 @@ impl Memory {
             bus_faults: 0,
             last_fault_addr: None,
             decode_cache: DecodeCache::default(),
+            dirty_sram: None,
         }
     }
 
@@ -288,6 +328,10 @@ impl Memory {
     pub fn write_byte(&mut self, addr: u16, value: u8) {
         if Self::is_sram(addr) {
             self.sram[(addr - SRAM_START) as usize] = value;
+            if let Some(bits) = self.dirty_sram.as_deref_mut() {
+                let word = ((addr - SRAM_START) / 2) as usize;
+                bits[word >> 6] |= 1u64 << (word & 63);
+            }
             self.invalidate_decode(addr);
         } else if Self::is_fram(addr) {
             self.fram[(addr - FRAM_START) as usize] = value;
@@ -342,6 +386,12 @@ impl Memory {
     /// Erases volatile state (a power cycle). FRAM is untouched.
     pub fn power_cycle(&mut self) {
         self.sram.fill(0);
+        // The zero-fill rewrites every SRAM word; a tracker that survives
+        // the cycle must see them all dirty (the restore path re-arms it
+        // from the committed delta set anyway, this is the safe default).
+        if let Some(bits) = self.dirty_sram.as_deref_mut() {
+            bits.fill(u64::MAX);
+        }
         // Any entry at `pc >= SRAM_START - 3` may have fetched an SRAM
         // byte; entries at `SRAM_END` and above cannot (FRAM starts well
         // past SRAM, so no instruction straddles back into it).
@@ -374,6 +424,52 @@ impl Memory {
     /// The most recent faulting address, if any.
     pub fn last_fault_addr(&self) -> Option<u16> {
         self.last_fault_addr
+    }
+
+    /// Arms or disarms the DiCA-style dirty-word write probe. Arming
+    /// starts from an all-clean set; disarming drops the bitset (and the
+    /// branch in the store path with it).
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty_sram = enabled.then(|| vec![0u64; DIRTY_LIMBS]);
+    }
+
+    /// Whether the dirty-word probe is armed.
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty_sram.is_some()
+    }
+
+    /// Word addresses (aligned, ascending) of every SRAM word written
+    /// since the probe was armed or last reseeded. Empty when disarmed.
+    pub fn dirty_word_addrs(&self) -> Vec<u16> {
+        let Some(bits) = self.dirty_sram.as_deref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (limb_idx, &limb) in bits.iter().enumerate() {
+            let mut rest = limb;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                out.push(SRAM_START + ((limb_idx * 64 + bit) as u16) * 2);
+                rest &= rest - 1;
+            }
+        }
+        out
+    }
+
+    /// Replaces the dirty set wholesale (no-op when disarmed). A
+    /// differential strategy reseeds the cumulative dirty-since-base set
+    /// after committing a delta or restoring one.
+    pub fn seed_dirty_words(&mut self, addrs: &[u16]) {
+        let Some(bits) = self.dirty_sram.as_deref_mut() else {
+            return;
+        };
+        bits.fill(0);
+        for &addr in addrs {
+            if Self::is_sram(addr) {
+                let word = ((addr - SRAM_START) / 2) as usize;
+                bits[word >> 6] |= 1u64 << (word & 63);
+            }
+        }
     }
 
     fn note_fault(&mut self, addr: u16) {
@@ -608,6 +704,63 @@ mod tests {
             assert_eq!(mem.fetch_decoded(a).unwrap().0, Instr::Nop);
             assert_eq!(mem.fetch_decoded(b).unwrap().0, Instr::Halt);
         }
+    }
+
+    #[test]
+    fn dirty_tracking_records_sram_word_writes() {
+        let mut mem = Memory::new();
+        assert!(!mem.dirty_tracking());
+        mem.write_word(0x1C00, 1); // untracked: probe not armed yet
+        mem.set_dirty_tracking(true);
+        assert!(mem.dirty_word_addrs().is_empty());
+        mem.write_word(0x1C10, 0xABCD); // one aligned word
+        mem.write_byte(0x1C23, 9); // odd byte: its containing word
+        mem.write_word(0x1C31, 0xFFFF); // unaligned word: spans two words
+        mem.write_word(0x5000, 7); // FRAM: never tracked
+        assert_eq!(mem.dirty_word_addrs(), vec![0x1C10, 0x1C22, 0x1C30, 0x1C32]);
+        // Reseeding replaces the set (restore re-arms from the delta).
+        mem.seed_dirty_words(&[0x1C40, 0x0002 /* not SRAM: dropped */]);
+        assert_eq!(mem.dirty_word_addrs(), vec![0x1C40]);
+        // A power cycle rewrites all of SRAM: everything is dirty.
+        mem.power_cycle();
+        assert_eq!(mem.dirty_word_addrs().len(), SRAM_WORDS);
+        mem.set_dirty_tracking(false);
+        assert!(mem.dirty_word_addrs().is_empty());
+    }
+
+    #[test]
+    fn serialization_omits_the_dirty_field_when_disarmed() {
+        let mut mem = Memory::new();
+        mem.write_word(0x1C00, 0x1234);
+        let clean = mem.to_value();
+        let keys: Vec<&str> = clean
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str().unwrap())
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "sram",
+                "fram",
+                "bus_faults",
+                "last_fault_addr",
+                "decode_cache"
+            ],
+            "disarmed snapshots must keep the pre-zoo field set"
+        );
+        // Armed snapshots carry the set and round-trip it.
+        mem.set_dirty_tracking(true);
+        mem.write_word(0x1C02, 5);
+        let armed = mem.to_value();
+        assert!(armed.get_field("dirty_sram").is_some());
+        let back = Memory::from_value(&armed).unwrap();
+        assert!(back.dirty_tracking());
+        assert_eq!(back.dirty_word_addrs(), vec![0x1C02]);
+        // And a disarmed snapshot reads back disarmed.
+        let back = Memory::from_value(&clean).unwrap();
+        assert!(!back.dirty_tracking());
     }
 
     #[test]

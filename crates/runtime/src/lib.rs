@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ckpt;
 pub mod tasks;
 
 use edb_mcu::Image;

@@ -1,0 +1,312 @@
+//! Adversarial teardown of the checkpoint-strategy zoo.
+//!
+//! In the style of the wire-fault suite: a discharge is injected at
+//! *every byte offset* of a commit's FRAM write sequence, and the
+//! restore must land bit-for-bit on the pre-checkpoint oracle. A commit
+//! record is only as atomic as its worst truncation point, so every
+//! truncation point is tried, for every strategy in the zoo.
+
+use edb_device::{Device, DeviceConfig};
+use edb_energy::{PowerEdge, TheveninSource};
+use edb_mcu::asm::assemble;
+use edb_mcu::SRAM_START;
+use edb_runtime::ckpt::{CkptConfig, CkptEngine, Snapshot, StrategyKind};
+
+/// A register-resident counter mirrored into SRAM: all progress is
+/// volatile, so only a checkpoint restore can preserve it.
+fn counter_app() -> edb_mcu::Image {
+    assemble(
+        r#"
+        .org 0x4400
+    init:
+        movi sp, 0x2400
+        movi r0, 0
+        movi r1, 0x1C10
+    loop:
+        add  r0, 1
+        st   [r1], r0
+        jmp  loop
+        .org 0xFFFE
+        .word init
+    "#,
+    )
+    .expect("counter app assembles")
+}
+
+/// A powered device running the counter, with `engine` attached and
+/// observing every step.
+fn running_device(engine: &mut CkptEngine) -> (Device, TheveninSource) {
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&counter_app());
+    engine.attach(dev.mem_mut());
+    let mut src = TheveninSource::new(3.2, 1500.0);
+    dev.set_v_cap(3.0);
+    while !dev.powered() {
+        let step = dev.step(&mut src, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+    }
+    (dev, src)
+}
+
+/// Steps until `n` more instructions retire, feeding the engine.
+fn run_instructions(dev: &mut Device, src: &mut TheveninSource, engine: &mut CkptEngine, n: u64) {
+    let until = dev.total_instructions() + n;
+    while dev.total_instructions() < until {
+        let step = dev.step(src, 0.0);
+        engine.observe(dev, step.power_edge);
+    }
+}
+
+/// Exhaustive memory-level teardown: for several successive commits,
+/// apply every proper prefix of the commit's byte writes to a clone,
+/// brown it out, and require the surviving record to be the prior
+/// oracle bit-for-bit.
+fn exhaustive_teardown(kind: StrategyKind) {
+    let mut engine = CkptEngine::new(CkptConfig::new(kind).interval(64));
+    let (mut dev, mut src) = running_device(&mut engine);
+    let mut offsets_torn = 0usize;
+    for round in 0..4 {
+        run_instructions(&mut dev, &mut src, &mut engine, 40);
+        let oracle = CkptEngine::committed_snapshot(dev.mem());
+        let plan = engine.plan_next(&dev);
+        let fresh = (plan.seq(), plan.snapshot().clone());
+        for k in 0..plan.writes().len() {
+            let mut torn = dev.mem().clone();
+            for &(addr, byte) in &plan.writes()[..k] {
+                torn.write_byte(addr, byte);
+            }
+            torn.power_cycle(); // the discharge: volatile state gone
+            let got = CkptEngine::committed_snapshot(&torn);
+            if got != oracle {
+                // The only other survivable outcome: the stale tail of
+                // the header slot happened to equal the new digest, in
+                // which case the *complete new* record is what
+                // validates — still a consistent image.
+                assert_eq!(
+                    got,
+                    Some(fresh.clone()),
+                    "{kind} round {round}: torn commit at byte {k} of {} \
+                     left neither the oracle nor the new record",
+                    plan.writes().len()
+                );
+                assert!(
+                    k + 8 >= plan.writes().len(),
+                    "{kind} round {round}: new record validated at byte {k} \
+                     with more than the digest tail unwritten"
+                );
+            }
+            offsets_torn += 1;
+        }
+        engine.apply_plan(dev.mem_mut(), &plan);
+        assert_eq!(
+            CkptEngine::committed_snapshot(dev.mem()),
+            Some(fresh),
+            "{kind} round {round}: completed commit must be the new record"
+        );
+    }
+    assert!(
+        offsets_torn > 2000,
+        "{kind}: teardown must have covered full-image commits ({offsets_torn})"
+    );
+}
+
+#[test]
+fn full_dump_survives_discharge_at_every_commit_byte() {
+    exhaustive_teardown(StrategyKind::FullDump);
+}
+
+#[test]
+fn differential_survives_discharge_at_every_commit_byte() {
+    exhaustive_teardown(StrategyKind::Differential);
+}
+
+#[test]
+fn speculative_survives_discharge_at_every_commit_byte() {
+    exhaustive_teardown(StrategyKind::Speculative);
+}
+
+/// Device-level teardown: the discharge goes through the real
+/// supervisor (capacitor yanked to 1.0 V mid-commit), and the restore
+/// goes through the real turn-on path. Every byte offset of one live
+/// commit is tried.
+fn device_teardown(kind: StrategyKind) {
+    let mut engine = CkptEngine::new(CkptConfig::new(kind).interval(64));
+    let (mut dev, mut src) = running_device(&mut engine);
+    run_instructions(&mut dev, &mut src, &mut engine, 400);
+    let (oracle_seq, oracle) = CkptEngine::committed_snapshot(dev.mem())
+        .expect("400 instructions at interval 64 must have committed");
+    let plan = engine.plan_next(&dev);
+    for k in 0..plan.writes().len() {
+        let mut d = dev.clone();
+        let mut e = engine.clone();
+        for &(addr, byte) in &plan.writes()[..k] {
+            d.mem_mut().write_byte(addr, byte);
+        }
+        // Yank the capacitor mid-commit; the supervisor browns out.
+        d.set_v_cap(1.0);
+        let mut saw = None;
+        for _ in 0..8 {
+            let step = d.step(&mut src, 0.0);
+            e.observe(&mut d, step.power_edge);
+            if step.power_edge.is_some() {
+                saw = step.power_edge;
+                break;
+            }
+        }
+        assert_eq!(saw, Some(PowerEdge::BrownOut), "offset {k}");
+        // Recharge; the turn-on edge restores before any instruction.
+        d.set_v_cap(3.0);
+        let mut restored = false;
+        for _ in 0..8 {
+            let step = d.step(&mut src, 0.0);
+            e.observe(&mut d, step.power_edge);
+            if step.power_edge == Some(PowerEdge::TurnOn) {
+                restored = true;
+                break;
+            }
+        }
+        assert!(restored, "offset {k}: device must turn back on");
+        let got = Snapshot::capture(&d);
+        if got != oracle {
+            assert_eq!(
+                (e.seq(), &got),
+                (plan.seq(), plan.snapshot()),
+                "{kind}: torn commit at byte {k} restored neither image"
+            );
+        } else {
+            assert_eq!(e.seq(), oracle_seq, "offset {k}");
+        }
+    }
+}
+
+#[test]
+fn full_dump_device_restore_matches_oracle_at_every_offset() {
+    device_teardown(StrategyKind::FullDump);
+}
+
+#[test]
+fn differential_device_restore_matches_oracle_at_every_offset() {
+    device_teardown(StrategyKind::Differential);
+}
+
+/// Satellite: back-to-back brown-outs. A second power failure arriving
+/// immediately after (or during) a restore must still land on the same
+/// committed image — restore reads only FRAM, so it is idempotent.
+#[test]
+fn back_to_back_brownouts_restore_identically() {
+    let mut engine = CkptEngine::new(CkptConfig::new(StrategyKind::FullDump).interval(64));
+    let (mut dev, mut src) = running_device(&mut engine);
+    run_instructions(&mut dev, &mut src, &mut engine, 300);
+    let (seq, oracle) = CkptEngine::committed_snapshot(dev.mem()).expect("committed");
+
+    // First failure and recovery.
+    dev.set_v_cap(1.0);
+    loop {
+        let step = dev.step(&mut src, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        if step.power_edge == Some(PowerEdge::BrownOut) {
+            break;
+        }
+    }
+    dev.set_v_cap(3.0);
+    loop {
+        let step = dev.step(&mut src, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        if step.power_edge == Some(PowerEdge::TurnOn) {
+            break;
+        }
+    }
+    assert_eq!(Snapshot::capture(&dev), oracle, "first restore");
+    assert_eq!(engine.seq(), seq);
+    let restores_after_first = engine.stats().restores;
+
+    // Second failure lands at most one instruction after the restore.
+    dev.set_v_cap(1.0);
+    loop {
+        let step = dev.step(&mut src, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        if step.power_edge == Some(PowerEdge::BrownOut) {
+            break;
+        }
+    }
+    dev.set_v_cap(3.0);
+    loop {
+        let step = dev.step(&mut src, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        if step.power_edge == Some(PowerEdge::TurnOn) {
+            break;
+        }
+    }
+    assert_eq!(Snapshot::capture(&dev), oracle, "second restore identical");
+    assert_eq!(engine.stats().restores, restores_after_first + 1);
+
+    // And the program still makes forward progress afterwards.
+    let before = Snapshot::capture(&dev).regs[0];
+    run_instructions(&mut dev, &mut src, &mut engine, 64);
+    assert!(
+        dev.cpu().regs[0] > before,
+        "counter advances after recovery"
+    );
+}
+
+/// Satellite: a power failure *during* the restore itself. Model the
+/// torn restore directly — a prefix of the snapshot's SRAM bytes is
+/// installed, then the brown-out erases them — and require the next
+/// restore to reproduce the oracle exactly.
+#[test]
+fn power_failure_during_restore_is_survivable() {
+    let mut engine = CkptEngine::new(CkptConfig::new(StrategyKind::Differential).interval(64));
+    let (mut dev, mut src) = running_device(&mut engine);
+    run_instructions(&mut dev, &mut src, &mut engine, 300);
+    let (_, oracle) = CkptEngine::committed_snapshot(dev.mem()).expect("committed");
+
+    for torn_at in [0usize, 1, 37, 512, oracle.sram.len() - 1] {
+        let mut d = dev.clone();
+        let mut e = engine.clone();
+        d.mem_mut().power_cycle();
+        // Restore gets torn after `torn_at` SRAM bytes...
+        for (i, &b) in oracle.sram[..torn_at].iter().enumerate() {
+            d.mem_mut().write_byte(SRAM_START + i as u16, b);
+        }
+        // ...and the second brown-out erases the partial install.
+        d.mem_mut().power_cycle();
+        assert!(e.restore(&mut d), "torn at {torn_at}: record still valid");
+        assert_eq!(
+            Snapshot::capture(&d),
+            oracle,
+            "torn at {torn_at}: second restore must be bit-identical"
+        );
+    }
+}
+
+/// The speculative strategy in vivo: natural harvested-power sags take
+/// the capacitor through the knee, committing staged snapshots, and the
+/// counter makes forward progress across real reboots.
+#[test]
+fn speculative_commits_at_the_knee_under_natural_power() {
+    let mut engine = CkptEngine::new(CkptConfig::new(StrategyKind::Speculative).interval(64));
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&counter_app());
+    engine.attach(dev.mem_mut());
+    let mut src = TheveninSource::new(3.2, 1500.0);
+    let mut best = 0u16;
+    for _ in 0..2_000_000 {
+        let step = dev.step(&mut src, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        if dev.powered() {
+            best = best.max(dev.cpu().regs[0]);
+        }
+        if dev.reboots() >= 3 {
+            break;
+        }
+    }
+    let stats = engine.stats();
+    assert!(dev.reboots() >= 3, "harvested power must be intermittent");
+    assert!(stats.staged > 0, "triggers must stage snapshots");
+    assert!(stats.commits > 0, "the knee must commit staged snapshots");
+    assert!(stats.restores > 0, "turn-ons must restore");
+    assert!(
+        best > 1000,
+        "counter must accumulate progress across reboots (reached {best})"
+    );
+}

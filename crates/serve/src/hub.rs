@@ -21,9 +21,10 @@ use crate::rpc::{
     parse_request, RpcError, RpcRequest,
 };
 use edb_core::fleet::{FleetConfig, FleetSim};
+use edb_core::replay::verify_fleet;
 use edb_core::{
-    ChannelFaultConfig, DebugRequest, DebugResponse, DebugSession, HarvesterSpec, SessionSpec,
-    WorldSpec,
+    ChannelFaultConfig, DebugRequest, DebugResponse, DebugSession, FleetOp, FleetSpec, FleetTape,
+    HarvesterSpec, SessionSpec, WorldSpec,
 };
 use edb_energy::SimTime;
 use serde::{Serialize, Value};
@@ -173,7 +174,15 @@ struct HubInner {
     next_id: u64,
     sessions: BTreeMap<u64, Arc<Mutex<DebugSession>>>,
     next_fleet_id: u64,
-    fleets: BTreeMap<u64, Arc<Mutex<FleetSim>>>,
+    fleets: BTreeMap<u64, Arc<Mutex<FleetEntry>>>,
+}
+
+/// One hosted fleet: the simulation plus its replay tape. Everything
+/// that advances the sim goes through [`FleetTape::run`], so an
+/// exported `.edbr` recording replays the exact op sequence.
+struct FleetEntry {
+    sim: FleetSim,
+    tape: FleetTape,
 }
 
 /// The shared registry of hosted sessions and the JSON-RPC method table
@@ -198,6 +207,12 @@ impl Default for SessionHub {
 }
 
 type MethodResult = Result<Value, RpcError>;
+
+/// Parses recording container bytes into a typed error on failure.
+fn edb_replay_recording(bytes: &[u8]) -> Result<edb_core::replay::Recording, RpcError> {
+    edb_core::replay::Recording::from_bytes(bytes)
+        .map_err(|e| RpcError::protocol(rpc::INVALID_REQUEST, format!("bad recording: {e}")))
+}
 
 impl SessionHub {
     /// An empty hub. Session IDs start at 1.
@@ -226,7 +241,7 @@ impl SessionHub {
             .cloned()
     }
 
-    fn fleet(&self, id: u64) -> Result<Arc<Mutex<FleetSim>>, RpcError> {
+    fn fleet(&self, id: u64) -> Result<Arc<Mutex<FleetEntry>>, RpcError> {
         self.inner
             .lock()
             .expect("hub lock")
@@ -670,12 +685,16 @@ impl SessionHub {
                         "need 0 < d_min <= d_max",
                     ));
                 }
-                let sim = FleetSim::new(config, seed);
+                let spec = FleetSpec { config, seed };
+                let sim = spec.build();
+                let tape = FleetTape::new(spec, &sim);
                 let fid = {
                     let mut inner = self.inner.lock().expect("hub lock");
                     let fid = inner.next_fleet_id;
                     inner.next_fleet_id += 1;
-                    inner.fleets.insert(fid, Arc::new(Mutex::new(sim)));
+                    inner
+                        .fleets
+                        .insert(fid, Arc::new(Mutex::new(FleetEntry { sim, tape })));
                     fid
                 };
                 Ok(obj(vec![
@@ -687,40 +706,72 @@ impl SessionHub {
             "fleet_run" => {
                 let fid = param_u64(p, "fleet")
                     .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `fleet`"))?;
-                let sim = self.fleet(fid)?;
-                let mut sim = sim.lock().expect("fleet lock");
-                match (param_u64(p, "ms"), param_u64(p, "slots")) {
-                    (Some(ms), _) => {
-                        let until = SimTime::from_ns(sim.now().as_ns() + ms * 1_000_000);
-                        while sim.now() < until {
-                            sim.step_slot();
-                        }
-                    }
-                    (None, Some(slots)) => {
-                        for _ in 0..slots {
-                            sim.step_slot();
-                        }
-                    }
+                let entry = self.fleet(fid)?;
+                let mut entry = entry.lock().expect("fleet lock");
+                let op = match (param_u64(p, "ms"), param_u64(p, "slots")) {
+                    (Some(ms), _) => FleetOp::RunMs(ms),
+                    (None, Some(slots)) => FleetOp::RunSlots(slots),
                     (None, None) => {
                         return Err(RpcError::protocol(
                             rpc::INVALID_PARAMS,
                             "need `ms` (carrier time) or `slots` (slot count)",
                         ))
                     }
-                }
-                let stats = sim.stats();
+                };
+                // The tape both records the op and advances the sim, so
+                // live runs and replays share one advance path.
+                let FleetEntry { sim, tape } = &mut *entry;
+                tape.run(sim, op);
+                let stats = entry.sim.stats();
                 Ok(obj(vec![
                     ("fleet", Value::U64(fid)),
-                    ("sim_ms", Value::F64(sim.now().as_millis_f64())),
+                    ("sim_ms", Value::F64(entry.sim.now().as_millis_f64())),
                     ("rounds", Value::U64(stats.gen2.rounds)),
                     ("epcs", Value::U64(stats.gen2.epcs_read)),
+                ]))
+            }
+            "fleet_export" => {
+                let fid = param_u64(p, "fleet")
+                    .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `fleet`"))?;
+                let entry = self.fleet(fid)?;
+                let entry = entry.lock().expect("fleet lock");
+                let recording = entry.tape.export(&entry.sim);
+                let bytes = recording.to_bytes();
+                if let Some(path) = param_str(p, "path") {
+                    std::fs::write(path, &bytes).map_err(|e| {
+                        RpcError::protocol(
+                            rpc::INVALID_REQUEST,
+                            format!("cannot write `{path}`: {e}"),
+                        )
+                    })?;
+                }
+                Ok(obj(vec![
+                    ("fleet", Value::U64(fid)),
+                    ("ops", Value::U64(entry.tape.op_count() as u64)),
+                    ("bytes", Value::U64(bytes.len() as u64)),
+                ]))
+            }
+            "fleet_verify" => {
+                let path = param_str(p, "path")
+                    .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `path`"))?;
+                let bytes = std::fs::read(path).map_err(|e| {
+                    RpcError::protocol(rpc::INVALID_REQUEST, format!("cannot read `{path}`: {e}"))
+                })?;
+                let recording = edb_replay_recording(&bytes)?;
+                let ops = verify_fleet(&recording).map_err(|e| {
+                    RpcError::protocol(rpc::INVALID_REQUEST, format!("replay diverged: {e}"))
+                })?;
+                Ok(obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("ops", Value::U64(ops as u64)),
                 ]))
             }
             "fleet_status" => {
                 let fid = param_u64(p, "fleet")
                     .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `fleet`"))?;
-                let sim = self.fleet(fid)?;
-                let sim = sim.lock().expect("fleet lock");
+                let entry = self.fleet(fid)?;
+                let entry = entry.lock().expect("fleet lock");
+                let sim = &entry.sim;
                 let stats = sim.stats();
                 let mut status = obj(vec![
                     ("fleet", Value::U64(fid)),
@@ -1072,6 +1123,70 @@ mod tests {
         // Fleet IDs and session IDs are separate namespaces.
         let err = call(&hub, &mut conn, 7, "fleet_run", r#"{"fleet":1,"slots":1}"#);
         assert!(err.contains("error"), "{err}");
+    }
+
+    /// Satellite: `fleet_*` ops land on the replay tape, and the
+    /// exported `.edbr` recording replays divergence-free — both
+    /// through `verify_fleet` directly and over the `fleet_verify` RPC.
+    #[test]
+    fn fleet_sessions_export_verifiable_recordings() {
+        let hub = SessionHub::new();
+        let mut conn = ConnState::new();
+        call(
+            &hub,
+            &mut conn,
+            1,
+            "fleet_create",
+            r#"{"tags":30,"seed":5,"d_min":0.4,"d_max":0.9}"#,
+        );
+        call(&hub, &mut conn, 2, "fleet_run", r#"{"fleet":1,"ms":600}"#);
+        call(&hub, &mut conn, 3, "fleet_run", r#"{"fleet":1,"slots":40}"#);
+        call(&hub, &mut conn, 4, "fleet_run", r#"{"fleet":1,"ms":300}"#);
+
+        let dir = std::env::temp_dir().join("edb-serve-fleet-tape-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.edbr");
+        let path_str = path.to_str().unwrap().to_string();
+        let exported = call(
+            &hub,
+            &mut conn,
+            5,
+            "fleet_export",
+            &format!(r#"{{"fleet":1,"path":"{path_str}"}}"#),
+        );
+        assert!(exported.contains(r#""ops":3"#), "{exported}");
+
+        // The artifact on disk replays from its embedded spec.
+        let bytes = std::fs::read(&path).unwrap();
+        let recording = edb_core::replay::Recording::from_bytes(&bytes).expect("parses");
+        assert_eq!(verify_fleet(&recording), Ok(3));
+
+        // And the RPC surface agrees.
+        let verified = call(
+            &hub,
+            &mut conn,
+            6,
+            "fleet_verify",
+            &format!(r#"{{"path":"{path_str}"}}"#),
+        );
+        assert!(verified.contains(r#""ok":true"#), "{verified}");
+        assert!(verified.contains(r#""ops":3"#), "{verified}");
+
+        // A corrupted artifact is rejected with a typed error.
+        let mut broken = bytes.clone();
+        let k = broken.len() / 2;
+        broken[k] ^= 0x40;
+        let broken_path = dir.join("broken.edbr");
+        std::fs::write(&broken_path, &broken).unwrap();
+        let err = call(
+            &hub,
+            &mut conn,
+            7,
+            "fleet_verify",
+            &format!(r#"{{"path":"{}"}}"#, broken_path.to_str().unwrap()),
+        );
+        assert!(err.contains("error"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

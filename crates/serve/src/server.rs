@@ -137,6 +137,27 @@ impl Drop for Server {
     }
 }
 
+/// Hard cap on one request line, bytes (newline included). A client
+/// that exceeds it gets a typed `-32700` reply and the rest of that
+/// line is discarded — the connection itself stays usable. Bounds
+/// per-connection memory against a peer that streams forever without a
+/// newline.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A typed `-32700` reply line for intake-level failures (the request
+/// never reached the dispatcher).
+fn parse_error_reply(message: String) -> String {
+    let error = crate::rpc::RpcError::protocol(crate::rpc::PARSE_ERROR, message);
+    crate::rpc::error_line(None, &error)
+}
+
+/// The reply for an over-limit request line.
+fn oversize_reply() -> String {
+    parse_error_reply(format!(
+        "parse error: request line exceeds {MAX_LINE_BYTES} bytes"
+    ))
+}
+
 /// Serves one connection until EOF, error, or server shutdown. Reads
 /// use a short timeout so a parked connection notices a server-wide
 /// shutdown promptly.
@@ -154,6 +175,9 @@ fn serve_connection(
     // executing the current request (one request in flight at a time).
     let conn = Arc::new(Mutex::new(ConnState::new()));
     let mut line = String::new();
+    // True while throwing away the tail of an over-limit line (the
+    // error reply has already been sent).
+    let mut discarding = false;
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
@@ -161,7 +185,21 @@ fn serve_connection(
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF
             Ok(_) => {
-                if !line.ends_with('\n') {
+                let complete = line.ends_with('\n');
+                if discarding {
+                    discarding = !complete;
+                    line.clear();
+                    continue;
+                }
+                if line.len() > MAX_LINE_BYTES {
+                    writer.write_all(oversize_reply().as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    discarding = !complete;
+                    line.clear();
+                    continue;
+                }
+                if !complete {
                     // A final unterminated line: serve it and then EOF.
                     line.push('\n');
                 }
@@ -190,8 +228,30 @@ fn serve_connection(
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 // Timeout with a possibly partial line buffered in
-                // `line`; keep accumulating on the next pass.
+                // `line`; keep accumulating on the next pass — unless
+                // the partial has already blown the cap, in which case
+                // reply now and discard until the newline shows up.
+                if !discarding && line.len() > MAX_LINE_BYTES {
+                    writer.write_all(oversize_reply().as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    discarding = true;
+                    line.clear();
+                }
                 continue;
+            }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Non-UTF-8 garbage; the bytes up to the newline are
+                // consumed, so reply typed and keep the connection.
+                line.clear();
+                if !discarding {
+                    let reply =
+                        parse_error_reply("parse error: request line is not valid UTF-8".into());
+                    writer.write_all(reply.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                }
+                discarding = false;
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
@@ -239,5 +299,80 @@ mod tests {
         );
         assert!(bye.contains(r#""ok":true"#), "{bye}");
         server.wait();
+    }
+
+    fn start_server() -> (Server, TcpStream, BufReader<TcpStream>) {
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+        })
+        .expect("bind");
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (server, stream, reader)
+    }
+
+    fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim().to_string()
+    }
+
+    /// Intake hardening: truncated JSON gets a typed `-32700` reply and
+    /// the connection keeps serving.
+    #[test]
+    fn truncated_json_gets_a_typed_parse_error() {
+        let (_server, mut stream, mut reader) = start_server();
+        stream
+            .write_all(b"{\"jsonrpc\":\"2.0\",\"id\":7,\"met\n")
+            .unwrap();
+        let reply = read_reply(&mut reader);
+        assert!(reply.contains(r#""code":-32700"#), "{reply}");
+        assert!(reply.contains(r#""id":null"#), "{reply}");
+        // The connection survived: a well-formed request still works.
+        let info = request(
+            &mut stream,
+            &mut reader,
+            r#"{"jsonrpc":"2.0","id":1,"method":"server_info","params":{}}"#,
+        );
+        assert!(info.contains(r#""name":"edb-serve""#), "{info}");
+    }
+
+    /// Intake hardening: non-UTF-8 garbage gets a typed `-32700` reply
+    /// instead of a dropped connection.
+    #[test]
+    fn garbage_bytes_get_a_typed_parse_error() {
+        let (_server, mut stream, mut reader) = start_server();
+        stream.write_all(&[0xFF, 0xFE, 0x80, 0x92, b'\n']).unwrap();
+        let reply = read_reply(&mut reader);
+        assert!(reply.contains(r#""code":-32700"#), "{reply}");
+        assert!(reply.contains("not valid UTF-8"), "{reply}");
+        let info = request(
+            &mut stream,
+            &mut reader,
+            r#"{"jsonrpc":"2.0","id":1,"method":"server_info","params":{}}"#,
+        );
+        assert!(info.contains(r#""name":"edb-serve""#), "{info}");
+    }
+
+    /// Intake hardening: a request line over [`MAX_LINE_BYTES`] gets a
+    /// typed `-32700` reply, the tail is discarded, and the next
+    /// request is served normally.
+    #[test]
+    fn over_limit_line_is_bounded_and_replied() {
+        let (_server, mut stream, mut reader) = start_server();
+        let mut big = String::from(r#"{"jsonrpc":"2.0","id":9,"method":""#);
+        big.push_str(&"x".repeat(MAX_LINE_BYTES + 1024));
+        big.push_str("\"}\n");
+        stream.write_all(big.as_bytes()).unwrap();
+        let reply = read_reply(&mut reader);
+        assert!(reply.contains(r#""code":-32700"#), "{reply}");
+        assert!(reply.contains("exceeds"), "{reply}");
+        let info = request(
+            &mut stream,
+            &mut reader,
+            r#"{"jsonrpc":"2.0","id":1,"method":"server_info","params":{}}"#,
+        );
+        assert!(info.contains(r#""name":"edb-serve""#), "{info}");
     }
 }
