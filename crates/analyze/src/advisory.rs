@@ -1,0 +1,139 @@
+//! Checkpoint-placement advisory: turns the WCEC block table into a
+//! trigger suggestion the `edb_runtime::ckpt` strategy zoo can consume
+//! (`CkptConfig::interval` takes an instruction count).
+
+use serde::Serialize;
+
+use crate::cfg::Cfg;
+use crate::cost::{instr_cycles, max_instr_cycles, CostModel};
+use crate::wcec::{CapacitorSpec, Wcec};
+
+/// A checkpoint-placement suggestion derived from static analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct CkptAdvice {
+    /// Suggested checkpoint interval in retired instructions: feeding
+    /// this to `CkptConfig::interval` guarantees (up to the stated
+    /// margin) that the work between two checkpoints fits in one
+    /// charge cycle even along the worst-cost instruction mix.
+    pub interval_instructions: u64,
+    /// Usable charge of one full charge cycle, coulombs.
+    pub budget_charge: f64,
+    /// Fraction of the budget held back for checkpoint overhead and
+    /// model error.
+    pub margin: f64,
+    /// Worst-case charge of a single instruction, coulombs.
+    pub worst_instr_charge: f64,
+    /// Mean per-instruction charge along the program's worst path
+    /// (equals `worst_instr_charge` when no path is available).
+    pub mean_instr_charge: f64,
+    /// Block starts along the worst path where cumulative worst-case
+    /// charge since the previous suggested trigger crosses the budget —
+    /// natural checkpoint sites for a placement-aware strategy.
+    pub trigger_blocks: Vec<u16>,
+}
+
+/// Derives checkpoint advice from an analysis.
+///
+/// `margin` is the fraction of each charge cycle to hold in reserve
+/// (0.25 means "plan to spend at most 75% of a charge between
+/// checkpoints").
+pub fn advise(
+    cfg: &Cfg,
+    wcec: &Wcec,
+    model: &CostModel,
+    cap: &CapacitorSpec,
+    margin: f64,
+) -> CkptAdvice {
+    let margin = margin.clamp(0.0, 0.95);
+    let budget = cap.charge_budget();
+    let usable = budget * (1.0 - margin);
+    let worst_instr_charge = model.charge_for_cycles(u64::from(max_instr_cycles()));
+
+    // Mean charge per instruction along the worst path (falls back to
+    // the worst single instruction when the program is unbounded).
+    let program = wcec.program();
+    let mut path_instrs: u64 = 0;
+    let mut path_charge = 0.0f64;
+    for step in &program.worst_path {
+        if let Some(block) = cfg.blocks.get(&step.block) {
+            let instrs = block.instrs.len() as u64;
+            let cycles: u64 = block
+                .instrs
+                .iter()
+                .map(|ci| u64::from(instr_cycles(&ci.instr)))
+                .sum();
+            path_instrs = path_instrs.saturating_add(instrs.saturating_mul(step.iterations));
+            path_charge += model.charge_for_cycles(cycles) * step.iterations as f64;
+        }
+    }
+    let mean_instr_charge = if path_instrs > 0 {
+        path_charge / path_instrs as f64
+    } else {
+        worst_instr_charge
+    };
+
+    // The safe interval divides the usable budget by the *worst*
+    // per-instruction charge: no instruction mix can overdraw it.
+    let interval_instructions = ((usable / worst_instr_charge).floor() as u64).max(1);
+
+    // Walk the worst path accumulating worst-case charge; every time it
+    // crosses the usable budget, suggest the block as a trigger site.
+    let mut trigger_blocks = Vec::new();
+    let mut acc = 0.0f64;
+    for step in &program.worst_path {
+        if let Some(block) = cfg.blocks.get(&step.block) {
+            let cycles: u64 = block
+                .instrs
+                .iter()
+                .map(|ci| u64::from(instr_cycles(&ci.instr)))
+                .sum();
+            let per_pass = model.charge_for_cycles(cycles);
+            for _ in 0..step.iterations.min(1_000_000) {
+                acc += per_pass;
+                if acc >= usable {
+                    if trigger_blocks.last() != Some(&step.block) {
+                        trigger_blocks.push(step.block);
+                    }
+                    acc = 0.0;
+                }
+            }
+        }
+    }
+
+    CkptAdvice {
+        interval_instructions,
+        budget_charge: budget,
+        margin,
+        worst_instr_charge,
+        mean_instr_charge,
+        trigger_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use edb_device::DeviceConfig;
+    use edb_mcu::asm::assemble;
+
+    #[test]
+    fn advice_interval_fits_one_charge() {
+        let image = assemble(
+            ".org 0x4400\nstart:\n    movi r10, 0\nbody:\n    nop\n    add r10, 1\n    cmpi r10, 200\n    jne body\n    halt\n.org 0xFFFE\n.word start\n",
+        )
+        .expect("assemble");
+        let cfg = Cfg::from_image(&image);
+        let wcec = crate::wcec::compute(&cfg);
+        let model = crate::cost::CostModel::wisp5();
+        let cap = CapacitorSpec::from_device(&DeviceConfig::wisp5());
+        let advice = advise(&cfg, &wcec, &model, &cap, 0.25);
+        assert!(advice.interval_instructions >= 1);
+        // The interval must be conservative: interval × worst-instr
+        // charge stays within the reduced budget.
+        let spend = advice.interval_instructions as f64 * advice.worst_instr_charge;
+        assert!(spend <= advice.budget_charge * (1.0 - advice.margin) + 1e-12);
+        // A WISP5-sized capacitor holds thousands of instructions.
+        assert!(advice.interval_instructions > 1_000);
+    }
+}

@@ -1,0 +1,838 @@
+//! Control-flow graph recovery over decoded IVM-16 machine code.
+//!
+//! The CFG is built directly from the binary (not from assembler
+//! metadata): a worklist decoder walks every discoverable instruction
+//! starting at the entry point(s), splits the instruction stream into
+//! basic blocks at branch targets, and records a typed exit per block.
+//! Register-indirect jumps and calls (`jmpr`/`callr`) are resolved only
+//! when an in-block constant propagation proves the base register holds
+//! a single `movi` immediate on every path through the block; anything
+//! else is reported as an explicit [`UnresolvedEdge`] rather than
+//! silently dropped. Overlapping decodes (a branch into the middle of a
+//! two-word instruction) are legal and produce overlapping blocks.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use edb_mcu::{Cond, Image, Instr, Memory, Reg, FRAM_START, IRQ_VECTOR, RESET_VECTOR};
+
+/// Upper bound on discovered instructions; exceeding it marks the CFG
+/// truncated (and any analysis over it unbounded) instead of looping
+/// forever on pathological images.
+const MAX_INSTRS: usize = 65_536;
+
+/// Where the analyzer reads code words from.
+///
+/// Returning `None` means "this address is not known code": decoding
+/// stops there with a [`Exit::Trap`] instead of inventing instructions
+/// out of zero-filled memory.
+pub trait CodeSource {
+    /// The byte at `addr`, if it lies inside known code.
+    fn byte(&self, addr: u16) -> Option<u8>;
+
+    /// The little-endian word at `addr`, if both bytes are known code.
+    fn word(&self, addr: u16) -> Option<u16> {
+        let lo = self.byte(addr)?;
+        let hi = self.byte(addr.checked_add(1)?)?;
+        Some(u16::from_le_bytes([lo, hi]))
+    }
+}
+
+/// A [`CodeSource`] over the segments of an [`Image`].
+pub struct ImageCode<'a> {
+    image: &'a Image,
+}
+
+impl<'a> ImageCode<'a> {
+    /// Wraps an image.
+    pub fn new(image: &'a Image) -> Self {
+        ImageCode { image }
+    }
+
+    /// The program entry: the reset vector if the image defines one,
+    /// else the lowest segment address.
+    pub fn entry(&self) -> Option<u16> {
+        if let Some(target) = self.word(RESET_VECTOR) {
+            if self.byte(target).is_some() {
+                return Some(target);
+            }
+        }
+        self.image.segments().iter().map(|(addr, _)| *addr).min()
+    }
+
+    /// The IRQ vector target, when the image maps one into code.
+    pub fn irq_entry(&self) -> Option<u16> {
+        let target = self.word(IRQ_VECTOR)?;
+        if self.byte(target).is_some() {
+            Some(target)
+        } else {
+            None
+        }
+    }
+}
+
+impl CodeSource for ImageCode<'_> {
+    fn byte(&self, addr: u16) -> Option<u8> {
+        for (base, bytes) in self.image.segments() {
+            let off = addr.wrapping_sub(*base) as usize;
+            if addr >= *base && off < bytes.len() {
+                return Some(bytes[off]);
+            }
+        }
+        None
+    }
+}
+
+/// A [`CodeSource`] over live simulated memory: the FRAM code region
+/// plus the vector words. Used by the serve/session wiring to analyze
+/// whatever is currently flashed.
+pub struct MemoryCode<'a> {
+    mem: &'a Memory,
+}
+
+impl<'a> MemoryCode<'a> {
+    /// Wraps a memory.
+    pub fn new(mem: &'a Memory) -> Self {
+        MemoryCode { mem }
+    }
+}
+
+impl CodeSource for MemoryCode<'_> {
+    fn byte(&self, addr: u16) -> Option<u8> {
+        // FRAM runs from FRAM_START to the top of the address space,
+        // which also covers both vector words.
+        if addr >= FRAM_START {
+            Some(self.mem.peek_byte(addr))
+        } else {
+            None
+        }
+    }
+}
+
+/// A decoded instruction pinned to its address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeInstr {
+    /// Byte address of the first word.
+    pub addr: u16,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes (2 or 4).
+    pub size: u16,
+}
+
+impl CodeInstr {
+    /// Address of the next sequential instruction.
+    pub fn next(&self) -> u16 {
+        self.addr.wrapping_add(self.size)
+    }
+}
+
+/// Why a basic block ends, with its static successors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exit {
+    /// Straight-line fall into the block starting at `next`.
+    Fall {
+        /// Successor block address.
+        next: u16,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: u16,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Target when the condition holds.
+        taken: u16,
+        /// Fall-through when it does not.
+        fall: u16,
+    },
+    /// Direct call; control resumes at `ret_to` after the callee returns.
+    Call {
+        /// Callee entry address.
+        callee: u16,
+        /// Return address.
+        ret_to: u16,
+    },
+    /// Register-indirect call (`callr`); `callee` is `Some` only when
+    /// in-block constant propagation proved the target.
+    CallIndirect {
+        /// Resolved callee, if provable.
+        callee: Option<u16>,
+        /// Return address.
+        ret_to: u16,
+    },
+    /// Register-indirect jump (`jmpr`); `target` is `Some` only when
+    /// in-block constant propagation proved the target.
+    JumpIndirect {
+        /// Resolved target, if provable.
+        target: Option<u16>,
+    },
+    /// `ret`/`reti`: the successor is the dynamic return address.
+    Return,
+    /// `halt`: execution stops.
+    Halt,
+    /// Decoding failed or control left known code; execution faults or
+    /// leaves the analyzable region here.
+    Trap {
+        /// Human-readable reason.
+        why: String,
+    },
+}
+
+/// A basic block: a maximal straight-line run of instructions with a
+/// single typed exit.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u16,
+    /// The instructions, in address order.
+    pub instrs: Vec<CodeInstr>,
+    /// How control leaves.
+    pub exit: Exit,
+}
+
+impl Block {
+    /// Exclusive end address (first byte past the last instruction).
+    pub fn end(&self) -> u16 {
+        self.instrs
+            .last()
+            .map(CodeInstr::next)
+            .unwrap_or(self.start)
+    }
+
+    /// Address of the terminating instruction.
+    pub fn exit_addr(&self) -> u16 {
+        self.instrs.last().map(|i| i.addr).unwrap_or(self.start)
+    }
+
+    /// Static intra-procedural successor block addresses. Call exits
+    /// contribute only the return continuation (the callee is an
+    /// inter-procedural edge); unresolved indirects contribute nothing
+    /// (they are tracked separately as [`UnresolvedEdge`]s).
+    pub fn intra_succs(&self) -> Vec<u16> {
+        match &self.exit {
+            Exit::Fall { next } => vec![*next],
+            Exit::Jump { target } => vec![*target],
+            Exit::Branch { taken, fall } => vec![*taken, *fall],
+            Exit::Call { ret_to, .. } | Exit::CallIndirect { ret_to, .. } => vec![*ret_to],
+            Exit::JumpIndirect { target } => target.iter().copied().collect(),
+            Exit::Return | Exit::Halt | Exit::Trap { .. } => Vec::new(),
+        }
+    }
+}
+
+/// A computed branch the analyzer could not resolve statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnresolvedEdge {
+    /// Address of the `jmpr`/`callr` instruction.
+    pub at: u16,
+    /// `"jmpr"` or `"callr"`.
+    pub mnemonic: &'static str,
+    /// Index of the base register.
+    pub reg: u8,
+}
+
+/// Verdict of [`Cfg::allows_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// The transition follows a statically known edge.
+    Allowed,
+    /// The analyzer cannot judge this transition (unresolved indirect,
+    /// dynamic return, or code it never discovered).
+    Unknown,
+    /// The transition contradicts the static CFG: the analyzer claimed
+    /// to know this instruction's successors and the execution took a
+    /// different one.
+    Violation,
+}
+
+/// A recovered control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Primary entry address.
+    pub entry: u16,
+    /// Every entry the walk started from (entry + IRQ vector + extras).
+    pub entries: Vec<u16>,
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u16, Block>,
+    /// Computed branches that could not be resolved.
+    pub unresolved: Vec<UnresolvedEdge>,
+    /// True when discovery hit the instruction budget (`MAX_INSTRS`) and gave up; any bound
+    /// computed over a truncated CFG would be meaningless.
+    pub truncated: bool,
+    /// Every decoded instruction, keyed by address.
+    instr_at: BTreeMap<u16, CodeInstr>,
+    /// Resolved indirect targets keyed by the address of the
+    /// terminating `jmpr`/`callr`.
+    resolved_indirect: BTreeMap<u16, BTreeSet<u16>>,
+    /// Addresses of `jmpr`/`callr` instructions left unresolved.
+    unresolved_at: BTreeSet<u16>,
+}
+
+impl Cfg {
+    /// Builds the CFG of an [`Image`], starting from its reset vector
+    /// (plus the IRQ vector when mapped).
+    pub fn from_image(image: &Image) -> Cfg {
+        let code = ImageCode::new(image);
+        let entry = code.entry().unwrap_or(FRAM_START);
+        let mut entries = vec![entry];
+        if let Some(irq) = code.irq_entry() {
+            if irq != entry {
+                entries.push(irq);
+            }
+        }
+        Cfg::build(&code, &entries)
+    }
+
+    /// Builds the CFG of an image from an explicit entry address
+    /// (e.g. a function symbol), ignoring the vectors.
+    pub fn from_image_at(image: &Image, entry: u16) -> Cfg {
+        Cfg::build(&ImageCode::new(image), &[entry])
+    }
+
+    /// Builds the CFG of live simulated memory from an explicit entry.
+    pub fn from_memory_at(mem: &Memory, entry: u16) -> Cfg {
+        Cfg::build(&MemoryCode::new(mem), &[entry])
+    }
+
+    /// Builds a CFG over `code`, exploring from `entries`.
+    pub fn build(code: &dyn CodeSource, entries: &[u16]) -> Cfg {
+        let mut instr_at: BTreeMap<u16, CodeInstr> = BTreeMap::new();
+        let mut leaders: BTreeSet<u16> = entries.iter().copied().collect();
+        let mut work: VecDeque<u16> = entries.iter().copied().collect();
+        let mut seen_runs: BTreeSet<u16> = BTreeSet::new();
+        let mut truncated = false;
+        let mut resolved_indirect: BTreeMap<u16, BTreeSet<u16>> = BTreeMap::new();
+
+        // Pass 1: alternate worklist decoding with indirect-transfer
+        // resolution until neither makes progress. A `jmpr`/`callr`
+        // target is provable only when the linearly preceding
+        // instructions, back to the nearest leader, contain a `movi`
+        // into the base register with no later write to it — i.e. every
+        // entry into the straight-line run reaching the indirect passes
+        // the movi. Resolution must see the *final* leader set to be
+        // sound (a late-discovered branch into that run would admit
+        // paths that skip the movi), so every round recomputes all
+        // resolutions from scratch; and a resolved target can open new
+        // code containing further indirects (chained movi+jmpr pairs),
+        // so decoding must resume after resolution. Both inputs only
+        // grow, which bounds the iteration.
+        loop {
+            // Decode: each work item starts a linear run that continues
+            // through fall-through instructions until a transfer.
+            while let Some(start) = work.pop_front() {
+                if !seen_runs.insert(start) {
+                    continue;
+                }
+                let mut pc = start;
+                loop {
+                    if instr_at.contains_key(&pc) {
+                        break;
+                    }
+                    if instr_at.len() >= MAX_INSTRS {
+                        truncated = true;
+                        break;
+                    }
+                    let Some(ci) = decode_at(code, pc) else { break };
+                    let next = ci.next();
+                    let instr = ci.instr;
+                    instr_at.insert(pc, ci);
+                    match instr {
+                        Instr::J { cond, target } => {
+                            leaders.insert(target);
+                            work.push_back(target);
+                            if cond != Cond::Always {
+                                leaders.insert(next);
+                                work.push_back(next);
+                            }
+                            break;
+                        }
+                        Instr::Call { target } => {
+                            leaders.insert(target);
+                            work.push_back(target);
+                            leaders.insert(next);
+                            work.push_back(next);
+                            break;
+                        }
+                        Instr::Callr { .. } => {
+                            // The return continuation exists even when the
+                            // callee is unknown.
+                            leaders.insert(next);
+                            work.push_back(next);
+                            break;
+                        }
+                        Instr::Jmpr { .. } | Instr::Ret | Instr::Reti | Instr::Halt => break,
+                        _ => pc = next,
+                    }
+                }
+            }
+
+            // Resolve: recompute every indirect against the current
+            // instruction stream and leader set.
+            let mut new_resolved: BTreeMap<u16, BTreeSet<u16>> = BTreeMap::new();
+            let indirects: Vec<(u16, Reg)> = instr_at
+                .iter()
+                .filter_map(|(&addr, ci)| match ci.instr {
+                    Instr::Jmpr { rb } | Instr::Callr { rb } => Some((addr, rb)),
+                    _ => None,
+                })
+                .collect();
+            for (addr, rb) in indirects {
+                if let Some(target) = resolve_backwards(&instr_at, &leaders, addr, rb) {
+                    new_resolved.entry(addr).or_default().insert(target);
+                }
+            }
+            let mut changed = new_resolved != resolved_indirect;
+            for &target in new_resolved.values().flatten() {
+                if leaders.insert(target) {
+                    changed = true;
+                }
+                if !instr_at.contains_key(&target) && !seen_runs.contains(&target) && !truncated {
+                    work.push_back(target);
+                    changed = true;
+                }
+            }
+            resolved_indirect = new_resolved;
+            if !changed && work.is_empty() {
+                break;
+            }
+        }
+
+        let mut unresolved_at: BTreeSet<u16> = BTreeSet::new();
+        let mut unresolved = Vec::new();
+        for (&addr, ci) in &instr_at {
+            let (mnemonic, rb) = match ci.instr {
+                Instr::Jmpr { rb } => ("jmpr", rb),
+                Instr::Callr { rb } => ("callr", rb),
+                _ => continue,
+            };
+            if !resolved_indirect.contains_key(&addr) {
+                unresolved_at.insert(addr);
+                unresolved.push(UnresolvedEdge {
+                    at: addr,
+                    mnemonic,
+                    reg: rb.index() as u8,
+                });
+            }
+        }
+
+        // Pass 2: form blocks at every discovered leader.
+        let mut blocks = BTreeMap::new();
+        for &leader in &leaders {
+            if !instr_at.contains_key(&leader) {
+                continue;
+            }
+            let mut instrs = Vec::new();
+            let mut pc = leader;
+            let exit = loop {
+                let Some(ci) = instr_at.get(&pc) else {
+                    break Exit::Trap {
+                        why: format!("control reaches unknown code at {pc:#06x}"),
+                    };
+                };
+                let next = ci.next();
+                let instr = ci.instr;
+                instrs.push(ci.clone());
+                match instr {
+                    Instr::J {
+                        cond: Cond::Always,
+                        target,
+                    } => break Exit::Jump { target },
+                    Instr::J { target, .. } => {
+                        break Exit::Branch {
+                            taken: target,
+                            fall: next,
+                        }
+                    }
+                    Instr::Call { target } => {
+                        break Exit::Call {
+                            callee: target,
+                            ret_to: next,
+                        }
+                    }
+                    Instr::Callr { .. } => {
+                        break Exit::CallIndirect {
+                            callee: resolved_indirect
+                                .get(&ci_addr(&instrs))
+                                .and_then(|t| t.iter().next().copied()),
+                            ret_to: next,
+                        }
+                    }
+                    Instr::Jmpr { .. } => {
+                        break Exit::JumpIndirect {
+                            target: resolved_indirect
+                                .get(&ci_addr(&instrs))
+                                .and_then(|t| t.iter().next().copied()),
+                        }
+                    }
+                    Instr::Ret | Instr::Reti => break Exit::Return,
+                    Instr::Halt => break Exit::Halt,
+                    _ => {
+                        if leaders.contains(&next) {
+                            break Exit::Fall { next };
+                        }
+                        pc = next;
+                    }
+                }
+            };
+            blocks.insert(
+                leader,
+                Block {
+                    start: leader,
+                    instrs,
+                    exit,
+                },
+            );
+        }
+
+        Cfg {
+            entry: entries.first().copied().unwrap_or(FRAM_START),
+            entries: entries.to_vec(),
+            blocks,
+            unresolved,
+            truncated,
+            instr_at,
+            resolved_indirect,
+            unresolved_at,
+        }
+    }
+
+    /// The decoded instruction at `addr`, if discovery reached it.
+    pub fn instr_at(&self, addr: u16) -> Option<&CodeInstr> {
+        self.instr_at.get(&addr)
+    }
+
+    /// Number of discovered instructions.
+    pub fn instr_count(&self) -> usize {
+        self.instr_at.len()
+    }
+
+    /// All statically known call targets (direct + resolved indirect).
+    pub fn call_targets(&self) -> BTreeSet<u16> {
+        let mut out = BTreeSet::new();
+        for block in self.blocks.values() {
+            match &block.exit {
+                Exit::Call { callee, .. } => {
+                    out.insert(*callee);
+                }
+                Exit::CallIndirect {
+                    callee: Some(callee),
+                    ..
+                } => {
+                    out.insert(*callee);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Judges one executed transition `from → to` (program counters of
+    /// two consecutively retired instructions) against the static CFG.
+    ///
+    /// This is the soundness primitive behind the CFG-walk property:
+    /// real executions must never produce a [`StepVerdict::Violation`].
+    pub fn allows_step(&self, from: u16, to: u16) -> StepVerdict {
+        let Some(ci) = self.instr_at.get(&from) else {
+            // Execution reached code the analyzer never discovered.
+            return StepVerdict::Unknown;
+        };
+        let next = ci.next();
+        match ci.instr {
+            Instr::J {
+                cond: Cond::Always,
+                target,
+            } => allowed_if(to == target),
+            Instr::J { target, .. } => allowed_if(to == target || to == next),
+            Instr::Call { target } => allowed_if(to == target),
+            Instr::Jmpr { .. } | Instr::Callr { .. } => {
+                if self.unresolved_at.contains(&from) {
+                    StepVerdict::Unknown
+                } else if let Some(targets) = self.resolved_indirect.get(&from) {
+                    allowed_if(targets.contains(&to))
+                } else {
+                    StepVerdict::Unknown
+                }
+            }
+            Instr::Ret | Instr::Reti => StepVerdict::Unknown,
+            Instr::Halt => StepVerdict::Unknown,
+            _ => allowed_if(to == next),
+        }
+    }
+
+    /// Predecessor map over intra-procedural edges (including the
+    /// callee edge of calls), for loop-idiom verification.
+    pub fn predecessors(&self) -> BTreeMap<u16, BTreeSet<u16>> {
+        let mut preds: BTreeMap<u16, BTreeSet<u16>> = BTreeMap::new();
+        for block in self.blocks.values() {
+            for succ in block.intra_succs() {
+                preds.entry(succ).or_default().insert(block.start);
+            }
+        }
+        preds
+    }
+
+    /// Every address that some decoded control transfer targets
+    /// (branch/jump/call/resolved indirect). Fall-throughs excluded.
+    pub fn transfer_targets(&self) -> BTreeSet<u16> {
+        let mut out = BTreeSet::new();
+        for ci in self.instr_at.values() {
+            match ci.instr {
+                Instr::J { target, .. } | Instr::Call { target } => {
+                    out.insert(target);
+                }
+                _ => {}
+            }
+        }
+        for targets in self.resolved_indirect.values() {
+            out.extend(targets.iter().copied());
+        }
+        out
+    }
+}
+
+fn ci_addr(instrs: &[CodeInstr]) -> u16 {
+    instrs.last().map(|i| i.addr).unwrap_or(0)
+}
+
+fn allowed_if(ok: bool) -> StepVerdict {
+    if ok {
+        StepVerdict::Allowed
+    } else {
+        StepVerdict::Violation
+    }
+}
+
+fn decode_at(code: &dyn CodeSource, addr: u16) -> Option<CodeInstr> {
+    let w0 = code.word(addr)?;
+    let w1 = code.word(addr.wrapping_add(2));
+    match Instr::decode(w0, w1) {
+        Ok((instr, words)) => Some(CodeInstr {
+            addr,
+            instr,
+            size: u16::from(words) * 2,
+        }),
+        Err(_) => None,
+    }
+}
+
+/// Scans linearly backwards from the indirect transfer at `at` looking
+/// for `movi rb, imm` with no intervening write to `rb` and no leader
+/// between the movi and the transfer (a leader would admit paths that
+/// skip the movi).
+fn resolve_backwards(
+    instr_at: &BTreeMap<u16, CodeInstr>,
+    leaders: &BTreeSet<u16>,
+    at: u16,
+    rb: Reg,
+) -> Option<u16> {
+    if leaders.contains(&at) {
+        // The transfer itself is a branch target: paths can reach it
+        // without passing any preceding movi.
+        return None;
+    }
+    let mut cursor = at;
+    loop {
+        let prev = instr_at
+            .range(..cursor)
+            .next_back()
+            .map(|(_, ci)| ci.clone())?;
+        if prev.next() != cursor {
+            // Linear predecessor does not abut: unknown gap.
+            return None;
+        }
+        match prev.instr {
+            Instr::Movi { rd, imm } if rd == rb => return Some(imm),
+            instr => {
+                if writes_reg(&instr) == Some(rb) || is_transfer(&instr) {
+                    return None;
+                }
+            }
+        }
+        if leaders.contains(&prev.addr) {
+            // The movi would be in a different block: paths may enter
+            // here without establishing the constant.
+            return None;
+        }
+        cursor = prev.addr;
+    }
+}
+
+/// The register an instruction writes, if any. `push`/`call`-style
+/// implicit SP updates are irrelevant here because SP-based indirect
+/// transfers are never resolved (a `movi sp, …` kills resolution via
+/// the explicit-write rule anyway).
+pub fn writes_reg(instr: &Instr) -> Option<Reg> {
+    match *instr {
+        Instr::Mov { rd, .. }
+        | Instr::Movi { rd, .. }
+        | Instr::Ld { rd, .. }
+        | Instr::Ldb { rd, .. }
+        | Instr::Alu { rd, .. }
+        | Instr::Alui { rd, .. }
+        | Instr::Pop { rd }
+        | Instr::In { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+fn is_transfer(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::J { .. }
+            | Instr::Call { .. }
+            | Instr::Callr { .. }
+            | Instr::Jmpr { .. }
+            | Instr::Ret
+            | Instr::Reti
+            | Instr::Halt
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_mcu::asm::assemble;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let image = assemble(src).expect("assemble");
+        Cfg::from_image(&image)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r0, 1\n    add r0, 2\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        assert_eq!(cfg.blocks.len(), 1);
+        let block = &cfg.blocks[&0x4400];
+        assert_eq!(block.instrs.len(), 3);
+        assert_eq!(block.exit, Exit::Halt);
+        assert!(cfg.unresolved.is_empty());
+    }
+
+    #[test]
+    fn conditional_branch_splits_blocks() {
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r0, 4\nloop:\n    add r0, 0xFFFF\n    cmpi r0, 0\n    jne loop\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        // Blocks: start(movi), loop body, halt.
+        assert_eq!(cfg.blocks.len(), 3);
+        let loop_block = cfg
+            .blocks
+            .values()
+            .find(|b| matches!(b.exit, Exit::Branch { .. }));
+        assert!(loop_block.is_some());
+    }
+
+    #[test]
+    fn call_and_return_are_typed() {
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    call fn\n    halt\nfn:\n    add r1, 1\n    ret\n.org 0xFFFE\n.word start\n",
+        );
+        let entry = &cfg.blocks[&0x4400];
+        match entry.exit {
+            Exit::Call { callee, ret_to } => {
+                assert_eq!(callee, cfg.blocks[&callee].start);
+                assert!(matches!(cfg.blocks[&callee].exit, Exit::Return));
+                assert!(matches!(cfg.blocks[&ret_to].exit, Exit::Halt));
+            }
+            ref other => panic!("expected call exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn movi_jmpr_pair_resolves() {
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r14, done\n    jmpr r14\n    nop\ndone:\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        assert!(cfg.unresolved.is_empty());
+        let entry = &cfg.blocks[&0x4400];
+        match entry.exit {
+            Exit::JumpIndirect { target: Some(t) } => {
+                assert!(matches!(cfg.blocks[&t].exit, Exit::Halt));
+            }
+            ref other => panic!("expected resolved jmpr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_movi_jmpr_pairs_resolve_to_fixpoint() {
+        // The second movi+jmpr pair lives in code only reachable through
+        // the first resolved jmpr, so resolution must re-run after the
+        // discovery round that the first resolution opened.
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r14, mid\n    jmpr r14\nmid:\n    nop\n    movi r14, done\n    jmpr r14\ndone:\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        assert!(cfg.unresolved.is_empty(), "both jmprs must resolve");
+        let resolved: Vec<u16> = cfg
+            .blocks
+            .values()
+            .filter_map(|b| match b.exit {
+                Exit::JumpIndirect { target: Some(t) } => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resolved.len(), 2);
+        let halt_block = resolved
+            .iter()
+            .filter(|t| matches!(cfg.blocks[t].exit, Exit::Halt))
+            .count();
+        assert_eq!(halt_block, 1, "second jmpr must reach the halt block");
+    }
+
+    #[test]
+    fn clobbered_base_stays_unresolved() {
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r14, start\n    add r14, 2\n    jmpr r14\n.org 0xFFFE\n.word start\n",
+        );
+        assert_eq!(cfg.unresolved.len(), 1);
+        assert_eq!(cfg.unresolved[0].mnemonic, "jmpr");
+        assert_eq!(cfg.unresolved[0].reg, 14);
+    }
+
+    #[test]
+    fn branch_target_between_movi_and_jmpr_defeats_resolution() {
+        // `mid` is a branch target between the movi and the jmpr, so a
+        // path can reach the jmpr without passing the movi.
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r14, done\n    cmpi r0, 0\n    jeq mid\n    movi r14, done\nmid:\n    jmpr r14\ndone:\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        assert_eq!(
+            cfg.unresolved.len(),
+            1,
+            "jmpr at a leader must stay unresolved"
+        );
+    }
+
+    #[test]
+    fn allows_step_accepts_real_transitions_and_rejects_wild_ones() {
+        let cfg = cfg_of(
+            ".org 0x4400\nstart:\n    movi r0, 1\n    cmpi r0, 1\n    jeq done\n    nop\ndone:\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        // movi (4 bytes) at 0x4400 → cmpi at 0x4404.
+        assert_eq!(cfg.allows_step(0x4400, 0x4404), StepVerdict::Allowed);
+        assert_eq!(cfg.allows_step(0x4400, 0x4500), StepVerdict::Violation);
+        // The branch may take either leg.
+        let branch = cfg
+            .instr_at
+            .values()
+            .find(|ci| matches!(ci.instr, Instr::J { .. }))
+            .unwrap()
+            .clone();
+        let done = cfg
+            .blocks
+            .values()
+            .find(|b| matches!(b.exit, Exit::Halt))
+            .unwrap()
+            .start;
+        assert_eq!(cfg.allows_step(branch.addr, done), StepVerdict::Allowed);
+        assert_eq!(
+            cfg.allows_step(branch.addr, branch.next()),
+            StepVerdict::Allowed
+        );
+        assert_eq!(cfg.allows_step(branch.addr, 0x4400), StepVerdict::Violation);
+        // Undiscovered code is unknown, not a violation.
+        assert_eq!(cfg.allows_step(0x9000, 0x9002), StepVerdict::Unknown);
+    }
+}

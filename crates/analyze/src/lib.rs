@@ -1,0 +1,105 @@
+//! `edb-analyze`: energy-aware static analysis of intermittent IVM-16
+//! firmware.
+//!
+//! The EDB paper debugs intermittent programs *dynamically* without
+//! perturbing their energy state; this crate is the complementary
+//! *static* half (in the spirit of ETAP): it recovers a control-flow
+//! graph from the binary ([`mod@cfg`]), attaches a per-instruction
+//! energy/cycle cost model regressed from the simulator's own energy
+//! accounting ([`cost`]), runs an interval-based worst-case energy
+//! consumption (WCEC) dataflow over the CFG ([`wcec`]), and turns the
+//! result into charge-cycle counts, "cannot complete on one charge"
+//! diagnostics with the offending path, and a checkpoint-placement
+//! advisory ([`advisory`]) the `edb_runtime::ckpt` zoo can consume.
+//!
+//! The load-bearing correctness property is *soundness against the
+//! simulator*: no simulated execution, under any harvest trace, may
+//! exceed a claimed WCEC bound or take a CFG edge the analyzer missed.
+//! That property is fuzzed at fleet scale by `fuzz_smoke --analyze`
+//! and proptested in `crates/fuzz/tests/cfg_walk.rs`.
+
+pub mod advisory;
+pub mod cfg;
+pub mod cost;
+pub mod report;
+pub mod wcec;
+
+pub use advisory::{advise, CkptAdvice};
+pub use cfg::{Block, Cfg, CodeInstr, Exit, StepVerdict, UnresolvedEdge};
+pub use cost::{instr_cycles, CostModel};
+pub use report::{build_report, AnalysisReport};
+pub use wcec::{compute, energy_verdict, CapacitorSpec, EnergyVerdict, FnWcec, Wcec};
+
+use edb_device::DeviceConfig;
+use edb_mcu::{Image, Memory};
+
+/// Default reserve fraction for the checkpoint advisory.
+pub const DEFAULT_CKPT_MARGIN: f64 = 0.25;
+
+/// One-call analysis of a firmware image: CFG + cost model + WCEC +
+/// energy verdict + checkpoint advice, bundled as the CLI report.
+pub fn analyze_image(
+    target: &str,
+    image: &Image,
+    config: &DeviceConfig,
+    v_start: f64,
+) -> AnalysisReport {
+    let cfg = Cfg::from_image(image);
+    finish(target, cfg, config, v_start)
+}
+
+/// Like [`analyze_image`], but over live memory from an explicit entry
+/// (the serve/session path: "will this function finish from here?").
+pub fn analyze_memory(
+    target: &str,
+    mem: &Memory,
+    entry: u16,
+    config: &DeviceConfig,
+    v_start: f64,
+) -> AnalysisReport {
+    let cfg = Cfg::from_memory_at(mem, entry);
+    finish(target, cfg, config, v_start)
+}
+
+fn finish(target: &str, cfg: Cfg, config: &DeviceConfig, v_start: f64) -> AnalysisReport {
+    let model = CostModel::calibrate(config);
+    let cap = CapacitorSpec::from_device(config);
+    let wcec = wcec::compute(&cfg);
+    let verdict = energy_verdict(wcec.program().cycles, &model, &cap, v_start);
+    let advice = advise(&cfg, &wcec, &model, &cap, DEFAULT_CKPT_MARGIN);
+    build_report(target, &cfg, &wcec, &model, &cap, &verdict, advice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_report_over_a_bounded_program() {
+        let image = edb_mcu::asm::assemble(
+            ".org 0x4400\nstart:\n    movi r10, 0\nbody:\n    nop\n    add r10, 1\n    cmpi r10, 8\n    jne body\n    halt\n.org 0xFFFE\n.word start\n",
+        )
+        .expect("assemble");
+        let config = DeviceConfig::wisp5();
+        let report = analyze_image("unit", &image, &config, 3.0);
+        assert_eq!(report.wcec_cycles, Some(2 + 8 * 7 + 1));
+        assert_eq!(report.completes_on_one_charge, Some(true));
+        assert!(report.unresolved.is_empty());
+        assert!(!report.offending_path.is_empty());
+        // The report serializes.
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("wcec_cycles"));
+    }
+
+    #[test]
+    fn infinite_app_loops_are_reported_unbounded_not_wrong() {
+        let image = edb_apps::fib::image(edb_apps::fib::Variant::Release);
+        let config = DeviceConfig::wisp5();
+        let report = analyze_image("fib", &image, &config, 3.0);
+        // Real apps spin forever on purpose; the honest answer is an
+        // unbounded verdict with a reason, never a fabricated bound.
+        assert!(report.wcec_cycles.is_none());
+        assert!(report.unbounded_reason.is_some());
+        assert!(report.blocks > 0);
+    }
+}

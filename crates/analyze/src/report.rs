@@ -1,0 +1,243 @@
+//! The serializable JSON report the `edb-analyze` CLI emits and the
+//! bench/serve layers consume.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::advisory::CkptAdvice;
+use crate::cfg::Cfg;
+use crate::cost::CostModel;
+use crate::wcec::{CapacitorSpec, EnergyVerdict, Wcec};
+
+/// One basic block in the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct BlockReport {
+    /// Start address.
+    pub start: u16,
+    /// Exclusive end address.
+    pub end: u16,
+    /// Instruction count.
+    pub instrs: usize,
+    /// Static cycle cost of one pass through the block.
+    pub cycles: u64,
+    /// Worst-case charge of one pass, coulombs.
+    pub charge: f64,
+    /// Exit kind, as a short string.
+    pub exit: String,
+}
+
+/// One unresolved computed branch.
+#[derive(Debug, Clone, Serialize)]
+pub struct UnresolvedReport {
+    /// Address of the transfer.
+    pub at: u16,
+    /// `"jmpr"` or `"callr"`.
+    pub mnemonic: String,
+    /// Base register index.
+    pub reg: u8,
+}
+
+/// One worst-path step.
+#[derive(Debug, Clone, Serialize)]
+pub struct PathReport {
+    /// Block start address.
+    pub block: u16,
+    /// Iterations on the worst path.
+    pub iterations: u64,
+}
+
+/// Per-function summary in the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct FunctionReport {
+    /// Entry address.
+    pub entry: u16,
+    /// Block count.
+    pub blocks: usize,
+    /// WCEC in cycles, when bounded.
+    pub wcec_cycles: Option<u64>,
+    /// WCEC as charge, coulombs, when bounded.
+    pub wcec_charge: Option<f64>,
+    /// Why the function is unbounded, when it is.
+    pub unbounded_reason: Option<String>,
+    /// Inferred loop bounds (`header`, `bound`).
+    pub loop_bounds: Vec<(u16, u64)>,
+    /// The worst path.
+    pub worst_path: Vec<PathReport>,
+}
+
+/// The full analysis report for one firmware image.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisReport {
+    /// What was analyzed (file name or symbol).
+    pub target: String,
+    /// Program entry address.
+    pub entry: u16,
+    /// Discovered instruction count.
+    pub instructions: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Unresolved computed branches.
+    pub unresolved: Vec<UnresolvedReport>,
+    /// True when discovery gave up (code too large).
+    pub truncated: bool,
+    /// Regressed cost model parameters.
+    pub cost_secs_per_cycle: f64,
+    /// Regressed effective active current, amps.
+    pub cost_i_active: f64,
+    /// Worst relative residual of the calibration fit.
+    pub cost_residual: f64,
+    /// Capacitor spec the verdict was computed against.
+    pub capacitance: f64,
+    /// Turn-on threshold, volts.
+    pub v_on: f64,
+    /// Brown-out threshold, volts.
+    pub v_off: f64,
+    /// Starting voltage the verdict assumes.
+    pub v_start: f64,
+    /// Whole-program WCEC in cycles, when bounded.
+    pub wcec_cycles: Option<u64>,
+    /// Whole-program worst-case charge, coulombs.
+    pub wcec_charge: Option<f64>,
+    /// Whole-program worst-case energy from `v_start`, joules.
+    pub wcec_energy: Option<f64>,
+    /// Predicted capacitor voltage after the worst path, zero harvest.
+    pub v_end_worst: Option<f64>,
+    /// Whether the worst path completes on the charge at `v_start`.
+    pub completes_on_one_charge: Option<bool>,
+    /// Full charge cycles needed to retire the worst path.
+    pub charge_cycles: Option<u64>,
+    /// Why the program is unbounded, when it is.
+    pub unbounded_reason: Option<String>,
+    /// The offending worst path (non-empty when bounded; the path that
+    /// violates the one-charge budget when `completes_on_one_charge`
+    /// is false).
+    pub offending_path: Vec<PathReport>,
+    /// Per-block costs.
+    pub block_table: Vec<BlockReport>,
+    /// Per-function summaries keyed by formatted entry address.
+    pub functions: BTreeMap<String, FunctionReport>,
+    /// Checkpoint-placement advisory.
+    pub ckpt_advice: CkptAdvice,
+}
+
+/// Assembles the full report from the analysis pieces.
+pub fn build_report(
+    target: &str,
+    cfg: &Cfg,
+    wcec: &Wcec,
+    model: &CostModel,
+    cap: &CapacitorSpec,
+    verdict: &EnergyVerdict,
+    advice: CkptAdvice,
+) -> AnalysisReport {
+    let block_table = cfg
+        .blocks
+        .values()
+        .map(|b| {
+            let cycles: u64 = b
+                .instrs
+                .iter()
+                .map(|ci| u64::from(crate::cost::instr_cycles(&ci.instr)))
+                .sum();
+            BlockReport {
+                start: b.start,
+                end: b.end(),
+                instrs: b.instrs.len(),
+                cycles,
+                charge: model.charge_for_cycles(cycles),
+                exit: exit_name(&b.exit),
+            }
+        })
+        .collect();
+    let functions = wcec
+        .functions
+        .iter()
+        .map(|(entry, f)| {
+            (
+                format!("{entry:#06x}"),
+                FunctionReport {
+                    entry: *entry,
+                    blocks: f.block_count,
+                    wcec_cycles: f.cycles,
+                    wcec_charge: f.cycles.map(|c| model.charge_for_cycles(c)),
+                    unbounded_reason: f.unbounded_reason.clone(),
+                    loop_bounds: f
+                        .loops
+                        .iter()
+                        .filter_map(|l| l.bound.map(|b| (l.header, b)))
+                        .collect(),
+                    worst_path: f
+                        .worst_path
+                        .iter()
+                        .map(|s| PathReport {
+                            block: s.block,
+                            iterations: s.iterations,
+                        })
+                        .collect(),
+                },
+            )
+        })
+        .collect();
+    let program = wcec.program();
+    AnalysisReport {
+        target: target.to_string(),
+        entry: cfg.entry,
+        instructions: cfg.instr_count(),
+        blocks: cfg.blocks.len(),
+        unresolved: cfg
+            .unresolved
+            .iter()
+            .map(|u| UnresolvedReport {
+                at: u.at,
+                mnemonic: u.mnemonic.to_string(),
+                reg: u.reg,
+            })
+            .collect(),
+        truncated: cfg.truncated,
+        cost_secs_per_cycle: model.secs_per_cycle,
+        cost_i_active: model.i_active,
+        cost_residual: model.residual,
+        capacitance: cap.capacitance,
+        v_on: cap.v_on,
+        v_off: cap.v_off,
+        v_start: verdict.v_start,
+        wcec_cycles: verdict.wcec_cycles,
+        wcec_charge: verdict.charge,
+        wcec_energy: verdict.energy,
+        v_end_worst: verdict.v_end_worst,
+        completes_on_one_charge: verdict.completes_on_one_charge,
+        charge_cycles: verdict.charge_cycles,
+        unbounded_reason: program.unbounded_reason.clone(),
+        offending_path: program
+            .worst_path
+            .iter()
+            .map(|s| PathReport {
+                block: s.block,
+                iterations: s.iterations,
+            })
+            .collect(),
+        block_table,
+        functions,
+        ckpt_advice: advice,
+    }
+}
+
+fn exit_name(exit: &crate::cfg::Exit) -> String {
+    use crate::cfg::Exit::*;
+    match exit {
+        Fall { .. } => "fall".into(),
+        Jump { .. } => "jump".into(),
+        Branch { .. } => "branch".into(),
+        Call { .. } => "call".into(),
+        CallIndirect {
+            callee: Some(_), ..
+        } => "callr(resolved)".into(),
+        CallIndirect { callee: None, .. } => "callr(unresolved)".into(),
+        JumpIndirect { target: Some(_) } => "jmpr(resolved)".into(),
+        JumpIndirect { target: None } => "jmpr(unresolved)".into(),
+        Return => "return".into(),
+        Halt => "halt".into(),
+        Trap { .. } => "trap".into(),
+    }
+}

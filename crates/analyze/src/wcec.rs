@@ -1,0 +1,901 @@
+//! Worst-case energy consumption (WCEC) dataflow over the recovered
+//! CFG.
+//!
+//! The pipeline is: per-function reachability → loop discovery (back
+//! edges by address order) → counted-loop bound inference from the
+//! binary idiom (`add rK, 1; cmpi rK, N; jne header` with a dominating
+//! `movi rK, init`) → innermost-first loop collapse into weighted
+//! super-nodes → DAG longest-path with predecessor tracking for
+//! offending-path extraction. Every inference is *verified against the
+//! decoded instructions*; when any check fails the function is reported
+//! unbounded with a reason instead of guessing. Soundness of claimed
+//! bounds is fuzzed at fleet scale (`fuzz_smoke --analyze`).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use edb_device::DeviceConfig;
+use edb_energy::budget::delta_energy;
+use edb_mcu::{AluOp, Cond, Instr};
+
+use crate::cfg::{writes_reg, Cfg, Exit};
+use crate::cost::{instr_cycles, CostModel};
+
+/// The capacitor/threshold half of a device spec, for charge-cycle
+/// accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacitorSpec {
+    /// Storage capacitance, farads.
+    pub capacitance: f64,
+    /// Turn-on threshold, volts.
+    pub v_on: f64,
+    /// Brown-out threshold, volts.
+    pub v_off: f64,
+}
+
+impl CapacitorSpec {
+    /// Extracts the spec from a device configuration.
+    pub fn from_device(config: &DeviceConfig) -> CapacitorSpec {
+        CapacitorSpec {
+            capacitance: config.capacitance,
+            v_on: config.v_on,
+            v_off: config.v_off,
+        }
+    }
+
+    /// Usable charge of one full charge cycle (`v_on` down to `v_off`),
+    /// coulombs.
+    pub fn charge_budget(&self) -> f64 {
+        self.capacitance * (self.v_on - self.v_off)
+    }
+}
+
+/// One discovered natural loop.
+#[derive(Debug, Clone)]
+pub struct LoopSummary {
+    /// Header block address.
+    pub header: u16,
+    /// Latch block address (source of the back edge).
+    pub latch: u16,
+    /// Verified iteration bound, if the counted-loop idiom held.
+    pub bound: Option<u64>,
+    /// Counter register index, when inferred.
+    pub counter: Option<u8>,
+    /// Why no bound could be inferred (empty when bounded).
+    pub note: String,
+}
+
+/// One step of a worst-case path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    /// Block address (a loop header for collapsed loops).
+    pub block: u16,
+    /// Times the step executes on the worst path (loop bound, or 1).
+    pub iterations: u64,
+}
+
+/// Per-function WCEC summary.
+#[derive(Debug, Clone)]
+pub struct FnWcec {
+    /// Function entry address.
+    pub entry: u16,
+    /// Worst-case cycles from entry to any terminator, when bounded.
+    pub cycles: Option<u64>,
+    /// Why the function is unbounded (`None` when bounded).
+    pub unbounded_reason: Option<String>,
+    /// The worst path (block starts with iteration counts).
+    pub worst_path: Vec<PathStep>,
+    /// Loops discovered in the function.
+    pub loops: Vec<LoopSummary>,
+    /// Registers the function (including callees) may write.
+    pub written_regs: BTreeSet<u8>,
+    /// Number of blocks in the function.
+    pub block_count: usize,
+}
+
+/// Whole-program WCEC result.
+#[derive(Debug, Clone)]
+pub struct Wcec {
+    /// Program entry.
+    pub entry: u16,
+    /// Summaries keyed by function entry.
+    pub functions: BTreeMap<u16, FnWcec>,
+}
+
+impl Wcec {
+    /// The entry function's summary.
+    pub fn program(&self) -> &FnWcec {
+        &self.functions[&self.entry]
+    }
+
+    /// A summary by entry address, if that address is a known function.
+    pub fn function(&self, entry: u16) -> Option<&FnWcec> {
+        self.functions.get(&entry)
+    }
+}
+
+/// Charge/energy verdict for one bounded (or unbounded) cycle count
+/// against a capacitor spec, assuming worst-case zero harvest.
+#[derive(Debug, Clone)]
+pub struct EnergyVerdict {
+    /// Starting capacitor voltage the verdict was computed for.
+    pub v_start: f64,
+    /// The WCEC cycle bound (`None` when unbounded).
+    pub wcec_cycles: Option<u64>,
+    /// Worst-case charge drawn, coulombs.
+    pub charge: Option<f64>,
+    /// Worst-case energy drawn from `v_start`, joules.
+    pub energy: Option<f64>,
+    /// Capacitor voltage after the worst path under zero harvest.
+    pub v_end_worst: Option<f64>,
+    /// Whether the worst path completes before brown-out on the charge
+    /// available at `v_start` with zero harvest.
+    pub completes_on_one_charge: Option<bool>,
+    /// Number of full charge cycles (`v_on`→`v_off`) needed to retire
+    /// the worst path, starting from `v_start`.
+    pub charge_cycles: Option<u64>,
+}
+
+/// Computes the charge/energy verdict for a cycle bound.
+pub fn energy_verdict(
+    cycles: Option<u64>,
+    model: &CostModel,
+    cap: &CapacitorSpec,
+    v_start: f64,
+) -> EnergyVerdict {
+    let Some(cycles) = cycles else {
+        return EnergyVerdict {
+            v_start,
+            wcec_cycles: None,
+            charge: None,
+            energy: None,
+            v_end_worst: None,
+            completes_on_one_charge: None,
+            charge_cycles: None,
+        };
+    };
+    let charge = model.charge_for_cycles(cycles);
+    let v_end = v_start - charge / cap.capacitance;
+    let energy = delta_energy(cap.capacitance, v_start, v_end.max(0.0));
+    let completes = v_end >= cap.v_off;
+    let first_budget = (cap.capacitance * (v_start - cap.v_off)).max(0.0);
+    let charge_cycles = if charge <= first_budget {
+        1
+    } else {
+        let refill = cap.charge_budget();
+        1 + ((charge - first_budget) / refill).ceil() as u64
+    };
+    EnergyVerdict {
+        v_start,
+        wcec_cycles: Some(cycles),
+        charge: Some(charge),
+        energy: Some(energy),
+        v_end_worst: Some(v_end),
+        completes_on_one_charge: Some(completes),
+        charge_cycles: Some(charge_cycles),
+    }
+}
+
+/// Runs the WCEC dataflow over a CFG.
+pub fn compute(cfg: &Cfg) -> Wcec {
+    let mut entries: BTreeSet<u16> = cfg.entries.iter().copied().collect();
+    entries.extend(cfg.call_targets());
+    entries.retain(|e| cfg.blocks.contains_key(e));
+    let mut functions = BTreeMap::new();
+    let mut stack = BTreeSet::new();
+    for &entry in &entries {
+        summarize(cfg, entry, &mut functions, &mut stack);
+    }
+    // The primary entry must always have a summary, even for an empty
+    // CFG (no decodable entry block).
+    functions.entry(cfg.entry).or_insert_with(|| FnWcec {
+        entry: cfg.entry,
+        cycles: None,
+        unbounded_reason: Some("entry is not decodable code".into()),
+        worst_path: Vec::new(),
+        loops: Vec::new(),
+        written_regs: all_regs(),
+        block_count: 0,
+    });
+    Wcec {
+        entry: cfg.entry,
+        functions,
+    }
+}
+
+fn all_regs() -> BTreeSet<u8> {
+    (0..16).collect()
+}
+
+fn unbounded(entry: u16, reason: String, loops: Vec<LoopSummary>, blocks: usize) -> FnWcec {
+    FnWcec {
+        entry,
+        cycles: None,
+        unbounded_reason: Some(reason),
+        worst_path: Vec::new(),
+        loops,
+        written_regs: all_regs(),
+        block_count: blocks,
+    }
+}
+
+fn summarize(cfg: &Cfg, entry: u16, memo: &mut BTreeMap<u16, FnWcec>, stack: &mut BTreeSet<u16>) {
+    if memo.contains_key(&entry) {
+        return;
+    }
+    if !stack.insert(entry) {
+        return;
+    }
+    let summary = summarize_inner(cfg, entry, memo, stack);
+    stack.remove(&entry);
+    memo.insert(entry, summary);
+}
+
+fn summarize_inner(
+    cfg: &Cfg,
+    entry: u16,
+    memo: &mut BTreeMap<u16, FnWcec>,
+    stack: &mut BTreeSet<u16>,
+) -> FnWcec {
+    if cfg.truncated {
+        return unbounded(
+            entry,
+            "CFG discovery truncated (code too large)".into(),
+            Vec::new(),
+            0,
+        );
+    }
+    // Reachable block set over intra-procedural edges.
+    let mut fn_blocks: BTreeSet<u16> = BTreeSet::new();
+    let mut work = VecDeque::from([entry]);
+    while let Some(b) = work.pop_front() {
+        if !cfg.blocks.contains_key(&b) || !fn_blocks.insert(b) {
+            continue;
+        }
+        for succ in cfg.blocks[&b].intra_succs() {
+            work.push_back(succ);
+        }
+    }
+    if fn_blocks.is_empty() {
+        return unbounded(entry, "entry is not decodable code".into(), Vec::new(), 0);
+    }
+
+    // Registers written anywhere in this function, before callee union.
+    let mut written: BTreeSet<u8> = BTreeSet::new();
+    for &b in &fn_blocks {
+        for ci in &cfg.blocks[&b].instrs {
+            if let Some(r) = writes_reg(&ci.instr) {
+                written.insert(r.index() as u8);
+            }
+        }
+    }
+
+    // Callee summaries (bottom-up; recursion detected via the stack).
+    let mut callee_cycles: BTreeMap<u16, u64> = BTreeMap::new();
+    for &b in &fn_blocks {
+        let block = &cfg.blocks[&b];
+        let callee = match block.exit {
+            Exit::Call { callee, .. } => Some(callee),
+            Exit::CallIndirect { callee, .. } => callee,
+            _ => None,
+        };
+        match block.exit {
+            Exit::CallIndirect { callee: None, .. } => {
+                return unbounded(
+                    entry,
+                    format!("unresolved indirect call at {:#06x}", block.exit_addr()),
+                    Vec::new(),
+                    fn_blocks.len(),
+                );
+            }
+            Exit::JumpIndirect { target: None } => {
+                return unbounded(
+                    entry,
+                    format!("unresolved indirect jump at {:#06x}", block.exit_addr()),
+                    Vec::new(),
+                    fn_blocks.len(),
+                );
+            }
+            _ => {}
+        }
+        if let Some(callee) = callee {
+            if stack.contains(&callee) || callee == entry {
+                return unbounded(
+                    entry,
+                    format!("recursive call to {callee:#06x}"),
+                    Vec::new(),
+                    fn_blocks.len(),
+                );
+            }
+            summarize(cfg, callee, memo, stack);
+            match memo.get(&callee) {
+                Some(s) => {
+                    written.extend(s.written_regs.iter().copied());
+                    match s.cycles {
+                        Some(c) => {
+                            callee_cycles.insert(b, c);
+                        }
+                        None => {
+                            return unbounded(
+                                entry,
+                                format!(
+                                    "callee {callee:#06x} is unbounded: {}",
+                                    s.unbounded_reason.as_deref().unwrap_or("unknown")
+                                ),
+                                Vec::new(),
+                                fn_blocks.len(),
+                            );
+                        }
+                    }
+                }
+                None => {
+                    return unbounded(
+                        entry,
+                        format!("recursive call to {callee:#06x}"),
+                        Vec::new(),
+                        fn_blocks.len(),
+                    );
+                }
+            }
+        }
+    }
+
+    // Block weights in cycles (callee worst case folded into the
+    // calling block).
+    let mut weight: BTreeMap<u16, u64> = BTreeMap::new();
+    for &b in &fn_blocks {
+        let block = &cfg.blocks[&b];
+        let mut w: u64 = block
+            .instrs
+            .iter()
+            .map(|ci| u64::from(instr_cycles(&ci.instr)))
+            .sum();
+        if let Some(c) = callee_cycles.get(&b) {
+            w = w.saturating_add(*c);
+        }
+        weight.insert(b, w);
+    }
+
+    // Intra-function edges restricted to the block set.
+    let edges: Vec<(u16, u16)> = fn_blocks
+        .iter()
+        .flat_map(|&b| {
+            cfg.blocks[&b]
+                .intra_succs()
+                .into_iter()
+                .filter(|s| fn_blocks.contains(s))
+                .map(move |s| (b, s))
+        })
+        .collect();
+
+    // Loop discovery: back edges by address order.
+    let back_edges: Vec<(u16, u16)> = edges.iter().copied().filter(|&(u, v)| v <= u).collect();
+    let mut loops: Vec<LoopSummary> = Vec::new();
+    let mut headers = BTreeSet::new();
+    for &(latch, header) in &back_edges {
+        if !headers.insert(header) {
+            return unbounded(
+                entry,
+                format!("loop at {header:#06x} has multiple latches"),
+                loops,
+                fn_blocks.len(),
+            );
+        }
+        let summary = infer_loop_bound(cfg, memo, &fn_blocks, &edges, header, latch);
+        loops.push(summary);
+    }
+    // Nesting check: ranges must be properly nested or disjoint.
+    for a in &loops {
+        for b in &loops {
+            if a.header == b.header {
+                continue;
+            }
+            let (a0, a1) = (a.header, a.latch);
+            let (b0, b1) = (b.header, b.latch);
+            let disjoint = a1 < b0 || b1 < a0;
+            let a_in_b = b0 <= a0 && a1 <= b1;
+            let b_in_a = a0 <= b0 && b1 <= a1;
+            if !(disjoint || a_in_b || b_in_a) {
+                return unbounded(
+                    entry,
+                    format!("loops at {a0:#06x} and {b0:#06x} overlap without nesting"),
+                    loops,
+                    fn_blocks.len(),
+                );
+            }
+        }
+    }
+    if let Some(bad) = loops.iter().find(|l| l.bound.is_none()) {
+        return unbounded(
+            entry,
+            format!(
+                "loop at {:#06x} has no inferable bound: {}",
+                bad.header, bad.note
+            ),
+            loops,
+            fn_blocks.len(),
+        );
+    }
+    // Entry must not sit strictly inside a loop range (bypassing init).
+    for l in &loops {
+        if entry > l.header && entry <= l.latch {
+            return unbounded(
+                entry,
+                format!("function entry lies inside loop at {:#06x}", l.header),
+                loops,
+                fn_blocks.len(),
+            );
+        }
+    }
+
+    // Collapse loops innermost-first into weighted super-nodes.
+    let mut alive: BTreeSet<u16> = fn_blocks.clone();
+    let mut removed_edges: BTreeSet<(u16, u16)> = BTreeSet::new();
+    let mut succ_override: BTreeMap<u16, Vec<u16>> = BTreeMap::new();
+    let mut collapsed_iterations: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut order: Vec<&LoopSummary> = loops.iter().collect();
+    order.sort_by_key(|l| l.latch.wrapping_sub(l.header));
+    let succs_of = |n: u16,
+                    alive: &BTreeSet<u16>,
+                    removed: &BTreeSet<(u16, u16)>,
+                    over: &BTreeMap<u16, Vec<u16>>|
+     -> Vec<u16> {
+        let raw: Vec<u16> = match over.get(&n) {
+            Some(v) => v.clone(),
+            None => cfg.blocks[&n].intra_succs(),
+        };
+        raw.into_iter()
+            .filter(|s| alive.contains(s) && !removed.contains(&(n, *s)))
+            .collect()
+    };
+    for l in order {
+        let bound = l.bound.expect("unbounded loops rejected above");
+        removed_edges.insert((l.latch, l.header));
+        let nodes_in: Vec<u16> = alive
+            .iter()
+            .copied()
+            .filter(|&n| n >= l.header && n <= l.latch)
+            .collect();
+        // Longest path from the header over the in-range subgraph.
+        let in_set: BTreeSet<u16> = nodes_in.iter().copied().collect();
+        let local = longest_path(
+            l.header,
+            &in_set,
+            |n| {
+                succs_of(n, &alive, &removed_edges, &succ_override)
+                    .into_iter()
+                    .filter(|s| in_set.contains(s))
+                    .collect()
+            },
+            &weight,
+        );
+        let Some(local) = local else {
+            return unbounded(
+                entry,
+                format!("irreducible control flow inside loop at {:#06x}", l.header),
+                loops.clone(),
+                fn_blocks.len(),
+            );
+        };
+        let worst_iter = local.best_cycles;
+        // Successors of the collapsed node: every edge out of the range.
+        let mut out: Vec<u16> = Vec::new();
+        for &n in &nodes_in {
+            for s in succs_of(n, &alive, &removed_edges, &succ_override) {
+                if !in_set.contains(&s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        weight.insert(l.header, bound.saturating_mul(worst_iter));
+        collapsed_iterations.insert(l.header, bound);
+        succ_override.insert(l.header, out);
+        for n in nodes_in {
+            if n != l.header {
+                alive.remove(&n);
+            }
+        }
+    }
+
+    // Final DAG longest path from the entry.
+    let final_set = alive.clone();
+    let result = longest_path(
+        entry,
+        &final_set,
+        |n| succs_of(n, &alive, &removed_edges, &succ_override),
+        &weight,
+    );
+    let Some(result) = result else {
+        return unbounded(
+            entry,
+            "irreducible control flow (cycle without a recognized loop)".into(),
+            loops,
+            fn_blocks.len(),
+        );
+    };
+    let worst_path = result
+        .best_path
+        .iter()
+        .map(|&b| PathStep {
+            block: b,
+            iterations: collapsed_iterations.get(&b).copied().unwrap_or(1),
+        })
+        .collect();
+    FnWcec {
+        entry,
+        cycles: Some(result.best_cycles),
+        unbounded_reason: None,
+        worst_path,
+        loops,
+        written_regs: written,
+        block_count: fn_blocks.len(),
+    }
+}
+
+struct LongestPath {
+    best_cycles: u64,
+    best_path: Vec<u16>,
+}
+
+/// Longest path (by node weights) from `start` over the subgraph
+/// `nodes`, or `None` when the subgraph has a cycle reachable from
+/// `start`.
+fn longest_path(
+    start: u16,
+    nodes: &BTreeSet<u16>,
+    succs: impl Fn(u16) -> Vec<u16>,
+    weight: &BTreeMap<u16, u64>,
+) -> Option<LongestPath> {
+    if !nodes.contains(&start) {
+        return None;
+    }
+    // Restrict to nodes reachable from start.
+    let mut reach: BTreeSet<u16> = BTreeSet::new();
+    let mut work = VecDeque::from([start]);
+    while let Some(n) = work.pop_front() {
+        if !reach.insert(n) {
+            continue;
+        }
+        for s in succs(n) {
+            if nodes.contains(&s) {
+                work.push_back(s);
+            }
+        }
+    }
+    // Kahn topological sort; a leftover node means a cycle.
+    let mut indeg: BTreeMap<u16, usize> = reach.iter().map(|&n| (n, 0)).collect();
+    for &n in &reach {
+        for s in succs(n) {
+            if reach.contains(&s) {
+                *indeg.get_mut(&s).unwrap() += 1;
+            }
+        }
+    }
+    let mut queue: VecDeque<u16> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut topo = Vec::with_capacity(reach.len());
+    while let Some(n) = queue.pop_front() {
+        topo.push(n);
+        for s in succs(n) {
+            if let Some(d) = indeg.get_mut(&s) {
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+    if topo.len() != reach.len() {
+        return None;
+    }
+    let mut dist: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut parent: BTreeMap<u16, u16> = BTreeMap::new();
+    dist.insert(start, *weight.get(&start).unwrap_or(&0));
+    for &n in &topo {
+        let Some(&dn) = dist.get(&n) else { continue };
+        for s in succs(n) {
+            if !reach.contains(&s) {
+                continue;
+            }
+            let cand = dn.saturating_add(*weight.get(&s).unwrap_or(&0));
+            if dist.get(&s).is_none_or(|&cur| cand > cur) {
+                dist.insert(s, cand);
+                parent.insert(s, n);
+            }
+        }
+    }
+    let (&best_node, &best_cycles) = dist.iter().max_by_key(|(_, &d)| d)?;
+    let mut best_path = vec![best_node];
+    let mut cur = best_node;
+    while let Some(&p) = parent.get(&cur) {
+        best_path.push(p);
+        cur = p;
+    }
+    best_path.reverse();
+    Some(LongestPath {
+        best_cycles,
+        best_path,
+    })
+}
+
+/// Verifies the counted-loop idiom for one back edge and infers the
+/// iteration bound, or explains why it cannot.
+fn infer_loop_bound(
+    cfg: &Cfg,
+    memo: &BTreeMap<u16, FnWcec>,
+    fn_blocks: &BTreeSet<u16>,
+    edges: &[(u16, u16)],
+    header: u16,
+    latch: u16,
+) -> LoopSummary {
+    let fail = |note: &str| LoopSummary {
+        header,
+        latch,
+        bound: None,
+        counter: None,
+        note: note.to_string(),
+    };
+    let latch_block = &cfg.blocks[&latch];
+    // The back edge must be a conditional `jne header`.
+    let Some(term) = latch_block.instrs.last() else {
+        return fail("empty latch block");
+    };
+    let Instr::J {
+        cond: Cond::Nz,
+        target,
+    } = term.instr
+    else {
+        return fail("back edge is not a `jne`");
+    };
+    if target != header {
+        return fail("latch terminator does not target the header");
+    }
+    // The two instructions linearly preceding the jne must be
+    // `add rK, 1; cmpi rK, limit` (block boundaries are irrelevant:
+    // the no-transfer-target check below rules out entries that skip
+    // them).
+    let Some(cmpi) = linear_predecessor(cfg, term.addr) else {
+        return fail("no linear predecessor before the back edge");
+    };
+    let Instr::Cmpi {
+        rd: counter,
+        imm: limit,
+    } = cmpi.instr
+    else {
+        return fail("back edge is not driven by a `cmpi`");
+    };
+    let Some(add) = linear_predecessor(cfg, cmpi.addr) else {
+        return fail("no increment before the loop compare");
+    };
+    match add.instr {
+        Instr::Alui {
+            op: AluOp::Add,
+            rd,
+            imm: 1,
+        } if rd == counter => {}
+        _ => return fail("loop compare is not preceded by `add rK, 1`"),
+    }
+    if counter.index() == 15 {
+        return fail("loop counter is the stack pointer");
+    }
+    // Nothing may branch to the compare or the jne (a path skipping the
+    // increment would break the counting argument). Branching to the
+    // increment itself is fine: it still increments.
+    let targets = cfg.transfer_targets();
+    if targets.contains(&cmpi.addr) || targets.contains(&term.addr) {
+        return fail("a branch targets the loop-control sequence");
+    }
+    // No edge may enter the loop body past the header: a side entry
+    // bypasses the counter initialization, so the counter could start
+    // at an arbitrary value and the iteration count would be wrong.
+    for &(u, v) in edges {
+        if v > header && v <= latch && !(header..=latch).contains(&u) {
+            return fail("a branch enters the loop body past the header");
+        }
+    }
+    // The instruction linearly preceding the header must initialize the
+    // counter, and every predecessor of the header must be either the
+    // latch or that initializing block falling through.
+    let Some(init) = linear_predecessor(cfg, header) else {
+        return fail("no initialization before the loop header");
+    };
+    let Instr::Movi {
+        rd: init_rd,
+        imm: init_imm,
+    } = init.instr
+    else {
+        return fail("header is not preceded by `movi rK, init`");
+    };
+    if init_rd != counter {
+        return fail("initialization writes a different register than the counter");
+    }
+    let preds: Vec<u16> = edges
+        .iter()
+        .filter(|&&(_, v)| v == header)
+        .map(|&(u, _)| u)
+        .collect();
+    for p in preds {
+        if p == latch {
+            continue;
+        }
+        let pb = &cfg.blocks[&p];
+        let falls_through_init = matches!(pb.exit, Exit::Fall { next } if next == header)
+            && pb.instrs.last().map(|ci| ci.addr) == Some(init.addr);
+        if !falls_through_init {
+            return fail("a predecessor enters the loop without initializing the counter");
+        }
+    }
+    // The counter must be written exactly once inside the loop range —
+    // by the increment — including by any callee reachable from the
+    // range.
+    let range_end = latch_block.end();
+    for &b in fn_blocks.iter().filter(|&&b| b >= header && b <= latch) {
+        let block = &cfg.blocks[&b];
+        for ci in &block.instrs {
+            if ci.addr < header || ci.addr >= range_end {
+                continue;
+            }
+            if writes_reg(&ci.instr) == Some(counter) && ci.addr != add.addr {
+                return fail("the loop body writes the counter outside the increment");
+            }
+        }
+        let callee = match block.exit {
+            Exit::Call { callee, .. } => Some(callee),
+            Exit::CallIndirect { callee, .. } => callee,
+            _ => None,
+        };
+        if let Some(callee) = callee {
+            let clobbers = memo
+                .get(&callee)
+                .map(|s| s.written_regs.contains(&(counter.index() as u8)))
+                .unwrap_or(true);
+            if clobbers {
+                return fail("a callee inside the loop may write the counter");
+            }
+        }
+    }
+    // Iteration count of a bottom-tested `jne`: the counter runs from
+    // init+1 up to the first value equal to `limit`, modulo 2^16.
+    let span = (i64::from(limit) - i64::from(init_imm)).rem_euclid(65_536) as u64;
+    let bound = if span == 0 { 65_536 } else { span };
+    LoopSummary {
+        header,
+        latch,
+        bound: Some(bound),
+        counter: Some(counter.index() as u8),
+        note: String::new(),
+    }
+}
+
+/// The instruction whose encoding ends exactly at `addr`, when the
+/// decode stream abuts it.
+fn linear_predecessor(cfg: &Cfg, addr: u16) -> Option<crate::cfg::CodeInstr> {
+    // The widest instruction is 4 bytes; probe both candidates.
+    for delta in [2u16, 4u16] {
+        let cand = addr.wrapping_sub(delta);
+        if let Some(ci) = cfg.instr_at(cand) {
+            if ci.next() == addr {
+                return Some(ci.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_mcu::asm::assemble;
+
+    fn wcec_of(src: &str) -> Wcec {
+        let image = assemble(src).expect("assemble");
+        compute(&Cfg::from_image(&image))
+    }
+
+    #[test]
+    fn straight_line_cycles_are_exact() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    movi r0, 1\n    add r0, 2\n    nop\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        // movi 2 + alui 2 + nop 1 + halt 1 = 6.
+        assert_eq!(w.program().cycles, Some(6));
+    }
+
+    #[test]
+    fn counted_loop_bound_is_inferred() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    movi r10, 0\nbody:\n    nop\n    add r10, 1\n    cmpi r10, 5\n    jne body\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        let p = w.program();
+        assert_eq!(p.unbounded_reason, None);
+        assert_eq!(p.loops.len(), 1);
+        assert_eq!(p.loops[0].bound, Some(5));
+        // movi 2 + 5×(nop 1 + add 2 + cmpi 2 + jne 2) + halt 1 = 38.
+        assert_eq!(p.cycles, Some(38));
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    movi r10, 0\nouter:\n    movi r11, 0\ninner:\n    nop\n    add r11, 1\n    cmpi r11, 3\n    jne inner\n    add r10, 1\n    cmpi r10, 4\n    jne outer\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        let p = w.program();
+        assert_eq!(p.unbounded_reason, None, "loops: {:?}", p.loops);
+        assert_eq!(p.loops.len(), 2);
+        // inner per iteration: nop 1 + add 2 + cmpi 2 + jne 2 = 7 → ×3 = 21
+        // outer per iteration: movi 2 + 21 + add 2 + cmpi 2 + jne 2 = 29 → ×4 = 116
+        // total: movi 2 + 116 + halt 1 = 119.
+        assert_eq!(p.cycles, Some(119));
+    }
+
+    #[test]
+    fn uncounted_loop_is_reported_unbounded() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    nop\nloop:\n    add r0, 1\n    jmp loop\n.org 0xFFFE\n.word start\n",
+        );
+        let p = w.program();
+        assert_eq!(p.cycles, None);
+        let reason = p.unbounded_reason.as_deref().unwrap();
+        assert!(reason.contains("no inferable bound"), "reason: {reason}");
+    }
+
+    #[test]
+    fn branch_into_the_loop_body_defeats_the_bound() {
+        // `jz mid` enters the loop body without passing the `movi r10, 0`
+        // initialization, so the counting argument does not hold.
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    cmpi r0, 1\n    jz mid\n    movi r10, 0\nbody:\n    nop\nmid:\n    nop\n    add r10, 1\n    cmpi r10, 5\n    jne body\n    halt\n.org 0xFFFE\n.word start\n",
+        );
+        let p = w.program();
+        assert_eq!(p.cycles, None, "a side entry skips the counter init");
+        let reason = p.unbounded_reason.as_deref().unwrap();
+        assert!(reason.contains("past the header"), "reason: {reason}");
+    }
+
+    #[test]
+    fn call_costs_fold_into_the_caller() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    call fn\n    halt\nfn:\n    nop\n    ret\n.org 0xFFFE\n.word start\n",
+        );
+        // call 4 + (nop 1 + ret 3) + halt 1 = 9.
+        assert_eq!(w.program().cycles, Some(9));
+    }
+
+    #[test]
+    fn recursion_is_unbounded() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    call fn\n    halt\nfn:\n    call fn\n    ret\n.org 0xFFFE\n.word start\n",
+        );
+        let p = w.program();
+        assert_eq!(p.cycles, None);
+        assert!(p.unbounded_reason.as_deref().unwrap().contains("unbounded"));
+    }
+
+    #[test]
+    fn callee_clobbering_the_counter_defeats_the_bound() {
+        let w = wcec_of(
+            ".org 0x4400\nstart:\n    movi r10, 0\nbody:\n    call fn\n    add r10, 1\n    cmpi r10, 5\n    jne body\n    halt\nfn:\n    movi r10, 0\n    ret\n.org 0xFFFE\n.word start\n",
+        );
+        let p = w.program();
+        assert_eq!(
+            p.cycles, None,
+            "a counter-clobbering callee must defeat the bound"
+        );
+    }
+
+    #[test]
+    fn energy_verdict_flags_paths_too_long_for_one_charge() {
+        let model = CostModel::wisp5();
+        let cap = CapacitorSpec::from_device(&edb_device::DeviceConfig::wisp5());
+        // A tiny program finishes on one charge from v_on…
+        let small = energy_verdict(Some(100), &model, &cap, cap.v_on);
+        assert_eq!(small.completes_on_one_charge, Some(true));
+        assert_eq!(small.charge_cycles, Some(1));
+        // …but tens of millions of cycles cannot.
+        let big = energy_verdict(Some(80_000_000), &model, &cap, cap.v_on);
+        assert_eq!(big.completes_on_one_charge, Some(false));
+        assert!(big.charge_cycles.unwrap() > 1);
+    }
+}

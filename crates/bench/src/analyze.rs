@@ -1,0 +1,394 @@
+//! **Analyze** — static WCEC predictions raced against simulated ground
+//! truth.
+//!
+//! Three validations of `edb-analyze`, each against the cycle-accurate
+//! simulator:
+//!
+//! * **predicted vs measured** — a suite of bounded kernels (counted
+//!   loops, memory traffic, leaf calls, nesting) is analyzed statically
+//!   and then executed to `halt` on a fully charged capacitor with a
+//!   dead harvester; the static WCEC bound must cover the measured
+//!   cycle count, and the predicted worst-case energy is compared
+//!   against the measured capacitor discharge with the relative error
+//!   published as `rel_err_*` metrics;
+//! * **app-suite CFG stats** — every firmware in `edb-apps` is pushed
+//!   through CFG recovery; real apps spin forever, so the honest output
+//!   is block/instruction counts, unresolved-edge counts, and the
+//!   unbounded verdict's reason (never a fabricated bound);
+//! * **advisory validation** — the checkpoint-placement advisory's
+//!   suggested interval is fed, literally, to
+//!   [`CkptConfig::interval`] and the `ckpt` app suite must sustain
+//!   forward progress under harvested power at that trigger rate.
+//!
+//! Deliberately **not** part of `all_specs()`: the golden-manifest gate
+//! pins the default suite byte-for-byte, and this experiment rides the
+//! separate `analyze-smoke` CI job.
+//!
+//! [`CkptConfig::interval`]: edb_runtime::ckpt::CkptConfig::interval
+
+use crate::ckpt::{self, CkptApp, PROGRESS};
+use crate::harness;
+use crate::runner::{ExperimentSpec, Runner};
+use crate::Report;
+use edb_analyze::{analyze_image, instr_cycles, AnalysisReport};
+use edb_device::{Device, DeviceConfig};
+use edb_energy::budget::{delta_energy, WISP5_CAPACITANCE};
+use edb_energy::{ConstantCurrent, SimTime};
+use edb_mcu::{CpuState, Image};
+use edb_runtime::ckpt::{CkptConfig, CkptEngine, StrategyKind};
+
+/// The suite entry for this experiment (run it via the `analyze` bin;
+/// it is intentionally absent from `all_specs()`).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "analyze",
+    title: "Analyze: static WCEC vs simulated ground truth",
+    run: run_spec,
+};
+
+/// Capacitor voltage every kernel starts from (fully charged).
+pub const V_START: f64 = 3.0;
+
+/// Step budget per measured kernel run; far above any kernel's bound.
+const MAX_STEPS: u64 = 2_000_000;
+
+/// Harvested window for the advisory validation cells, ms.
+pub const ADVISORY_SIM_MS: u64 = 400;
+
+/// One bounded kernel: terminating by construction, in the counted-loop
+/// idiom the WCEC pass verifies, so the static bound is finite and the
+/// worst path *is* the actual path.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Short name for the report grid and metric keys.
+    pub name: &'static str,
+    /// Assembly source, ending in `halt`.
+    pub source: &'static str,
+}
+
+/// The bounded-kernel suite.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        // Pure cycle counting: 64 iterations of nops.
+        Kernel {
+            name: "count64",
+            source: ".org 0x4400\nstart:\n    movi sp, 0x2400\n    movi r10, 0\nbody:\n    \
+                     nop\n    nop\n    add  r10, 1\n    cmpi r10, 64\n    jne  body\n    halt\n\
+                     .org 0xFFFE\n.word start\n",
+        },
+        // Memory traffic: a read-modify-write per iteration.
+        Kernel {
+            name: "mem32",
+            source: ".org 0x4400\nstart:\n    movi sp, 0x2400\n    movi r1, 0x1C40\n    \
+                     movi r10, 0\nbody:\n    ld   r3, [r1]\n    add  r3, 5\n    \
+                     st   [r1], r3\n    add  r10, 1\n    cmpi r10, 32\n    jne  body\n    halt\n\
+                     .org 0xFFFE\n.word start\n",
+        },
+        // Call costs: a leaf function invoked from a counted loop.
+        Kernel {
+            name: "calls16",
+            source: ".org 0x4400\nstart:\n    movi sp, 0x2400\n    movi r10, 0\nbody:\n    \
+                     call leaf\n    add  r10, 1\n    cmpi r10, 16\n    jne  body\n    halt\n\
+                     leaf:\n    add  r7, 1\n    mul  r7, 3\n    ret\n\
+                     .org 0xFFFE\n.word start\n",
+        },
+        // Nesting: 8 outer x 12 inner iterations.
+        Kernel {
+            name: "nested",
+            source: ".org 0x4400\nstart:\n    movi sp, 0x2400\n    movi r10, 0\nouter:\n    \
+                     nop\n    movi r11, 0\ninner:\n    add  r6, 1\n    add  r11, 1\n    \
+                     cmpi r11, 12\n    jne  inner\n    add  r10, 1\n    cmpi r10, 8\n    \
+                     jne  outer\n    halt\n.org 0xFFFE\n.word start\n",
+        },
+    ]
+}
+
+/// Ground truth for one kernel: executed to `halt` from [`V_START`] on
+/// a dead harvester (the cleanest measurement — every joule drawn comes
+/// out of the capacitor).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured {
+    /// Cycles retired (summed from the same per-instruction table the
+    /// analyzer uses, so the comparison is apples-to-apples).
+    pub cycles: u64,
+    /// Joules drawn from the capacitor across the run.
+    pub energy: f64,
+    /// Whether the kernel reached `halt` within the step budget.
+    pub halted: bool,
+}
+
+/// Runs `image` to completion and measures cycle count and capacitor
+/// discharge.
+pub fn measure(image: &Image) -> Measured {
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(image);
+    dev.set_v_cap(V_START);
+    let mut dead = ConstantCurrent::new(0.0);
+    let mut out = Measured::default();
+    let v0 = dev.v_cap();
+    for _ in 0..MAX_STEPS {
+        let step = dev.step(&mut dead, 0.0);
+        if let Some(instr) = step.retired {
+            out.cycles += u64::from(instr_cycles(&instr));
+        }
+        if matches!(dev.cpu().state(), CpuState::Halted) {
+            out.halted = true;
+            break;
+        }
+    }
+    out.energy = delta_energy(WISP5_CAPACITANCE, v0, dev.v_cap());
+    out
+}
+
+/// One kernel's static report next to its ground truth.
+#[derive(Debug, Clone)]
+pub struct KernelOut {
+    /// The static analysis.
+    pub report: AnalysisReport,
+    /// The measured run.
+    pub measured: Measured,
+}
+
+/// Analyzes and measures one kernel.
+pub fn run_kernel(kernel: &Kernel) -> KernelOut {
+    let image = edb_mcu::asm::assemble(kernel.source)
+        .unwrap_or_else(|e| panic!("kernel `{}` does not assemble: {e}", kernel.name));
+    let report = analyze_image(kernel.name, &image, &DeviceConfig::wisp5(), V_START);
+    let measured = measure(&image);
+    KernelOut { report, measured }
+}
+
+/// Signed relative error of a prediction against ground truth
+/// (positive when the static side over-predicts, which is the only
+/// sound direction).
+pub fn rel_err(predicted: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        return 0.0;
+    }
+    (predicted - measured) / measured
+}
+
+/// One advisory-validation cell: the `ckpt` app run under harvested
+/// power with the *advised* trigger interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvisoryOut {
+    /// The interval the analyzer suggested, instructions.
+    pub interval: u64,
+    /// High-water progress counter observed while powered.
+    pub progress: u64,
+    /// Checkpoint commits at the advised rate.
+    pub commits: u64,
+    /// Natural power cycles the trace forced.
+    pub reboots: u64,
+}
+
+/// Analyzes `app`, feeds the advised interval to [`CkptConfig`], and
+/// runs the differential strategy under harvested power.
+pub fn run_advisory(app: &CkptApp, trace_seed: u64, sim_ms: u64) -> AdvisoryOut {
+    let image = edb_mcu::asm::assemble(&app.source)
+        .unwrap_or_else(|e| panic!("app `{}` does not assemble: {e}", app.name));
+    let report = analyze_image(app.name, &image, &DeviceConfig::wisp5(), V_START);
+    let interval = report.ckpt_advice.interval_instructions;
+
+    let mut dev = Device::new(DeviceConfig::wisp5());
+    dev.flash(&image);
+    let mut engine =
+        CkptEngine::new(CkptConfig::new(StrategyKind::Differential).interval(interval));
+    engine.attach(dev.mem_mut());
+    let mut h = harness::harvested(trace_seed);
+    dev.set_v_cap(V_START);
+
+    let end = SimTime::from_ms(sim_ms);
+    let mut out = AdvisoryOut {
+        interval,
+        ..AdvisoryOut::default()
+    };
+    while dev.now() < end {
+        let step = dev.step(&mut h, 0.0);
+        engine.observe(&mut dev, step.power_edge);
+        if dev.powered() {
+            out.progress = out.progress.max(u64::from(dev.mem().peek_word(PROGRESS)));
+        }
+    }
+    out.commits = engine.stats().commits;
+    out.reboots = dev.reboots();
+    out
+}
+
+fn run_spec(runner: &Runner) -> Report {
+    run(runner)
+}
+
+/// Runs the full experiment and builds the report.
+pub fn run(runner: &Runner) -> Report {
+    run_with(runner, ADVISORY_SIM_MS)
+}
+
+/// The experiment at an explicit advisory window (tests use a short
+/// one; the suite identity is [`ADVISORY_SIM_MS`]).
+pub fn run_with(runner: &Runner, advisory_sim_ms: u64) -> Report {
+    let suite = kernels();
+    let kernel_outs = runner.map_trials("analyze/kernels", suite.len(), |ctx| {
+        run_kernel(&suite[ctx.trial])
+    });
+
+    let mut report = Report::new(SPEC.title);
+    report.line(format!(
+        "{} bounded kernels, static WCEC vs dead-harvester run from {V_START} V",
+        suite.len()
+    ));
+    report.line(String::new());
+    report.line("kernel     pred_cycles  meas_cycles  pred_uJ  meas_uJ  rel_err_E".to_string());
+
+    let mut max_err_cycles = 0.0f64;
+    let mut max_err_energy = 0.0f64;
+    for (kernel, out) in suite.iter().zip(&kernel_outs) {
+        let pred_cycles = out
+            .report
+            .wcec_cycles
+            .unwrap_or_else(|| panic!("kernel `{}` reported unbounded", kernel.name));
+        let pred_energy = out.report.wcec_energy.unwrap_or(0.0);
+        let m = &out.measured;
+        let err_c = rel_err(pred_cycles as f64, m.cycles as f64);
+        let err_e = rel_err(pred_energy, m.energy);
+        report.line(format!(
+            "{:<10} {:>11} {:>12} {:>8.2} {:>8.2} {:>+9.4}",
+            kernel.name,
+            pred_cycles,
+            m.cycles,
+            pred_energy * 1e6,
+            m.energy * 1e6,
+            err_e
+        ));
+        report.metric(format!("pred_cycles_{}", kernel.name), pred_cycles as f64);
+        report.metric(format!("meas_cycles_{}", kernel.name), m.cycles as f64);
+        report.metric(format!("rel_err_cycles_{}", kernel.name), err_c);
+        report.metric(format!("rel_err_energy_{}", kernel.name), err_e);
+        max_err_cycles = max_err_cycles.max(err_c.abs());
+        max_err_energy = max_err_energy.max(err_e.abs());
+    }
+    report.metric("rel_err_cycles_max", max_err_cycles);
+    report.metric("rel_err_energy_max", max_err_energy);
+
+    report.line(String::new());
+    report.line(
+        "app suite CFG recovery (apps spin forever: unbounded is the honest verdict)".to_string(),
+    );
+    let apps: Vec<(&str, Image)> = vec![
+        ("fib", edb_apps::fib::image(edb_apps::fib::Variant::Release)),
+        (
+            "activity",
+            edb_apps::activity::image(edb_apps::activity::Variant::NoPrint),
+        ),
+        (
+            "linked_list",
+            edb_apps::linked_list::image(edb_apps::linked_list::Variant::Plain),
+        ),
+        ("rfid_fw", edb_apps::rfid_fw::image()),
+    ];
+    let mut unresolved_total = 0usize;
+    for (name, image) in &apps {
+        let r = analyze_image(name, image, &DeviceConfig::wisp5(), V_START);
+        report.line(format!(
+            "  {:<12} {:>4} blocks, {:>4} instrs, {} unresolved, bounded: {}",
+            name,
+            r.blocks,
+            r.instructions,
+            r.unresolved.len(),
+            r.wcec_cycles.is_some()
+        ));
+        report.metric(format!("cfg_blocks_{name}"), r.blocks as f64);
+        report.metric(format!("cfg_unresolved_{name}"), r.unresolved.len() as f64);
+        unresolved_total += r.unresolved.len();
+    }
+    report.metric("cfg_unresolved_total", unresolved_total as f64);
+
+    report.line(String::new());
+    report.line(format!(
+        "advisory validation: CkptConfig::interval(advised), differential strategy, \
+         {advisory_sim_ms} ms harvested"
+    ));
+    let apps = ckpt::apps();
+    let advisory_outs = runner.map_trials("analyze/advisory", apps.len(), |ctx| {
+        run_advisory(&apps[ctx.trial], ckpt::TRACES[0].1, advisory_sim_ms)
+    });
+    for (app, out) in apps.iter().zip(&advisory_outs) {
+        report.line(format!(
+            "  {:<8} interval {:>6} instrs: progress {:>6}, {:>4} commits, {:>3} reboots",
+            app.name, out.interval, out.progress, out.commits, out.reboots
+        ));
+        report.metric(
+            format!("advisory_interval_{}", app.name),
+            out.interval as f64,
+        );
+        report.metric(
+            format!("advisory_progress_{}", app.name),
+            out.progress as f64,
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    /// The soundness direction, on ground truth: the static bound must
+    /// cover the measured run, and for these deterministic kernels
+    /// (worst path == actual path) it must be tight.
+    #[test]
+    fn static_bound_covers_measured_ground_truth() {
+        for kernel in kernels() {
+            let out = run_kernel(&kernel);
+            let m = &out.measured;
+            assert!(m.halted, "{}: never halted", kernel.name);
+            let pred = out
+                .report
+                .wcec_cycles
+                .unwrap_or_else(|| panic!("{}: unbounded", kernel.name));
+            assert!(
+                pred >= m.cycles,
+                "{}: bound {pred} below measured {}",
+                kernel.name,
+                m.cycles
+            );
+            assert!(
+                rel_err(pred as f64, m.cycles as f64) < 0.01,
+                "{}: bound {pred} not tight vs measured {}",
+                kernel.name,
+                m.cycles
+            );
+            let pred_e = out.report.wcec_energy.expect("energy prediction");
+            assert!(
+                rel_err(pred_e, m.energy).abs() < 0.05,
+                "{}: predicted {pred_e} J vs measured {} J",
+                kernel.name,
+                m.energy
+            );
+        }
+    }
+
+    /// Feeding the advised interval to the checkpoint engine sustains
+    /// forward progress under harvested power.
+    #[test]
+    fn advised_interval_sustains_progress() {
+        let app = &ckpt::apps()[0];
+        let out = run_advisory(app, ckpt::TRACES[0].1, 80);
+        assert!(out.interval >= 1);
+        assert!(out.progress > 0, "no forward progress at advised interval");
+        assert!(out.commits > 0, "advised interval never triggered a commit");
+    }
+
+    /// The report carries the manifest metrics and is deterministic
+    /// across thread counts.
+    #[test]
+    fn report_carries_rel_err_metrics() {
+        let report = run_with(&Runner::new(2, 7), 60);
+        assert!(report.get("rel_err_energy_max") < 0.05);
+        assert!(report.get("rel_err_cycles_max") < 0.01);
+        assert!(report.get("cfg_blocks_fib") > 0.0);
+        for app in ckpt::apps() {
+            assert!(report.get(&format!("advisory_interval_{}", app.name)) >= 1.0);
+        }
+    }
+}

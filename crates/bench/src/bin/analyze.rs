@@ -1,0 +1,11 @@
+//! Runs the static-analysis validation experiment. See
+//! `edb_bench::analyze`.
+//!
+//! Flags: `--threads N` (parallelism budget), `--seed S` (root seed).
+//! Writes `target/experiments/manifest.json` for `bench_export`.
+fn main() {
+    let cli = edb_bench::runner::Cli::from_env();
+    for result in cli.runner().run_experiments(&[edb_bench::analyze::SPEC]) {
+        println!("{}", result.report);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod analyze;
 pub mod ckpt;
 pub mod claims;
 pub mod fig11;

@@ -79,12 +79,19 @@ pub enum EdbError {
         /// Description.
         detail: String,
     },
-    /// A record/replay operation failed: recording not active, a
-    /// snapshot could not restore, or a replayed run diverged from its
-    /// recording.
+    /// A record/replay operation failed: a snapshot could not restore,
+    /// a replayed run diverged from its recording, or a rewind target
+    /// precedes what the tape covers.
     Replay {
         /// Description.
         detail: String,
+    },
+    /// A time-travel operation (`step_back`, `goto_time`,
+    /// `reverse_continue`) was issued against a session that never
+    /// started a recording, so there is nothing to rewind into.
+    NoRecording {
+        /// The operation that was attempted.
+        op: &'static str,
     },
 }
 
@@ -117,6 +124,12 @@ impl fmt::Display for EdbError {
             EdbError::Device { detail } => write!(f, "device: {detail}"),
             EdbError::Rfid { detail } => write!(f, "rfid: {detail}"),
             EdbError::Replay { detail } => write!(f, "replay: {detail}"),
+            EdbError::NoRecording { op } => {
+                write!(
+                    f,
+                    "{op}: session has no recording (enable recording when creating it)"
+                )
+            }
         }
     }
 }
@@ -145,6 +158,17 @@ mod tests {
         assert!(s.contains("READ") && s.contains("4"), "{s}");
         let e = EdbError::AbortedByBrownout { cmd: "WRITE" };
         assert!(e.to_string().contains("browned out"));
+    }
+
+    #[test]
+    fn no_recording_names_the_operation_and_the_remedy() {
+        let e = EdbError::NoRecording { op: "step_back" };
+        let s = e.to_string();
+        assert!(s.contains("step_back") && s.contains("no recording"), "{s}");
+        // It must round-trip the wire like every other variant.
+        let v = e.to_value();
+        let back = EdbError::from_value(&v).expect("round-trip");
+        assert_eq!(back, e);
     }
 
     #[test]

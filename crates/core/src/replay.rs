@@ -581,9 +581,7 @@ impl DebugSession {
     /// recording.
     pub fn goto_time(&mut self, target: SimTime) -> Result<SimTime, EdbError> {
         if self.tape.is_none() {
-            return Err(EdbError::Replay {
-                detail: "goto_time requires an active recording".into(),
-            });
+            return Err(EdbError::NoRecording { op: "goto_time" });
         }
         let now = self.now();
         if target >= now {
@@ -697,6 +695,9 @@ impl DebugSession {
     /// Steps backward `n` CPU cycles (clamped to the recording start).
     /// Returns the time landed on. Requires an active recording.
     pub fn step_back(&mut self, n: u64) -> Result<SimTime, EdbError> {
+        if self.tape.is_none() {
+            return Err(EdbError::NoRecording { op: "step_back" });
+        }
         let cycle_ns = (1e9 / self.system().device().config().clock_hz).round() as u64;
         let back = n.max(1).saturating_mul(cycle_ns.max(1));
         let start_ns = self.tape.as_ref().map_or(0, |t| t.start_ns);
@@ -710,6 +711,11 @@ impl DebugSession {
     /// (and does not move) when no earlier stop event exists. Requires
     /// an active recording.
     pub fn reverse_continue(&mut self) -> Result<Option<SimTime>, EdbError> {
+        if self.tape.is_none() {
+            return Err(EdbError::NoRecording {
+                op: "reverse_continue",
+            });
+        }
         let now_ns = self.now().as_ns();
         let stop = self
             .events()
@@ -1327,7 +1333,17 @@ mod tests {
         let mut s = SessionSpec::bench(ASSERT_APP).build().expect("builds");
         assert!(matches!(
             s.goto_time(SimTime::ZERO),
-            Err(EdbError::Replay { .. })
+            Err(EdbError::NoRecording { op: "goto_time" })
+        ));
+        assert!(matches!(
+            s.step_back(1),
+            Err(EdbError::NoRecording { op: "step_back" })
+        ));
+        assert!(matches!(
+            s.reverse_continue(),
+            Err(EdbError::NoRecording {
+                op: "reverse_continue"
+            })
         ));
     }
 

@@ -523,6 +523,28 @@ impl DebugSession {
         self.sys.symbol(name)
     }
 
+    /// Statically analyzes the flashed firmware from `entry` (default:
+    /// the current PC), assuming the capacitor starts at `v_start`
+    /// volts (default: the live capacitor voltage): CFG recovery, WCEC
+    /// bound, charge-cycle verdict, and a checkpoint-placement
+    /// advisory, bundled as one serializable report. Reads the
+    /// device's *actual* memory, so the analysis covers what is really
+    /// flashed (patches and corruption included), not the original
+    /// image.
+    pub fn analyze(&self, entry: Option<u16>, v_start: Option<f64>) -> edb_analyze::AnalysisReport {
+        let dev = self.sys.device();
+        let entry = entry.unwrap_or(dev.cpu().pc);
+        let v_start = v_start.unwrap_or_else(|| dev.v_cap());
+        let config = dev.config();
+        edb_analyze::analyze_memory(
+            &format!("session@{entry:#06x}"),
+            dev.mem(),
+            entry,
+            &config,
+            v_start,
+        )
+    }
+
     /// Disassembles `count` instructions of target memory starting at
     /// `addr`, from the device's *actual* memory so corruption is
     /// visible.

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! fuzz_smoke [--seed S] [--threads N] [--cases N] [--sessions N]
-//!            [--strategies [N]] [--max-shrink-steps N] [--replay-seed S]
-//!            [--record-reproducers]
+//!            [--strategies [N]] [--analyze [N]] [--max-shrink-steps N]
+//!            [--replay-seed S] [--record-reproducers]
 //! ```
 //!
 //! Runs `--cases` generated programs (default 100) through every
@@ -25,6 +25,16 @@
 //! and written to `target/fuzz-artifacts/strategy-<seed>.txt`. An
 //! optional value sets the trial count (default 40).
 //!
+//! `--analyze` races `edb-analyze`'s static claims against the
+//! simulator: each trial generates a bounded-by-construction program,
+//! analyzes the binary, and asserts that under a seeded harvest trace
+//! no powered interval retires more cycles than the static WCEC bound,
+//! that every executed pc transition is a CFG edge, and that a
+//! "completes on one charge" verdict holds on a dead harvester.
+//! Violations are ddmin-shrunk with an arm-matched oracle and written
+//! to `target/fuzz-artifacts/`. An optional value sets the trial count
+//! (default 200).
+//!
 //! `--replay-seed` re-runs a single case seed (as printed in an
 //! artifact header) verbosely and skips the batch.
 //!
@@ -34,7 +44,9 @@
 //! debugger.
 
 use edb_bench::runner::Cli;
-use edb_fuzz::{artifact, check_program, fault, gen, race, run_case, session, shrink, FuzzConfig};
+use edb_fuzz::{
+    artifact, check_program, fault, gen, race, run_case, session, shrink, soundness, FuzzConfig,
+};
 
 /// Pulls `--name <value>` (decimal or `0x` hex) out of raw argv;
 /// `Cli::parse` tolerates the leftovers.
@@ -70,15 +82,20 @@ fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-/// `--strategies` with an optional trial-count value (default 40).
-fn strategies_arg() -> Option<usize> {
+/// `--name` with an optional trial-count value, defaulting to `default`.
+fn optional_count_arg(name: &str, default: usize) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
+    let eq = format!("{name}=");
     for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix("--strategies=") {
-            return Some(v.parse().unwrap_or(40));
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.parse().unwrap_or(default));
         }
-        if a == "--strategies" {
-            return Some(args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(40));
+        if a == name {
+            return Some(
+                args.get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default),
+            );
         }
     }
     None
@@ -118,10 +135,18 @@ fn main() {
     let session_results = runner.map_trials("fuzz/session", sessions, |ctx| {
         (ctx.seed, session::run_session_case(ctx.seed, &session_cfg))
     });
-    let strategy_trials = strategies_arg().unwrap_or(0);
+    let strategy_trials = optional_count_arg("--strategies", 40).unwrap_or(0);
     let strategy_failures: Vec<(u64, edb_fuzz::Divergence)> = runner
         .map_trials("fuzz/strategy", strategy_trials, |ctx| {
             race::check_race(ctx.seed).map(|d| (ctx.seed, d))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let analyze_trials = optional_count_arg("--analyze", 200).unwrap_or(0);
+    let analyze_failures: Vec<_> = runner
+        .map_trials("fuzz/analyze", analyze_trials, |ctx| {
+            soundness::run_soundness_case(ctx.seed, &cfg)
         })
         .into_iter()
         .flatten()
@@ -130,7 +155,8 @@ fn main() {
 
     println!(
         "fuzz_smoke: {cases} differential case(s) + {ckpt_cases} checkpoint round-trip(s) \
-         + {sessions} session trial(s) + {strategy_trials} strategy race(s) in {wall:.1}s"
+         + {sessions} session trial(s) + {strategy_trials} strategy race(s) \
+         + {analyze_trials} analyzer soundness case(s) in {wall:.1}s"
     );
 
     let mut session_failures = 0usize;
@@ -193,6 +219,37 @@ fn main() {
         }
     }
 
+    if analyze_trials > 0 && analyze_failures.is_empty() {
+        println!("  analyzer: every execution respected its static WCEC bound and CFG");
+    }
+    if let Some(first) = analyze_failures.first() {
+        println!(
+            "  FAIL: {} analyzer soundness divergence(s); shrinking seed {:#x}: {}",
+            analyze_failures.len(),
+            first.seed,
+            first.divergence
+        );
+        let arm = first.divergence.arm;
+        let shrunk = shrink(
+            &first.program,
+            first.divergence.clone(),
+            cfg.max_shrink_steps,
+            |p| soundness::check_soundness(p, first.seed, &cfg).filter(|d| d.arm == arm),
+        );
+        println!(
+            "  shrunk {} -> {} instruction(s) in {} evaluation(s): {}",
+            first.program.len(),
+            shrunk.program.len(),
+            shrunk.evaluations,
+            shrunk.divergence
+        );
+        for path in
+            artifact::write_reproducer(&shrunk.program, &first.program, &shrunk.divergence, &cfg)
+        {
+            println!("  wrote {}", path.display());
+        }
+    }
+
     for seed in &ckpt_failures {
         // Re-derive the divergence for the report (cheap relative to the run).
         if let Some(d) = fault::checkpoint_round_trip(*seed) {
@@ -236,6 +293,7 @@ fn main() {
         && ckpt_failures.is_empty()
         && session_failures == 0
         && strategy_failures.is_empty()
+        && analyze_failures.is_empty()
     {
         println!("  OK: zero divergences");
     } else {

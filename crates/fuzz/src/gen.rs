@@ -30,6 +30,17 @@ pub struct BodyLine {
     pub op: String,
 }
 
+/// The fixed trailer rendered after the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Epilogue {
+    /// `wrap: jmp start` — the program runs forever and the fuzz arms
+    /// bound it by simulated time (the differential default).
+    Wrap,
+    /// `wrap: halt` — the program terminates, so static WCEC bounds
+    /// apply end-to-end (the `--analyze` soundness arm).
+    Halt,
+}
+
 /// A generated (or shrunk) fuzz program.
 #[derive(Debug, Clone)]
 pub struct Program {
@@ -40,6 +51,8 @@ pub struct Program {
     /// Labels whose slot was deleted past the end of the body; rendered
     /// on the `wrap` line so jump targets never dangle.
     pub tail_labels: Vec<usize>,
+    /// What follows the body (wrap loop or halt).
+    pub epilogue: Epilogue,
 }
 
 impl Program {
@@ -73,7 +86,10 @@ impl Program {
         for k in &self.tail_labels {
             s.push_str(&format!("b{k}:\n"));
         }
-        s.push_str("wrap:\n    jmp start\nh0:\n    add r7, 1\n    ret\n");
+        match self.epilogue {
+            Epilogue::Wrap => s.push_str("wrap:\n    jmp start\nh0:\n    add r7, 1\n    ret\n"),
+            Epilogue::Halt => s.push_str("wrap:\n    halt\nh0:\n    add r7, 1\n    ret\n"),
+        }
         s.push_str(".org 0xFFFE\n.word start\n");
         s
     }
@@ -86,6 +102,7 @@ impl Program {
             case_seed: self.case_seed,
             body: Vec::with_capacity(self.body.len().saturating_sub(end - start)),
             tail_labels: self.tail_labels.clone(),
+            epilogue: self.epilogue,
         };
         let mut orphans: Vec<usize> = Vec::new();
         for (i, line) in self.body.iter().enumerate() {
@@ -326,6 +343,7 @@ pub fn generate(seed: u64) -> Program {
             })
             .collect(),
         tail_labels: Vec::new(),
+        epilogue: Epilogue::Wrap,
     }
 }
 

@@ -29,7 +29,11 @@
 //! * [`session`] — a debug-session fuzzer (PR 4) that drives random
 //!   framed command sequences through a noisy debug UART with
 //!   mid-exchange brown-outs, asserting every command either completes
-//!   with the true memory value or aborts with a typed `EdbError`.
+//!   with the true memory value or aborts with a typed `EdbError`;
+//! * [`soundness`] — an analyzer-soundness fuzzer that generates
+//!   bounded-by-construction programs and asserts no simulated
+//!   execution, under any harvest trace, exceeds `edb-analyze`'s static
+//!   WCEC bound or takes a CFG edge the analyzer missed.
 //!
 //! Divergences are minimized by greedy instruction deletion ([`mod@shrink`])
 //! and written as self-contained reproducers ([`artifact`]). The
@@ -47,6 +51,7 @@ pub mod gen;
 pub mod race;
 pub mod session;
 pub mod shrink;
+pub mod soundness;
 
 pub use diff::Divergence;
 pub use gen::Program;

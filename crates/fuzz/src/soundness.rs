@@ -1,0 +1,406 @@
+//! Analyzer-soundness fuzzing: `edb-analyze`'s claims raced against the
+//! simulator.
+//!
+//! The static analyzer promises two things the rest of the suite leans
+//! on: a claimed WCEC bound is never exceeded by any execution, and the
+//! recovered CFG contains every edge an execution can take. Both are
+//! easy to break silently (a missed side entry into a loop, a cost-table
+//! drift, an unsound indirect-branch resolution), so this module fuzzes
+//! them the same way the differential arms fuzz the fast path:
+//!
+//! * [`generate_bounded`] emits programs that are bounded *by
+//!   construction* — straight-line ALU/memory code, forward skips,
+//!   resolvable `jmpr` pairs, `call h0`, and counted loops in exactly
+//!   the idiom the WCEC pass verifies — terminated by `halt`;
+//! * [`check_soundness`] analyzes the binary, then simulates it under a
+//!   seeded harvesting scenario and asserts that every powered interval
+//!   retires at most the static WCEC bound in cycles (`analyze` arm),
+//!   that every executed pc transition is an edge the CFG allows
+//!   (`analyze-cfg` arm), and that a "completes on one charge" verdict
+//!   holds on a dead harvester (`analyze` arm). A generator-guaranteed
+//!   program the analyzer cannot bound is itself a failure
+//!   (`analyze-incomplete` arm).
+//!
+//! Failures shrink through the shared greedy deleter with an
+//! arm-matched oracle and land in `target/fuzz-artifacts/` like every
+//! other reproducer.
+
+use std::sync::OnceLock;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::diff::{assemble_program, Divergence, HarvesterSpec};
+use crate::gen::{BodyLine, Epilogue, Program};
+use crate::{CaseFailure, FuzzConfig};
+use edb_analyze::{energy_verdict, instr_cycles, CapacitorSpec, Cfg, CostModel, StepVerdict};
+use edb_device::{Device, DeviceConfig};
+use edb_energy::{ConstantCurrent, PowerEdge, SimTime};
+use edb_mcu::CpuState;
+
+/// Registers the generator's ALU/memory soup draws from. Disjoint from
+/// the loop counters (r10/r11), the pointer registers (r1/r2), the
+/// `jmpr` scratch register (r14), and sp — so the counted-loop idiom is
+/// never clobbered by construction.
+const SOUP: &[u8] = &[0, 3, 4, 5, 6, 7];
+
+const ALU_OPS: &[&str] = &["add", "sub", "and", "or", "xor", "mul"];
+const ALUI_OPS: &[&str] = &["add", "sub", "and", "or", "xor"];
+const CONDS: &[&str] = &["jz", "jnz", "jc", "jnc", "jn", "jge", "jl", "jgt", "jle"];
+
+/// Voltage slack the one-charge completion check demands beyond the
+/// brown-out threshold before it treats the static verdict as testable;
+/// generously above the calibrated cost model's residual.
+const COMPLETION_MARGIN_V: f64 = 0.02;
+
+fn soup_reg(rng: &mut SmallRng) -> u8 {
+    SOUP[rng.gen_range(0usize..SOUP.len())]
+}
+
+fn push(body: &mut Vec<BodyLine>, op: String) {
+    body.push(BodyLine {
+        labels: Vec::new(),
+        op,
+    });
+}
+
+fn fresh(next_label: &mut usize) -> usize {
+    let k = *next_label;
+    *next_label += 1;
+    k
+}
+
+/// One label-less construct (one or two lines for memory pairs).
+fn emit_plain(body: &mut Vec<BodyLine>, rng: &mut SmallRng) {
+    match rng.gen_range(0u32..10) {
+        0..=2 => {
+            let op = ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())];
+            push(body, format!("{op} r{}, r{}", soup_reg(rng), soup_reg(rng)));
+        }
+        3..=4 => {
+            let op = ALUI_OPS[rng.gen_range(0usize..ALUI_OPS.len())];
+            push(
+                body,
+                format!("{op}i r{}, {:#x}", soup_reg(rng), rng.gen_range(0u16..16)),
+            );
+        }
+        5 => push(
+            body,
+            format!("movi r{}, {:#x}", soup_reg(rng), rng.gen_range(0u16..1024)),
+        ),
+        6..=7 => {
+            // A fresh SRAM pointer load before every access keeps the
+            // target inside mapped, non-code memory (loads/stores can
+            // never fault or self-modify).
+            let ptr = if rng.gen_bool(0.5) { 1 } else { 2 };
+            let addr = 0x1C00 + rng.gen_range(0u16..0x700);
+            push(body, format!("movi r{ptr}, {addr:#06x}"));
+            let off = rng.gen_range(0u16..0x30);
+            let r = soup_reg(rng);
+            let op = match rng.gen_range(0u32..4) {
+                0 => format!("ld r{r}, [r{ptr} + {off:#x}]"),
+                1 => format!("st [r{ptr} + {off:#x}], r{r}"),
+                2 => format!("ldb r{r}, [r{ptr} + {off:#x}]"),
+                _ => format!("stb [r{ptr} + {off:#x}], r{r}"),
+            };
+            push(body, op);
+        }
+        8 => push(body, "call h0".to_string()),
+        _ => push(body, "nop".to_string()),
+    }
+}
+
+fn emit_chunk(body: &mut Vec<BodyLine>, rng: &mut SmallRng, constructs: usize) {
+    for _ in 0..constructs {
+        emit_plain(body, rng);
+    }
+}
+
+/// `cmpi; jcond bK; <chunk>; bK: <op>` — a forward skip whose join is
+/// always a later line, so both paths stay acyclic.
+fn emit_skip(body: &mut Vec<BodyLine>, rng: &mut SmallRng, next_label: &mut usize) {
+    let k = fresh(next_label);
+    push(
+        body,
+        format!("cmpi r{}, {:#x}", soup_reg(rng), rng.gen_range(0u16..32)),
+    );
+    let cond = CONDS[rng.gen_range(0usize..CONDS.len())];
+    push(body, format!("{cond} b{k}"));
+    let n = rng.gen_range(1usize..=3);
+    emit_chunk(body, rng, n);
+    let at = body.len();
+    emit_plain(body, rng);
+    body[at].labels.push(k);
+}
+
+/// `movi r14, bK; jmpr r14; bK: <op>` — an indirect jump the CFG's
+/// backward `movi` resolver is designed to see through.
+fn emit_jmpr(body: &mut Vec<BodyLine>, rng: &mut SmallRng, next_label: &mut usize) {
+    let k = fresh(next_label);
+    push(body, format!("movi r14, b{k}"));
+    push(body, "jmpr r14".to_string());
+    let at = body.len();
+    emit_plain(body, rng);
+    body[at].labels.push(k);
+}
+
+/// A counted loop in exactly the verified idiom: `movi rK, 0` init
+/// falling into the header, a body that never writes the counter, then
+/// `add rK, 1; cmpi rK, N; jne header`. Depth 0 may nest one depth-1
+/// loop (r10 outer, r11 inner).
+fn emit_loop(body: &mut Vec<BodyLine>, rng: &mut SmallRng, next_label: &mut usize, depth: u32) {
+    let counter = if depth == 0 { 10 } else { 11 };
+    let bound = rng.gen_range(1u16..12);
+    let k = fresh(next_label);
+    push(body, format!("movi r{counter}, 0"));
+    let hdr = body.len();
+    let lead = rng.gen_range(1usize..=3);
+    emit_chunk(body, rng, lead);
+    if depth == 0 && rng.gen_bool(0.4) {
+        emit_loop(body, rng, next_label, 1);
+        if rng.gen_bool(0.5) {
+            let tail = rng.gen_range(1usize..=2);
+            emit_chunk(body, rng, tail);
+        }
+    }
+    body[hdr].labels.push(k);
+    push(body, format!("add r{counter}, 1"));
+    push(body, format!("cmpi r{counter}, {bound:#x}"));
+    push(body, format!("jne b{k}"));
+}
+
+/// Generates the deterministic bounded program for `seed`. Every
+/// program this returns must analyze to a finite WCEC bound with a
+/// fully resolved CFG — [`check_soundness`] reports anything else as an
+/// `analyze-incomplete` divergence.
+pub fn generate_bounded(seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57A7_1CB0);
+    let mut body: Vec<BodyLine> = Vec::new();
+    let mut next_label = 0usize;
+    let n_segments = rng.gen_range(2usize..=6);
+    for _ in 0..n_segments {
+        match rng.gen_range(0u32..10) {
+            0..=3 => {
+                let n = rng.gen_range(1usize..=5);
+                emit_chunk(&mut body, &mut rng, n);
+            }
+            4..=5 => emit_skip(&mut body, &mut rng, &mut next_label),
+            6 => emit_jmpr(&mut body, &mut rng, &mut next_label),
+            _ => emit_loop(&mut body, &mut rng, &mut next_label, 0),
+        }
+    }
+    Program {
+        case_seed: seed,
+        body,
+        tail_labels: Vec::new(),
+        epilogue: Epilogue::Halt,
+    }
+}
+
+/// The calibrated cost model, computed once per process: calibration
+/// is deterministic (it replays fixed microbenchmarks on a tethered
+/// device), so sharing it across trials cannot couple their verdicts.
+fn cost_model(config: &DeviceConfig) -> &'static CostModel {
+    static MODEL: OnceLock<CostModel> = OnceLock::new();
+    MODEL.get_or_init(|| CostModel::calibrate(config))
+}
+
+/// Analyzes `prog` and races the result against simulation: WCEC bound
+/// per powered interval, CFG walk per retired instruction, and the
+/// one-charge completion verdict on a dead harvester. Returns the first
+/// violated claim.
+pub fn check_soundness(prog: &Program, seed: u64, cfg: &FuzzConfig) -> Option<Divergence> {
+    let image = match assemble_program(prog) {
+        Ok(i) => i,
+        Err(d) => return Some(d),
+    };
+    let config = DeviceConfig::wisp5();
+    let model = cost_model(&config);
+    let cap = CapacitorSpec::from_device(&config);
+    let graph = Cfg::from_image(&image);
+    let wcec = edb_analyze::compute(&graph);
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57A7_1C5E);
+    let v_start = rng.gen_range(2.0f64..3.4);
+
+    // A bounded-by-construction program the analyzer cannot fully
+    // resolve is an analyzer bug (lost coverage), not a benign miss.
+    if graph.truncated {
+        return Some(Divergence::new(
+            "analyze-incomplete",
+            "CFG discovery truncated on a generator-bounded program",
+        ));
+    }
+    if let Some(u) = graph.unresolved.first() {
+        return Some(Divergence::new(
+            "analyze-incomplete",
+            format!(
+                "unresolved {} at {:#06x} in a generator-resolvable program",
+                u.mnemonic, u.at
+            ),
+        ));
+    }
+    let program_wcec = wcec.program();
+    let Some(bound) = program_wcec.cycles else {
+        return Some(Divergence::new(
+            "analyze-incomplete",
+            format!(
+                "bounded-by-construction program reported unbounded: {}",
+                program_wcec
+                    .unbounded_reason
+                    .as_deref()
+                    .unwrap_or("no reason given")
+            ),
+        ));
+    };
+    let verdict = energy_verdict(Some(bound), model, &cap, v_start);
+
+    // Claim 1 + 2, under a randomized harvest trace: no powered
+    // interval may retire more cycles than the bound (every interval
+    // is a from-reset prefix of some CFG path), and every pc
+    // transition must be an edge the CFG admits.
+    let spec = HarvesterSpec::draw(&mut rng);
+    let v0 = rng.gen_range(2.0f64..2.6);
+    let end = SimTime::from_ms(cfg.device_sim_ms);
+    let mut dev = Device::new(config);
+    dev.flash(&image);
+    dev.set_v_cap(v0);
+    let mut harvester = spec.build();
+    let mut interval_cycles: u64 = 0;
+    while dev.now() < end {
+        let prev_pc = dev.cpu().pc;
+        let step = dev.step(&mut *harvester, 0.0);
+        if let Some(instr) = step.retired {
+            interval_cycles += u64::from(instr_cycles(&instr));
+            if interval_cycles > bound {
+                return Some(Divergence::new(
+                    "analyze",
+                    format!(
+                        "powered interval retired {interval_cycles} cycles at \
+                         pc {prev_pc:#06x}, exceeding the static WCEC bound of {bound}"
+                    ),
+                ));
+            }
+            if step.power_edge.is_none() {
+                let to = dev.cpu().pc;
+                if graph.allows_step(prev_pc, to) == StepVerdict::Violation {
+                    return Some(Divergence::new(
+                        "analyze-cfg",
+                        format!(
+                            "execution stepped {prev_pc:#06x} -> {to:#06x}, \
+                             an edge the static CFG forbids"
+                        ),
+                    ));
+                }
+            }
+        }
+        if step.power_edge == Some(PowerEdge::TurnOn) {
+            interval_cycles = 0;
+        }
+    }
+
+    // Claim 3: a "completes on one charge" verdict with real margin
+    // must hold on a dead harvester starting from the verdict's
+    // voltage (prediction says the worst path fits; the actual path
+    // can only be cheaper).
+    if verdict.completes_on_one_charge == Some(true)
+        && v_start >= config.v_on
+        && verdict
+            .v_end_worst
+            .is_some_and(|v| v >= config.v_off + COMPLETION_MARGIN_V)
+    {
+        let mut dev = Device::new(config);
+        dev.flash(&image);
+        dev.set_v_cap(v_start);
+        let mut dead = ConstantCurrent::new(0.0);
+        // Every executing step retires one instruction of >= 1 cycle,
+        // so `bound` steps cover the whole run; the slack covers idle
+        // quanta around boot.
+        let max_steps = bound + 10_000;
+        let mut halted = false;
+        for _ in 0..max_steps {
+            let step = dev.step(&mut dead, 0.0);
+            if step.power_edge == Some(PowerEdge::BrownOut) {
+                return Some(Divergence::new(
+                    "analyze",
+                    format!(
+                        "predicted to complete on one charge from {v_start:.3} V \
+                         (worst-case end {:.3} V), but browned out after \
+                         {} instruction(s)",
+                        verdict.v_end_worst.unwrap_or(f64::NAN),
+                        dev.total_instructions()
+                    ),
+                ));
+            }
+            if matches!(dev.cpu().state(), CpuState::Halted) {
+                halted = true;
+                break;
+            }
+        }
+        if !halted {
+            return Some(Divergence::new(
+                "analyze",
+                format!(
+                    "did not halt within {max_steps} steps on a dead harvester \
+                     though the static WCEC bound is {bound} cycles"
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// Generates and checks one soundness case from its trial seed. `None`
+/// means every analyzer claim survived simulation.
+pub fn run_soundness_case(seed: u64, cfg: &FuzzConfig) -> Option<CaseFailure> {
+    let program = generate_bounded(seed);
+    check_soundness(&program, seed, cfg).map(|divergence| CaseFailure {
+        seed,
+        program,
+        divergence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edb_mcu::asm::assemble;
+
+    #[test]
+    fn bounded_programs_assemble_and_analyze() {
+        for seed in 0..40u64 {
+            let prog = generate_bounded(seed);
+            let src = prog.render();
+            let image = assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let graph = Cfg::from_image(&image);
+            assert!(graph.unresolved.is_empty(), "seed {seed}:\n{src}");
+            let wcec = edb_analyze::compute(&graph);
+            assert!(
+                wcec.program().cycles.is_some(),
+                "seed {seed} unbounded: {}\n{src}",
+                wcec.program().unbounded_reason.as_deref().unwrap_or("?")
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_generation_is_deterministic() {
+        assert_eq!(generate_bounded(42).render(), generate_bounded(42).render());
+        assert_ne!(generate_bounded(42).render(), generate_bounded(43).render());
+    }
+
+    #[test]
+    fn soundness_cases_are_divergence_free() {
+        // Debug-scale smoke; the release-mode fleet runs in
+        // `fuzz_smoke --analyze`.
+        let cfg = FuzzConfig {
+            device_sim_ms: 6,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..12u64 {
+            if let Some(f) = run_soundness_case(seed, &cfg) {
+                panic!("seed {seed}: {}\n{}", f.divergence, f.program.render());
+            }
+        }
+    }
+}

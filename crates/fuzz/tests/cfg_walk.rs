@@ -1,0 +1,78 @@
+//! Property: every simulated pc-trace is a walk over the static CFG.
+//!
+//! `edb-analyze` recovers a control-flow graph from the flash image
+//! alone, and the rest of the tooling (WCEC bounds, checkpoint
+//! advisories, the `analyze` RPC) treats its edge set as complete. This
+//! test drives generator programs through the device simulator under
+//! randomized harvesting scenarios and asserts that every retired
+//! instruction's pc transition is an edge the CFG admits
+//! ([`StepVerdict::Violation`] never appears). Transitions that span a
+//! power edge are exempt: a brown-out or reboot teleports the pc
+//! through the reset vector, which is not an architectural CFG edge.
+//!
+//! Programs come from the bounded generator (`soundness`): unlike the
+//! wild differential generator it never self-modifies, so the static
+//! CFG is required to be exact, not merely best-effort.
+
+use edb_analyze::{Cfg, StepVerdict};
+use edb_device::{Device, DeviceConfig};
+use edb_energy::SimTime;
+use edb_fuzz::diff::{assemble_program, HarvesterSpec};
+use edb_fuzz::soundness;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Simulated window per case; long enough to cross several brown-out /
+/// recharge cycles under the pulsed and fading harvesters.
+const SIM_MS: u64 = 6;
+
+fn check_walk(seed: u64, hseed: u64) {
+    let prog = soundness::generate_bounded(seed);
+    let image = assemble_program(&prog).expect("bounded programs assemble");
+    let graph = Cfg::from_image(&image);
+    prop_assert!(
+        graph.unresolved.is_empty() && !graph.truncated,
+        "seed {:#x}: CFG must be fully resolved for bounded programs",
+        seed
+    );
+
+    let config = DeviceConfig::wisp5();
+    let mut dev = Device::new(config);
+    dev.flash(&image);
+    // Start above the turn-on threshold so the trace is never vacuous.
+    dev.set_v_cap(config.v_on + 0.1);
+    let mut rng = SmallRng::seed_from_u64(hseed);
+    let mut harvester = HarvesterSpec::draw(&mut rng).build();
+    let end = SimTime::from_ms(SIM_MS);
+    let mut retired = 0u64;
+    while dev.now() < end {
+        let prev_pc = dev.cpu().pc;
+        let step = dev.step(&mut *harvester, 0.0);
+        if step.retired.is_some() && step.power_edge.is_none() {
+            retired += 1;
+            let to = dev.cpu().pc;
+            prop_assert_ne!(
+                graph.allows_step(prev_pc, to),
+                StepVerdict::Violation,
+                "seed {:#x}: executed step {:#06x} -> {:#06x} is not a CFG edge",
+                seed,
+                prev_pc,
+                to
+            );
+        }
+    }
+    prop_assert!(retired > 0, "seed {:#x}: trace retired nothing", seed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulated_traces_walk_the_static_cfg(
+        seed in 0u64..50_000,
+        hseed in any::<u64>(),
+    ) {
+        check_walk(seed, hseed);
+    }
+}

@@ -207,6 +207,44 @@ fn absorb(state: &mut TuiState, notifications: &[Value]) {
     }
 }
 
+/// One-line digest of an `analyze` report for the event feed.
+fn summarize_analysis(report: &Value) -> String {
+    let get_u64 = |name: &str| match report.get_field(name) {
+        Some(Value::U64(n)) => Some(*n),
+        _ => None,
+    };
+    let blocks = get_u64("blocks").unwrap_or(0);
+    let unresolved = match report.get_field("unresolved") {
+        Some(Value::Seq(items)) => items.len(),
+        _ => 0,
+    };
+    match get_u64("wcec_cycles") {
+        Some(cycles) => {
+            let completes = matches!(
+                report.get_field("completes_on_one_charge"),
+                Some(Value::Bool(true))
+            );
+            let charges = get_u64("charge_cycles").unwrap_or(0);
+            format!(
+                "analyze: WCEC {cycles} cycles, {} on one charge ({charges} charge cycle(s), \
+                 {blocks} blocks, {unresolved} unresolved)",
+                if completes {
+                    "completes"
+                } else {
+                    "DOES NOT complete"
+                }
+            )
+        }
+        None => {
+            let reason = report
+                .get_field("unbounded_reason")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown");
+            format!("analyze: unbounded — {reason} ({blocks} blocks, {unresolved} unresolved)")
+        }
+    }
+}
+
 fn parse_u16(token: &str) -> Option<u16> {
     let token = token.trim();
     match token
@@ -237,7 +275,14 @@ fn run_command(client: &mut Client, state: &mut TuiState, command: &str) -> bool
                             Some(result)
                         }
                         Err(e) => {
-                            state.note(format!("{method}: {} (code {})", e.message, e.code));
+                            // The no-recording code gets a remedial hint:
+                            // rewinding needs a recording session.
+                            let hint = if e.code == edb_serve::rpc::EDB_ERROR_BASE - 12 {
+                                " — hint: create the session with record:true to time-travel"
+                            } else {
+                                ""
+                            };
+                            state.note(format!("{method}: {} (code {}){hint}", e.message, e.code));
                             None
                         }
                     }
@@ -370,8 +415,29 @@ fn run_command(client: &mut Client, state: &mut TuiState, command: &str) -> bool
                 state.apply_disasm(&result);
             }
         }
+        "analyze" => {
+            let mut params = vec![];
+            if let Some(first) = args.first() {
+                match parse_u16(first) {
+                    Some(addr) => params.push(("entry", Value::U64(u64::from(addr)))),
+                    None => params.push(("name", Value::Str((*first).to_string()))),
+                }
+            }
+            // The full report is large; surface the verdict and point
+            // at the JSON-RPC method (or `edb-analyze`) for the rest.
+            match client.call("analyze", params) {
+                Ok(out) => {
+                    absorb(state, &out.notifications);
+                    match out.outcome {
+                        Ok(report) => state.note(summarize_analysis(&report)),
+                        Err(e) => state.note(format!("analyze: {} (code {})", e.message, e.code)),
+                    }
+                }
+                Err(e) => state.note(format!("analyze: transport error: {e}")),
+            }
+        }
         other => state.note(format!(
-            "unknown command `{other}` (try: run, step, read, pc)"
+            "unknown command `{other}` (try: run, step, analyze, read, pc)"
         )),
     }
     true

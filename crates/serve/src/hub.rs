@@ -640,6 +640,21 @@ impl SessionHub {
                     ("lines", Value::Seq(lines)),
                 ]))
             }
+            "analyze" => {
+                let session = self.attached_session(conn)?;
+                let session = session.lock().expect("session lock");
+                // Entry: explicit address, a symbol name, or (default)
+                // wherever the PC currently sits.
+                let entry = match (param_u16(p, "entry")?, param_str(p, "name")) {
+                    (Some(addr), _) => Some(addr),
+                    (None, Some(name)) => Some(session.symbol(name).ok_or_else(|| {
+                        RpcError::protocol(rpc::INVALID_PARAMS, format!("unknown symbol `{name}`"))
+                    })?),
+                    (None, None) => None,
+                };
+                let v_start = param_f64(p, "v");
+                Ok(session.analyze(entry, v_start).to_value())
+            }
             "symbol" => {
                 let name = param_str(p, "name")
                     .ok_or_else(|| RpcError::protocol(rpc::INVALID_PARAMS, "missing `name`"))?;
@@ -991,6 +1006,53 @@ mod tests {
         let err = call(&hub, &mut conn, 2, "read", r#"{"addr":24576}"#);
         assert!(err.contains(r#""code":-32002"#), "{err}");
         assert!(err.contains("NoSession"), "{err}");
+    }
+
+    /// Satellite: time travel against a session created with
+    /// `record:false` is the dedicated typed `NoRecording` error with
+    /// its own stable wire code, not a generic replay failure.
+    #[test]
+    fn time_travel_without_recording_has_a_dedicated_wire_code() {
+        let hub = SessionHub::new();
+        let mut conn = ConnState::new();
+        call(
+            &hub,
+            &mut conn,
+            1,
+            "create",
+            r#"{"firmware":"spin","record":false}"#,
+        );
+        let err = call(&hub, &mut conn, 2, "step_back", r#"{"n":1}"#);
+        assert!(err.contains(r#""code":-32012"#), "{err}");
+        assert!(err.contains("NoRecording"), "{err}");
+        assert!(err.contains("step_back"), "{err}");
+        let err = call(&hub, &mut conn, 3, "goto_time", r#"{"ms":1}"#);
+        assert!(err.contains(r#""code":-32012"#), "{err}");
+        let err = call(&hub, &mut conn, 4, "reverse_continue", "{}");
+        assert!(err.contains(r#""code":-32012"#), "{err}");
+    }
+
+    #[test]
+    fn analyze_reports_over_rpc() {
+        let hub = SessionHub::new();
+        let mut conn = ConnState::new();
+        call(
+            &hub,
+            &mut conn,
+            1,
+            "create",
+            r#"{"firmware":"spin","record":false}"#,
+        );
+        // The spin preset loops forever: the honest verdict from its
+        // entry is unbounded, with the CFG fully recovered.
+        let report = call(&hub, &mut conn, 2, "analyze", r#"{"name":"main"}"#);
+        assert!(report.contains(r#""wcec_cycles":null"#), "{report}");
+        assert!(report.contains(r#""unbounded_reason":"#), "{report}");
+        assert!(report.contains(r#""blocks":"#), "{report}");
+        assert!(report.contains(r#""ckpt_advice":"#), "{report}");
+        // An unknown symbol is a parameter error, not a panic.
+        let err = call(&hub, &mut conn, 3, "analyze", r#"{"name":"nope"}"#);
+        assert!(err.contains(r#""code":-32602"#), "{err}");
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub fn edb_error_code(error: &EdbError) -> i64 {
         EdbError::SessionDidNotClose => 9,
         EdbError::Device { .. } => 10,
         EdbError::Rfid { .. } => 11,
+        EdbError::NoRecording { .. } => 12,
+        EdbError::Replay { .. } => 13,
         // `EdbError` is non-exhaustive; a future variant gets the
         // block's generic tail until it is assigned a code here.
         _ => 99,
@@ -271,6 +273,10 @@ mod tests {
             },
             EdbError::Rfid {
                 detail: "bad crc".to_string(),
+            },
+            EdbError::NoRecording { op: "step_back" },
+            EdbError::Replay {
+                detail: "target precedes the recording start".to_string(),
             },
         ];
         let mut seen_codes = std::collections::BTreeSet::new();

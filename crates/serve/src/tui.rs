@@ -276,7 +276,7 @@ impl TuiState {
         f.put(
             1,
             23,
-            "run <ms> | step [n] | back [n] | goto <ms> | rc | read/write | break | resume",
+            "run <ms> | step [n] | back [n] | goto <ms> | rc | analyze [sym] | read/write | break",
         );
         f.render()
     }
